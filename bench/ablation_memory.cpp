@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Experiment E9e — a memory system under the ILP models (the paper's
+ * future work: "a suitable memory system will be studied").
+ *
+ * Replays each trace through a two-level cache hierarchy and feeds the
+ * per-load latencies to the windowed models and the Oracle. Three
+ * points: perfect memory (the paper's unit-latency assumption), a
+ * default L1/L2, and a stressed tiny-L1 configuration.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/cli.hh"
+#include "mem/cache.hh"
+
+int
+main(int argc, char **argv)
+{
+    dee::Cli cli("Cache hierarchy study at E_T = 100");
+    cli.flag("scale", "4", "workload scale factor");
+    cli.parse(argc, argv);
+    const auto suite =
+        dee::makeSuite(static_cast<int>(cli.integer("scale")));
+
+    struct Point
+    {
+        const char *name;
+        bool enabled;
+        dee::MemoryConfig config;
+    };
+    const Point points[] = {
+        {"perfect (paper)", false, {}},
+        {"L1 2K-word + L2 32K-word", true, dee::MemoryConfig{}},
+        {"tiny L1, 100-cycle memory", true, dee::MemoryConfig::small()},
+    };
+
+    dee::Table table({"memory", "L1 hit", "mean load lat", "SP",
+                      "DEE-CD-MF", "Oracle"});
+    for (const auto &point : points) {
+        std::vector<double> sp, dee_mf, oracle;
+        double l1_hit = 1.0;
+        double mean_lat = 1.0;
+        for (const auto &inst : suite) {
+            std::vector<int> latencies;
+            dee::ModelRunOptions options;
+            if (point.enabled) {
+                const dee::MemoryStats stats =
+                    dee::computeMemoryLatencies(inst.trace, point.config,
+                                                &latencies);
+                options.loadLatencies = &latencies;
+                l1_hit = stats.l1HitRate();
+                mean_lat = stats.meanLoadLatency;
+            }
+            sp.push_back(dee::bench::speedupOf(dee::ModelKind::SP, inst,
+                                               100, options));
+            dee_mf.push_back(dee::bench::speedupOf(
+                dee::ModelKind::DEE_CD_MF, inst, 100, options));
+            oracle.push_back(dee::bench::speedupOf(
+                dee::ModelKind::Oracle, inst, 0, options));
+        }
+        table.addRow({point.name,
+                      point.enabled
+                          ? dee::Table::fmt(100.0 * l1_hit, 1) + "%"
+                          : "-",
+                      point.enabled ? dee::Table::fmt(mean_lat, 2) : "1",
+                      dee::Table::fmt(dee::harmonicMean(sp), 2),
+                      dee::Table::fmt(dee::harmonicMean(dee_mf), 2),
+                      dee::Table::fmt(dee::harmonicMean(oracle), 2)});
+    }
+    std::printf("%s\n(the L1-hit/mean-lat columns show the last "
+                "workload's hierarchy behaviour; speedups are "
+                "suite harmonic means vs the unit-latency sequential "
+                "machine)\n",
+                table.render().c_str());
+    return 0;
+}

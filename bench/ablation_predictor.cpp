@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Experiment E9b — predictor choice vs degree of DEE (Section 5.1:
+ * "There is a tradeoff between predictor accuracy and its cost versus
+ * degree of DEE realization and its cost, for the same performance.
+ * The data suggest that some use of DEE is likely to be beneficial,
+ * regardless of the predictor accuracy.")
+ *
+ * For each predictor, compares SP-CD-MF vs DEE-CD-MF at E_T = 100:
+ * the DEE benefit should persist for every realizable predictor.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    dee::Cli cli("Predictor choice vs DEE benefit (E_T = 100)");
+    cli.flag("scale", "4", "workload scale factor");
+    cli.parse(argc, argv);
+    const auto suite =
+        dee::makeSuite(static_cast<int>(cli.integer("scale")));
+
+    dee::Table table({"predictor", "mean accuracy", "SP-CD-MF",
+                      "DEE-CD-MF", "DEE benefit"});
+    for (const char *name :
+         {"taken", "btfnt", "1bit", "2bit", "pap", "gshare", "tournament", "oracle"}) {
+        std::vector<double> accs, sp, dee;
+        for (const auto &inst : suite) {
+            const auto backward = dee::backwardTable(inst.program);
+            auto meter = dee::makePredictor(name, inst.trace.numStatic);
+            accs.push_back(
+                dee::measureAccuracy(inst.trace, *meter, backward)
+                    .accuracy);
+            for (bool use_dee : {false, true}) {
+                auto pred =
+                    dee::makePredictor(name, inst.trace.numStatic);
+                const dee::SimResult r = dee::runModel(
+                    use_dee ? dee::ModelKind::DEE_CD_MF
+                            : dee::ModelKind::SP_CD_MF,
+                    inst.trace, &inst.cfg, *pred, 100);
+                (use_dee ? dee : sp).push_back(r.speedup);
+            }
+        }
+        const double sp_hm = dee::harmonicMean(sp);
+        const double dee_hm = dee::harmonicMean(dee);
+        table.addRow({name,
+                      dee::Table::fmt(dee::arithmeticMean(accs), 4),
+                      dee::Table::fmt(sp_hm, 2),
+                      dee::Table::fmt(dee_hm, 2),
+                      dee::Table::fmt(dee_hm / sp_hm, 2) + "x"});
+    }
+    std::printf("%s\nexpected: DEE-CD-MF >= SP-CD-MF for every "
+                "predictor; the benefit shrinks as accuracy "
+                "approaches 1 (DEE degenerates to SP).\n",
+                table.render().c_str());
+    return 0;
+}

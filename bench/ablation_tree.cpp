@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Experiment E9a — tree-shape ablations for the DEE-CD-MF model.
+ *
+ * Design choices probed (all called out in DESIGN.md):
+ *   1. static closed-form heuristic tree vs theory-exact greedy tree
+ *      (Section 3: the heuristic gives up little),
+ *   2. sensitivity to the characteristic accuracy p used to size the
+ *      tree (what if the designer mis-estimates p?),
+ *   3. misprediction penalty 0 / 1 / 2 cycles (Levo hopes for 0).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/cli.hh"
+
+namespace
+{
+
+double
+hmWithTree(const std::vector<dee::BenchmarkInstance> &suite,
+           bool greedy, double p_override, int e_t, int penalty)
+{
+    std::vector<double> xs;
+    for (const auto &inst : suite) {
+        dee::TwoBitPredictor pred(inst.trace.numStatic);
+        double p = p_override;
+        if (p <= 0.0)
+            p = dee::characteristicAccuracy(inst.trace, pred);
+        const dee::SpecTree tree =
+            greedy ? dee::SpecTree::deeGreedy(p, e_t)
+                   : dee::SpecTree::deeStatic(p, e_t);
+        dee::SimConfig config;
+        config.cd = dee::CdModel::Minimal;
+        config.mispredictPenalty = penalty;
+        dee::WindowSim sim(inst.trace, tree, config, &inst.cfg);
+        xs.push_back(sim.run(pred).speedup);
+    }
+    return dee::harmonicMean(xs);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    dee::Cli cli("DEE tree-shape ablations (DEE-CD-MF, harmonic mean)");
+    cli.flag("scale", "4", "workload scale factor");
+    cli.parse(argc, argv);
+    const auto suite =
+        dee::makeSuite(static_cast<int>(cli.integer("scale")));
+    const std::vector<int> ets{32, 64, 100, 256};
+
+    // 1. Heuristic vs greedy tree.
+    {
+        dee::Table table({"tree", "ET=32", "ET=64", "ET=100", "ET=256"});
+        for (bool greedy : {false, true}) {
+            std::vector<std::string> row{
+                greedy ? "greedy (theory-exact)" : "static heuristic"};
+            for (int e_t : ets)
+                row.push_back(dee::Table::fmt(
+                    hmWithTree(suite, greedy, -1.0, e_t, 1), 2));
+            table.addRow(std::move(row));
+        }
+        std::printf("== heuristic vs theory tree ==\n%s\n",
+                    table.render().c_str());
+    }
+
+    // 2. Mis-estimated characteristic p.
+    {
+        dee::Table table({"design p", "ET=32", "ET=64", "ET=100",
+                          "ET=256"});
+        for (double p : {0.80, 0.86, 0.9053, 0.95, -1.0}) {
+            std::vector<std::string> row{
+                p < 0 ? "measured per workload" : dee::Table::fmt(p, 4)};
+            for (int e_t : ets)
+                row.push_back(dee::Table::fmt(
+                    hmWithTree(suite, false, p, e_t, 1), 2));
+            table.addRow(std::move(row));
+        }
+        std::printf("== characteristic-p sensitivity ==\n%s\n",
+                    table.render().c_str());
+    }
+
+    // 3. Misprediction penalty.
+    {
+        dee::Table table({"penalty", "ET=32", "ET=64", "ET=100",
+                          "ET=256"});
+        for (int penalty : {0, 1, 2, 4}) {
+            std::vector<std::string> row{std::to_string(penalty)};
+            for (int e_t : ets)
+                row.push_back(dee::Table::fmt(
+                    hmWithTree(suite, false, -1.0, e_t, penalty), 2));
+            table.addRow(std::move(row));
+        }
+        std::printf("== misprediction penalty (paper: 1 cycle, maybe "
+                    "0) ==\n%s",
+                    table.render().c_str());
+    }
+    return 0;
+}

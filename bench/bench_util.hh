@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction binaries: standard
+ * sweep drivers and paper-value comparison rows.
+ *
+ * Every binary in bench/ regenerates one table or figure of the paper
+ * (see DESIGN.md's experiment index) and prints it via common/table.
+ */
+
+#ifndef DEE_BENCH_BENCH_UTIL_HH
+#define DEE_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bpred/bpred.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "core/sim/models.hh"
+#include "workloads/suite.hh"
+
+namespace dee::bench
+{
+
+/** Speedup of one model at one resource level on one instance. */
+inline double
+speedupOf(ModelKind kind, const BenchmarkInstance &inst, int e_t,
+          const ModelRunOptions &options = {})
+{
+    TwoBitPredictor pred(inst.trace.numStatic);
+    return runModel(kind, inst.trace, &inst.cfg, pred, e_t, options)
+        .speedup;
+}
+
+/** Per-model speedup series over resource levels for one instance. */
+inline std::map<ModelKind, std::vector<double>>
+sweepInstance(const BenchmarkInstance &inst, const std::vector<int> &ets,
+              const ModelRunOptions &options = {})
+{
+    std::map<ModelKind, std::vector<double>> series;
+    for (ModelKind kind : allModels()) {
+        auto &row = series[kind];
+        for (int e_t : ets) {
+            row.push_back(speedupOf(kind, inst, e_t, options));
+            if (kind == ModelKind::Oracle) {
+                row.resize(ets.size(), row.front());
+                break;
+            }
+        }
+    }
+    return series;
+}
+
+/** Renders a model x E_T speedup table, Figure-5 style. */
+inline std::string
+renderSweep(const std::string &title,
+            const std::map<ModelKind, std::vector<double>> &series,
+            const std::vector<int> &ets)
+{
+    std::vector<std::string> headers{"model"};
+    for (int e_t : ets)
+        headers.push_back("ET=" + std::to_string(e_t));
+    Table table(headers);
+    for (ModelKind kind : allModels()) {
+        std::vector<std::string> row{modelName(kind)};
+        for (double s : series.at(kind))
+            row.push_back(Table::fmt(s, 2));
+        table.addRow(std::move(row));
+    }
+    return "== " + title + "\n" + table.render();
+}
+
+/** Harmonic mean across instances, element-wise per model/ET. */
+inline std::map<ModelKind, std::vector<double>>
+harmonicSeries(
+    const std::vector<std::map<ModelKind, std::vector<double>>> &all,
+    std::size_t num_ets)
+{
+    std::map<ModelKind, std::vector<double>> hm;
+    for (ModelKind kind : allModels()) {
+        auto &row = hm[kind];
+        for (std::size_t i = 0; i < num_ets; ++i) {
+            std::vector<double> samples;
+            for (const auto &series : all)
+                samples.push_back(series.at(kind)[i]);
+            row.push_back(harmonicMean(samples));
+        }
+    }
+    return hm;
+}
+
+/** Prints a "measured vs paper" comparison row. */
+inline void
+compareToPaper(Table &table, const std::string &what, double measured,
+               double paper)
+{
+    table.addRow({what, Table::fmt(measured, 2), Table::fmt(paper, 2),
+                  Table::fmt(measured / paper, 2)});
+}
+
+} // namespace dee::bench
+
+#endif // DEE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Experiment E2 — Figure 2: the static DEE assignment tree for
+ * p = 0.90 and E_T = 34 branch paths.
+ *
+ * Regenerates the figure: the closed-form dimensions (l = 24 ML paths,
+ * h_DEE = w_DEE = 4), the ML path probabilities (.90 .81 .73 .66 ...)
+ * and the DEE side path probabilities (.10 .09 .08 .07), plus the
+ * validity conditions of the paper's relations.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/table.hh"
+#include "core/tree/geometry.hh"
+#include "core/tree/spec_tree.hh"
+
+int
+main()
+{
+    constexpr double p = 0.90;
+    constexpr int e_t = 34;
+
+    const dee::TreeGeometry g = dee::computeGeometry(p, e_t);
+    std::printf("Figure 2 design point: %s\n", g.render().c_str());
+    std::printf("paper: l = 24 paths, h_DEE = w_DEE = 4, E_T = 34\n\n");
+
+    std::printf("closed-form relations at this point:\n");
+    std::printf("  log_p(1-p)        = %.3f\n", dee::logP1mp(p));
+    std::printf("  E_T(h=4)          = %.3f (paper: 34)\n",
+                dee::etForHeight(p, 4.0));
+    std::printf("  h_DEE(E_T=34)     = %.3f (paper: 4)\n",
+                dee::heightForEt(p, 34.0));
+    std::printf("  l(h=4)            = %.3f (paper: 24)\n",
+                dee::mlLengthForHeight(p, 4.0));
+    std::printf("  p^l > (1-p)^2?    %s (%.4f > %.4f)\n",
+                dee::geometryValid(p, g.mainLineLength) ? "yes" : "no",
+                std::pow(p, g.mainLineLength), (1 - p) * (1 - p));
+    std::printf("  (1-p) > p^l?      %s (DEE region non-empty)\n\n",
+                dee::deeRegionNonEmpty(p, g.mainLineLength) ? "yes"
+                                                            : "no");
+
+    const dee::SpecTree tree = dee::SpecTree::deeStatic(g);
+
+    // Main-Line path probabilities (the figure's .90 .81 .73 .66 ...).
+    dee::Table ml({"ML depth", "cp", "figure"});
+    const char *figure_vals[] = {"0.90", "0.81", "0.73", "0.66"};
+    int cur = dee::SpecTree::kOrigin;
+    for (int d = 1; d <= g.mainLineLength; ++d) {
+        cur = tree.child(cur, true);
+        ml.addRow({std::to_string(d),
+                   dee::Table::fmt(tree.node(cur).cp, 4),
+                   d <= 4 ? figure_vals[d - 1] : "-"});
+    }
+    std::printf("%s\n", ml.render().c_str());
+
+    // DEE side paths (the figure's B1..B4 with .10 .09 .08 .07).
+    dee::Table side({"DEE branch", "split depth", "side cp", "figure",
+                     "path length"});
+    cur = dee::SpecTree::kOrigin;
+    const char *side_vals[] = {"0.10", "0.09", "0.08", "0.07"};
+    for (int j = 1; j <= g.deeHeight; ++j) {
+        const int s = tree.child(cur, false);
+        int len = 0;
+        for (int n = s; n != dee::kNoNode; n = tree.child(n, true))
+            ++len;
+        side.addRow({"B" + std::to_string(g.deeHeight - j + 1),
+                     std::to_string(j),
+                     dee::Table::fmt(tree.node(s).cp, 4),
+                     j <= 4 ? side_vals[j - 1] : "-",
+                     std::to_string(len)});
+        cur = tree.child(cur, true);
+    }
+    std::printf("%s\n", side.render().c_str());
+
+    std::printf("total branch paths in tree: %d (paper: 34)\n",
+                tree.numPaths());
+    return 0;
+}

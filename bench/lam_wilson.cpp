@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Experiment E12 — Lam & Wilson unlimited-resources comparison
+ * (Section 1.2: "Lam and Wilson simulated many abstract models of
+ * execution with unlimited resources, including the SP, CD and CD-MF
+ * models ... For comparison purposes, the SP variants are simulated
+ * herein, but with constrained resources").
+ *
+ * Side-by-side: the unlimited LW models vs our constrained-at-256
+ * equivalents and the Oracle — showing how much of the unlimited
+ * potential a finite tree window keeps.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/cli.hh"
+#include "core/sim/limits.hh"
+
+int
+main(int argc, char **argv)
+{
+    dee::Cli cli("Lam-Wilson unlimited vs constrained models");
+    cli.flag("scale", "4", "workload scale factor");
+    cli.parse(argc, argv);
+    const auto suite =
+        dee::makeSuite(static_cast<int>(cli.integer("scale")));
+
+    dee::Table table({"workload", "LW-SP", "SP@256", "LW-SP-CD",
+                      "SP-CD@256", "LW-SP-CD-MF", "SP-CD-MF@256",
+                      "DEE-CD-MF@256", "Oracle"});
+    std::vector<std::vector<double>> cols(8);
+    for (const auto &inst : suite) {
+        std::vector<std::string> row{inst.name};
+        std::size_t c = 0;
+        auto push = [&](double v) {
+            cols[c++].push_back(v);
+            row.push_back(dee::Table::fmt(v, 2));
+        };
+        auto lw = [&](dee::LwModel model) {
+            dee::TwoBitPredictor pred(inst.trace.numStatic);
+            return dee::lamWilsonStudy(inst.trace, inst.cfg, model, pred)
+                .speedup;
+        };
+        push(lw(dee::LwModel::SP));
+        push(dee::bench::speedupOf(dee::ModelKind::SP, inst, 256));
+        push(lw(dee::LwModel::SP_CD));
+        push(dee::bench::speedupOf(dee::ModelKind::SP_CD, inst, 256));
+        push(lw(dee::LwModel::SP_CD_MF));
+        push(dee::bench::speedupOf(dee::ModelKind::SP_CD_MF, inst, 256));
+        push(dee::bench::speedupOf(dee::ModelKind::DEE_CD_MF, inst,
+                                   256));
+        push(dee::bench::speedupOf(dee::ModelKind::Oracle, inst, 0));
+        table.addRow(std::move(row));
+    }
+    std::vector<std::string> hm{"harmonic mean"};
+    for (auto &col : cols)
+        hm.push_back(dee::Table::fmt(dee::harmonicMean(col), 2));
+    table.addRow(std::move(hm));
+
+    std::printf("%s\nLam & Wilson (ISCA'92) reported HM speedups of "
+                "~7 for SP, ~13 for SP-CD and ~40+ for SP-CD-MF style "
+                "models with unlimited resources on SPECint-class "
+                "code; constrained windows keep a large share once "
+                "minimal control dependencies are in play.\n",
+                table.render().c_str());
+    return 0;
+}

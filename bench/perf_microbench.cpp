@@ -1,0 +1,106 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation engines
+ * themselves: interpreter, oracle pass, windowed simulator per model,
+ * Levo machine, tree construction. These measure the *tool's* speed
+ * (instructions simulated per second), not the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bpred/bpred.hh"
+#include "core/sim/models.hh"
+#include "core/tree/spec_tree.hh"
+#include "exec/interp.hh"
+#include "levo/levo.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+const dee::BenchmarkInstance &
+compressInstance()
+{
+    static const dee::BenchmarkInstance inst =
+        dee::makeInstance(dee::WorkloadId::Compress, 2);
+    return inst;
+}
+
+void
+BM_Interpreter(benchmark::State &state)
+{
+    const auto &inst = compressInstance();
+    dee::Interpreter interp(inst.program);
+    for (auto _ : state) {
+        auto r = interp.run(10'000'000, false);
+        benchmark::DoNotOptimize(r.steps);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(inst.trace.size()));
+}
+BENCHMARK(BM_Interpreter);
+
+void
+BM_OracleSim(benchmark::State &state)
+{
+    const auto &inst = compressInstance();
+    for (auto _ : state) {
+        auto r = dee::oracleSim(inst.trace);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(inst.trace.size()));
+}
+BENCHMARK(BM_OracleSim);
+
+void
+BM_WindowSim(benchmark::State &state)
+{
+    const auto &inst = compressInstance();
+    const auto kind = static_cast<dee::ModelKind>(state.range(0));
+    dee::TwoBitPredictor pred(inst.trace.numStatic);
+    for (auto _ : state) {
+        auto r = dee::runModel(kind, inst.trace, &inst.cfg, pred, 256);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(inst.trace.size()));
+}
+BENCHMARK(BM_WindowSim)
+    ->Arg(static_cast<int>(dee::ModelKind::SP))
+    ->Arg(static_cast<int>(dee::ModelKind::EE))
+    ->Arg(static_cast<int>(dee::ModelKind::DEE))
+    ->Arg(static_cast<int>(dee::ModelKind::DEE_CD_MF));
+
+void
+BM_LevoMachine(benchmark::State &state)
+{
+    const auto &inst = compressInstance();
+    dee::LevoMachine machine(inst.program, inst.cfg, dee::LevoConfig{});
+    for (auto _ : state) {
+        auto r = machine.run(10'000'000);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(inst.trace.size()));
+}
+BENCHMARK(BM_LevoMachine);
+
+void
+BM_TreeConstruction(benchmark::State &state)
+{
+    const int e_t = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        auto tree = dee::SpecTree::deeGreedy(0.9053, e_t);
+        benchmark::DoNotOptimize(tree.numPaths());
+    }
+}
+BENCHMARK(BM_TreeConstruction)->Arg(32)->Arg(256)->Arg(2048);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Experiment E3 — Theorem 1 / Corollary 1: numeric optimality of the
+ * greatest-marginal-benefit rule.
+ *
+ * The paper proves DEE's path selection optimal; this harness checks
+ * the greedy allocator against exhaustive enumeration on randomized
+ * saturating instances, and shows the Ptot ranking of the Figure 1
+ * strategies under the theory's performance measure.
+ */
+
+#include <cstdio>
+
+#include "common/random.hh"
+#include "common/table.hh"
+#include "core/tree/allocate.hh"
+#include "core/tree/spec_tree.hh"
+
+namespace
+{
+
+/** Ptot of a whole strategy tree: every included path gets 1 resource. */
+double
+treePtot(const dee::SpecTree &tree)
+{
+    double ptot = 0.0;
+    for (int i = 1; i <= tree.numPaths(); ++i)
+        ptot += tree.node(i).cp;
+    return ptot;
+}
+
+} // namespace
+
+int
+main()
+{
+    // 1. Randomized exhaustive optimality check.
+    dee::Rng rng(20260707);
+    int instances = 0;
+    int optimal = 0;
+    double worst_gap = 0.0;
+    for (int trial = 0; trial < 400; ++trial) {
+        const int n = static_cast<int>(rng.range(2, 6));
+        std::vector<dee::PathSpec> paths;
+        for (int i = 0; i < n; ++i) {
+            dee::PathSpec spec;
+            spec.cp = rng.uniform();
+            if (rng.chance(0.7))
+                spec.saturation = static_cast<double>(rng.range(1, 6));
+            paths.push_back(spec);
+        }
+        const int e_tot = static_cast<int>(rng.range(1, 14));
+        const auto greedy =
+            dee::allocateResources(paths, static_cast<double>(e_tot));
+        const double greedy_perf = dee::totalPerformance(paths, greedy);
+        const double best = dee::bruteForceBest(paths, e_tot);
+        ++instances;
+        if (greedy_perf >= best - 1e-9)
+            ++optimal;
+        worst_gap = std::max(worst_gap, best - greedy_perf);
+    }
+    std::printf("Theorem 1 / Corollary 1 exhaustive check: %d/%d "
+                "instances optimal (worst gap %.2e)\n\n",
+                optimal, instances, worst_gap);
+
+    // 2. Ptot of the three Figure 1 strategies: DEE maximizes the
+    //    theory's expected-performance objective by construction.
+    dee::Table table({"strategy", "Ptot(p=0.7,ET=6)", "Ptot(p=0.9,ET=34)"});
+    auto row = [&](const char *name, auto builder) {
+        table.addRow({name,
+                      dee::Table::fmt(treePtot(builder(0.7, 6)), 4),
+                      dee::Table::fmt(treePtot(builder(0.9, 34)), 4)});
+    };
+    row("SP", [](double p, int et) {
+        return dee::SpecTree::singlePath(p, et);
+    });
+    row("EE", [](double p, int et) { return dee::SpecTree::eager(p, et); });
+    row("DEE (greedy)", [](double p, int et) {
+        return dee::SpecTree::deeGreedy(p, et);
+    });
+    row("DEE (static heuristic)", [](double p, int et) {
+        return dee::SpecTree::deeStatic(p, et);
+    });
+    std::printf("%s\nDEE must have the highest Ptot at both design "
+                "points (Theorem 1 by construction).\n",
+                table.render().c_str());
+    return 0;
+}

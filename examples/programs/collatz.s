@@ -1,0 +1,36 @@
+# Collatz-style iteration (3n+1 / n/2) for a range of seeds, bounded
+# at 48 steps per seed so termination is guaranteed — an
+# unpredictable-branch kernel (the parity test is essentially random),
+# the kind of code the paper's "general purpose or unpredictable-
+# branch-intensive" framing targets.
+# Run with: asm_runner --file examples/programs/collatz.s
+B0:
+    li r1, 1            # seed
+    li r2, 600          # seeds
+    li r6, 48           # step bound
+    li r7, 1
+B1:
+    addi r3, r1, 0      # n = seed
+    li r4, 0            # steps
+B2:
+    beq r3, r7, B7      # reached 1
+B3:
+    bge r4, r6, B7      # step bound
+B4:
+    andi r5, r3, 1
+    addi r4, r4, 1
+    beq r5, r0, B6      # even?
+B5:
+    add r5, r3, r3      # odd: n = 3n + 1
+    add r3, r5, r3
+    addi r3, r3, 1
+    j B2
+B6:
+    shri r3, r3, 1      # even: n /= 2
+    j B2
+B7:
+    sw r4, 4096(r1)     # steps for this seed
+    addi r1, r1, 1
+    blt r1, r2, B1
+B8:
+    halt

@@ -1,0 +1,31 @@
+# Euclid's GCD by repeated subtraction, over a table of value pairs.
+# Branch-heavy and data-dependent: a good stress for the DEE models.
+# Run with: asm_runner --file examples/programs/gcd.s
+B0:
+    li r1, 0            # pair index
+    li r2, 400          # pairs
+    li r31, 2654435761
+B1:
+    mul r3, r1, r31     # a
+    shri r3, r3, 40
+    addi r3, r3, 1
+    mul r4, r1, r31
+    shri r4, r4, 28
+    andi r4, r4, 4095
+    addi r4, r4, 1      # b
+B2:
+    beq r3, r4, B6      # done when equal
+B3:
+    blt r3, r4, B5      # subtract smaller from larger
+B4:
+    sub r3, r3, r4
+    j B2
+B5:
+    sub r4, r4, r3
+    j B2
+B6:
+    sw r3, 0(r1)        # gcd result
+    addi r1, r1, 1
+    blt r1, r2, B1
+B7:
+    halt

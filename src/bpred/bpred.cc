@@ -1,0 +1,341 @@
+#include "bpred/bpred.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dee
+{
+
+namespace
+{
+
+/** Weakly-taken power-on state for 2-bit counters. */
+constexpr std::uint8_t kWeakTaken = 2;
+
+std::uint8_t
+bumpCounter(std::uint8_t c, bool taken)
+{
+    if (taken)
+        return c < 3 ? c + 1 : 3;
+    return c > 0 ? c - 1 : 0;
+}
+
+} // namespace
+
+// --- TwoBitPredictor -----------------------------------------------------
+
+TwoBitPredictor::TwoBitPredictor(std::uint32_t num_static)
+    : numStatic_(num_static), counters_(num_static, kWeakTaken)
+{
+    dee_assert(num_static > 0, "TwoBitPredictor needs a non-empty table");
+}
+
+bool
+TwoBitPredictor::predict(const BranchQuery &q)
+{
+    dee_assert(q.sid < numStatic_, "branch sid out of predictor range");
+    return counters_[q.sid] >= 2;
+}
+
+void
+TwoBitPredictor::update(const BranchQuery &q, bool taken)
+{
+    dee_assert(q.sid < numStatic_, "branch sid out of predictor range");
+    counters_[q.sid] = bumpCounter(counters_[q.sid], taken);
+}
+
+void
+TwoBitPredictor::reset()
+{
+    counters_.assign(counters_.size(), kWeakTaken);
+}
+
+std::unique_ptr<BranchPredictor>
+TwoBitPredictor::clone() const
+{
+    return std::make_unique<TwoBitPredictor>(numStatic_);
+}
+
+// --- OneBitPredictor -----------------------------------------------------
+
+OneBitPredictor::OneBitPredictor(std::uint32_t num_static)
+    : numStatic_(num_static), lastTaken_(num_static, 1)
+{
+    dee_assert(num_static > 0, "OneBitPredictor needs a non-empty table");
+}
+
+bool
+OneBitPredictor::predict(const BranchQuery &q)
+{
+    dee_assert(q.sid < numStatic_, "branch sid out of predictor range");
+    return lastTaken_[q.sid] != 0;
+}
+
+void
+OneBitPredictor::update(const BranchQuery &q, bool taken)
+{
+    dee_assert(q.sid < numStatic_, "branch sid out of predictor range");
+    lastTaken_[q.sid] = taken ? 1 : 0;
+}
+
+void
+OneBitPredictor::reset()
+{
+    lastTaken_.assign(lastTaken_.size(), 1);
+}
+
+std::unique_ptr<BranchPredictor>
+OneBitPredictor::clone() const
+{
+    return std::make_unique<OneBitPredictor>(numStatic_);
+}
+
+// --- Static predictors ---------------------------------------------------
+
+std::unique_ptr<BranchPredictor>
+AlwaysTakenPredictor::clone() const
+{
+    return std::make_unique<AlwaysTakenPredictor>();
+}
+
+std::unique_ptr<BranchPredictor>
+BtfntPredictor::clone() const
+{
+    return std::make_unique<BtfntPredictor>();
+}
+
+std::unique_ptr<BranchPredictor>
+OraclePredictor::clone() const
+{
+    return std::make_unique<OraclePredictor>();
+}
+
+// --- GsharePredictor -----------------------------------------------------
+
+GsharePredictor::GsharePredictor(unsigned log_table_size,
+                                 unsigned history_bits)
+    : logSize_(log_table_size), historyBits_(history_bits),
+      counters_(std::size_t{1} << log_table_size, kWeakTaken)
+{
+    dee_assert(log_table_size >= 1 && log_table_size <= 24,
+               "gshare table size out of range");
+    dee_assert(history_bits <= 32, "gshare history too long");
+}
+
+std::size_t
+GsharePredictor::index(const BranchQuery &q) const
+{
+    const std::uint64_t mask = (std::uint64_t{1} << logSize_) - 1;
+    const std::uint64_t hist_mask =
+        historyBits_ >= 64 ? ~0ull : ((std::uint64_t{1} << historyBits_) - 1);
+    return static_cast<std::size_t>((q.sid ^ (history_ & hist_mask)) &
+                                    mask);
+}
+
+bool
+GsharePredictor::predict(const BranchQuery &q)
+{
+    return counters_[index(q)] >= 2;
+}
+
+void
+GsharePredictor::update(const BranchQuery &q, bool taken)
+{
+    auto &c = counters_[index(q)];
+    c = bumpCounter(c, taken);
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+void
+GsharePredictor::reset()
+{
+    history_ = 0;
+    counters_.assign(counters_.size(), kWeakTaken);
+}
+
+std::unique_ptr<BranchPredictor>
+GsharePredictor::clone() const
+{
+    return std::make_unique<GsharePredictor>(logSize_, historyBits_);
+}
+
+std::string
+GsharePredictor::name() const
+{
+    std::ostringstream oss;
+    oss << "gshare(" << logSize_ << "," << historyBits_ << ")";
+    return oss.str();
+}
+
+// --- PApPredictor --------------------------------------------------------
+
+PApPredictor::PApPredictor(std::uint32_t num_static, unsigned history_bits)
+    : numStatic_(num_static), historyBits_(history_bits),
+      histories_(num_static, 0),
+      counters_(std::size_t{num_static} << history_bits, kWeakTaken)
+{
+    dee_assert(num_static > 0, "PApPredictor needs a non-empty table");
+    dee_assert(history_bits >= 1 && history_bits <= 12,
+               "PAp history length out of range");
+}
+
+bool
+PApPredictor::predict(const BranchQuery &q)
+{
+    dee_assert(q.sid < numStatic_, "branch sid out of predictor range");
+    const std::size_t idx =
+        (std::size_t{q.sid} << historyBits_) | histories_[q.sid];
+    return counters_[idx] >= 2;
+}
+
+void
+PApPredictor::update(const BranchQuery &q, bool taken)
+{
+    dee_assert(q.sid < numStatic_, "branch sid out of predictor range");
+    const std::size_t idx =
+        (std::size_t{q.sid} << historyBits_) | histories_[q.sid];
+    counters_[idx] = bumpCounter(counters_[idx], taken);
+    const std::uint16_t mask =
+        static_cast<std::uint16_t>((1u << historyBits_) - 1);
+    histories_[q.sid] =
+        static_cast<std::uint16_t>(((histories_[q.sid] << 1) |
+                                    (taken ? 1 : 0)) & mask);
+}
+
+void
+PApPredictor::reset()
+{
+    histories_.assign(histories_.size(), 0);
+    counters_.assign(counters_.size(), kWeakTaken);
+}
+
+std::unique_ptr<BranchPredictor>
+PApPredictor::clone() const
+{
+    return std::make_unique<PApPredictor>(numStatic_, historyBits_);
+}
+
+std::string
+PApPredictor::name() const
+{
+    std::ostringstream oss;
+    oss << "pap(" << historyBits_ << ")";
+    return oss.str();
+}
+
+// --- TournamentPredictor ---------------------------------------------------
+
+TournamentPredictor::TournamentPredictor(std::uint32_t num_static,
+                                         unsigned gshare_log_size,
+                                         unsigned gshare_history)
+    : numStatic_(num_static), gshareLogSize_(gshare_log_size),
+      gshareHistory_(gshare_history), local_(num_static),
+      global_(gshare_log_size, gshare_history),
+      chooser_(num_static, kWeakTaken)
+{
+}
+
+bool
+TournamentPredictor::predict(const BranchQuery &q)
+{
+    dee_assert(q.sid < numStatic_, "branch sid out of predictor range");
+    return chooser_[q.sid] >= 2 ? global_.predict(q)
+                                : local_.predict(q);
+}
+
+void
+TournamentPredictor::update(const BranchQuery &q, bool taken)
+{
+    dee_assert(q.sid < numStatic_, "branch sid out of predictor range");
+    const bool local_right = local_.predict(q) == taken;
+    const bool global_right = global_.predict(q) == taken;
+    // Train the chooser toward whichever component was right.
+    if (local_right != global_right)
+        chooser_[q.sid] = bumpCounter(chooser_[q.sid], global_right);
+    local_.update(q, taken);
+    global_.update(q, taken);
+}
+
+void
+TournamentPredictor::reset()
+{
+    local_.reset();
+    global_.reset();
+    chooser_.assign(chooser_.size(), kWeakTaken);
+}
+
+std::unique_ptr<BranchPredictor>
+TournamentPredictor::clone() const
+{
+    return std::make_unique<TournamentPredictor>(
+        numStatic_, gshareLogSize_, gshareHistory_);
+}
+
+// --- Factory and measurement ---------------------------------------------
+
+std::unique_ptr<BranchPredictor>
+makePredictor(const std::string &name, std::uint32_t num_static)
+{
+    if (name == "2bit")
+        return std::make_unique<TwoBitPredictor>(num_static);
+    if (name == "1bit")
+        return std::make_unique<OneBitPredictor>(num_static);
+    if (name == "taken")
+        return std::make_unique<AlwaysTakenPredictor>();
+    if (name == "btfnt")
+        return std::make_unique<BtfntPredictor>();
+    if (name == "oracle")
+        return std::make_unique<OraclePredictor>();
+    if (name == "gshare")
+        return std::make_unique<GsharePredictor>(14, 8);
+    if (name == "pap")
+        return std::make_unique<PApPredictor>(num_static, 2);
+    if (name == "tournament")
+        return std::make_unique<TournamentPredictor>(num_static);
+    dee_fatal("unknown predictor '", name,
+              "' (try: 2bit 1bit taken btfnt oracle gshare pap "
+              "tournament)");
+}
+
+AccuracyReport
+measureAccuracy(const Trace &trace, BranchPredictor &pred,
+                const std::vector<bool> &backward)
+{
+    AccuracyReport report;
+    for (const auto &rec : trace.records) {
+        if (!rec.isBranch)
+            continue;
+        BranchQuery q;
+        q.sid = rec.sid;
+        q.backward = rec.sid < backward.size() && backward[rec.sid];
+        q.actual = rec.taken;
+        const bool predicted = pred.predict(q);
+        pred.update(q, rec.taken);
+        ++report.branches;
+        if (predicted == rec.taken)
+            ++report.correct;
+    }
+    if (report.branches > 0) {
+        report.accuracy = static_cast<double>(report.correct) /
+                          static_cast<double>(report.branches);
+    }
+    return report;
+}
+
+std::vector<bool>
+backwardTable(const Program &program)
+{
+    std::vector<bool> backward(program.numInstrs(), false);
+    for (BlockId b = 0; b < program.numBlocks(); ++b) {
+        const auto &blk = program.block(b);
+        for (std::size_t i = 0; i < blk.instrs.size(); ++i) {
+            const Instruction &inst = blk.instrs[i];
+            if (isCondBranch(inst.op) && inst.target <= b)
+                backward[program.staticId(b, i)] = true;
+        }
+    }
+    return backward;
+}
+
+} // namespace dee

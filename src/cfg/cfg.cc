@@ -1,0 +1,276 @@
+#include "cfg/cfg.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dee
+{
+
+Cfg::Cfg(const Program &program) : numBlocks_(program.numBlocks())
+{
+    dee_assert(numBlocks_ > 0, "Cfg over empty program");
+    buildEdges(program);
+    computePostdominators();
+    computeControlDependence(program);
+    computeTotalControlDependence(program);
+}
+
+void
+Cfg::buildEdges(const Program &program)
+{
+    const std::size_t n = numBlocks_ + 1; // + virtual exit
+    succs_.assign(n, {});
+    preds_.assign(n, {});
+
+    auto add_edge = [&](BlockId from, BlockId to) {
+        succs_[from].push_back(to);
+        preds_[to].push_back(from);
+    };
+
+    for (BlockId b = 0; b < numBlocks_; ++b) {
+        const BasicBlock &blk = program.block(b);
+        if (blk.instrs.empty()) {
+            // Empty block: pure fallthrough.
+            dee_assert(b + 1 < numBlocks_, "empty final block");
+            add_edge(b, b + 1);
+            continue;
+        }
+        const Instruction &last = blk.instrs.back();
+        switch (opClass(last.op)) {
+          case OpClass::CondBranch:
+            add_edge(b, last.target);
+            dee_assert(b + 1 < numBlocks_ || last.target < numBlocks_,
+                       "branch fallthrough off program end");
+            if (b + 1 < numBlocks_)
+                add_edge(b, b + 1);
+            else
+                add_edge(b, exitNode());
+            break;
+          case OpClass::Jump:
+            add_edge(b, last.target);
+            break;
+          case OpClass::Halt:
+            add_edge(b, exitNode());
+            break;
+          default:
+            dee_assert(b + 1 < numBlocks_,
+                       "fallthrough off program end (validate missed it)");
+            add_edge(b, b + 1);
+            break;
+        }
+    }
+
+    // Deduplicate (a branch whose target equals its fallthrough).
+    for (auto &v : succs_) {
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+    }
+    for (auto &v : preds_) {
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+    }
+}
+
+void
+Cfg::computePostdominators()
+{
+    const std::size_t n = numBlocks_ + 1;
+    const BlockId exit = exitNode();
+
+    // Reverse post-order of the *reverse* CFG, from the exit node.
+    std::vector<BlockId> order; // postorder of reverse CFG
+    order.reserve(n);
+    std::vector<std::uint8_t> state(n, 0); // 0 new, 1 open, 2 done
+    std::vector<std::pair<BlockId, std::size_t>> stack;
+    stack.emplace_back(exit, 0);
+    state[exit] = 1;
+    while (!stack.empty()) {
+        auto &[node, idx] = stack.back();
+        const auto &edges = preds_[node]; // reverse CFG successor = pred
+        if (idx < edges.size()) {
+            const BlockId next = edges[idx++];
+            if (state[next] == 0) {
+                state[next] = 1;
+                stack.emplace_back(next, 0);
+            }
+        } else {
+            state[node] = 2;
+            order.push_back(node);
+            stack.pop_back();
+        }
+    }
+    // order is postorder; reverse it for RPO (exit first).
+    std::reverse(order.begin(), order.end());
+
+    std::vector<std::size_t> rpoIndex(n, ~std::size_t{0});
+    for (std::size_t i = 0; i < order.size(); ++i)
+        rpoIndex[order[i]] = i;
+
+    ipdom_.assign(n, kUnreachable);
+    ipdom_[exit] = exit;
+
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (rpoIndex[a] > rpoIndex[b])
+                a = ipdom_[a];
+            while (rpoIndex[b] > rpoIndex[a])
+                b = ipdom_[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId node : order) {
+            if (node == exit)
+                continue;
+            BlockId new_ipdom = kUnreachable;
+            for (BlockId s : succs_[node]) { // reverse-CFG preds = succs
+                if (ipdom_[s] == kUnreachable && s != exit)
+                    continue; // not yet processed / unreachable
+                if (rpoIndex[s] == ~std::size_t{0})
+                    continue; // successor cannot reach exit
+                if (new_ipdom == kUnreachable)
+                    new_ipdom = s;
+                else
+                    new_ipdom = intersect(new_ipdom, s);
+            }
+            if (new_ipdom != kUnreachable && ipdom_[node] != new_ipdom) {
+                ipdom_[node] = new_ipdom;
+                changed = true;
+            }
+        }
+    }
+}
+
+BlockId
+Cfg::ipostdom(BlockId b) const
+{
+    dee_assert(b <= numBlocks_, "ipostdom of unknown node ", b);
+    return ipdom_[b];
+}
+
+bool
+Cfg::postdominates(BlockId a, BlockId b) const
+{
+    // Walk b's postdominator chain looking for a.
+    BlockId cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        if (cur == exitNode() || cur == kUnreachable)
+            return a == cur;
+        cur = ipdom_[cur];
+        if (cur == kUnreachable)
+            return false;
+    }
+}
+
+void
+Cfg::computeControlDependence(const Program &program)
+{
+    cdeps_.assign(numBlocks_ + 1, {});
+    for (BlockId a = 0; a < numBlocks_; ++a) {
+        const BasicBlock &blk = program.block(a);
+        if (blk.instrs.empty() || !isCondBranch(blk.instrs.back().op))
+            continue;
+        for (BlockId b : succs_[a]) {
+            // Ferrante et al.: nodes control dependent on edge (a, b) are
+            // b and its postdominator ancestors up to, not including,
+            // ipostdom(a).
+            const BlockId stop = ipdom_[a];
+            BlockId cur = b;
+            while (cur != stop && cur != exitNode() &&
+                   cur != kUnreachable) {
+                cdeps_[a].push_back(cur);
+                cur = ipdom_[cur];
+            }
+        }
+        auto &v = cdeps_[a];
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+    }
+}
+
+void
+Cfg::computeTotalControlDependence(const Program &program)
+{
+    totalCdeps_.assign(numBlocks_ + 1, {});
+    // For each branch block a, closure over "control dependent block also
+    // ends in a branch" chains. Breadth-first over the CD graph.
+    for (BlockId a = 0; a < numBlocks_; ++a) {
+        if (cdeps_[a].empty())
+            continue;
+        std::vector<bool> seen(numBlocks_ + 1, false);
+        std::vector<BlockId> frontier = cdeps_[a];
+        for (BlockId x : frontier)
+            seen[x] = true;
+        std::vector<BlockId> result = frontier;
+        while (!frontier.empty()) {
+            std::vector<BlockId> next;
+            for (BlockId x : frontier) {
+                const BasicBlock &blk = program.block(x);
+                if (blk.instrs.empty() ||
+                    !isCondBranch(blk.instrs.back().op)) {
+                    continue;
+                }
+                for (BlockId y : cdeps_[x]) {
+                    if (!seen[y]) {
+                        seen[y] = true;
+                        next.push_back(y);
+                        result.push_back(y);
+                    }
+                }
+            }
+            frontier = std::move(next);
+        }
+        std::sort(result.begin(), result.end());
+        totalCdeps_[a] = std::move(result);
+    }
+}
+
+const std::vector<BlockId> &
+Cfg::successors(BlockId b) const
+{
+    dee_assert(b <= numBlocks_, "successors of unknown node ", b);
+    return succs_[b];
+}
+
+const std::vector<BlockId> &
+Cfg::predecessors(BlockId b) const
+{
+    dee_assert(b <= numBlocks_, "predecessors of unknown node ", b);
+    return preds_[b];
+}
+
+const std::vector<BlockId> &
+Cfg::controlDependents(BlockId a) const
+{
+    dee_assert(a <= numBlocks_, "controlDependents of unknown node ", a);
+    return cdeps_[a];
+}
+
+const std::vector<BlockId> &
+Cfg::totalControlDependents(BlockId a) const
+{
+    dee_assert(a <= numBlocks_, "totalControlDependents of unknown ", a);
+    return totalCdeps_[a];
+}
+
+bool
+Cfg::isControlDependent(BlockId x, BlockId a) const
+{
+    const auto &v = controlDependents(a);
+    return std::binary_search(v.begin(), v.end(), x);
+}
+
+bool
+Cfg::isTotalControlDependent(BlockId x, BlockId a) const
+{
+    const auto &v = totalControlDependents(a);
+    return std::binary_search(v.begin(), v.end(), x);
+}
+
+} // namespace dee

@@ -1,0 +1,82 @@
+#include "cfg/liveness.hh"
+
+#include "common/logging.hh"
+
+namespace dee
+{
+
+RegSet
+usesOf(const Instruction &inst)
+{
+    RegSet set;
+    for (RegId r : inst.sources())
+        set.set(r);
+    return set;
+}
+
+RegSet
+defsOf(const Instruction &inst)
+{
+    RegSet set;
+    const RegId d = inst.dest();
+    if (d != kNoReg)
+        set.set(d);
+    return set;
+}
+
+Liveness::Liveness(const Program &program, const Cfg &cfg)
+{
+    const std::size_t n = program.numBlocks();
+    liveIn_.assign(n, RegSet{});
+    liveOut_.assign(n, RegSet{});
+
+    // Per-block use (read before any write) and def sets.
+    std::vector<RegSet> use(n), def(n);
+    for (BlockId b = 0; b < n; ++b) {
+        for (const Instruction &inst : program.block(b).instrs) {
+            use[b] |= usesOf(inst) & ~def[b];
+            def[b] |= defsOf(inst);
+        }
+    }
+
+    // Iterate to fixpoint (backward).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = n; i-- > 0;) {
+            const auto b = static_cast<BlockId>(i);
+            RegSet out;
+            for (BlockId s : cfg.successors(b))
+                if (s < n)
+                    out |= liveIn_[s];
+            const RegSet in = use[b] | (out & ~def[b]);
+            if (out != liveOut_[b] || in != liveIn_[b]) {
+                liveOut_[b] = out;
+                liveIn_[b] = in;
+                changed = true;
+            }
+        }
+    }
+}
+
+const RegSet &
+Liveness::liveIn(BlockId b) const
+{
+    dee_assert(b < liveIn_.size(), "liveIn of unknown block ", b);
+    return liveIn_[b];
+}
+
+const RegSet &
+Liveness::liveOut(BlockId b) const
+{
+    dee_assert(b < liveOut_.size(), "liveOut of unknown block ", b);
+    return liveOut_[b];
+}
+
+bool
+Liveness::isLiveIn(BlockId b, RegId r) const
+{
+    return r < kNumRegs && liveIn(b).test(r);
+}
+
+} // namespace dee

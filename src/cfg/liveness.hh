@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Register liveness analysis (backward may-dataflow over the CFG).
+ *
+ * Needed by the software-DEE VLIW scheduler (src/vliw): hoisting an
+ * instruction speculatively above a branch is only safe if its
+ * destination register is dead on the path not hoisted from. Classic
+ * iterative live-variable analysis:
+ *
+ *     liveOut(B) = union over successors S of liveIn(S)
+ *     liveIn(B)  = use(B) | (liveOut(B) & ~def(B))
+ *
+ * r0 is never live (reads as constant zero).
+ */
+
+#ifndef DEE_CFG_LIVENESS_HH
+#define DEE_CFG_LIVENESS_HH
+
+#include <bitset>
+#include <vector>
+
+#include "cfg/cfg.hh"
+#include "isa/isa.hh"
+
+namespace dee
+{
+
+/** Set of architectural registers. */
+using RegSet = std::bitset<kNumRegs>;
+
+/** Per-block liveness solution. */
+class Liveness
+{
+  public:
+    /** Solves liveness for the program over its CFG. */
+    Liveness(const Program &program, const Cfg &cfg);
+
+    /** Registers live on entry to block b. */
+    const RegSet &liveIn(BlockId b) const;
+
+    /** Registers live on exit from block b. */
+    const RegSet &liveOut(BlockId b) const;
+
+    /** True if register r is live on entry to block b. */
+    bool isLiveIn(BlockId b, RegId r) const;
+
+  private:
+    std::vector<RegSet> liveIn_;
+    std::vector<RegSet> liveOut_;
+};
+
+/** Registers read by an instruction (r0 excluded). */
+RegSet usesOf(const Instruction &inst);
+
+/** Register written by an instruction as a set (empty or singleton). */
+RegSet defsOf(const Instruction &inst);
+
+} // namespace dee
+
+#endif // DEE_CFG_LIVENESS_HH

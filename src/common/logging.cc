@@ -1,0 +1,47 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+
+namespace dee
+{
+namespace detail
+{
+
+void
+logMessage(const char *prefix, const std::string &msg, const char *file,
+           int line)
+{
+    std::fprintf(stderr, "%s: %s (at %s:%d)\n", prefix, msg.c_str(), file,
+                 line);
+    std::fflush(stderr);
+}
+
+void
+panicImpl(const std::string &msg, const char *file, int line)
+{
+    logMessage("panic", msg, file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg, const char *file, int line)
+{
+    logMessage("fatal", msg, file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg, const char *file, int line)
+{
+    logMessage("warn", msg, file, line);
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace detail
+} // namespace dee

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components of the library (workload generation, synthetic
+ * branch behaviour) draw from Rng so that every experiment is exactly
+ * reproducible from its seed. The generator is xoshiro256** seeded via
+ * SplitMix64, which is fast, high-quality and implementation-defined-free
+ * (unlike std::default_random_engine).
+ */
+
+#ifndef DEE_COMMON_RANDOM_HH
+#define DEE_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace dee
+{
+
+/** SplitMix64 step; used to expand a single seed into generator state. */
+inline std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** deterministic PRNG with convenience distributions.
+ *
+ * Satisfies UniformRandomBitGenerator, so it can also feed <random>
+ * distributions if ever needed.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Seeds the four words of state from a single value via SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitMix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Next raw 64-bit value. */
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        dee_assert(bound > 0, "Rng::below(0)");
+        // Lemire's nearly-divisionless bounded generation (biased by at
+        // most 2^-64, irrelevant for simulation workloads).
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>((*this)()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        dee_assert(lo <= hi, "Rng::range with lo > hi");
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Geometric-ish positive integer with the given mean (>= 1).
+     *
+     * Returns 1 + Geometric(1/mean) truncated sampling, handy for run
+     * lengths such as basic-block sizes.
+     */
+    std::uint64_t
+    geometric(double mean)
+    {
+        dee_assert(mean >= 1.0, "geometric mean must be >= 1");
+        if (mean == 1.0)
+            return 1;
+        const double p = 1.0 / mean;
+        std::uint64_t n = 1;
+        // Expected iterations: mean. Cap to keep pathological draws finite.
+        while (n < 100000 && !chance(p))
+            ++n;
+        return n;
+    }
+
+    /** Forks an independent stream (for per-component determinism). */
+    Rng
+    fork()
+    {
+        return Rng((*this)() ^ 0xd1b54a32d192ed03ull);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace dee
+
+#endif // DEE_COMMON_RANDOM_HH

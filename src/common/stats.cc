@@ -1,0 +1,147 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dee
+{
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::mean() const
+{
+    return count_ == 0 ? 0.0 : mean_;
+}
+
+double
+RunningStat::min() const
+{
+    return count_ == 0 ? 0.0 : min_;
+}
+
+double
+RunningStat::max() const
+{
+    return count_ == 0 ? 0.0 : max_;
+}
+
+double
+RunningStat::variance() const
+{
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+arithmeticMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geometricMean(const std::vector<double> &xs)
+{
+    dee_assert(!xs.empty(), "geometricMean of empty sample");
+    double log_sum = 0.0;
+    for (double x : xs) {
+        dee_assert(x > 0.0, "geometricMean requires positive samples");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+harmonicMean(const std::vector<double> &xs)
+{
+    dee_assert(!xs.empty(), "harmonicMean of empty sample");
+    double recip_sum = 0.0;
+    for (double x : xs) {
+        dee_assert(x > 0.0, "harmonicMean requires positive samples");
+        recip_sum += 1.0 / x;
+    }
+    return static_cast<double>(xs.size()) / recip_sum;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    dee_assert(hi > lo, "Histogram needs hi > lo");
+    dee_assert(buckets > 0, "Histogram needs at least one bucket");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+    } else if (x >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>((x - lo_) / width_);
+        idx = std::min(idx, counts_.size() - 1);
+        ++counts_[idx];
+    }
+}
+
+double
+Histogram::fraction(std::size_t i) const
+{
+    dee_assert(i < counts_.size(), "Histogram bucket out of range");
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+std::string
+Histogram::render(const std::string &label) const
+{
+    std::ostringstream oss;
+    oss << label << " (n=" << total_ << ")\n";
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        oss << "  [" << bucketLo(i) << ", " << bucketLo(i) + width_ << "): "
+            << counts_[i] << " (" << 100.0 * fraction(i) << "%)\n";
+    }
+    if (underflow_ > 0)
+        oss << "  underflow: " << underflow_ << "\n";
+    if (overflow_ > 0)
+        oss << "  overflow: " << overflow_ << "\n";
+    return oss.str();
+}
+
+} // namespace dee

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Small statistics toolkit used throughout the simulators and benches.
+ *
+ * The paper reports harmonic means over benchmarks (its Figure 5 summary
+ * graph) and per-run distributions (e.g. where in the DEE tree mispredicted
+ * branches resolve), so this module provides running moments, the three
+ * Pythagorean means, and a fixed-bucket histogram.
+ */
+
+#ifndef DEE_COMMON_STATS_HH
+#define DEE_COMMON_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dee
+{
+
+/** Single-pass accumulator for count/mean/min/max/variance (Welford). */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    double min() const;
+    double max() const;
+    /** Population variance; 0 for fewer than two samples. */
+    double variance() const;
+    double stddev() const;
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Arithmetic mean of a sample vector; 0 for an empty vector. */
+double arithmeticMean(const std::vector<double> &xs);
+
+/** Geometric mean; all samples must be > 0. */
+double geometricMean(const std::vector<double> &xs);
+
+/**
+ * Harmonic mean; all samples must be > 0.
+ *
+ * This is the summary statistic the paper uses for its "Harmonic Mean"
+ * graph and for the espresso multi-input datum.
+ */
+double harmonicMean(const std::vector<double> &xs);
+
+/** Fixed-width bucket histogram over [lo, hi) with overflow buckets. */
+class Histogram
+{
+  public:
+    /** @param lo lower bound, @param hi upper bound, @param buckets count */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double x);
+
+    std::size_t numBuckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of all samples falling in bucket i. */
+    double fraction(std::size_t i) const;
+
+    /** Lower edge of bucket i. */
+    double bucketLo(std::size_t i) const;
+
+    /** Renders "label: [lo,hi) count (pct%)" lines. */
+    std::string render(const std::string &label) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace dee
+
+#endif // DEE_COMMON_STATS_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * ASCII table rendering for bench and example output.
+ *
+ * Every figure/table reproduction prints its data through this class so
+ * that EXPERIMENTS.md rows can be pasted directly from the binaries.
+ */
+
+#ifndef DEE_COMMON_TABLE_HH
+#define DEE_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace dee
+{
+
+/** Column-aligned text table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Appends one row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: formats doubles with the given precision. */
+    static std::string fmt(double value, int precision = 2);
+
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Renders with a separator line under the header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dee
+
+#endif // DEE_COMMON_TABLE_HH

@@ -1,0 +1,198 @@
+#include "core/sim/limits.hh"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace dee
+{
+
+LimitResult
+limitStudy(const Trace &trace, std::optional<int> bypassed,
+           LatencyModel latency)
+{
+    dee_assert(!bypassed || *bypassed >= 0, "negative bypass count");
+
+    LimitResult result;
+    const auto &records = trace.records;
+    result.instructions = records.size();
+    if (records.empty())
+        return result;
+
+    std::vector<std::int64_t> done(records.size(), 0);
+    std::array<std::int64_t, kNumRegs> reg_writer;
+    reg_writer.fill(-1);
+    std::unordered_map<std::uint64_t, std::int64_t> mem_writer;
+
+    // Resolve times of the most recent unretired branches; an
+    // instruction waits for every branch except the nearest `bypassed`.
+    std::deque<std::int64_t> recent_branch_done;
+    std::int64_t ctrl_floor = 0;
+
+    std::int64_t last = 0;
+    for (std::uint64_t i = 0; i < records.size(); ++i) {
+        const TraceRecord &rec = records[i];
+        std::int64_t ready = ctrl_floor;
+        auto add_dep = [&](std::int64_t dep) {
+            if (dep >= 0)
+                ready = std::max(ready, done[dep]);
+        };
+        if (rec.rs1 != kNoReg && rec.rs1 != kZeroReg)
+            add_dep(reg_writer[rec.rs1]);
+        if (rec.rs2 != kNoReg && rec.rs2 != kZeroReg)
+            add_dep(reg_writer[rec.rs2]);
+        const OpClass cls = opClass(rec.op);
+        if (cls == OpClass::Load || cls == OpClass::Store) {
+            auto it = mem_writer.find(rec.memAddr);
+            if (it != mem_writer.end())
+                add_dep(it->second);
+        }
+
+        done[i] = ready + latency.of(cls);
+        last = std::max(last, done[i]);
+
+        if (rec.rd != kNoReg && rec.rd != kZeroReg)
+            reg_writer[rec.rd] = static_cast<std::int64_t>(i);
+        if (cls == OpClass::Store)
+            mem_writer[rec.memAddr] = static_cast<std::int64_t>(i);
+
+        if (rec.isBranch && bypassed) {
+            recent_branch_done.push_back(done[i]);
+            // Once more than `bypassed` branches are pending, the
+            // oldest one gates all later instructions.
+            if (recent_branch_done.size() >
+                static_cast<std::size_t>(*bypassed)) {
+                ctrl_floor = std::max(ctrl_floor,
+                                      recent_branch_done.front());
+                recent_branch_done.pop_front();
+            }
+        }
+    }
+    result.cycles =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(last, 1));
+    result.speedup = static_cast<double>(records.size()) /
+                     static_cast<double>(result.cycles);
+    return result;
+}
+
+const char *
+lwModelName(LwModel model)
+{
+    switch (model) {
+      case LwModel::SP: return "LW-SP";
+      case LwModel::SP_CD: return "LW-SP-CD";
+      case LwModel::SP_CD_MF: return "LW-SP-CD-MF";
+    }
+    return "???";
+}
+
+LimitResult
+lamWilsonStudy(const Trace &trace, const Cfg &cfg, LwModel model,
+               BranchPredictor &predictor, int mispredict_penalty,
+               LatencyModel latency)
+{
+    predictor.reset();
+    LimitResult result;
+    const auto &records = trace.records;
+    result.instructions = records.size();
+    if (records.empty())
+        return result;
+
+    // Join points of every branch (end of its dynamic control scope).
+    std::vector<std::vector<DynIndex>> occurrences(cfg.numBlocks() + 1);
+    for (DynIndex i = 0; i < records.size(); ++i)
+        occurrences[records[i].block].push_back(i);
+    auto join_of = [&](DynIndex b) -> DynIndex {
+        const BlockId ipdom = cfg.ipostdom(records[b].block);
+        if (ipdom >= cfg.numBlocks())
+            return records.size();
+        const auto &occ = occurrences[ipdom];
+        auto it = std::upper_bound(occ.begin(), occ.end(), b);
+        return it == occ.end() ? records.size() : *it;
+    };
+
+    std::vector<std::int64_t> done(records.size(), 0);
+    std::array<std::int64_t, kNumRegs> reg_writer;
+    reg_writer.fill(-1);
+    std::unordered_map<std::uint64_t, std::int64_t> mem_writer;
+
+    std::int64_t global_floor = 0; // LW-SP mispredict serialization
+    std::int64_t last_resolve = -1;
+    // Open mispredict scopes (LW-SP-CD*): stall until `until` while the
+    // instruction index is below `joinIdx`.
+    struct Scope { DynIndex joinIdx; std::int64_t until; };
+    std::vector<Scope> scopes;
+
+    const bool serial = model != LwModel::SP_CD_MF;
+    const bool scoped = model != LwModel::SP;
+
+    std::int64_t last = 0;
+    for (DynIndex i = 0; i < records.size(); ++i) {
+        const TraceRecord &rec = records[i];
+        std::int64_t ready = scoped ? 0 : global_floor;
+        if (scoped) {
+            std::erase_if(scopes, [&](const Scope &s) {
+                return i >= s.joinIdx;
+            });
+            for (const Scope &s : scopes)
+                ready = std::max(ready, s.until);
+        }
+        auto add_dep = [&](std::int64_t dep) {
+            if (dep >= 0)
+                ready = std::max(ready, done[dep]);
+        };
+        if (rec.rs1 != kNoReg && rec.rs1 != kZeroReg)
+            add_dep(reg_writer[rec.rs1]);
+        if (rec.rs2 != kNoReg && rec.rs2 != kZeroReg)
+            add_dep(reg_writer[rec.rs2]);
+        const OpClass cls = opClass(rec.op);
+        if (cls == OpClass::Load || cls == OpClass::Store) {
+            auto it = mem_writer.find(rec.memAddr);
+            if (it != mem_writer.end())
+                add_dep(it->second);
+        }
+
+        done[i] = ready + latency.of(cls);
+        last = std::max(last, done[i]);
+
+        if (rec.rd != kNoReg && rec.rd != kZeroReg)
+            reg_writer[rec.rd] = static_cast<std::int64_t>(i);
+        if (cls == OpClass::Store)
+            mem_writer[rec.memAddr] = static_cast<std::int64_t>(i);
+
+        if (rec.isBranch) {
+            BranchQuery q;
+            q.sid = rec.sid;
+            q.backward = rec.backward;
+            q.actual = rec.taken;
+            const bool predicted = predictor.predict(q);
+            predictor.update(q, rec.taken);
+
+            std::int64_t resolve = done[i];
+            if (serial) {
+                resolve = std::max(resolve, last_resolve + 1);
+                last_resolve = resolve;
+                done[i] = resolve;
+                last = std::max(last, resolve);
+            }
+            if (predicted != rec.taken) {
+                const std::int64_t until =
+                    resolve + mispredict_penalty;
+                if (scoped)
+                    scopes.push_back(Scope{join_of(i), until});
+                else
+                    global_floor = std::max(global_floor, until);
+            }
+        }
+    }
+    result.cycles =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(last, 1));
+    result.speedup = static_cast<double>(records.size()) /
+                     static_cast<double>(result.cycles);
+    return result;
+}
+
+} // namespace dee

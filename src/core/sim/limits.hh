@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Classic ILP limit studies (the paper's Section 1.2 background).
+ *
+ * Riseman & Foster's 1972 study — "The Inhibition of Potential
+ * Parallelism by Conditional Jumps", the paper's reference [5] —
+ * measured how dataflow parallelism grows as more conditional jumps
+ * are bypassed eagerly: from ~1.7x with none to 25.65x (harmonic mean)
+ * with infinitely many. limitStudy() reproduces that model on our
+ * traces: an instruction may execute once its flow dependencies are
+ * ready *and* all but the nearest `bypassed` dynamically-preceding
+ * branches have resolved. bypassed = 0 is sequential-ish control; the
+ * limit case is the Oracle of the DEE simulations.
+ */
+
+#ifndef DEE_CORE_SIM_LIMITS_HH
+#define DEE_CORE_SIM_LIMITS_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "bpred/bpred.hh"
+#include "cfg/cfg.hh"
+#include "core/sim/window_sim.hh"
+#include "trace/trace.hh"
+
+namespace dee
+{
+
+/** Result of one Riseman-Foster point. */
+struct LimitResult
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    double speedup = 0.0;
+};
+
+/**
+ * Eager-execution limit with a bounded number of bypassed branches.
+ *
+ * @param bypassed number of unresolved conditional branches an
+ *        instruction may be ahead of (nullopt = unlimited, the oracle)
+ */
+LimitResult limitStudy(const Trace &trace,
+                       std::optional<int> bypassed,
+                       LatencyModel latency = LatencyModel::unit());
+
+/** Lam & Wilson's unlimited-resources machine models (ISCA'92, the
+ *  paper's reference [3] — "For comparison purposes, the SP variants
+ *  are simulated herein, but with constrained resources"). */
+enum class LwModel
+{
+    SP,       ///< prediction; a mispredict stalls everything after it
+    SP_CD,    ///< stall only the mispredict's control scope; serial
+              ///  branch resolution (single flow)
+    SP_CD_MF, ///< as SP_CD with parallel branch resolution
+};
+
+const char *lwModelName(LwModel model);
+
+/**
+ * Unlimited-window Lam-Wilson simulation: no fetch or path-resource
+ * constraints at all; only prediction outcomes, dynamic control
+ * scopes, and branch-resolution ordering limit execution.
+ *
+ * @param cfg CFG of the generating program (for join points).
+ * @param predictor reset() and replayed in trace order.
+ */
+LimitResult lamWilsonStudy(const Trace &trace, const Cfg &cfg,
+                           LwModel model, BranchPredictor &predictor,
+                           int mispredict_penalty = 1,
+                           LatencyModel latency = LatencyModel::unit());
+
+} // namespace dee
+
+#endif // DEE_CORE_SIM_LIMITS_HH

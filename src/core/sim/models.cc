@@ -1,0 +1,111 @@
+#include "core/sim/models.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dee
+{
+
+const char *
+modelName(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::EE: return "EE";
+      case ModelKind::SP: return "SP";
+      case ModelKind::DEE: return "DEE";
+      case ModelKind::SP_CD: return "SP-CD";
+      case ModelKind::DEE_CD: return "DEE-CD";
+      case ModelKind::SP_CD_MF: return "SP-CD-MF";
+      case ModelKind::DEE_CD_MF: return "DEE-CD-MF";
+      case ModelKind::Oracle: return "Oracle";
+    }
+    return "???";
+}
+
+std::vector<ModelKind>
+allModels()
+{
+    return {ModelKind::EE, ModelKind::SP, ModelKind::DEE,
+            ModelKind::SP_CD, ModelKind::DEE_CD, ModelKind::SP_CD_MF,
+            ModelKind::DEE_CD_MF, ModelKind::Oracle};
+}
+
+std::vector<ModelKind>
+constrainedModels()
+{
+    return {ModelKind::EE, ModelKind::SP, ModelKind::DEE,
+            ModelKind::SP_CD, ModelKind::DEE_CD, ModelKind::SP_CD_MF,
+            ModelKind::DEE_CD_MF};
+}
+
+bool
+usesDeeTree(ModelKind kind)
+{
+    return kind == ModelKind::DEE || kind == ModelKind::DEE_CD ||
+           kind == ModelKind::DEE_CD_MF;
+}
+
+CdModel
+cdModelOf(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::SP_CD:
+      case ModelKind::DEE_CD:
+        return CdModel::Reduced;
+      case ModelKind::SP_CD_MF:
+      case ModelKind::DEE_CD_MF:
+        return CdModel::Minimal;
+      default:
+        return CdModel::Restrictive;
+    }
+}
+
+SpecTree
+treeForModel(ModelKind kind, double p, int e_t)
+{
+    dee_assert(kind != ModelKind::Oracle, "Oracle has no window tree");
+    if (kind == ModelKind::EE)
+        return SpecTree::eager(p, e_t);
+    if (usesDeeTree(kind))
+        return SpecTree::deeStatic(p, e_t);
+    return SpecTree::singlePath(p, e_t);
+}
+
+double
+characteristicAccuracy(const Trace &trace,
+                       const BranchPredictor &predictor)
+{
+    auto probe = predictor.clone();
+    const AccuracyReport report = measureAccuracy(trace, *probe);
+    return std::clamp(report.accuracy, 0.5, 0.995);
+}
+
+SimResult
+runModel(ModelKind kind, const Trace &trace, const Cfg *cfg,
+         BranchPredictor &predictor, int e_t,
+         const ModelRunOptions &options)
+{
+    if (kind == ModelKind::Oracle) {
+        return oracleSim(trace, options.latency, options.loadLatencies);
+    }
+
+    double p = options.characteristicP;
+    if (p <= 0.0)
+        p = characteristicAccuracy(trace, predictor);
+
+    const SpecTree tree = treeForModel(kind, p, e_t);
+
+    SimConfig config;
+    config.cd = cdModelOf(kind);
+    config.mispredictPenalty = options.mispredictPenalty;
+    config.latency = options.latency;
+    config.gatherResolveStats = options.gatherResolveStats;
+    config.peLimit = options.peLimit;
+    config.loadLatencies = options.loadLatencies;
+
+    WindowSim sim(trace, tree, config, cfg);
+    return sim.run(predictor);
+}
+
+} // namespace dee

@@ -1,0 +1,557 @@
+#include "core/sim/window_sim.hh"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace dee
+{
+
+const char *
+cdModelName(CdModel cd)
+{
+    switch (cd) {
+      case CdModel::Restrictive: return "plain";
+      case CdModel::Reduced: return "CD";
+      case CdModel::Minimal: return "CD-MF";
+    }
+    return "???";
+}
+
+int
+LatencyModel::of(OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::IntAlu: return intAlu;
+      case OpClass::Load: return load;
+      case OpClass::Store: return store;
+      case OpClass::CondBranch:
+      case OpClass::Jump: return branch;
+      default: return other;
+    }
+}
+
+LatencyModel
+LatencyModel::realistic()
+{
+    LatencyModel m;
+    m.intAlu = 1;
+    m.load = 3;
+    m.store = 1;
+    m.branch = 1;
+    m.other = 1;
+    return m;
+}
+
+double
+SimResult::resolveAtRootFraction() const
+{
+    if (resolveDepthCounts.empty() || mispredicted == 0)
+        return 0.0;
+    return static_cast<double>(resolveDepthCounts[0]) /
+           static_cast<double>(mispredicted);
+}
+
+std::string
+SimResult::render() const
+{
+    std::ostringstream oss;
+    oss << "instructions=" << instructions << " cycles=" << cycles
+        << " speedup=" << speedup << " branches=" << branches
+        << " mispredicted=" << mispredicted
+        << " accuracy=" << predictionAccuracy;
+    if (!resolveDepthCounts.empty())
+        oss << " resolveAtRoot=" << resolveAtRootFraction();
+    return oss.str();
+}
+
+WindowSim::WindowSim(const Trace &trace, SpecTree tree,
+                     const SimConfig &config, const Cfg *cfg)
+    : trace_(trace), tree_(std::move(tree)), config_(config), cfg_(cfg)
+{
+    if (config_.cd != CdModel::Restrictive && cfg_ == nullptr)
+        dee_fatal("CD/CD-MF models need a Cfg for control dependencies");
+    dee_assert(config_.mispredictPenalty >= 0, "negative penalty");
+    dee_assert(config_.peLimit >= 0, "negative PE limit");
+    if (config_.loadLatencies &&
+        config_.loadLatencies->size() != trace_.size()) {
+        dee_fatal("loadLatencies has ", config_.loadLatencies->size(),
+                  " entries for a ", trace_.size(), "-record trace");
+    }
+}
+
+namespace
+{
+
+/**
+ * Per-cycle issue-slot accounting for the limited-PE extension: finds
+ * the earliest cycle >= ready with a free slot and claims it.
+ */
+class IssueSlots
+{
+  public:
+    explicit IssueSlots(int width) : width_(width) {}
+
+    std::int64_t
+    claim(std::int64_t ready)
+    {
+        if (width_ == 0)
+            return ready;
+        std::int64_t t = std::max(ready, floor_);
+        while (true) {
+            auto &used = used_[t];
+            if (used < width_) {
+                ++used;
+                return t;
+            }
+            ++t;
+        }
+    }
+
+  private:
+    int width_;
+    std::int64_t floor_ = 0;
+    std::unordered_map<std::int64_t, int> used_;
+};
+
+} // namespace
+
+namespace
+{
+
+/** Index value meaning "no previous writer". */
+constexpr std::int64_t kNoDep = -1;
+
+/** Sentinel "not yet fetched". */
+constexpr std::int64_t kNeverFetched =
+    std::numeric_limits<std::int64_t>::max();
+
+/** A mispredicted branch still inside the static window's reach. */
+struct PendingMispredict
+{
+    std::uint64_t pathIdx;
+    DynIndex joinIdx; ///< End of its dynamic control scope.
+    std::int64_t resolveTime;
+    /**
+     * Backward (loop) branches diverge: the wrong-path fetch stream does
+     * not reconverge with the actual path before resolution, so code
+     * after the branch is simply absent from the machine unless a
+     * not-predicted-edge tree path (EE subtree / DEE side path) holds
+     * it. Forward mispredicts reconverge at the join, so only their
+     * dynamic control scope stalls.
+     */
+    bool divergent;
+};
+
+} // namespace
+
+SimResult
+WindowSim::run(BranchPredictor &predictor) const
+{
+    predictor.reset();
+
+    const auto &records = trace_.records;
+    const std::uint64_t n = records.size();
+    SimResult result;
+    result.instructions = n;
+    if (n == 0)
+        return result;
+
+    const std::vector<BranchPath> paths = segmentPaths(trace_);
+    const std::uint64_t num_paths = paths.size();
+    // Static-window reach for route B: the machine holds E_T branch
+    // paths of static code regardless of how the tree allocates them
+    // between ML and DEE regions (in Levo, DEE paths are extra state
+    // columns over the *same* IQ rows), so equal resources mean equal
+    // static reach across models.
+    const int window_reach =
+        config_.windowReachOverride > 0
+            ? config_.windowReachOverride
+            : std::max(tree_.numPaths(), 1);
+    const int penalty = config_.mispredictPenalty;
+    const bool use_cd = config_.cd != CdModel::Restrictive;
+    const bool serial_branches = config_.cd != CdModel::Minimal;
+    const bool use_confidence = config_.confidence.accuracy != nullptr;
+
+    // --- Prediction correctness per branch path (functional update) ----
+    std::vector<std::uint8_t> correct(num_paths, 1);
+    for (std::uint64_t k = 0; k < num_paths; ++k) {
+        if (!paths[k].endsInBranch)
+            continue;
+        const TraceRecord &b = records[paths[k].branchIndex()];
+        BranchQuery q;
+        q.sid = b.sid;
+        q.actual = b.taken;
+        const bool predicted = predictor.predict(q);
+        predictor.update(q, b.taken);
+        correct[k] = (predicted == b.taken) ? 1 : 0;
+        ++result.branches;
+        if (!correct[k])
+            ++result.mispredicted;
+    }
+    if (result.branches > 0) {
+        result.predictionAccuracy =
+            static_cast<double>(result.branches - result.mispredicted) /
+            static_cast<double>(result.branches);
+    }
+
+    // --- Dynamic control-dependence scopes for route B -------------------
+    // A branch instance controls exactly the dynamic instructions between
+    // itself and the first subsequent occurrence of its block's immediate
+    // postdominator (the join point); from there on, execution no longer
+    // depends on which way the branch went. join_idx[k] is that boundary
+    // (as a dynamic instruction index) for the branch ending path k.
+    std::vector<DynIndex> join_idx;
+    if (use_cd) {
+        join_idx.assign(num_paths, n);
+        // Occurrence lists per block for join lookups.
+        std::vector<std::vector<DynIndex>> occurrences(
+            cfg_->numBlocks() + 1);
+        for (DynIndex i = 0; i < n; ++i)
+            occurrences[records[i].block].push_back(i);
+        for (std::uint64_t k = 0; k < num_paths; ++k) {
+            if (!paths[k].endsInBranch)
+                continue;
+            const DynIndex b = paths[k].branchIndex();
+            const BlockId ipdom = cfg_->ipostdom(records[b].block);
+            if (ipdom >= cfg_->numBlocks()) {
+                join_idx[k] = n; // joins only at program exit
+                continue;
+            }
+            const auto &occ = occurrences[ipdom];
+            auto it = std::upper_bound(occ.begin(), occ.end(), b);
+            join_idx[k] = it == occ.end() ? n : *it;
+        }
+    }
+
+    // --- Forward pass over branch paths ----------------------------------
+    std::vector<std::int64_t> exec(n, 0);
+    std::vector<std::int64_t> fetch_tree(num_paths, kNeverFetched);
+    std::vector<std::int64_t> root_time(num_paths + 1, 0);
+    std::vector<std::int64_t> resolve(num_paths, 0);
+    // Mispredicted branch paths crossed via a not-predicted edge on the
+    // walk that fetched each path (alternate state held in hardware).
+    std::vector<std::vector<std::uint64_t>> bypass(num_paths);
+
+    std::array<std::int64_t, kNumRegs> reg_writer;
+    reg_writer.fill(kNoDep);
+    std::unordered_map<std::uint64_t, std::int64_t> mem_writer;
+
+    std::deque<PendingMispredict> window_mispredicts;
+    std::int64_t last_resolve = -1;
+    IssueSlots slots(config_.peLimit);
+
+    // Effective completion latency of a dynamic instruction (cache-
+    // model load latencies override the class latency when provided).
+    auto lat_of = [&](DynIndex idx) {
+        const OpClass c = opClass(records[idx].op);
+        if (c == OpClass::Load && config_.loadLatencies)
+            return (*config_.loadLatencies)[idx];
+        return config_.latency.of(c);
+    };
+
+    for (std::uint64_t r = 0; r < num_paths; ++r) {
+        const std::int64_t now = root_time[r];
+
+        // Coverage walk from this root position: relax fetch times of
+        // every covered path. Already-fetched code stays fetched (min).
+        if (now < fetch_tree[r])
+            fetch_tree[r] = now; // distance 0: always covered
+        if (use_confidence) {
+            // Confidence-gated coverage: follow correct predictions to
+            // the ML depth; one low-confidence mispredict may be
+            // crossed, extending coverage by sideLen paths.
+            const int ml_depth = tree_.maxDepth();
+            std::vector<std::uint64_t> crossed_npred;
+            std::int64_t limit = ml_depth;
+            for (std::uint64_t d = 0;
+                 r + d < num_paths &&
+                 static_cast<std::int64_t>(d) < limit;
+                 ++d) {
+                if (!paths[r + d].endsInBranch)
+                    break;
+                if (!correct[r + d]) {
+                    if (!crossed_npred.empty())
+                        break; // only one mispredict deep, like DEE
+                    const TraceRecord &b =
+                        records[paths[r + d].branchIndex()];
+                    const double acc =
+                        b.sid < config_.confidence.accuracy->size()
+                            ? (*config_.confidence.accuracy)[b.sid]
+                            : 1.0;
+                    if (acc >= config_.confidence.threshold)
+                        break; // confident branch: no side path here
+                    crossed_npred.push_back(r + d);
+                    limit = static_cast<std::int64_t>(d) +
+                            config_.confidence.sideLen + 1;
+                }
+                if (now < fetch_tree[r + d + 1]) {
+                    fetch_tree[r + d + 1] = now;
+                    if (!crossed_npred.empty()) {
+                        ++result.sidePathFetches;
+                        bypass[r + d + 1] = crossed_npred;
+                    }
+                }
+            }
+        } else {
+            int node = SpecTree::kOrigin;
+            std::vector<std::uint64_t> crossed_npred;
+            for (std::uint64_t d = 0; r + d < num_paths; ++d) {
+                if (!paths[r + d].endsInBranch)
+                    break;
+                node = tree_.child(node, correct[r + d] != 0);
+                if (node == kNoNode)
+                    break;
+                if (!correct[r + d])
+                    crossed_npred.push_back(r + d);
+                if (now < fetch_tree[r + d + 1]) {
+                    fetch_tree[r + d + 1] = now;
+                    if (!crossed_npred.empty()) {
+                        ++result.sidePathFetches;
+                        bypass[r + d + 1] = crossed_npred;
+                    }
+                }
+            }
+        }
+
+        // Retire mispredicts whose window reach or control scope ended
+        // (divergent ones stall until resolution wherever they are, so
+        // only the reach bound retires them).
+        while (!window_mispredicts.empty() &&
+               (window_mispredicts.front().pathIdx + window_reach <= r ||
+                (!window_mispredicts.front().divergent &&
+                 window_mispredicts.front().joinIdx <= paths[r].begin))) {
+            window_mispredicts.pop_front();
+        }
+
+        // Execute this path's instructions (trace order; dependencies
+        // always point backward, so their exec times are final).
+        const std::int64_t fetch_a = fetch_tree[r];
+        const std::int64_t fetch_b =
+            root_time[r > static_cast<std::uint64_t>(window_reach)
+                          ? r - window_reach
+                          : 0];
+        std::int64_t done = now;
+        for (DynIndex i = paths[r].begin; i < paths[r].end; ++i) {
+            const TraceRecord &rec = records[i];
+
+            std::int64_t data_ready = 0;
+            auto add_dep = [&](std::int64_t dep) {
+                if (dep == kNoDep)
+                    return;
+                const std::int64_t avail =
+                    exec[dep] + lat_of(static_cast<DynIndex>(dep));
+                data_ready = std::max(data_ready, avail);
+            };
+            if (rec.rs1 != kNoReg && rec.rs1 != kZeroReg)
+                add_dep(reg_writer[rec.rs1]);
+            if (rec.rs2 != kNoReg && rec.rs2 != kZeroReg)
+                add_dep(reg_writer[rec.rs2]);
+            const OpClass cls = opClass(rec.op);
+            if (cls == OpClass::Load || cls == OpClass::Store) {
+                auto it = mem_writer.find(rec.memAddr);
+                if (it != mem_writer.end())
+                    add_dep(it->second);
+            }
+
+            // Route A: speculation-tree coverage.
+            std::int64_t t = std::max(fetch_a, data_ready);
+
+            // Route B: reconvergent-window CD execution. Stall on a
+            // mispredicted branch if this instruction is inside its
+            // dynamic control scope (decided by the branch) or the
+            // branch diverges (loop latch: actual-path code was never
+            // fetched) — unless an EE/DEE alternate path holds the code.
+            if (use_cd) {
+                std::int64_t stall = 0;
+                for (const auto &m : window_mispredicts) {
+                    if (i >= m.joinIdx && !m.divergent)
+                        continue;
+                    if (m.resolveTime + penalty <= stall)
+                        continue;
+                    const auto &byp = bypass[r];
+                    if (std::find(byp.begin(), byp.end(), m.pathIdx) !=
+                        byp.end()) {
+                        continue; // held by a side path / EE subtree
+                    }
+                    stall = m.resolveTime + penalty;
+                }
+                const std::int64_t t_b =
+                    std::max({fetch_b, data_ready, stall});
+                t = std::min(t, t_b);
+            }
+
+            t = slots.claim(t);
+            exec[i] = t;
+            done = std::max(done, t + lat_of(i));
+
+            // Update renaming tables (flow-only for registers; loads
+            // depend on the last store, stores on the last store —
+            // "somewhat more restrictive" memory deps, as in CONDEL-2).
+            if (rec.rd != kNoReg && rec.rd != kZeroReg)
+                reg_writer[rec.rd] = static_cast<std::int64_t>(i);
+            if (cls == OpClass::Store)
+                mem_writer[rec.memAddr] = static_cast<std::int64_t>(i);
+        }
+
+        // Branch resolution (serialized except under MF).
+        std::int64_t res = done;
+        if (paths[r].endsInBranch) {
+            const DynIndex b = paths[r].branchIndex();
+            res = exec[b] + config_.latency.of(OpClass::CondBranch);
+            if (serial_branches)
+                res = std::max(res, last_resolve + 1);
+            last_resolve = res;
+            if (use_cd && !correct[r] &&
+                (records[b].backward || join_idx[r] > paths[r].end)) {
+                window_mispredicts.push_back(PendingMispredict{
+                    r, join_idx[r], res, records[b].backward});
+            }
+        }
+        resolve[r] = res;
+
+        // Tree movement: root leaves this path once the path has fully
+        // executed and its branch has resolved (+ penalty on mispredict).
+        const std::int64_t move =
+            std::max({root_time[r], done,
+                      res + (correct[r] ? 0 : penalty)});
+        root_time[r + 1] = move;
+    }
+
+    // --- Totals -----------------------------------------------------------
+    std::int64_t last_cycle = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        last_cycle = std::max(
+            last_cycle, exec[i] + lat_of(i));
+    }
+    if (config_.gatherIssueStats) {
+        std::unordered_map<std::int64_t, std::uint32_t> per_cycle;
+        per_cycle.reserve(n / 4);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const std::uint32_t count = ++per_cycle[exec[i]];
+            result.peakIssue =
+                std::max<std::uint64_t>(result.peakIssue, count);
+        }
+    }
+    last_cycle = std::max(last_cycle, root_time[num_paths]);
+    result.cycles = static_cast<std::uint64_t>(last_cycle);
+    result.speedup = static_cast<double>(n) /
+                     static_cast<double>(std::max<std::int64_t>(
+                         last_cycle, 1));
+
+    // --- Where do mispredictions resolve in the tree? ---------------------
+    if (config_.gatherResolveStats) {
+        result.resolveDepthCounts.assign(
+            static_cast<std::size_t>(tree_.maxDepth()) + 1, 0);
+        for (std::uint64_t m = 0; m < num_paths; ++m) {
+            if (!paths[m].endsInBranch || correct[m])
+                continue;
+            // Root position when this branch resolved: the last path
+            // whose root-arrival time is <= the resolve time.
+            const auto it = std::upper_bound(root_time.begin(),
+                                             root_time.end(), resolve[m]);
+            const std::uint64_t root_at = static_cast<std::uint64_t>(
+                std::distance(root_time.begin(), it)) - 1;
+            std::uint64_t depth = m >= root_at ? m - root_at : 0;
+            depth = std::min<std::uint64_t>(
+                depth, result.resolveDepthCounts.size() - 1);
+            ++result.resolveDepthCounts[depth];
+        }
+    }
+
+    return result;
+}
+
+std::vector<double>
+profileBranchAccuracy(const Trace &trace, const BranchPredictor &pred)
+{
+    auto probe = pred.clone();
+    std::vector<std::uint32_t> seen(trace.numStatic, 0);
+    std::vector<std::uint32_t> right(trace.numStatic, 0);
+    for (const auto &rec : trace.records) {
+        if (!rec.isBranch)
+            continue;
+        BranchQuery q;
+        q.sid = rec.sid;
+        q.backward = rec.backward;
+        q.actual = rec.taken;
+        const bool predicted = probe->predict(q);
+        probe->update(q, rec.taken);
+        ++seen[rec.sid];
+        if (predicted == rec.taken)
+            ++right[rec.sid];
+    }
+    std::vector<double> accuracy(trace.numStatic, 1.0);
+    for (std::uint32_t s = 0; s < trace.numStatic; ++s) {
+        if (seen[s] > 0) {
+            accuracy[s] = static_cast<double>(right[s]) /
+                          static_cast<double>(seen[s]);
+        }
+    }
+    return accuracy;
+}
+
+SimResult
+oracleSim(const Trace &trace, LatencyModel latency,
+          const std::vector<int> *load_latencies)
+{
+    const auto &records = trace.records;
+    SimResult result;
+    result.instructions = records.size();
+    if (records.empty())
+        return result;
+    if (load_latencies && load_latencies->size() != records.size())
+        dee_fatal("oracleSim loadLatencies size mismatch");
+
+    std::vector<std::int64_t> done(records.size(), 0);
+    std::array<std::int64_t, kNumRegs> reg_writer;
+    reg_writer.fill(kNoDep);
+    std::unordered_map<std::uint64_t, std::int64_t> mem_writer;
+
+    std::int64_t last = 0;
+    for (std::uint64_t i = 0; i < records.size(); ++i) {
+        const TraceRecord &rec = records[i];
+        std::int64_t ready = 0;
+        auto add_dep = [&](std::int64_t dep) {
+            if (dep != kNoDep)
+                ready = std::max(ready, done[dep]);
+        };
+        if (rec.rs1 != kNoReg && rec.rs1 != kZeroReg)
+            add_dep(reg_writer[rec.rs1]);
+        if (rec.rs2 != kNoReg && rec.rs2 != kZeroReg)
+            add_dep(reg_writer[rec.rs2]);
+        const OpClass cls = opClass(rec.op);
+        if (cls == OpClass::Load || cls == OpClass::Store) {
+            auto it = mem_writer.find(rec.memAddr);
+            if (it != mem_writer.end())
+                add_dep(it->second);
+        }
+        const int lat = (cls == OpClass::Load && load_latencies)
+                            ? (*load_latencies)[i]
+                            : latency.of(cls);
+        done[i] = ready + lat;
+        last = std::max(last, done[i]);
+
+        if (rec.rd != kNoReg && rec.rd != kZeroReg)
+            reg_writer[rec.rd] = static_cast<std::int64_t>(i);
+        if (cls == OpClass::Store)
+            mem_writer[rec.memAddr] = static_cast<std::int64_t>(i);
+
+        if (rec.isBranch) {
+            ++result.branches;
+        }
+    }
+    result.cycles = static_cast<std::uint64_t>(std::max<std::int64_t>(
+        last, 1));
+    result.speedup = static_cast<double>(records.size()) /
+                     static_cast<double>(result.cycles);
+    result.predictionAccuracy = 1.0;
+    return result;
+}
+
+} // namespace dee

@@ -1,0 +1,90 @@
+#include "core/tree/allocate.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace dee
+{
+
+double
+totalPerformance(const std::vector<PathSpec> &paths,
+                 const std::vector<double> &assignment)
+{
+    dee_assert(paths.size() == assignment.size(),
+               "assignment arity mismatch");
+    double ptot = 0.0;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        // Resources past saturation contribute nothing (Corollary 1).
+        const double useful = std::min(assignment[i], paths[i].saturation);
+        ptot += paths[i].cp * useful;
+    }
+    return ptot;
+}
+
+std::vector<double>
+allocateResources(const std::vector<PathSpec> &paths, double e_tot)
+{
+    dee_assert(e_tot >= 0.0, "negative resource budget");
+    std::vector<double> assignment(paths.size(), 0.0);
+
+    // Sort path indices by descending cp; the greatest-marginal-benefit
+    // rule visits them in that order, filling each to saturation.
+    std::vector<std::size_t> order(paths.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return paths[a].cp > paths[b].cp;
+                     });
+
+    double remaining = e_tot;
+    for (std::size_t idx : order) {
+        if (remaining <= 0.0)
+            break;
+        if (paths[idx].cp <= 0.0)
+            break; // zero-probability paths gain nothing
+        const double grant = std::min(remaining, paths[idx].saturation);
+        assignment[idx] = grant;
+        remaining -= grant;
+    }
+    return assignment;
+}
+
+namespace
+{
+
+double
+bruteForceRec(const std::vector<PathSpec> &paths, std::size_t i,
+              int remaining, std::vector<double> &assignment)
+{
+    if (i + 1 == paths.size()) {
+        assignment[i] = remaining;
+        const double v = totalPerformance(paths, assignment);
+        assignment[i] = 0;
+        return v;
+    }
+    double best = 0.0;
+    for (int give = 0; give <= remaining; ++give) {
+        assignment[i] = give;
+        best = std::max(best,
+                        bruteForceRec(paths, i + 1, remaining - give,
+                                      assignment));
+    }
+    assignment[i] = 0;
+    return best;
+}
+
+} // namespace
+
+double
+bruteForceBest(const std::vector<PathSpec> &paths, int e_tot)
+{
+    dee_assert(!paths.empty(), "bruteForceBest over no paths");
+    dee_assert(paths.size() <= 8 && e_tot <= 32,
+               "bruteForceBest instance too large");
+    std::vector<double> assignment(paths.size(), 0.0);
+    return bruteForceRec(paths, 0, e_tot, assignment);
+}
+
+} // namespace dee

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * DEE resource-allocation theory (Section 2 of the paper).
+ *
+ * Theorem 1: with path cumulative probabilities cp_i and no saturation,
+ * total expected performance Ptot = sum(cp_i * e_i) is maximized by
+ * placing all E_tot resources on the path with the largest cp.
+ *
+ * Corollary 1: if a path saturates (can productively use no more than
+ * some number of resources), assign up to its saturation point, then
+ * recurse on the remaining paths with the remaining resources.
+ *
+ * The resulting "rule of Greatest Marginal Benefit" — assign all
+ * remaining resources to the most likely idle path until it saturates,
+ * repeat — *is* Disjoint Eager Execution. allocateResources() implements
+ * it; bruteForceBest() exists so tests and bench/thm1_optimality can
+ * verify optimality exhaustively on small instances.
+ */
+
+#ifndef DEE_CORE_TREE_ALLOCATE_HH
+#define DEE_CORE_TREE_ALLOCATE_HH
+
+#include <limits>
+#include <vector>
+
+namespace dee
+{
+
+/** A branch path competing for execution resources. */
+struct PathSpec
+{
+    /** Cumulative probability the path is needed (product of local
+     *  probabilities up the tree). */
+    double cp = 0.0;
+    /** Resources beyond which the path gains nothing (Corollary 1);
+     *  infinity when the path never saturates. */
+    double saturation = std::numeric_limits<double>::infinity();
+};
+
+/** Expected performance Ptot = sum(cp_i * e_i). */
+double totalPerformance(const std::vector<PathSpec> &paths,
+                        const std::vector<double> &assignment);
+
+/**
+ * Greatest-marginal-benefit allocation: repeatedly give the highest-cp
+ * unsaturated path as much as it can take.
+ *
+ * @return per-path resource assignment summing to at most e_tot (less
+ *         only if every path saturates first).
+ */
+std::vector<double> allocateResources(const std::vector<PathSpec> &paths,
+                                      double e_tot);
+
+/**
+ * Exhaustive optimum over integer assignments (for verification only;
+ * cost is combinatorial — keep paths and e_tot small).
+ */
+double bruteForceBest(const std::vector<PathSpec> &paths, int e_tot);
+
+} // namespace dee
+
+#endif // DEE_CORE_TREE_ALLOCATE_HH

@@ -1,0 +1,40 @@
+#include "core/tree/cp_cost.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace dee
+{
+
+DynamicCpCost
+dynamicCpCost(const SpecTree &tree)
+{
+    DynamicCpCost cost;
+    cost.cps = tree.numPaths();
+    std::uint64_t depth_sum = 0;
+    for (int i = 1; i <= tree.numPaths(); ++i)
+        depth_sum += static_cast<std::uint64_t>(tree.node(i).depth);
+    cost.fullRecomputeMults = depth_sum;
+    cost.incrementalMults = static_cast<std::uint64_t>(cost.cps);
+    if (cost.cps > 0) {
+        cost.meanDepth = static_cast<double>(depth_sum) /
+                         static_cast<double>(cost.cps);
+        cost.sortComparisons = static_cast<std::uint64_t>(
+            std::ceil(static_cast<double>(cost.cps) *
+                      std::log2(static_cast<double>(cost.cps) + 1.0)));
+    }
+    return cost;
+}
+
+std::string
+DynamicCpCost::render() const
+{
+    std::ostringstream oss;
+    oss << "cps=" << cps << " meanDepth=" << meanDepth
+        << " fullRecomputeMults/cycle=" << fullRecomputeMults
+        << " incrementalMults/cycle=" << incrementalMults
+        << " sortComparisons/cycle=" << sortComparisons;
+    return oss.str();
+}
+
+} // namespace dee

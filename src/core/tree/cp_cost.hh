@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Hardware cost of *dynamic* cumulative-probability maintenance — the
+ * paper's Section 3 argument for the static tree heuristic:
+ *
+ *   "30-100 cp's must be maintained for a typical DEE tree; each cp is
+ *    the product of many (possibly 10's) of potentially different
+ *    local probabilities; ... therefore all of the cp's must be
+ *    re-computed every cycle. Thus, hundreds or thousands of
+ *    low-precision multiplications would have to be performed every
+ *    cycle. Add to that the necessity of determining the largest cp's
+ *    every cycle (sorting), and such an approach seems completely
+ *    impractical."
+ *
+ * dynamicCpCost() turns that argument into numbers for any tree shape:
+ * per-cycle multiplications for a full recompute (sum of node depths),
+ * for an incremental scheme (one multiply per node), and the
+ * comparisons a selection network needs. The static heuristic's
+ * per-cycle cost is identically zero.
+ */
+
+#ifndef DEE_CORE_TREE_CP_COST_HH
+#define DEE_CORE_TREE_CP_COST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/tree/spec_tree.hh"
+
+namespace dee
+{
+
+/** Per-cycle arithmetic the dynamic-cp approach would need. */
+struct DynamicCpCost
+{
+    int cps = 0;               ///< cp registers to maintain (tree paths)
+    double meanDepth = 0.0;    ///< local probabilities per cp
+    std::uint64_t fullRecomputeMults = 0; ///< sum of depths
+    std::uint64_t incrementalMults = 0;   ///< one per node
+    std::uint64_t sortComparisons = 0;    ///< ~n log2 n selection
+
+    std::string render() const;
+};
+
+/** Evaluates the paper's cost argument on a concrete tree. */
+DynamicCpCost dynamicCpCost(const SpecTree &tree);
+
+} // namespace dee
+
+#endif // DEE_CORE_TREE_CP_COST_HH

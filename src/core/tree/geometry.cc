@@ -1,0 +1,106 @@
+#include "core/tree/geometry.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dee
+{
+
+double
+logP1mp(double p)
+{
+    dee_assert(p > 0.0 && p < 1.0, "p must be in (0,1)");
+    return std::log(1.0 - p) / std::log(p);
+}
+
+double
+etForHeight(double p, double h)
+{
+    return logP1mp(p) + h * h / 2.0 + 1.5 * h - 1.0;
+}
+
+double
+heightForEt(double p, double e_t)
+{
+    // Inverse of etForHeight; the paper writes it as
+    // h = -3/2 + (1/2) sqrt(8 E_T - 8 log_p(1-p) + 17).
+    const double arg = 8.0 * e_t - 8.0 * logP1mp(p) + 17.0;
+    if (arg <= 0.0)
+        return 0.0;
+    return -1.5 + 0.5 * std::sqrt(arg);
+}
+
+double
+mlLengthForHeight(double p, double h)
+{
+    return h + logP1mp(p) - 1.0;
+}
+
+bool
+geometryValid(double p, double l)
+{
+    return std::pow(p, l) > (1.0 - p) * (1.0 - p);
+}
+
+bool
+deeRegionNonEmpty(double p, double l)
+{
+    return (1.0 - p) > std::pow(p, l);
+}
+
+TreeGeometry
+computeGeometry(double p, int e_t)
+{
+    if (!(p >= 0.5 && p < 1.0))
+        dee_fatal("prediction accuracy p=", p, " must be in [0.5, 1); a "
+                  "predictor below 50% should be used inverted");
+    if (e_t < 1)
+        dee_fatal("resource budget E_T=", e_t, " must be >= 1");
+
+    TreeGeometry g;
+    g.p = p;
+    g.resources = e_t;
+
+    // A first-level side path (cp = 1-p) only beats extending the ML
+    // chain once the chain tail drops below it, i.e. at depth
+    // l > log_p(1-p). With fewer resources than that, DEE degenerates
+    // to SP — exactly the paper's observation that DEE and SP coincide
+    // at and below 16 paths for p ~ 0.905.
+    const double threshold = logP1mp(p);
+    if (static_cast<double>(e_t) <= threshold) {
+        g.mainLineLength = e_t;
+        g.deeHeight = 0;
+        return g;
+    }
+
+    int h = static_cast<int>(
+        std::lround(heightForEt(p, static_cast<double>(e_t))));
+    h = std::max(h, 0);
+
+    // Spend exactly e_t paths: l = e_t - h(h+1)/2, keeping the ML at
+    // least as deep as the DEE region (side paths end at depth h <= l).
+    auto ml_for = [&](int hh) { return e_t - hh * (hh + 1) / 2; };
+    while (h > 0 && ml_for(h) < std::max(h, 1))
+        --h;
+
+    g.deeHeight = h;
+    g.mainLineLength = ml_for(h);
+    dee_assert(g.mainLineLength >= 1, "degenerate geometry");
+    return g;
+}
+
+std::string
+TreeGeometry::render() const
+{
+    std::ostringstream oss;
+    oss << "static DEE tree: p=" << p << " E_T=" << resources
+        << " -> l=" << mainLineLength << " h_DEE=" << deeHeight;
+    if (!hasDeeRegion())
+        oss << " (pure SP chain)";
+    return oss.str();
+}
+
+} // namespace dee

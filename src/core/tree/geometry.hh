@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Closed-form static-tree geometry (Section 3.1 of the paper).
+ *
+ * For a characteristic branch prediction accuracy p and a branch-path
+ * resource budget E_T, the static DEE tree consists of a Main-Line (ML)
+ * path of l branch paths and a triangular DEE region of height (and
+ * width) h_DEE whose side paths split off the first h_DEE ML branches
+ * and all end at depth h_DEE. The paper's relations:
+ *
+ *     E_T   = log_p(1-p) + h^2/2 + 3h/2 - 1
+ *     h_DEE = -3/2 + (1/2) * sqrt(8 E_T - 8 log_p(1-p) + 17)
+ *     l     = h_DEE + log_p(1-p) - 1
+ *
+ * valid while p^l > (1-p)^2 (no second-order side paths are worth
+ * including) and (1-p) > p^l (the DEE region is non-empty).
+ */
+
+#ifndef DEE_CORE_TREE_GEOMETRY_HH
+#define DEE_CORE_TREE_GEOMETRY_HH
+
+#include <string>
+
+namespace dee
+{
+
+/** Integer static-tree dimensions for a (p, E_T) design point. */
+struct TreeGeometry
+{
+    double p = 0.0;          ///< Characteristic prediction accuracy.
+    int resources = 0;       ///< E_T, total branch paths in the tree.
+    int mainLineLength = 0;  ///< l, ML branch paths.
+    int deeHeight = 0;       ///< h_DEE (== w_DEE), 0 if no DEE region.
+
+    /** True if the design point has any DEE side paths. */
+    bool hasDeeRegion() const { return deeHeight > 0; }
+
+    std::string render() const;
+};
+
+/** log_p(1-p), the ML depth at which a first-level side path wins. */
+double logP1mp(double p);
+
+/** Real-valued E_T for a given h (paper's first relation). */
+double etForHeight(double p, double h);
+
+/** Real-valued h_DEE for a given E_T (paper's second relation). */
+double heightForEt(double p, double e_t);
+
+/** Real-valued l for a given h (paper's third relation). */
+double mlLengthForHeight(double p, double h);
+
+/** True while the closed forms apply: p^l > (1-p)^2. */
+bool geometryValid(double p, double l);
+
+/** True if a DEE region exists at all: (1-p) > p^l. */
+bool deeRegionNonEmpty(double p, double l);
+
+/**
+ * Integer design point: rounds h to the nearest integer consistent with
+ * spending exactly E_T branch paths (l = E_T - h(h+1)/2), clamping so
+ * that l >= h >= 0. With p high enough that no side path beats the ML
+ * tail (E_T <= ~log_p(1-p)), the result is a pure SP chain (h = 0,
+ * l = E_T).
+ *
+ * Requires 0.5 <= p < 1 and E_T >= 1 (fatal otherwise — a predictor
+ * worse than 50% would be used inverted).
+ */
+TreeGeometry computeGeometry(double p, int e_t);
+
+} // namespace dee
+
+#endif // DEE_CORE_TREE_GEOMETRY_HH

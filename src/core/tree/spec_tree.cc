@@ -1,0 +1,255 @@
+#include "core/tree/spec_tree.hh"
+
+#include <algorithm>
+#include <deque>
+#include <iomanip>
+#include <numeric>
+#include <queue>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dee
+{
+
+SpecTree::SpecTree()
+{
+    nodes_.push_back(TreeNode{});
+}
+
+const TreeNode &
+SpecTree::node(int id) const
+{
+    dee_assert(id >= 0 && id < static_cast<int>(nodes_.size()),
+               "tree node ", id, " out of range");
+    return nodes_[id];
+}
+
+int
+SpecTree::child(int id, bool predicted_edge) const
+{
+    const TreeNode &n = node(id);
+    return predicted_edge ? n.predChild : n.npredChild;
+}
+
+int
+SpecTree::maxDepth() const
+{
+    int depth = 0;
+    for (const auto &n : nodes_)
+        depth = std::max(depth, n.depth);
+    return depth;
+}
+
+int
+SpecTree::addChild(int parent, bool predicted_edge, double local_p)
+{
+    dee_assert(local_p > 0.0 && local_p <= 1.0, "bad local probability ",
+               local_p);
+    TreeNode &par = nodes_[parent];
+    dee_assert(parent >= 0 && parent < static_cast<int>(nodes_.size()),
+               "tree parent ", parent, " out of range");
+    int &slot = predicted_edge ? par.predChild : par.npredChild;
+    dee_assert(slot == kNoNode, "child slot already occupied");
+
+    TreeNode child;
+    child.parent = parent;
+    child.viaPredicted = predicted_edge;
+    child.depth = par.depth + 1;
+    child.cp = par.cp * local_p;
+    const int id = static_cast<int>(nodes_.size());
+    slot = id;
+    nodes_.push_back(child);
+    return id;
+}
+
+std::vector<int>
+SpecTree::assignmentOrder() const
+{
+    std::vector<int> order;
+    for (int i = 1; i < static_cast<int>(nodes_.size()); ++i)
+        order.push_back(i);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        if (nodes_[a].cp != nodes_[b].cp)
+            return nodes_[a].cp > nodes_[b].cp;
+        if (nodes_[a].viaPredicted != nodes_[b].viaPredicted)
+            return nodes_[a].viaPredicted;
+        return a < b;
+    });
+    return order;
+}
+
+std::vector<int>
+SpecTree::walk(const std::vector<bool> &correct) const
+{
+    std::vector<int> covered(correct.size(), kNoNode);
+    int cur = kOrigin;
+    for (std::size_t d = 0; d < correct.size(); ++d) {
+        cur = child(cur, correct[d]);
+        if (cur == kNoNode)
+            break;
+        covered[d] = cur;
+    }
+    return covered;
+}
+
+std::string
+SpecTree::render() const
+{
+    const std::vector<int> order = assignmentOrder();
+    std::vector<int> rank(nodes_.size(), 0);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        rank[order[i]] = static_cast<int>(i) + 1;
+
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(3);
+
+    // Depth-first, predicted edge first, with box-drawing indentation.
+    struct Frame { int id; std::string prefix; bool last; };
+    auto children = [&](int id) {
+        std::vector<int> cs;
+        if (nodes_[id].predChild != kNoNode)
+            cs.push_back(nodes_[id].predChild);
+        if (nodes_[id].npredChild != kNoNode)
+            cs.push_back(nodes_[id].npredChild);
+        return cs;
+    };
+
+    oss << "(pending branch)  paths=" << numPaths() << "\n";
+    std::vector<Frame> stack;
+    {
+        auto cs = children(kOrigin);
+        for (std::size_t i = cs.size(); i-- > 0;)
+            stack.push_back(Frame{cs[i], "", i + 1 == cs.size()});
+    }
+    while (!stack.empty()) {
+        Frame f = stack.back();
+        stack.pop_back();
+        const TreeNode &n = nodes_[f.id];
+        oss << f.prefix << (f.last ? "`-" : "|-")
+            << (n.viaPredicted ? "P" : "N") << " cp=" << n.cp << "  #"
+            << rank[f.id] << "\n";
+        const std::string child_prefix = f.prefix + (f.last ? "  " : "| ");
+        auto cs = children(f.id);
+        for (std::size_t i = cs.size(); i-- > 0;)
+            stack.push_back(Frame{cs[i], child_prefix,
+                                  i + 1 == cs.size()});
+    }
+    return oss.str();
+}
+
+SpecTree
+SpecTree::singlePath(double p, int e_t)
+{
+    dee_assert(e_t >= 0, "negative path budget");
+    SpecTree tree;
+    int cur = kOrigin;
+    for (int i = 0; i < e_t; ++i)
+        cur = tree.addChild(cur, true, p);
+    return tree;
+}
+
+SpecTree
+SpecTree::eager(double p, int e_t)
+{
+    dee_assert(e_t >= 0, "negative path budget");
+    SpecTree tree;
+    std::deque<int> frontier{kOrigin};
+    int remaining = e_t;
+    while (remaining > 0) {
+        dee_assert(!frontier.empty(), "eager frontier exhausted");
+        const int parent = frontier.front();
+        frontier.pop_front();
+        const int pc = tree.addChild(parent, true, p);
+        frontier.push_back(pc);
+        if (--remaining == 0)
+            break;
+        const int nc = tree.addChild(parent, false, 1.0 - p);
+        frontier.push_back(nc);
+        --remaining;
+    }
+    return tree;
+}
+
+SpecTree
+SpecTree::deeGreedy(double p, int e_t)
+{
+    dee_assert(p >= 0.5 && p < 1.0, "deeGreedy needs p in [0.5, 1)");
+    dee_assert(e_t >= 0, "negative path budget");
+
+    SpecTree tree;
+
+    // Candidate children of already-included nodes, ordered by the rule
+    // of Greatest Marginal Benefit: highest cp first; ties prefer the
+    // predicted edge (deterministic, and matching Figure 1's choice of
+    // extending the existing DEE path), then FIFO.
+    struct Candidate
+    {
+        double cp;
+        bool predictedEdge;
+        std::uint64_t seq;
+        int parent;
+    };
+    auto worse = [](const Candidate &a, const Candidate &b) {
+        if (a.cp != b.cp)
+            return a.cp < b.cp;
+        if (a.predictedEdge != b.predictedEdge)
+            return !a.predictedEdge; // predicted edge wins ties
+        return a.seq > b.seq;
+    };
+    std::priority_queue<Candidate, std::vector<Candidate>,
+                        decltype(worse)>
+        queue(worse);
+
+    std::uint64_t seq = 0;
+    auto push_children = [&](int id) {
+        const double cp = tree.node(id).cp;
+        queue.push(Candidate{cp * p, true, seq++, id});
+        queue.push(Candidate{cp * (1.0 - p), false, seq++, id});
+    };
+
+    push_children(kOrigin);
+    for (int added = 0; added < e_t; ++added) {
+        dee_assert(!queue.empty(), "greedy queue exhausted");
+        const Candidate c = queue.top();
+        queue.pop();
+        const int id = tree.addChild(c.parent, c.predictedEdge,
+                                     c.predictedEdge ? p : 1.0 - p);
+        push_children(id);
+    }
+    return tree;
+}
+
+SpecTree
+SpecTree::deeStatic(const TreeGeometry &geometry)
+{
+    const double p = geometry.p;
+    SpecTree tree;
+
+    // Main-Line chain of l predicted edges.
+    std::vector<int> ml{kOrigin};
+    int cur = kOrigin;
+    for (int d = 1; d <= geometry.mainLineLength; ++d) {
+        cur = tree.addChild(cur, true, p);
+        ml.push_back(cur);
+    }
+
+    // DEE region: a side path splits off the branch ending ML path j-1
+    // (the origin for j == 1), follows the not-predicted edge once, then
+    // predicted edges down to depth h_DEE (Figure 2's triangle).
+    const int h = geometry.deeHeight;
+    for (int j = 1; j <= h; ++j) {
+        int node = tree.addChild(ml[j - 1], false, 1.0 - p);
+        for (int d = j + 1; d <= h; ++d)
+            node = tree.addChild(node, true, p);
+    }
+    return tree;
+}
+
+SpecTree
+SpecTree::deeStatic(double p, int e_t)
+{
+    return deeStatic(computeGeometry(p, e_t));
+}
+
+} // namespace dee

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Speculation trees: the shape of a machine's execution window.
+ *
+ * Every speculative-execution strategy in the paper is a tree of branch
+ * paths hanging below the earliest pending branch (Figure 1): each node
+ * is one branch path; its "predicted" child continues in the predicted
+ * direction of the branch ending it and its "not-predicted" child in the
+ * other direction. A node's cumulative probability (cp) is the product
+ * of local probabilities along its edges.
+ *
+ *  - Single Path (SP): a chain of predicted edges — branch prediction.
+ *  - Eager Execution (EE): the complete binary tree — both paths of
+ *    every pending branch.
+ *  - DEE (theory): the E_T nodes with the greatest cp, built greedily by
+ *    the rule of Greatest Marginal Benefit (optimal per Theorem 1).
+ *  - DEE (static heuristic): the paper's Section 3.1 closed-form shape —
+ *    an ML chain of l paths plus a triangular DEE region of height
+ *    h_DEE, fixed at design time.
+ *
+ * The windowed ILP simulator walks any SpecTree against the actual
+ * prediction-correctness outcomes to decide which dynamic code is inside
+ * the window, which is what makes one simulator serve every model.
+ */
+
+#ifndef DEE_CORE_TREE_SPEC_TREE_HH
+#define DEE_CORE_TREE_SPEC_TREE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/tree/geometry.hh"
+
+namespace dee
+{
+
+/** One branch path in a speculation tree. */
+struct TreeNode
+{
+    int parent = -1;        ///< Parent node index; -1 for the origin.
+    int predChild = -1;     ///< Child along the predicted direction.
+    int npredChild = -1;    ///< Child along the not-predicted direction.
+    bool viaPredicted = true; ///< Edge type from the parent.
+    int depth = 0;          ///< Origin is depth 0; paths start at 1.
+    double cp = 1.0;        ///< Cumulative probability of being needed.
+};
+
+/** Marker for "no node". */
+constexpr int kNoNode = -1;
+
+/** Immutable-after-build speculation tree. Node 0 is the origin. */
+class SpecTree
+{
+  public:
+    /** Creates a tree containing only the origin. */
+    SpecTree();
+
+    /** Number of branch-path nodes (the origin is not counted). */
+    int numPaths() const { return static_cast<int>(nodes_.size()) - 1; }
+
+    static constexpr int kOrigin = 0;
+
+    const TreeNode &node(int id) const;
+
+    /**
+     * Child of `id` along the predicted (true) or not-predicted (false)
+     * direction; kNoNode if absent.
+     */
+    int child(int id, bool predicted_edge) const;
+
+    /** Deepest path depth in the tree (0 for an origin-only tree). */
+    int maxDepth() const;
+
+    /**
+     * Adds a child path. @param local_p local probability of the edge
+     * (the predicted edge of a branch has local probability p, the
+     * not-predicted edge 1-p).
+     */
+    int addChild(int parent, bool predicted_edge, double local_p);
+
+    /**
+     * Resource-assignment order (Figure 1's circled numbers): node ids
+     * sorted by descending cp; ties broken toward predicted edges then
+     * insertion order.
+     */
+    std::vector<int> assignmentOrder() const;
+
+    /**
+     * Walks outcome correctness from the origin: element d of the result
+     * is the node covering the path at distance d+1 when the branches at
+     * distances 0..d resolve as `correct[0..d]`, or kNoNode once the
+     * walk leaves the tree (all later elements are kNoNode too).
+     */
+    std::vector<int> walk(const std::vector<bool> &correct) const;
+
+    /** Multi-line ASCII rendering with cp and assignment ranks. */
+    std::string render() const;
+
+    // --- Builders --------------------------------------------------------
+
+    /** SP: chain of e_t predicted edges. */
+    static SpecTree singlePath(double p, int e_t);
+
+    /**
+     * EE: complete binary tree filled level by level until e_t paths
+     * (partial levels fill predicted-edge first).
+     */
+    static SpecTree eager(double p, int e_t);
+
+    /** DEE theory: greedy greatest-cp construction (optimal shape). */
+    static SpecTree deeGreedy(double p, int e_t);
+
+    /** DEE heuristic: the paper's closed-form static shape. */
+    static SpecTree deeStatic(double p, int e_t);
+
+    /** DEE heuristic from a precomputed geometry. */
+    static SpecTree deeStatic(const TreeGeometry &geometry);
+
+  private:
+    std::vector<TreeNode> nodes_;
+};
+
+} // namespace dee
+
+#endif // DEE_CORE_TREE_SPEC_TREE_HH

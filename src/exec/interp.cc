@@ -1,0 +1,209 @@
+#include "exec/interp.hh"
+
+#include "common/logging.hh"
+
+namespace dee
+{
+
+std::int64_t
+MachineState::readReg(RegId r) const
+{
+    dee_assert(r < kNumRegs, "register ", int{r}, " out of range");
+    return r == kZeroReg ? 0 : regs[r];
+}
+
+void
+MachineState::writeReg(RegId r, std::int64_t v)
+{
+    dee_assert(r < kNumRegs, "register ", int{r}, " out of range");
+    if (r != kZeroReg)
+        regs[r] = v;
+}
+
+std::int64_t
+MachineState::readMem(std::uint64_t addr) const
+{
+    auto it = memory.find(addr);
+    return it == memory.end() ? 0 : it->second;
+}
+
+void
+MachineState::writeMem(std::uint64_t addr, std::int64_t v)
+{
+    memory[addr] = v;
+}
+
+namespace semantics
+{
+
+std::int64_t
+alu(Opcode op, std::int64_t a, std::int64_t b)
+{
+    const auto ua = static_cast<std::uint64_t>(a);
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::AddI:
+        return static_cast<std::int64_t>(
+            ua + static_cast<std::uint64_t>(b));
+      case Opcode::Sub:
+        return static_cast<std::int64_t>(
+            ua - static_cast<std::uint64_t>(b));
+      case Opcode::Mul:
+        return static_cast<std::int64_t>(
+            ua * static_cast<std::uint64_t>(b));
+      case Opcode::Div:
+        return b == 0 ? 0 : a / b;
+      case Opcode::And:
+      case Opcode::AndI:
+        return a & b;
+      case Opcode::Or:
+      case Opcode::OrI:
+        return a | b;
+      case Opcode::Xor:
+      case Opcode::XorI:
+        return a ^ b;
+      case Opcode::Sll:
+      case Opcode::ShlI:
+        return static_cast<std::int64_t>(ua << (b & 63));
+      case Opcode::Srl:
+      case Opcode::ShrI:
+        return static_cast<std::int64_t>(ua >> (b & 63));
+      case Opcode::Slt:
+      case Opcode::SltI:
+        return a < b ? 1 : 0;
+      default:
+        dee_panic("alu() called with non-ALU opcode ", opcodeName(op));
+    }
+}
+
+bool
+branchTaken(Opcode op, std::int64_t a, std::int64_t b)
+{
+    switch (op) {
+      case Opcode::BranchEq:
+        return a == b;
+      case Opcode::BranchNe:
+        return a != b;
+      case Opcode::BranchLt:
+        return a < b;
+      case Opcode::BranchGe:
+        return a >= b;
+      default:
+        dee_panic("branchTaken() with non-branch opcode ",
+                  opcodeName(op));
+    }
+}
+
+} // namespace semantics
+
+Interpreter::Interpreter(Program program) : program_(std::move(program))
+{
+    program_.validate();
+}
+
+ExecResult
+Interpreter::run(std::uint64_t max_instrs, bool capture_trace) const
+{
+    ExecResult result;
+    MachineState &st = result.state;
+
+    BlockId block = 0;
+    std::size_t idx = 0;
+
+    while (result.steps < max_instrs) {
+        // Fallthrough across empty / exhausted blocks.
+        while (idx >= program_.block(block).instrs.size()) {
+            dee_assert(block + 1 < program_.numBlocks(),
+                       "fell off program end (validate missed it)");
+            ++block;
+            idx = 0;
+        }
+
+        const Instruction &inst = program_.block(block).instrs[idx];
+        const StaticId sid = program_.staticId(block, idx);
+        ++result.steps;
+
+        TraceRecord rec;
+        rec.sid = sid;
+        rec.block = block;
+        rec.op = inst.op;
+        rec.rd = inst.dest();
+        rec.rs1 = inst.rs1;
+        rec.rs2 = inst.rs2;
+
+        bool record = capture_trace;
+        BlockId next_block = block;
+        std::size_t next_idx = idx + 1;
+
+        switch (opClass(inst.op)) {
+          case OpClass::IntAlu: {
+            std::int64_t value;
+            if (inst.op == Opcode::LoadImm) {
+                value = inst.imm;
+            } else if (inst.rs2 != kNoReg) {
+                value = semantics::alu(inst.op, st.readReg(inst.rs1),
+                                       st.readReg(inst.rs2));
+            } else {
+                value = semantics::alu(inst.op, st.readReg(inst.rs1),
+                                       inst.imm);
+            }
+            st.writeReg(inst.rd, value);
+            break;
+          }
+          case OpClass::Load: {
+            const auto addr = static_cast<std::uint64_t>(
+                st.readReg(inst.rs1) + inst.imm);
+            st.writeReg(inst.rd, st.readMem(addr));
+            rec.memAddr = addr;
+            break;
+          }
+          case OpClass::Store: {
+            const auto addr = static_cast<std::uint64_t>(
+                st.readReg(inst.rs1) + inst.imm);
+            st.writeMem(addr, st.readReg(inst.rs2));
+            rec.memAddr = addr;
+            break;
+          }
+          case OpClass::CondBranch: {
+            const bool taken = semantics::branchTaken(
+                inst.op, st.readReg(inst.rs1), st.readReg(inst.rs2));
+            rec.isBranch = true;
+            rec.taken = taken;
+            rec.backward = inst.target <= block;
+            if (taken) {
+                next_block = inst.target;
+                next_idx = 0;
+            } else {
+                next_block = block + 1;
+                next_idx = 0;
+            }
+            break;
+          }
+          case OpClass::Jump:
+            next_block = inst.target;
+            next_idx = 0;
+            break;
+          case OpClass::Halt:
+            result.halted = true;
+            if (record)
+                result.trace.records.push_back(rec);
+            result.trace.numStatic =
+                static_cast<std::uint32_t>(program_.numInstrs());
+            return result;
+          case OpClass::Nop:
+            break;
+        }
+
+        if (record)
+            result.trace.records.push_back(rec);
+
+        block = next_block;
+        idx = next_idx;
+    }
+
+    result.trace.numStatic =
+        static_cast<std::uint32_t>(program_.numInstrs());
+    return result;
+}
+
+} // namespace dee

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Functional ("golden model") interpreter.
+ *
+ * Executes a Program sequentially, producing both the final architectural
+ * state and the dynamic Trace that drives the ILP simulators. The Levo
+ * machine model validates its architectural results against this
+ * interpreter — the same role the sequential machine plays as the
+ * speedup-1.0 baseline in the paper.
+ */
+
+#ifndef DEE_EXEC_INTERP_HH
+#define DEE_EXEC_INTERP_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "trace/trace.hh"
+
+namespace dee
+{
+
+/** Architectural state: registers and word-granular sparse memory. */
+struct MachineState
+{
+    std::vector<std::int64_t> regs = std::vector<std::int64_t>(kNumRegs, 0);
+    std::unordered_map<std::uint64_t, std::int64_t> memory;
+
+    std::int64_t readReg(RegId r) const;
+    void writeReg(RegId r, std::int64_t v);
+    std::int64_t readMem(std::uint64_t addr) const;
+    void writeMem(std::uint64_t addr, std::int64_t v);
+};
+
+/** Pure instruction semantics shared by the interpreter and Levo. */
+namespace semantics
+{
+
+/** ALU result for register and immediate forms. Division by zero is 0. */
+std::int64_t alu(Opcode op, std::int64_t a, std::int64_t b);
+
+/** Branch condition outcome. */
+bool branchTaken(Opcode op, std::int64_t a, std::int64_t b);
+
+} // namespace semantics
+
+/** Outcome of an interpreter run. */
+struct ExecResult
+{
+    Trace trace;            ///< Dynamic trace (if capture was enabled).
+    MachineState state;     ///< Final architectural state.
+    std::uint64_t steps = 0;///< Instructions executed.
+    bool halted = false;    ///< Reached Halt (vs. hitting the step cap).
+};
+
+/** Sequential interpreter over a validated Program. */
+class Interpreter
+{
+  public:
+    /** Takes the program by value: the interpreter owns its copy, so
+     *  passing a temporary (e.g. builder.build()) is safe. */
+    explicit Interpreter(Program program);
+
+    /**
+     * Runs from block 0 until Halt or max_instrs.
+     *
+     * @param max_instrs step cap (guards generator bugs / long loops)
+     * @param capture_trace disable to save memory when only the final
+     *                      state matters
+     */
+    ExecResult run(std::uint64_t max_instrs = 1'000'000,
+                   bool capture_trace = true) const;
+
+  private:
+    Program program_;
+};
+
+} // namespace dee
+
+#endif // DEE_EXEC_INTERP_HH

@@ -1,0 +1,290 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "isa/builder.hh"
+
+namespace dee
+{
+
+namespace
+{
+
+/** Cursor over one source line with fatal diagnostics. */
+class LineParser
+{
+  public:
+    LineParser(const std::string &text, int line_no)
+        : text_(text), lineNo_(line_no)
+    {
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t'))
+            ++pos_;
+    }
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos_ >= text_.size();
+    }
+
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        dee_fatal("asm line ", lineNo_, ": ", what, " in '", text_, "'");
+    }
+
+    /** Next identifier-ish token ([A-Za-z0-9_]+). */
+    std::string
+    word()
+    {
+        skipSpace();
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a token");
+        return text_.substr(start, pos_ - start);
+    }
+
+    void
+    expect(char c)
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    RegId
+    reg()
+    {
+        const std::string w = word();
+        if (w.size() < 2 || (w[0] != 'r' && w[0] != 'R'))
+            fail("expected a register, got '" + w + "'");
+        const long v = std::strtol(w.c_str() + 1, nullptr, 10);
+        if (v < 0 || v >= kNumRegs)
+            fail("register out of range: '" + w + "'");
+        return static_cast<RegId>(v);
+    }
+
+    std::int64_t
+    immediate()
+    {
+        skipSpace();
+        std::size_t start = pos_;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ == start ||
+            (pos_ == start + 1 && !std::isdigit(static_cast<unsigned char>(
+                                      text_[start]))))
+            fail("expected an immediate");
+        return std::strtoll(text_.substr(start, pos_ - start).c_str(),
+                            nullptr, 10);
+    }
+
+    BlockId
+    blockRef()
+    {
+        const std::string w = word();
+        if (w.size() < 2 || (w[0] != 'B' && w[0] != 'b'))
+            fail("expected a block reference like B3, got '" + w + "'");
+        const long v = std::strtol(w.c_str() + 1, nullptr, 10);
+        if (v < 0)
+            fail("bad block number in '" + w + "'");
+        return static_cast<BlockId>(v);
+    }
+
+  private:
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    int lineNo_;
+};
+
+const std::map<std::string, Opcode> &
+mnemonics()
+{
+    static const std::map<std::string, Opcode> table = {
+        {"add", Opcode::Add},   {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul},   {"div", Opcode::Div},
+        {"and", Opcode::And},   {"or", Opcode::Or},
+        {"xor", Opcode::Xor},   {"sll", Opcode::Sll},
+        {"srl", Opcode::Srl},   {"slt", Opcode::Slt},
+        {"addi", Opcode::AddI}, {"andi", Opcode::AndI},
+        {"ori", Opcode::OrI},   {"xori", Opcode::XorI},
+        {"slti", Opcode::SltI}, {"shli", Opcode::ShlI},
+        {"shri", Opcode::ShrI}, {"li", Opcode::LoadImm},
+        {"lw", Opcode::Load},   {"sw", Opcode::Store},
+        {"beq", Opcode::BranchEq}, {"bne", Opcode::BranchNe},
+        {"blt", Opcode::BranchLt}, {"bge", Opcode::BranchGe},
+        {"j", Opcode::Jump},    {"halt", Opcode::Halt},
+        {"nop", Opcode::Nop},
+    };
+    return table;
+}
+
+} // namespace
+
+Program
+parseAssembly(const std::string &source)
+{
+    ProgramBuilder pb;
+    int declared_blocks = 0;
+    bool any_block = false;
+
+    std::istringstream stream(source);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(stream, raw)) {
+        ++line_no;
+        // Strip comments.
+        std::string line = raw;
+        for (char marker : {'#', ';'}) {
+            const auto pos = line.find(marker);
+            if (pos != std::string::npos)
+                line = line.substr(0, pos);
+        }
+        LineParser lp(line, line_no);
+        if (lp.atEnd())
+            continue;
+
+        // Block label?
+        {
+            std::string trimmed = line;
+            const auto colon = trimmed.find(':');
+            if (colon != std::string::npos) {
+                LineParser label(trimmed, line_no);
+                const BlockId id = label.blockRef();
+                label.expect(':');
+                if (!label.atEnd())
+                    label.fail("trailing text after block label");
+                if (static_cast<int>(id) != declared_blocks)
+                    label.fail("blocks must be declared in order; "
+                               "expected B" +
+                               std::to_string(declared_blocks));
+                pb.newBlock();
+                ++declared_blocks;
+                any_block = true;
+                continue;
+            }
+        }
+        if (!any_block)
+            lp.fail("instruction before the first block label");
+
+        const std::string mnem = lp.word();
+        auto it = mnemonics().find(mnem);
+        if (it == mnemonics().end())
+            lp.fail("unknown mnemonic '" + mnem + "'");
+        const Opcode op = it->second;
+
+        switch (opClass(op)) {
+          case OpClass::IntAlu: {
+            if (op == Opcode::LoadImm) {
+                const RegId rd = lp.reg();
+                lp.expect(',');
+                pb.loadImm(rd, lp.immediate());
+                break;
+            }
+            const RegId rd = lp.reg();
+            lp.expect(',');
+            const RegId rs1 = lp.reg();
+            lp.expect(',');
+            // Register or immediate third operand.
+            const bool reg_form =
+                (op == Opcode::Add || op == Opcode::Sub ||
+                 op == Opcode::Mul || op == Opcode::Div ||
+                 op == Opcode::And || op == Opcode::Or ||
+                 op == Opcode::Xor || op == Opcode::Sll ||
+                 op == Opcode::Srl || op == Opcode::Slt);
+            if (reg_form)
+                pb.alu(op, rd, rs1, lp.reg());
+            else
+                pb.aluImm(op, rd, rs1, lp.immediate());
+            break;
+          }
+          case OpClass::Load: {
+            const RegId rd = lp.reg();
+            lp.expect(',');
+            const std::int64_t disp = lp.immediate();
+            lp.expect('(');
+            const RegId base = lp.reg();
+            lp.expect(')');
+            pb.load(rd, base, disp);
+            break;
+          }
+          case OpClass::Store: {
+            const RegId value = lp.reg();
+            lp.expect(',');
+            const std::int64_t disp = lp.immediate();
+            lp.expect('(');
+            const RegId base = lp.reg();
+            lp.expect(')');
+            pb.store(value, base, disp);
+            break;
+          }
+          case OpClass::CondBranch: {
+            const RegId rs1 = lp.reg();
+            lp.expect(',');
+            const RegId rs2 = lp.reg();
+            lp.expect(',');
+            pb.branch(op, rs1, rs2, lp.blockRef());
+            break;
+          }
+          case OpClass::Jump:
+            pb.jump(lp.blockRef());
+            break;
+          case OpClass::Halt:
+            pb.halt();
+            break;
+          case OpClass::Nop:
+            pb.nop();
+            break;
+        }
+        if (!lp.atEnd())
+            lp.fail("trailing text");
+    }
+    if (!any_block)
+        dee_fatal("assembly source contains no blocks");
+    return pb.build();
+}
+
+Program
+parseAssemblyFile(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        dee_fatal("cannot open assembly file '", path, "'");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return parseAssembly(buffer.str());
+}
+
+} // namespace dee

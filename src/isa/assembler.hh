@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Text assembler for the repo ISA.
+ *
+ * Parses the same syntax the disassembler emits, so
+ * parseAssembly(program.disassemble()) round-trips exactly:
+ *
+ *     B0:
+ *         li r1, 5
+ *         addi r2, r1, 7
+ *         lw r3, 16(r2)
+ *         sw r3, 24(r2)
+ *         blt r1, r2, B1
+ *         j B2
+ *     B1:
+ *         halt
+ *
+ * Rules: blocks must be declared in order starting at B0; `#` and `;`
+ * start comments; blank lines are ignored; all parse errors are fatal
+ * with a line number (user errors, not bugs).
+ */
+
+#ifndef DEE_ISA_ASSEMBLER_HH
+#define DEE_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/isa.hh"
+
+namespace dee
+{
+
+/** Assembles source text into a validated Program (fatal on errors). */
+Program parseAssembly(const std::string &source);
+
+/** Assembles a file's contents (fatal on I/O or parse errors). */
+Program parseAssemblyFile(const std::string &path);
+
+} // namespace dee
+
+#endif // DEE_ISA_ASSEMBLER_HH

@@ -1,0 +1,94 @@
+#include "isa/builder.hh"
+
+#include "common/logging.hh"
+
+namespace dee
+{
+
+BlockId
+ProgramBuilder::newBlock()
+{
+    const BlockId id = program_.addBlock(BasicBlock{});
+    current_ = id;
+    hasBlock_ = true;
+    return id;
+}
+
+void
+ProgramBuilder::switchTo(BlockId id)
+{
+    dee_assert(id < program_.numBlocks(), "switchTo unknown block ", id);
+    current_ = id;
+    hasBlock_ = true;
+}
+
+void
+ProgramBuilder::emit(Instruction inst)
+{
+    dee_assert(hasBlock_, "emit before any newBlock()");
+    program_.block(current_).instrs.push_back(inst);
+}
+
+void
+ProgramBuilder::alu(Opcode op, RegId rd, RegId rs1, RegId rs2)
+{
+    emit(Instruction{op, rd, rs1, rs2, 0, 0});
+}
+
+void
+ProgramBuilder::aluImm(Opcode op, RegId rd, RegId rs1, std::int64_t imm)
+{
+    emit(Instruction{op, rd, rs1, kNoReg, imm, 0});
+}
+
+void
+ProgramBuilder::loadImm(RegId rd, std::int64_t imm)
+{
+    emit(Instruction{Opcode::LoadImm, rd, kNoReg, kNoReg, imm, 0});
+}
+
+void
+ProgramBuilder::load(RegId rd, RegId base, std::int64_t disp)
+{
+    emit(Instruction{Opcode::Load, rd, base, kNoReg, disp, 0});
+}
+
+void
+ProgramBuilder::store(RegId value, RegId base, std::int64_t disp)
+{
+    emit(Instruction{Opcode::Store, kNoReg, base, value, disp, 0});
+}
+
+void
+ProgramBuilder::branch(Opcode op, RegId rs1, RegId rs2, BlockId target)
+{
+    dee_assert(isCondBranch(op), "branch() needs a branch opcode");
+    emit(Instruction{op, kNoReg, rs1, rs2, 0, target});
+}
+
+void
+ProgramBuilder::jump(BlockId target)
+{
+    emit(Instruction{Opcode::Jump, kNoReg, kNoReg, kNoReg, 0, target});
+}
+
+void
+ProgramBuilder::halt()
+{
+    emit(Instruction{Opcode::Halt, kNoReg, kNoReg, kNoReg, 0, 0});
+}
+
+void
+ProgramBuilder::nop()
+{
+    emit(Instruction{Opcode::Nop, kNoReg, kNoReg, kNoReg, 0, 0});
+}
+
+Program
+ProgramBuilder::build()
+{
+    program_.validate();
+    return std::move(program_);
+}
+
+} // namespace dee

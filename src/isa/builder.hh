@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fluent construction of Programs.
+ *
+ * The builder creates labeled blocks up front (so forward branch targets
+ * can be named before they are filled in), appends instructions to a
+ * current block, and validates the finished program.
+ */
+
+#ifndef DEE_ISA_BUILDER_HH
+#define DEE_ISA_BUILDER_HH
+
+#include <cstdint>
+
+#include "isa/isa.hh"
+
+namespace dee
+{
+
+/** Builds a Program block by block. */
+class ProgramBuilder
+{
+  public:
+    ProgramBuilder() = default;
+
+    /** Reserves a new empty block; returns its id. */
+    BlockId newBlock();
+
+    /** Directs subsequent emits into the given block. */
+    void switchTo(BlockId id);
+
+    /** Block currently being emitted into. */
+    BlockId current() const { return current_; }
+
+    // --- Emission helpers (all append to the current block) -------------
+
+    void alu(Opcode op, RegId rd, RegId rs1, RegId rs2);
+    void aluImm(Opcode op, RegId rd, RegId rs1, std::int64_t imm);
+    void loadImm(RegId rd, std::int64_t imm);
+    void load(RegId rd, RegId base, std::int64_t disp);
+    void store(RegId value, RegId base, std::int64_t disp);
+    void branch(Opcode op, RegId rs1, RegId rs2, BlockId target);
+    void jump(BlockId target);
+    void halt();
+    void nop();
+
+    /** Raw append. */
+    void emit(Instruction inst);
+
+    /** Validates and returns the finished program. */
+    Program build();
+
+  private:
+    Program program_;
+    BlockId current_ = 0;
+    bool hasBlock_ = false;
+};
+
+} // namespace dee
+
+#endif // DEE_ISA_BUILDER_HH

@@ -1,0 +1,310 @@
+#include "isa/isa.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dee
+{
+
+OpClass
+opClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::Load:
+        return OpClass::Load;
+      case Opcode::Store:
+        return OpClass::Store;
+      case Opcode::BranchEq:
+      case Opcode::BranchNe:
+      case Opcode::BranchLt:
+      case Opcode::BranchGe:
+        return OpClass::CondBranch;
+      case Opcode::Jump:
+        return OpClass::Jump;
+      case Opcode::Halt:
+        return OpClass::Halt;
+      case Opcode::Nop:
+        return OpClass::Nop;
+      default:
+        return OpClass::IntAlu;
+    }
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    return opClass(op) == OpClass::CondBranch;
+}
+
+bool
+isControl(Opcode op)
+{
+    const OpClass c = opClass(op);
+    return c == OpClass::CondBranch || c == OpClass::Jump ||
+           c == OpClass::Halt;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Sll: return "sll";
+      case Opcode::Srl: return "srl";
+      case Opcode::Slt: return "slt";
+      case Opcode::AddI: return "addi";
+      case Opcode::AndI: return "andi";
+      case Opcode::OrI: return "ori";
+      case Opcode::XorI: return "xori";
+      case Opcode::SltI: return "slti";
+      case Opcode::ShlI: return "shli";
+      case Opcode::ShrI: return "shri";
+      case Opcode::LoadImm: return "li";
+      case Opcode::Load: return "lw";
+      case Opcode::Store: return "sw";
+      case Opcode::BranchEq: return "beq";
+      case Opcode::BranchNe: return "bne";
+      case Opcode::BranchLt: return "blt";
+      case Opcode::BranchGe: return "bge";
+      case Opcode::Jump: return "j";
+      case Opcode::Halt: return "halt";
+      case Opcode::Nop: return "nop";
+    }
+    return "???";
+}
+
+RegId
+Instruction::dest() const
+{
+    switch (opClass(op)) {
+      case OpClass::IntAlu:
+      case OpClass::Load:
+        return rd == kZeroReg ? kNoReg : rd;
+      default:
+        return kNoReg;
+    }
+}
+
+std::vector<RegId>
+Instruction::sources() const
+{
+    std::vector<RegId> srcs;
+    switch (op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Div: case Opcode::And: case Opcode::Or:
+      case Opcode::Xor: case Opcode::Sll: case Opcode::Srl:
+      case Opcode::Slt:
+        srcs = {rs1, rs2};
+        break;
+      case Opcode::AddI: case Opcode::AndI: case Opcode::OrI:
+      case Opcode::XorI: case Opcode::SltI: case Opcode::ShlI:
+      case Opcode::ShrI:
+        srcs = {rs1};
+        break;
+      case Opcode::LoadImm:
+        break;
+      case Opcode::Load:
+        srcs = {rs1};
+        break;
+      case Opcode::Store:
+        srcs = {rs1, rs2};
+        break;
+      case Opcode::BranchEq: case Opcode::BranchNe:
+      case Opcode::BranchLt: case Opcode::BranchGe:
+        srcs = {rs1, rs2};
+        break;
+      case Opcode::Jump:
+      case Opcode::Halt:
+      case Opcode::Nop:
+        break;
+    }
+    // r0 is constant zero: reading it creates no dependence.
+    std::vector<RegId> real;
+    for (RegId r : srcs)
+        if (r != kZeroReg && r != kNoReg)
+            real.push_back(r);
+    return real;
+}
+
+bool
+BasicBlock::hasTerminator() const
+{
+    return !instrs.empty() && isControl(instrs.back().op);
+}
+
+BlockId
+Program::addBlock(BasicBlock block)
+{
+    blocks_.push_back(std::move(block));
+    indexDirty_ = true;
+    return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+const BasicBlock &
+Program::block(BlockId id) const
+{
+    dee_assert(id < blocks_.size(), "block ", id, " out of range");
+    return blocks_[id];
+}
+
+BasicBlock &
+Program::block(BlockId id)
+{
+    dee_assert(id < blocks_.size(), "block ", id, " out of range");
+    indexDirty_ = true;
+    return blocks_[id];
+}
+
+std::size_t
+Program::numInstrs() const
+{
+    rebuildIndex();
+    if (blocks_.empty())
+        return 0;
+    return blockStart_.back() + blocks_.back().instrs.size();
+}
+
+void
+Program::rebuildIndex() const
+{
+    if (!indexDirty_)
+        return;
+    blockStart_.clear();
+    blockStart_.reserve(blocks_.size());
+    StaticId next = 0;
+    for (const auto &b : blocks_) {
+        blockStart_.push_back(next);
+        next += static_cast<StaticId>(b.instrs.size());
+    }
+    indexDirty_ = false;
+}
+
+StaticId
+Program::staticId(BlockId id, std::size_t index) const
+{
+    rebuildIndex();
+    dee_assert(id < blocks_.size(), "block ", id, " out of range");
+    dee_assert(index < blocks_[id].instrs.size(), "instr index ", index,
+               " out of range in block ", id);
+    return blockStart_[id] + static_cast<StaticId>(index);
+}
+
+std::pair<BlockId, std::size_t>
+Program::locate(StaticId sid) const
+{
+    rebuildIndex();
+    dee_assert(sid < numInstrs(), "static id ", sid, " out of range");
+    // Binary search for the containing block.
+    std::size_t lo = 0;
+    std::size_t hi = blocks_.size() - 1;
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi + 1) / 2;
+        if (blockStart_[mid] <= sid)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return {static_cast<BlockId>(lo), sid - blockStart_[lo]};
+}
+
+const Instruction &
+Program::instr(StaticId sid) const
+{
+    const auto [bid, idx] = locate(sid);
+    return blocks_[bid].instrs[idx];
+}
+
+void
+Program::validate() const
+{
+    if (blocks_.empty())
+        dee_fatal("program has no blocks");
+    for (BlockId b = 0; b < blocks_.size(); ++b) {
+        const auto &blk = blocks_[b];
+        for (std::size_t i = 0; i < blk.instrs.size(); ++i) {
+            const Instruction &inst = blk.instrs[i];
+            if (isControl(inst.op) && i + 1 != blk.instrs.size())
+                dee_fatal("block ", b, ": control op '",
+                          opcodeName(inst.op), "' not at block end");
+            auto check_reg = [&](RegId r, const char *which) {
+                if (r != kNoReg && r >= kNumRegs)
+                    dee_fatal("block ", b, " instr ", i, ": ", which,
+                              " register ", int{r}, " out of range");
+            };
+            check_reg(inst.rd, "dest");
+            check_reg(inst.rs1, "src1");
+            check_reg(inst.rs2, "src2");
+            if ((isCondBranch(inst.op) || inst.op == Opcode::Jump) &&
+                inst.target >= blocks_.size()) {
+                dee_fatal("block ", b, ": target block ", inst.target,
+                          " out of range");
+            }
+        }
+        // A fallthrough off the last block would run off the program.
+        if (b + 1 == blocks_.size() && !blk.hasTerminator())
+            dee_fatal("last block ", b, " must end in halt/jump/branch");
+        // Conditional fallthrough from the final instruction of the last
+        // block is checked above; interior blocks may fall through.
+    }
+}
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream oss;
+    oss << opcodeName(inst.op);
+    auto reg = [](RegId r) { return "r" + std::to_string(int{r}); };
+    switch (opClass(inst.op)) {
+      case OpClass::IntAlu:
+        if (inst.op == Opcode::LoadImm) {
+            oss << " " << reg(inst.rd) << ", " << inst.imm;
+        } else if (inst.rs2 != kNoReg) {
+            oss << " " << reg(inst.rd) << ", " << reg(inst.rs1) << ", "
+                << reg(inst.rs2);
+        } else {
+            oss << " " << reg(inst.rd) << ", " << reg(inst.rs1) << ", "
+                << inst.imm;
+        }
+        break;
+      case OpClass::Load:
+        oss << " " << reg(inst.rd) << ", " << inst.imm << "("
+            << reg(inst.rs1) << ")";
+        break;
+      case OpClass::Store:
+        oss << " " << reg(inst.rs2) << ", " << inst.imm << "("
+            << reg(inst.rs1) << ")";
+        break;
+      case OpClass::CondBranch:
+        oss << " " << reg(inst.rs1) << ", " << reg(inst.rs2) << ", B"
+            << inst.target;
+        break;
+      case OpClass::Jump:
+        oss << " B" << inst.target;
+        break;
+      case OpClass::Halt:
+      case OpClass::Nop:
+        break;
+    }
+    return oss.str();
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream oss;
+    for (BlockId b = 0; b < blocks_.size(); ++b) {
+        oss << "B" << b << ":\n";
+        for (const auto &inst : blocks_[b].instrs)
+            oss << "    " << dee::disassemble(inst) << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace dee

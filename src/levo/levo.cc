@@ -1,0 +1,392 @@
+#include "levo/levo.hh"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dee
+{
+
+double
+LevoConfig::transistorEstimateMillions() const
+{
+    // Section 4.3: a CONDEL-2 style core (IQ 32x8 with matrices and
+    // PEs) is on the order of tens of millions of transistors; each
+    // additional 1-column DEE path costs about 1 million. Scale the
+    // core with the matrix area (rows x columns).
+    const double core =
+        30.0 * (static_cast<double>(iqRows) * columns) / (32.0 * 8.0);
+    const double dee = 1.0 * deePaths * deeColumns;
+    return core + dee;
+}
+
+double
+LevoResult::loopCaptureFraction() const
+{
+    if (backwardTakenBranches == 0)
+        return 0.0;
+    return static_cast<double>(capturedLoopBranches) /
+           static_cast<double>(backwardTakenBranches);
+}
+
+std::string
+LevoResult::render() const
+{
+    std::ostringstream oss;
+    oss << "instructions=" << instructions << " cycles=" << cycles
+        << " ipc=" << ipc << " branches=" << branches << " mispredicted="
+        << mispredicted << " deeCovered=" << deeCovered << " refills="
+        << refills << " columnStalls=" << columnStalls
+        << " vePredications=" << vePredications << " loopCapture="
+        << loopCaptureFraction() << " peakPending="
+        << peakPendingBranches << " rowUtil=" << meanRowUtilization
+        << (halted ? " halted" : " capped");
+    return oss.str();
+}
+
+LevoMachine::LevoMachine(Program program, Cfg cfg,
+                         const LevoConfig &config)
+    : program_(std::move(program)), cfg_(std::move(cfg)),
+      config_(config)
+{
+    program_.validate();
+    if (config_.iqRows < 1 || config_.columns < 1)
+        dee_fatal("Levo IQ must be at least 1x1");
+    if (config_.deePaths < 0 || config_.deeColumns < 1)
+        dee_fatal("bad DEE path configuration");
+}
+
+LevoResult
+LevoMachine::run(std::uint64_t max_instrs) const
+{
+    const int n = config_.iqRows;
+    const int m = config_.columns;
+
+    LevoResult result;
+    MachineState &st = result.finalState;
+
+    // --- Machine bookkeeping state -------------------------------------
+    BitMatrix re(n, m);
+    BitMatrix ve(n, m);
+    std::vector<std::vector<std::int64_t>> ssi(
+        n, std::vector<std::int64_t>(m, 0));
+    std::vector<std::vector<std::int64_t>> isaMat(
+        n, std::vector<std::int64_t>(m, -1));
+
+    auto predictor = makePredictor(
+        config_.predictor, static_cast<std::uint32_t>(program_.numInstrs()));
+    const std::vector<bool> backward = backwardTable(program_);
+
+    // --- Timing state ----------------------------------------------------
+    std::array<std::int64_t, kNumRegs> reg_ready;
+    reg_ready.fill(0);
+    std::unordered_map<std::uint64_t, std::int64_t> mem_ready;
+    std::vector<std::int64_t> row_free(n, 0);
+    std::vector<std::int64_t> col_last_complete(m, 0);
+
+    std::int64_t fetch_ready = 0;
+    std::int64_t stall_all_until = 0;
+    std::int64_t max_complete = 0;
+    std::int64_t last_control_complete = 0;
+
+    // Resolve times of branches still pending (for DEE path coverage:
+    // DEE paths attach to the oldest pending branches).
+    std::deque<std::int64_t> pending_resolves;
+
+    // Covered-mispredict penalties: instances inside the branch's dynamic
+    // control scope (until its join block is reached) re-execute no
+    // earlier than `until`; the scope closes when the walk reaches the
+    // branch's immediate postdominator. A DEE path holds only
+    // deeColumns x iqRows instructions of alternate state — code beyond
+    // that capacity waits for resolution like an uncovered mispredict.
+    struct CdStall
+    {
+        BlockId joinBlock;
+        std::int64_t until;
+        std::int64_t capacityLeft;
+    };
+    std::vector<CdStall> cd_stalls;
+    const std::int64_t dee_capacity =
+        static_cast<std::int64_t>(config_.deeColumns) * config_.iqRows;
+
+    std::uint32_t iq_base =
+        static_cast<std::uint32_t>(program_.staticId(0, 0));
+    int cur_col = 0;
+
+    auto clear_column = [&](int col) {
+        re.clearColumn(static_cast<std::size_t>(col));
+        ve.clearColumn(static_cast<std::size_t>(col));
+        for (int r = 0; r < n; ++r) {
+            ssi[r][col] = 0;
+            isaMat[r][col] = -1;
+        }
+    };
+
+    // --- Dynamic walk ------------------------------------------------------
+    BlockId block = 0;
+    std::size_t idx = 0;
+
+    while (result.instructions < max_instrs) {
+        while (idx >= program_.block(block).instrs.size()) {
+            dee_assert(block + 1 < program_.numBlocks(),
+                       "fell off program end");
+            ++block;
+            idx = 0;
+        }
+        const Instruction &inst = program_.block(block).instrs[idx];
+        const StaticId sid = program_.staticId(block, idx);
+
+        // Window residence: refill (linear-code mode) when the dynamic
+        // stream leaves the IQ's static range.
+        if (sid < iq_base ||
+            sid >= iq_base + static_cast<std::uint32_t>(n)) {
+            ++result.refills;
+            iq_base = sid;
+            fetch_ready = std::max(fetch_ready, last_control_complete) +
+                          config_.refillPenalty;
+            for (int c = 0; c < m; ++c)
+                clear_column(c);
+            cur_col = 0;
+        }
+        const int row = static_cast<int>(sid - iq_base);
+
+        // --- Timing: when can this instance execute? ---------------------
+        std::int64_t start =
+            std::max({fetch_ready, row_free[row], stall_all_until});
+
+        auto need_reg = [&](RegId r) {
+            if (r != kNoReg && r != kZeroReg)
+                start = std::max(start, reg_ready[r]);
+        };
+        need_reg(inst.rs1);
+        if (opClass(inst.op) != OpClass::Load)
+            need_reg(inst.rs2);
+
+        // Memory operand readiness handled below once the address is
+        // computed (flow through memory, output-ordered per address).
+
+        // Close control scopes whose join block this instruction starts,
+        // then pay any still-open covered-mispredict stalls. Once a DEE
+        // path's capacity is exhausted the stall hardens into a full
+        // wait-for-resolution for everything after.
+        if (idx == 0) {
+            std::erase_if(cd_stalls, [&](const CdStall &s) {
+                return s.joinBlock == block;
+            });
+        }
+        for (CdStall &s : cd_stalls) {
+            start = std::max(start, s.until);
+            if (--s.capacityLeft <= 0)
+                stall_all_until = std::max(stall_all_until, s.until);
+        }
+
+        // --- Functional execution + per-class timing ----------------------
+        ++result.instructions;
+        BlockId next_block = block;
+        std::size_t next_idx = idx + 1;
+        bool is_control_transfer = false;
+        bool done = false;
+
+        switch (opClass(inst.op)) {
+          case OpClass::IntAlu: {
+            std::int64_t value;
+            if (inst.op == Opcode::LoadImm) {
+                value = inst.imm;
+            } else if (inst.rs2 != kNoReg) {
+                value = semantics::alu(inst.op, st.readReg(inst.rs1),
+                                       st.readReg(inst.rs2));
+            } else {
+                value = semantics::alu(inst.op, st.readReg(inst.rs1),
+                                       inst.imm);
+            }
+            st.writeReg(inst.rd, value);
+            ssi[row][cur_col] = value;
+            isaMat[row][cur_col] = inst.rd;
+            if (inst.rd != kNoReg && inst.rd != kZeroReg)
+                reg_ready[inst.rd] = start + 1;
+            break;
+          }
+          case OpClass::Load: {
+            const auto addr = static_cast<std::uint64_t>(
+                st.readReg(inst.rs1) + inst.imm);
+            auto it = mem_ready.find(addr);
+            if (it != mem_ready.end())
+                start = std::max(start, it->second);
+            const std::int64_t value = st.readMem(addr);
+            st.writeReg(inst.rd, value);
+            ssi[row][cur_col] = value;
+            isaMat[row][cur_col] = inst.rd;
+            if (inst.rd != kNoReg && inst.rd != kZeroReg)
+                reg_ready[inst.rd] = start + 1;
+            break;
+          }
+          case OpClass::Store: {
+            const auto addr = static_cast<std::uint64_t>(
+                st.readReg(inst.rs1) + inst.imm);
+            auto it = mem_ready.find(addr);
+            if (it != mem_ready.end())
+                start = std::max(start, it->second);
+            const std::int64_t value = st.readReg(inst.rs2);
+            st.writeMem(addr, value);
+            ssi[row][cur_col] = value;
+            isaMat[row][cur_col] = static_cast<std::int64_t>(addr);
+            mem_ready[addr] = start + 1;
+            break;
+          }
+          case OpClass::CondBranch: {
+            const bool taken = semantics::branchTaken(
+                inst.op, st.readReg(inst.rs1), st.readReg(inst.rs2));
+            ++result.branches;
+            is_control_transfer = true;
+
+            BranchQuery q;
+            q.sid = sid;
+            q.backward = backward[sid];
+            q.actual = taken;
+            const bool predicted = predictor->predict(q);
+            predictor->update(q, taken);
+
+            const std::int64_t resolve_time = start + 1;
+
+            // How many earlier branches are still pending when this one
+            // executes? DEE paths attach to the oldest pending branches.
+            while (!pending_resolves.empty() &&
+                   pending_resolves.front() <= start) {
+                pending_resolves.pop_front();
+            }
+            const int pending_before =
+                static_cast<int>(pending_resolves.size());
+            pending_resolves.push_back(resolve_time);
+            result.peakPendingBranches =
+                std::max(result.peakPendingBranches,
+                         static_cast<std::uint64_t>(pending_before) + 1);
+
+            if (taken) {
+                next_block = inst.target;
+                next_idx = 0;
+                if (backward[sid]) {
+                    ++result.backwardTakenBranches;
+                    const StaticId tgt_sid =
+                        program_.staticId(inst.target, 0);
+                    if (tgt_sid >= iq_base)
+                        ++result.capturedLoopBranches;
+                } else {
+                    // Forward taken: virtually execute skipped rows of
+                    // this column (the VE predicate mechanism).
+                    const StaticId tgt_sid =
+                        program_.staticId(inst.target, 0);
+                    if (tgt_sid > sid &&
+                        tgt_sid < iq_base + static_cast<std::uint32_t>(n)) {
+                        for (StaticId s2 = sid + 1; s2 < tgt_sid; ++s2) {
+                            ve.set(s2 - iq_base,
+                                   static_cast<std::size_t>(cur_col));
+                            ++result.vePredications;
+                        }
+                    }
+                }
+            } else {
+                next_block = block + 1;
+                next_idx = 0;
+            }
+
+            if (predicted != taken) {
+                ++result.mispredicted;
+                const StaticId next_sid =
+                    program_.staticId(next_block,
+                                      next_idx < program_.block(next_block)
+                                                     .instrs.size()
+                                          ? next_idx
+                                          : 0);
+                const bool in_window =
+                    next_sid >= iq_base &&
+                    next_sid < iq_base + static_cast<std::uint32_t>(n);
+                const bool covered = config_.deePaths > 0 &&
+                                     pending_before < config_.deePaths &&
+                                     in_window;
+                if (covered) {
+                    // DEE path absorbs the misprediction: only instances
+                    // inside the branch's control scope pay the
+                    // copy-back penalty.
+                    ++result.deeCovered;
+                    cd_stalls.push_back(CdStall{
+                        cfg_.ipostdom(block),
+                        resolve_time + config_.mispredictPenalty,
+                        dee_capacity});
+                    if (cd_stalls.size() > 64)
+                        cd_stalls.erase(cd_stalls.begin());
+                } else {
+                    // No alternate state held: everything later waits
+                    // for resolution (+ penalty).
+                    stall_all_until =
+                        std::max(stall_all_until,
+                                 resolve_time + config_.mispredictPenalty);
+                }
+            }
+            break;
+          }
+          case OpClass::Jump:
+            next_block = inst.target;
+            next_idx = 0;
+            is_control_transfer = true;
+            break;
+          case OpClass::Halt:
+            result.halted = true;
+            done = true;
+            break;
+          case OpClass::Nop:
+            break;
+        }
+
+        // Record execution in the bookkeeping matrices and retire the
+        // PE/row for one cycle.
+        re.set(row, static_cast<std::size_t>(cur_col));
+        row_free[row] = start + 1;
+        col_last_complete[cur_col] =
+            std::max(col_last_complete[cur_col], start + 1);
+        max_complete = std::max(max_complete, start + 1);
+        if (is_control_transfer) {
+            last_control_complete =
+                std::max(last_control_complete, start + 1);
+        }
+
+        if (done)
+            break;
+
+        // Captured-loop iteration: a backward in-window transfer starts
+        // a new instance column; wait for the column being recycled.
+        if (is_control_transfer && next_block <= block) {
+            const StaticId tgt_sid = program_.staticId(next_block, 0);
+            if (tgt_sid >= iq_base) {
+                cur_col = (cur_col + 1) % m;
+                if (col_last_complete[cur_col] > start + 1) {
+                    ++result.columnStalls;
+                    fetch_ready = std::max(fetch_ready,
+                                           col_last_complete[cur_col]);
+                }
+                clear_column(cur_col);
+                col_last_complete[cur_col] = 0;
+            }
+        }
+
+        block = next_block;
+        idx = next_idx;
+    }
+
+    result.cycles =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(max_complete, 1));
+    result.ipc = static_cast<double>(result.instructions) /
+                 static_cast<double>(result.cycles);
+    // Mean instances per row per cycle: total instances spread over
+    // the rows actually provisioned and the cycles taken.
+    result.meanRowUtilization =
+        static_cast<double>(result.instructions) /
+        (static_cast<double>(n) * static_cast<double>(result.cycles));
+    return result;
+}
+
+} // namespace dee

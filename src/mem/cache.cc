@@ -1,0 +1,152 @@
+#include "mem/cache.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dee
+{
+
+MemoryConfig
+MemoryConfig::small()
+{
+    MemoryConfig config;
+    config.l1 = CacheLevelConfig{8, 16, 2, 1};  // 256 words
+    config.l2 = CacheLevelConfig{8, 64, 4, 10}; // 2K words
+    config.memoryLatency = 100;
+    return config;
+}
+
+double
+MemoryStats::l1HitRate() const
+{
+    const std::uint64_t total = l1Hits + l1Misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(l1Hits) /
+                            static_cast<double>(total);
+}
+
+double
+MemoryStats::l2HitRate() const
+{
+    const std::uint64_t total = l2Hits + l2Misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(l2Hits) /
+                            static_cast<double>(total);
+}
+
+std::string
+MemoryStats::render() const
+{
+    std::ostringstream oss;
+    oss << "accesses=" << accesses << " loads=" << loads
+        << " L1 hit=" << 100.0 * l1HitRate() << "% L2 hit="
+        << 100.0 * l2HitRate() << "% meanLoadLat=" << meanLoadLatency;
+    return oss.str();
+}
+
+CacheLevel::CacheLevel(const CacheLevelConfig &config) : config_(config)
+{
+    dee_assert(config.lineWords > 0 &&
+                   std::has_single_bit(
+                       static_cast<unsigned>(config.lineWords)),
+               "lineWords must be a power of two");
+    dee_assert(config.sets > 0 &&
+                   std::has_single_bit(static_cast<unsigned>(config.sets)),
+               "sets must be a power of two");
+    dee_assert(config.ways > 0, "ways must be positive");
+    lineShift_ = static_cast<unsigned>(
+        std::countr_zero(static_cast<unsigned>(config.lineWords)));
+    setMask_ = static_cast<std::uint64_t>(config.sets) - 1;
+    tags_.assign(static_cast<std::size_t>(config.sets) * config.ways,
+                 ~std::uint64_t{0});
+    lru_.assign(tags_.size(), 0);
+}
+
+void
+CacheLevel::reset()
+{
+    tags_.assign(tags_.size(), ~std::uint64_t{0});
+    lru_.assign(lru_.size(), 0);
+    tick_ = 0;
+}
+
+bool
+CacheLevel::access(std::uint64_t word_addr)
+{
+    const std::uint64_t line = word_addr >> lineShift_;
+    const auto set = static_cast<std::size_t>(line & setMask_);
+    const std::uint64_t tag = line >> std::countr_zero(
+                                  static_cast<unsigned>(config_.sets));
+    const std::size_t base = set * static_cast<std::size_t>(config_.ways);
+    ++tick_;
+
+    std::size_t victim = base;
+    std::uint32_t oldest = ~std::uint32_t{0};
+    for (int w = 0; w < config_.ways; ++w) {
+        const std::size_t slot = base + static_cast<std::size_t>(w);
+        if (tags_[slot] == tag) {
+            lru_[slot] = tick_;
+            return true;
+        }
+        if (lru_[slot] < oldest) {
+            oldest = lru_[slot];
+            victim = slot;
+        }
+    }
+    tags_[victim] = tag;
+    lru_[victim] = tick_;
+    return false;
+}
+
+MemoryStats
+computeMemoryLatencies(const Trace &trace, const MemoryConfig &config,
+                       std::vector<int> *out_latencies)
+{
+    CacheLevel l1(config.l1);
+    CacheLevel l2(config.l2);
+    MemoryStats stats;
+    if (out_latencies)
+        out_latencies->assign(trace.size(), 0);
+
+    std::uint64_t load_latency_sum = 0;
+    for (std::size_t i = 0; i < trace.records.size(); ++i) {
+        const TraceRecord &rec = trace.records[i];
+        const OpClass cls = opClass(rec.op);
+        if (cls != OpClass::Load && cls != OpClass::Store)
+            continue;
+        ++stats.accesses;
+
+        int latency = config.l1.hitLatency;
+        if (l1.access(rec.memAddr)) {
+            ++stats.l1Hits;
+        } else {
+            ++stats.l1Misses;
+            if (l2.access(rec.memAddr)) {
+                ++stats.l2Hits;
+                latency = config.l2.hitLatency;
+            } else {
+                ++stats.l2Misses;
+                latency = config.memoryLatency;
+            }
+        }
+
+        if (cls == OpClass::Load) {
+            ++stats.loads;
+            load_latency_sum += static_cast<std::uint64_t>(latency);
+            if (out_latencies)
+                (*out_latencies)[i] = latency;
+        }
+        // Stores are write-buffered: unit completion, but they still
+        // warm the hierarchy above (write-allocate).
+    }
+    if (stats.loads > 0) {
+        stats.meanLoadLatency =
+            static_cast<double>(load_latency_sum) /
+            static_cast<double>(stats.loads);
+    }
+    return stats;
+}
+
+} // namespace dee

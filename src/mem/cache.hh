@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Cache hierarchy model (the paper's future work: "a suitable memory
+ * system will be studied").
+ *
+ * A set-associative, LRU, write-allocate two-level hierarchy replayed
+ * over the dynamic reference stream of a trace. Because the ILP
+ * simulators are trace driven, the hierarchy is applied as a
+ * preprocessing pass: computeMemoryLatencies() walks the trace once in
+ * program order and assigns each load its hit/miss service latency,
+ * which WindowSim/oracleSim consume through SimConfig::loadLatencies.
+ * (Timing-independent replay is the standard idealization for limit
+ * studies; stores are assumed write-buffered at unit cost.)
+ *
+ * Addresses in the repo ISA are word-granular, so line sizes are given
+ * in words.
+ */
+
+#ifndef DEE_MEM_CACHE_HH
+#define DEE_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace dee
+{
+
+/** One cache level's geometry and hit latency. */
+struct CacheLevelConfig
+{
+    int lineWords = 8;   ///< words per line (power of two)
+    int sets = 64;       ///< number of sets (power of two)
+    int ways = 4;        ///< associativity
+    int hitLatency = 1;  ///< cycles on hit at this level
+
+    /** Capacity in words. */
+    std::int64_t capacityWords() const
+    {
+        return static_cast<std::int64_t>(lineWords) * sets * ways;
+    }
+};
+
+/** Whole-hierarchy configuration. */
+struct MemoryConfig
+{
+    CacheLevelConfig l1{8, 64, 4, 1};    ///< ~2K words
+    CacheLevelConfig l2{8, 512, 8, 8};   ///< ~32K words
+    int memoryLatency = 60;              ///< cycles on L2 miss
+
+    /** A tiny L1 / slow memory stress point. */
+    static MemoryConfig small();
+};
+
+/** Replay statistics. */
+struct MemoryStats
+{
+    std::uint64_t accesses = 0; ///< loads + stores replayed
+    std::uint64_t loads = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+
+    double l1HitRate() const;
+    double l2HitRate() const; ///< of L1 misses
+    /** Mean load service latency in cycles. */
+    double meanLoadLatency = 0.0;
+
+    std::string render() const;
+};
+
+/** One set-associative LRU cache level. */
+class CacheLevel
+{
+  public:
+    explicit CacheLevel(const CacheLevelConfig &config);
+
+    /** Accesses one word address; allocates on miss. @return hit? */
+    bool access(std::uint64_t word_addr);
+
+    /** Empties the cache. */
+    void reset();
+
+  private:
+    CacheLevelConfig config_;
+    unsigned lineShift_;
+    std::uint64_t setMask_;
+    // tags_[set * ways + way]; ~0 = invalid. lru_ holds ages.
+    std::vector<std::uint64_t> tags_;
+    std::vector<std::uint32_t> lru_;
+    std::uint32_t tick_ = 0;
+};
+
+/**
+ * Replays the trace's memory references through a fresh hierarchy.
+ *
+ * @param out_latencies if non-null, resized to trace.size() with the
+ *        per-record load latency (0 for non-loads) — feed it to
+ *        SimConfig::loadLatencies.
+ */
+MemoryStats computeMemoryLatencies(const Trace &trace,
+                                   const MemoryConfig &config,
+                                   std::vector<int> *out_latencies);
+
+} // namespace dee
+
+#endif // DEE_MEM_CACHE_HH

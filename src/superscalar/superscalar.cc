@@ -1,0 +1,152 @@
+#include "superscalar/superscalar.hh"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace dee
+{
+
+std::string
+SuperscalarResult::render() const
+{
+    std::ostringstream oss;
+    oss << "instructions=" << instructions << " cycles=" << cycles
+        << " ipc=" << ipc << " branches=" << branches
+        << " mispredicted=" << mispredicted;
+    return oss.str();
+}
+
+namespace
+{
+
+/** Per-cycle bandwidth meter: earliest cycle >= t with a free slot. */
+class Bandwidth
+{
+  public:
+    explicit Bandwidth(int width) : width_(width) {}
+
+    std::int64_t
+    claim(std::int64_t t)
+    {
+        if (width_ == 0)
+            return t;
+        while (true) {
+            auto &used = used_[t];
+            if (used < width_) {
+                ++used;
+                return t;
+            }
+            ++t;
+        }
+    }
+
+  private:
+    int width_;
+    std::unordered_map<std::int64_t, int> used_;
+};
+
+} // namespace
+
+SuperscalarResult
+superscalarSim(const Trace &trace, const SuperscalarConfig &config)
+{
+    dee_assert(config.windowSize >= 1, "window must hold something");
+    dee_assert(config.fetchWidth >= 1 && config.issueWidth >= 1 &&
+                   config.retireWidth >= 1,
+               "widths must be positive");
+
+    SuperscalarResult result;
+    const auto &records = trace.records;
+    result.instructions = records.size();
+    if (records.empty())
+        return result;
+
+    auto predictor = makePredictor(config.predictor, trace.numStatic);
+
+    Bandwidth fetch_bw(config.fetchWidth);
+    Bandwidth issue_bw(config.issueWidth);
+    Bandwidth retire_bw(config.retireWidth);
+
+    std::vector<std::int64_t> complete(records.size(), 0);
+    // Ring of retire times for the window-occupancy constraint.
+    std::vector<std::int64_t> retire(
+        static_cast<std::size_t>(config.windowSize), 0);
+
+    std::array<std::int64_t, kNumRegs> reg_ready;
+    reg_ready.fill(0);
+    std::unordered_map<std::uint64_t, std::int64_t> mem_ready;
+
+    std::int64_t fetch_floor = 0;   // flush point after a mispredict
+    std::int64_t last_retire = 0;
+
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const TraceRecord &rec = records[i];
+
+        // Fetch: in order, bandwidth-limited, window-occupancy-limited
+        // (the instruction windowSize back must have retired), and
+        // blocked behind unresolved mispredicted branches.
+        std::int64_t f = fetch_floor;
+        if (i >= static_cast<std::size_t>(config.windowSize)) {
+            f = std::max(
+                f, retire[i % static_cast<std::size_t>(
+                              config.windowSize)]);
+        }
+        f = fetch_bw.claim(f);
+
+        // Issue: out of order once operands are ready.
+        std::int64_t ready = f + 1; // decode/rename stage
+        if (rec.rs1 != kNoReg && rec.rs1 != kZeroReg)
+            ready = std::max(ready, reg_ready[rec.rs1]);
+        if (rec.rs2 != kNoReg && rec.rs2 != kZeroReg)
+            ready = std::max(ready, reg_ready[rec.rs2]);
+        const OpClass cls = opClass(rec.op);
+        if (cls == OpClass::Load || cls == OpClass::Store) {
+            auto it = mem_ready.find(rec.memAddr);
+            if (it != mem_ready.end())
+                ready = std::max(ready, it->second);
+        }
+        const std::int64_t issue = issue_bw.claim(ready);
+        const std::int64_t done = issue + config.latency.of(cls);
+        complete[i] = done;
+
+        if (rec.rd != kNoReg && rec.rd != kZeroReg)
+            reg_ready[rec.rd] = done;
+        if (cls == OpClass::Store)
+            mem_ready[rec.memAddr] = done;
+
+        // Retire: in order, bandwidth-limited.
+        std::int64_t r = std::max(done, last_retire);
+        r = retire_bw.claim(r);
+        last_retire = r;
+        retire[i % static_cast<std::size_t>(config.windowSize)] = r;
+
+        // Branch prediction: a mispredict flushes — later fetch waits
+        // for resolution plus the refill penalty.
+        if (rec.isBranch) {
+            ++result.branches;
+            BranchQuery q;
+            q.sid = rec.sid;
+            q.backward = rec.backward;
+            q.actual = rec.taken;
+            const bool predicted = predictor->predict(q);
+            predictor->update(q, rec.taken);
+            if (predicted != rec.taken) {
+                ++result.mispredicted;
+                fetch_floor = std::max(
+                    fetch_floor, done + config.mispredictPenalty);
+            }
+        }
+    }
+
+    result.cycles = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(last_retire, 1));
+    result.ipc = static_cast<double>(records.size()) /
+                 static_cast<double>(result.cycles);
+    return result;
+}
+
+} // namespace dee

@@ -1,0 +1,145 @@
+#include "trace/trace_io.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace dee
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'D', 'E', 'E', 'T', 'R', 'A', 'C', '1'};
+constexpr std::size_t kRecordSize = 24;
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { if (f) std::fclose(f); }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void
+packU32(unsigned char *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+void
+packU64(unsigned char *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint32_t
+unpackU32(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+unpackU64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+void
+writeTrace(const Trace &trace, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        dee_fatal("cannot open '", path, "' for writing");
+
+    unsigned char header[8 + 4 + 8];
+    std::memcpy(header, kMagic, 8);
+    packU32(header + 8, trace.numStatic);
+    packU64(header + 12, trace.records.size());
+    if (std::fwrite(header, sizeof(header), 1, f.get()) != 1)
+        dee_fatal("short write to '", path, "'");
+
+    std::vector<unsigned char> buf;
+    buf.reserve(kRecordSize * 4096);
+    auto flush = [&]() {
+        if (!buf.empty() &&
+            std::fwrite(buf.data(), 1, buf.size(), f.get()) != buf.size())
+            dee_fatal("short write to '", path, "'");
+        buf.clear();
+    };
+    for (const auto &r : trace.records) {
+        unsigned char rec[kRecordSize] = {};
+        packU32(rec + 0, r.sid);
+        packU32(rec + 4, r.block);
+        rec[8] = static_cast<unsigned char>(r.op);
+        rec[9] = r.rd;
+        rec[10] = r.rs1;
+        rec[11] = r.rs2;
+        rec[12] = static_cast<unsigned char>((r.isBranch ? 1 : 0) |
+                                             (r.taken ? 2 : 0) |
+                                             (r.backward ? 4 : 0));
+        packU64(rec + 16, r.memAddr);
+        buf.insert(buf.end(), rec, rec + kRecordSize);
+        if (buf.size() >= kRecordSize * 4096)
+            flush();
+    }
+    flush();
+}
+
+Trace
+readTrace(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        dee_fatal("cannot open '", path, "' for reading");
+
+    unsigned char header[8 + 4 + 8];
+    if (std::fread(header, sizeof(header), 1, f.get()) != 1)
+        dee_fatal("'", path, "' is too short to be a trace file");
+    if (std::memcmp(header, kMagic, 8) != 0)
+        dee_fatal("'", path, "' is not a DEETRAC1 trace file");
+
+    Trace trace;
+    trace.numStatic = unpackU32(header + 8);
+    const std::uint64_t count = unpackU64(header + 12);
+    trace.records.reserve(count);
+
+    std::vector<unsigned char> buf(kRecordSize * 4096);
+    std::uint64_t remaining = count;
+    while (remaining > 0) {
+        const std::size_t batch =
+            std::min<std::uint64_t>(remaining, 4096);
+        if (std::fread(buf.data(), kRecordSize, batch, f.get()) != batch)
+            dee_fatal("'", path, "' is truncated");
+        for (std::size_t i = 0; i < batch; ++i) {
+            const unsigned char *rec = buf.data() + i * kRecordSize;
+            TraceRecord r;
+            r.sid = unpackU32(rec + 0);
+            r.block = unpackU32(rec + 4);
+            r.op = static_cast<Opcode>(rec[8]);
+            r.rd = rec[9];
+            r.rs1 = rec[10];
+            r.rs2 = rec[11];
+            r.isBranch = (rec[12] & 1) != 0;
+            r.taken = (rec[12] & 2) != 0;
+            r.backward = (rec[12] & 4) != 0;
+            r.memAddr = unpackU64(rec + 16);
+            trace.records.push_back(r);
+        }
+        remaining -= batch;
+    }
+    return trace;
+}
+
+} // namespace dee

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Binary trace file format (reader/writer).
+ *
+ * Traces can be captured once and replayed into many model sweeps (the
+ * paper runs eight models over the same benchmark traces). Layout:
+ *
+ *   header:  magic "DEETRAC1" (8 bytes), u32 numStatic, u64 numRecords
+ *   records: packed little-endian, 24 bytes each:
+ *            u32 sid, u32 block, u8 op, u8 rd, u8 rs1, u8 rs2,
+ *            u8 flags (bit0 isBranch, bit1 taken), 3 pad bytes,
+ *            u64 memAddr
+ */
+
+#ifndef DEE_TRACE_TRACE_IO_HH
+#define DEE_TRACE_TRACE_IO_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace dee
+{
+
+/** Writes a trace to a file; fatal on I/O failure. */
+void writeTrace(const Trace &trace, const std::string &path);
+
+/** Reads a trace from a file; fatal on I/O or format failure. */
+Trace readTrace(const std::string &path);
+
+} // namespace dee
+
+#endif // DEE_TRACE_TRACE_IO_HH

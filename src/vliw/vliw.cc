@@ -1,0 +1,309 @@
+#include "vliw/vliw.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "common/logging.hh"
+
+namespace dee
+{
+
+const char *
+hoistPolicyName(HoistPolicy policy)
+{
+    switch (policy) {
+      case HoistPolicy::None: return "none";
+      case HoistPolicy::SinglePath: return "single-path";
+      case HoistPolicy::Dee: return "dee";
+      case HoistPolicy::Eager: return "eager";
+    }
+    return "???";
+}
+
+VliwScheduler::VliwScheduler(const Program &program, const Cfg &cfg,
+                             const VliwConfig &config,
+                             const std::vector<double> &taken_freq)
+    : program_(program), cfg_(cfg), liveness_(program, cfg),
+      config_(config), takenFreq_(taken_freq)
+{
+    dee_assert(config_.width >= 1, "VLIW width must be positive");
+    dee_assert(config_.maxHoistPerBlock >= 0, "negative hoist cap");
+    takenFreq_.resize(program_.numInstrs(), 0.5);
+    buildBaseSchedules();
+    if (config_.policy != HoistPolicy::None) {
+        for (BlockId b = 0; b < program_.numBlocks(); ++b)
+            hoistForBlock(b);
+    }
+}
+
+int
+VliwScheduler::scheduleLength(const std::vector<Instruction> &instrs,
+                              const std::vector<bool> &skip) const
+{
+    const int width = config_.width;
+    std::array<int, kNumRegs> def_bundle;
+    def_bundle.fill(-1);
+    std::vector<int> slot_used;
+    auto slots_at = [&](std::size_t t) -> int & {
+        if (t >= slot_used.size())
+            slot_used.resize(t + 1, 0);
+        return slot_used[t];
+    };
+
+    int max_bundle = -1;
+    int last_store = -1;
+    int last_mem = -1;
+    const Instruction *control = nullptr;
+
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+        if (i < skip.size() && skip[i])
+            continue;
+        const Instruction &inst = instrs[i];
+        if (isControl(inst.op)) {
+            control = &inst;
+            continue; // placed last
+        }
+        int earliest = 0;
+        for (RegId r : inst.sources())
+            earliest = std::max(earliest, def_bundle[r] + 1);
+        const OpClass cls = opClass(inst.op);
+        if (cls == OpClass::Load)
+            earliest = std::max(earliest, last_store + 1);
+        if (cls == OpClass::Store)
+            earliest = std::max(earliest, last_mem + 1);
+
+        int t = earliest;
+        while (slots_at(static_cast<std::size_t>(t)) >= width)
+            ++t;
+        ++slots_at(static_cast<std::size_t>(t));
+        const RegId d = inst.dest();
+        if (d != kNoReg)
+            def_bundle[d] = t;
+        if (cls == OpClass::Store)
+            last_store = std::max(last_store, t);
+        if (cls == OpClass::Load || cls == OpClass::Store)
+            last_mem = std::max(last_mem, t);
+        max_bundle = std::max(max_bundle, t);
+    }
+
+    if (control != nullptr) {
+        int earliest = 0;
+        for (RegId r : control->sources())
+            earliest = std::max(earliest, def_bundle[r] + 1);
+        int t = std::max(earliest, max_bundle);
+        while (slots_at(static_cast<std::size_t>(t)) >= width)
+            ++t;
+        max_bundle = std::max(max_bundle, t);
+    }
+    return max_bundle + 1;
+}
+
+void
+VliwScheduler::buildBaseSchedules()
+{
+    const std::size_t n = program_.numBlocks();
+    schedules_.assign(n, BlockSchedule{});
+    for (BlockId b = 0; b < n; ++b) {
+        const auto &instrs = program_.block(b).instrs;
+        BlockSchedule &sched = schedules_[b];
+        sched.instructions = static_cast<int>(instrs.size());
+        sched.bundles = scheduleLength(instrs, {});
+        sched.freeSlots = sched.bundles * config_.width -
+                          sched.instructions;
+    }
+}
+
+namespace
+{
+
+/** A hoisting candidate from one successor. */
+struct Candidate
+{
+    BlockId succ;
+    std::size_t index;
+    double probability;
+    RegSet uses;
+    RegSet defs;
+};
+
+} // namespace
+
+void
+VliwScheduler::hoistForBlock(BlockId a)
+{
+    const auto &ablk = program_.block(a).instrs;
+    if (ablk.empty() || !isCondBranch(ablk.back().op))
+        return;
+    const Instruction &branch = ablk.back();
+    const BlockId taken = branch.target;
+    const BlockId fall = a + 1;
+    if (fall >= program_.numBlocks() || taken == fall)
+        return;
+
+    const StaticId branch_sid = program_.staticId(
+        a, program_.block(a).instrs.size() - 1);
+    const double p_taken = takenFreq_[branch_sid];
+
+    // Registers block A reads or writes (a hoisted destination must
+    // avoid them all), including whether A has any store.
+    RegSet a_touched;
+    bool a_has_store = false;
+    for (const Instruction &inst : ablk) {
+        a_touched |= usesOf(inst) | defsOf(inst);
+        if (opClass(inst.op) == OpClass::Store)
+            a_has_store = true;
+    }
+
+    // Scan each successor's prefix for safely hoistable instructions.
+    auto collect = [&](BlockId succ, BlockId other, double prob) {
+        std::vector<Candidate> out;
+        if (succ >= program_.numBlocks())
+            return out;
+        const auto &instrs = program_.block(succ).instrs;
+        RegSet defined_in_prefix;
+        RegSet used_in_prefix;
+        bool saw_store = false;
+        const std::size_t scan =
+            std::min<std::size_t>(instrs.size(), 16);
+        for (std::size_t i = 0; i < scan; ++i) {
+            const Instruction &inst = instrs[i];
+            if (isControl(inst.op))
+                break;
+            const OpClass cls = opClass(inst.op);
+            const RegSet uses = usesOf(inst);
+            const RegSet defs = defsOf(inst);
+            const RegId d = inst.dest();
+
+            const bool movable = cls == OpClass::IntAlu ||
+                                 (cls == OpClass::Load && !saw_store &&
+                                  !a_has_store);
+            const bool sources_ready =
+                (uses & defined_in_prefix).none();
+            const bool dest_ok =
+                d != kNoReg && !a_touched.test(d) &&
+                !liveness_.liveIn(other).test(d) &&
+                !used_in_prefix.test(d) &&
+                !defined_in_prefix.test(d);
+            if (movable && sources_ready && dest_ok)
+                out.push_back(Candidate{succ, i, prob, uses, defs});
+
+            defined_in_prefix |= defs;
+            used_in_prefix |= uses;
+            if (cls == OpClass::Store)
+                saw_store = true;
+        }
+        return out;
+    };
+
+    std::vector<Candidate> from_taken = collect(taken, fall, p_taken);
+    std::vector<Candidate> from_fall =
+        collect(fall, taken, 1.0 - p_taken);
+
+    // Order candidates per policy.
+    std::vector<Candidate> order;
+    const bool taken_likelier = p_taken >= 0.5;
+    auto &likely = taken_likelier ? from_taken : from_fall;
+    auto &unlikely = taken_likelier ? from_fall : from_taken;
+    switch (config_.policy) {
+      case HoistPolicy::None:
+        return;
+      case HoistPolicy::SinglePath:
+        order = likely;
+        break;
+      case HoistPolicy::Dee:
+        // Greatest-marginal-benefit at one level: all of the likelier
+        // side's candidates, then the other side's (cp order).
+        order = likely;
+        order.insert(order.end(), unlikely.begin(), unlikely.end());
+        break;
+      case HoistPolicy::Eager: {
+        // Alternate sides evenly regardless of probability.
+        std::size_t i = 0, j = 0;
+        while (i < likely.size() || j < unlikely.size()) {
+            if (i < likely.size())
+                order.push_back(likely[i++]);
+            if (j < unlikely.size())
+                order.push_back(unlikely[j++]);
+        }
+        break;
+      }
+    }
+
+    // Fill free slots, keeping the speculative pack self-consistent.
+    int budget = std::min(schedules_[a].freeSlots,
+                          config_.maxHoistPerBlock);
+    RegSet hoisted_defs;
+    std::map<std::pair<BlockId, BlockId>, std::vector<std::size_t>>
+        chosen;
+    for (const Candidate &c : order) {
+        if (budget <= 0)
+            break;
+        if ((c.defs & hoisted_defs).any() ||
+            (c.uses & hoisted_defs).any())
+            continue;
+        hoisted_defs |= c.defs;
+        chosen[{a, c.succ}].push_back(c.index);
+        --budget;
+        ++totalHoisted_;
+        ++schedules_[a].hoistedIn;
+    }
+
+    // Record edge-adjusted schedules for the successors.
+    for (auto &[edge, indices] : chosen) {
+        std::sort(indices.begin(), indices.end());
+        const auto &instrs = program_.block(edge.second).instrs;
+        std::vector<bool> skip(instrs.size(), false);
+        for (std::size_t idx : indices)
+            skip[idx] = true;
+        adjusted_[edge] = scheduleLength(instrs, skip);
+        hoisted_[edge] = std::move(indices);
+    }
+}
+
+const BlockSchedule &
+VliwScheduler::blockSchedule(BlockId b) const
+{
+    dee_assert(b < schedules_.size(), "unknown block ", b);
+    return schedules_[b];
+}
+
+const std::vector<std::size_t> &
+VliwScheduler::hoistedAlong(BlockId from, BlockId succ) const
+{
+    auto it = hoisted_.find({from, succ});
+    return it == hoisted_.end() ? empty_ : it->second;
+}
+
+int
+VliwScheduler::adjustedBundles(BlockId from, BlockId succ) const
+{
+    auto it = adjusted_.find({from, succ});
+    return it == adjusted_.end()
+               ? blockSchedule(succ).bundles
+               : it->second;
+}
+
+std::uint64_t
+VliwScheduler::evaluate(const Trace &trace) const
+{
+    std::uint64_t cycles = 0;
+    const auto &records = trace.records;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const bool boundary =
+            i == 0 || isControl(records[i - 1].op) ||
+            records[i - 1].block != records[i].block;
+        if (!boundary)
+            continue;
+        const BlockId block = records[i].block;
+        if (i == 0) {
+            cycles += static_cast<std::uint64_t>(
+                blockSchedule(block).bundles);
+        } else {
+            cycles += static_cast<std::uint64_t>(
+                adjustedBundles(records[i - 1].block, block));
+        }
+    }
+    return std::max<std::uint64_t>(cycles, 1);
+}
+
+} // namespace dee

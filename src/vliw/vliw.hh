@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Software DEE: a VLIW-style static scheduler with speculative code
+ * hoisting guided by the DEE rule.
+ *
+ * The paper (Section 1.1): "DEE is applicable to more than just
+ * hardware-based ILP machines ... For software-based machines, e.g.,
+ * classic VLIW machines, DEE theory and heuristics indicate which code
+ * to execute speculatively. If an ALU is otherwise free in a cycle,
+ * DEE indicates which code to assign to it, for the best performance."
+ *
+ * This module is that scheduler, at one branch level of speculation:
+ *
+ *  1. each basic block is list-scheduled into `width`-wide unit-latency
+ *     bundles (its terminating control op in the final bundle);
+ *  2. free slots in a branch-ending block are filled with *safe*
+ *     instructions hoisted from its successors — destination dead on
+ *     the other path (via src/cfg liveness), sources available at the
+ *     block's end, no memory-ordering hazards;
+ *  3. the hoist *policy* decides which successor supplies each free
+ *     slot: the DEE rule takes candidates in probability order across
+ *     BOTH successors (profile-guided), SinglePath takes only the
+ *     likelier successor, Eager alternates sides evenly;
+ *  4. execution time is evaluated over the dynamic trace: each block
+ *     instance costs its bundle count, reduced along an edge whose
+ *     predecessor already hoisted (and hence pre-executed) a prefix of
+ *     its work.
+ */
+
+#ifndef DEE_VLIW_VLIW_HH
+#define DEE_VLIW_VLIW_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cfg/cfg.hh"
+#include "cfg/liveness.hh"
+#include "isa/isa.hh"
+#include "trace/trace.hh"
+
+namespace dee
+{
+
+/** Which successor(s) supply speculative work for free slots. */
+enum class HoistPolicy
+{
+    None,       ///< no speculation: pure per-block VLIW
+    SinglePath, ///< likelier successor only (software SP)
+    Dee,        ///< both successors, probability-ordered (software DEE)
+    Eager,      ///< both successors, alternating evenly (software EE)
+};
+
+const char *hoistPolicyName(HoistPolicy policy);
+
+/** Scheduler parameters. */
+struct VliwConfig
+{
+    int width = 4;               ///< slots per bundle
+    HoistPolicy policy = HoistPolicy::Dee;
+    int maxHoistPerBlock = 8;    ///< cap on hoisted instructions
+};
+
+/** One block's schedule. */
+struct BlockSchedule
+{
+    int bundles = 0;             ///< schedule length in cycles
+    int instructions = 0;        ///< own instructions scheduled
+    int freeSlots = 0;           ///< empty slots before hoisting
+    int hoistedIn = 0;           ///< speculative instructions placed
+};
+
+/** Whole-program schedule + trace evaluation. */
+class VliwScheduler
+{
+  public:
+    /**
+     * Builds the schedule.
+     *
+     * @param taken_freq per-static-instruction taken frequency for
+     *        branch probability (profile); values outside branches are
+     *        ignored. 0.5 is assumed where the table is short.
+     */
+    VliwScheduler(const Program &program, const Cfg &cfg,
+                  const VliwConfig &config,
+                  const std::vector<double> &taken_freq);
+
+    const BlockSchedule &blockSchedule(BlockId b) const;
+
+    /**
+     * Instructions of successor `succ` pre-executed when control
+     * arrives from `from` (indices into succ's instruction list).
+     */
+    const std::vector<std::size_t> &hoistedAlong(BlockId from,
+                                                 BlockId succ) const;
+
+    /** Bundle count of `succ` when entered from `from`. */
+    int adjustedBundles(BlockId from, BlockId succ) const;
+
+    /** Total speculative instructions hoisted program-wide. */
+    int totalHoisted() const { return totalHoisted_; }
+
+    /**
+     * Evaluates the schedule over a dynamic trace: every executed
+     * block instance costs its (edge-adjusted) bundle count.
+     * @return total cycles.
+     */
+    std::uint64_t evaluate(const Trace &trace) const;
+
+  private:
+    int scheduleLength(const std::vector<Instruction> &instrs,
+                       const std::vector<bool> &skip) const;
+    void buildBaseSchedules();
+    void hoistForBlock(BlockId a);
+
+    const Program &program_;
+    const Cfg &cfg_;
+    Liveness liveness_;
+    VliwConfig config_;
+    std::vector<double> takenFreq_;
+
+    std::vector<BlockSchedule> schedules_;
+    // (from, succ) -> hoisted instruction indices in succ.
+    std::map<std::pair<BlockId, BlockId>, std::vector<std::size_t>>
+        hoisted_;
+    std::map<std::pair<BlockId, BlockId>, int> adjusted_;
+    int totalHoisted_ = 0;
+    std::vector<std::size_t> empty_;
+};
+
+} // namespace dee
+
+#endif // DEE_VLIW_VLIW_HH

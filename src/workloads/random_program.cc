@@ -1,0 +1,167 @@
+#include "workloads/random_program.hh"
+
+#include "isa/builder.hh"
+
+namespace dee
+{
+
+namespace
+{
+
+/** Stateful generator walking the builder through a structured layout. */
+class RandGen
+{
+  public:
+    RandGen(Rng &rng, const RandomProgramOptions &opts)
+        : rng_(rng), opts_(opts)
+    {
+    }
+
+    Program
+    generate()
+    {
+        cur_ = pb_.newBlock();
+        pb_.loadImm(16, 0x9e37ll); // seed a few registers
+        pb_.loadImm(17, 0x79b9ll);
+        pb_.loadImm(18, 3);
+
+        for (int s = 0; s < opts_.segments; ++s)
+            emitSegment(0);
+
+        pb_.switchTo(cur_);
+        pb_.halt();
+        return pb_.build();
+    }
+
+  private:
+    RegId
+    dataReg()
+    {
+        // r1..r15: free for data (loop counters live in r24..r27).
+        return static_cast<RegId>(1 + rng_.below(15));
+    }
+
+    Opcode
+    randomAluOp()
+    {
+        static const Opcode ops[] = {Opcode::Add, Opcode::Sub,
+                                     Opcode::Mul, Opcode::Div,
+                                     Opcode::And, Opcode::Or,
+                                     Opcode::Xor, Opcode::Slt};
+        return ops[rng_.below(std::size(ops))];
+    }
+
+    Opcode
+    randomAluImmOp()
+    {
+        static const Opcode ops[] = {Opcode::AddI, Opcode::AndI,
+                                     Opcode::OrI, Opcode::XorI,
+                                     Opcode::SltI, Opcode::ShlI,
+                                     Opcode::ShrI};
+        return ops[rng_.below(std::size(ops))];
+    }
+
+    Opcode
+    randomBranchOp()
+    {
+        static const Opcode ops[] = {Opcode::BranchEq, Opcode::BranchNe,
+                                     Opcode::BranchLt, Opcode::BranchGe};
+        return ops[rng_.below(std::size(ops))];
+    }
+
+    void
+    emitChunk()
+    {
+        pb_.switchTo(cur_);
+        const int n =
+            std::max<int>(1, static_cast<int>(
+                                 rng_.geometric(opts_.meanChunk)));
+        for (int i = 0; i < n; ++i) {
+            const int kind =
+                static_cast<int>(rng_.below(opts_.memoryOps ? 6 : 4));
+            switch (kind) {
+              case 0:
+              case 1:
+                pb_.alu(randomAluOp(), dataReg(), dataReg(), dataReg());
+                break;
+              case 2:
+                pb_.aluImm(randomAluImmOp(), dataReg(), dataReg(),
+                           rng_.range(0, 63));
+                break;
+              case 3:
+                pb_.loadImm(dataReg(), rng_.range(-128, 127));
+                break;
+              case 4:
+                pb_.load(dataReg(), dataReg(), rng_.range(0, 63));
+                break;
+              case 5:
+                pb_.store(dataReg(), dataReg(), rng_.range(0, 63));
+                break;
+            }
+        }
+    }
+
+    void
+    emitIf()
+    {
+        const BlockId then_blk = pb_.newBlock();
+        const BlockId join_blk = pb_.newBlock();
+        pb_.switchTo(cur_);
+        pb_.branch(randomBranchOp(), dataReg(), dataReg(), join_blk);
+        cur_ = then_blk;
+        emitChunk();
+        cur_ = join_blk;
+        pb_.switchTo(cur_);
+    }
+
+    void
+    emitLoop(int depth)
+    {
+        const RegId ctr = static_cast<RegId>(24 + depth * 2);
+        const RegId lim = static_cast<RegId>(25 + depth * 2);
+        pb_.switchTo(cur_);
+        pb_.loadImm(ctr, 0);
+        pb_.loadImm(lim, rng_.range(1, opts_.maxTrip));
+
+        const BlockId head = pb_.newBlock();
+        cur_ = head;
+        emitChunk();
+        if (rng_.chance(opts_.ifProb))
+            emitIf();
+        if (depth + 1 < opts_.maxDepth && rng_.chance(opts_.loopProb / 2))
+            emitLoop(depth + 1);
+        emitChunk();
+
+        pb_.switchTo(cur_);
+        pb_.aluImm(Opcode::AddI, ctr, ctr, 1);
+        pb_.branch(Opcode::BranchLt, ctr, lim, head);
+        cur_ = pb_.newBlock();
+    }
+
+    void
+    emitSegment(int depth)
+    {
+        if (rng_.chance(opts_.loopProb))
+            emitLoop(depth);
+        else
+            emitChunk();
+        if (rng_.chance(opts_.ifProb))
+            emitIf();
+    }
+
+    Rng &rng_;
+    RandomProgramOptions opts_;
+    ProgramBuilder pb_;
+    BlockId cur_ = 0;
+};
+
+} // namespace
+
+Program
+makeRandomProgram(Rng &rng, const RandomProgramOptions &options)
+{
+    RandGen gen(rng, options);
+    return gen.generate();
+}
+
+} // namespace dee

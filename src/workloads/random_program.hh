@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Random structured program generator.
+ *
+ * Emits random but always-terminating programs (loops are bounded by
+ * dedicated counters; all other control is forward). Used for property
+ * and differential testing: every generated program must produce the
+ * same architectural state on the Levo machine model as on the
+ * sequential interpreter, and its traces drive invariant checks of the
+ * windowed ILP simulator.
+ */
+
+#ifndef DEE_WORKLOADS_RANDOM_PROGRAM_HH
+#define DEE_WORKLOADS_RANDOM_PROGRAM_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+#include "isa/isa.hh"
+
+namespace dee
+{
+
+/** Knobs for random program generation. */
+struct RandomProgramOptions
+{
+    /** Number of top-level segments (each a loop or straight code). */
+    int segments = 4;
+    /** Loop trip counts drawn from [1, maxTrip]. */
+    int maxTrip = 12;
+    /** Instructions per straight-line chunk, mean. */
+    double meanChunk = 5.0;
+    /** Probability a segment is a (possibly nested) loop. */
+    double loopProb = 0.6;
+    /** Probability of an if-diamond inside a loop body. */
+    double ifProb = 0.5;
+    /** Maximum loop nesting depth. */
+    int maxDepth = 2;
+    /** Include loads/stores. */
+    bool memoryOps = true;
+};
+
+/** Generates a validated, terminating random program. */
+Program makeRandomProgram(Rng &rng,
+                          const RandomProgramOptions &options = {});
+
+} // namespace dee
+
+#endif // DEE_WORKLOADS_RANDOM_PROGRAM_HH

@@ -1,0 +1,33 @@
+#include "workloads/suite.hh"
+
+#include "common/logging.hh"
+#include "exec/interp.hh"
+
+namespace dee
+{
+
+BenchmarkInstance
+makeInstance(WorkloadId id, int scale, std::uint64_t max_instrs)
+{
+    Program program = makeWorkload(id, scale);
+    Cfg cfg(program);
+    Interpreter interp(program);
+    ExecResult run = interp.run(max_instrs, true);
+    if (!run.halted)
+        dee_warn("workload ", workloadName(id), " hit the ", max_instrs,
+                 "-instruction cap before halting (trace truncated)");
+    return BenchmarkInstance{id, workloadName(id), std::move(program),
+                             std::move(cfg), std::move(run.trace)};
+}
+
+std::vector<BenchmarkInstance>
+makeSuite(int scale, std::uint64_t max_instrs)
+{
+    std::vector<BenchmarkInstance> suite;
+    suite.reserve(5);
+    for (WorkloadId id : allWorkloads())
+        suite.push_back(makeInstance(id, scale, max_instrs));
+    return suite;
+}
+
+} // namespace dee

@@ -1,0 +1,660 @@
+#include "workloads/workloads.hh"
+
+#include "common/logging.hh"
+#include "isa/builder.hh"
+
+namespace dee
+{
+
+namespace
+{
+
+// Register conventions shared by all generators.
+constexpr RegId T1 = 1;   // scratch (clobbered by mix)
+constexpr RegId STATE = 2;  // serial loop-carried state
+constexpr RegId OCTR = 3;   // outer loop counter
+constexpr RegId OLIM = 4;   // outer loop limit
+constexpr RegId ICTR = 5;   // inner loop counter
+constexpr RegId ILIM = 6;   // inner loop limit
+constexpr RegId M0 = 7;     // mix outputs / temps
+constexpr RegId M1 = 8;
+constexpr RegId M2 = 9;
+constexpr RegId M3 = 10;
+constexpr RegId M4 = 11;
+constexpr RegId M5 = 12;
+constexpr RegId M6 = 13;
+constexpr RegId M7 = 14;
+constexpr RegId PTR = 20;   // pointer-chase cursor
+constexpr RegId MCTR = 21;  // middle loop counter (3-level nests)
+constexpr RegId MLIM = 22;  // middle loop limit
+constexpr RegId KREG = 31;  // golden-ratio multiplier constant
+
+constexpr std::int64_t kGolden = 0x9e3779b97f4a7c15ll;
+
+/**
+ * Emits a 6-instruction hash mix: dst = mix(a, b, salt), well-scrambled
+ * bits with no dependence other than on a and b (clobbers T1). This is
+ * how workloads obtain per-iteration "input data" without a serial
+ * pseudo-random chain that would cap the oracle ILP.
+ */
+void
+emitMix(ProgramBuilder &pb, RegId dst, RegId a, RegId b, int salt)
+{
+    pb.alu(Opcode::Mul, dst, a, KREG);
+    pb.aluImm(Opcode::ShlI, T1, b, 3 + (salt % 5));
+    pb.alu(Opcode::Xor, dst, dst, T1);
+    pb.aluImm(Opcode::AddI, dst, dst,
+              static_cast<std::int64_t>(salt) * 0x9e3779b9ll + 0x85ebca6bll);
+    pb.alu(Opcode::Mul, dst, dst, KREG);
+    pb.aluImm(Opcode::ShrI, dst, dst, 33);
+}
+
+/**
+ * cc1 profile: unpredictable-branch-intensive, low-ILP "compiler" code.
+ *
+ * One statement loop; each iteration hashes a statement token, walks a
+ * 4-way switch ladder, takes two weakly-biased if's, does a 3-hop
+ * pointer chase through a 64-entry cyclic node table (chase start is
+ * data-dependent but independent across iterations), and threads a
+ * 1-op-per-iteration serial "semantic state" chain that keeps the
+ * dataflow height ~ the iteration count.
+ */
+Program
+makeCc1Like(int scale)
+{
+    const std::int64_t iters = 900ll * scale;
+    constexpr std::int64_t kNodeTab = 1 << 20;
+    constexpr std::int64_t kOutTab = 1 << 21;
+
+    ProgramBuilder pb;
+    enum Blk
+    {
+        bInit, bTabInit, bHead,
+        bCase1, bCase2, bCaseDef, bCase0, bJoin,
+        bThen1, bElse1, bIf2, bThen2,
+        bChase, bLatch, bDone, kNumBlk
+    };
+    std::vector<BlockId> blk(kNumBlk);
+    for (int i = 0; i < kNumBlk; ++i)
+        blk[i] = pb.newBlock();
+
+    // bInit: constants, then the node-table init loop (64 entries).
+    pb.switchTo(blk[bInit]);
+    pb.loadImm(KREG, kGolden);
+    pb.loadImm(STATE, 0x1234);
+    pb.loadImm(OCTR, 0);
+    pb.loadImm(OLIM, iters);
+    pb.loadImm(ICTR, 0);
+    pb.loadImm(ILIM, 64);
+
+    pb.switchTo(blk[bTabInit]);
+    // node[i] = (i * 13 + 7) & 63 : a 64-cycle permutation-ish table.
+    pb.aluImm(Opcode::ShlI, M0, ICTR, 3);
+    pb.alu(Opcode::Add, M0, M0, ICTR);       // i * 9
+    pb.alu(Opcode::Add, M0, M0, ICTR);       // i * 10 (close enough)
+    pb.aluImm(Opcode::AddI, M0, M0, 7);
+    pb.aluImm(Opcode::AndI, M0, M0, 63);
+    pb.store(M0, ICTR, kNodeTab);
+    pb.aluImm(Opcode::AddI, ICTR, ICTR, 1);
+    pb.branch(Opcode::BranchLt, ICTR, ILIM, blk[bTabInit]);
+
+    // bHead: statement token + switch ladder. The token mix must not
+    // read STATE: the serial chain is STATE's own updates only, keeping
+    // the dataflow height ~1.8 ops/iteration (cc1's oracle ~23x).
+    pb.switchTo(blk[bHead]);
+    emitMix(pb, M0, OCTR, OCTR, 11);
+    pb.aluImm(Opcode::AndI, M1, M0, 15);     // switch selector 0..15
+    pb.aluImm(Opcode::ShrI, M2, M0, 5);      // operand bits
+    // Serial semantic-state chain: one op per iteration.
+    pb.alu(Opcode::Add, STATE, STATE, M2);
+    pb.branch(Opcode::BranchEq, M1, kZeroReg, blk[bCase0]); // p ~ 1/16
+
+    pb.switchTo(blk[bCase1]);
+    pb.aluImm(Opcode::SltI, M3, M1, 3);      // cases 1,2
+    pb.branch(Opcode::BranchEq, M3, kZeroReg, blk[bCaseDef]); // ~13/15
+
+    pb.switchTo(blk[bCase2]);                // cases 1-2 work
+    pb.aluImm(Opcode::XorI, M4, M2, 0x3f);
+    pb.alu(Opcode::Add, M4, M4, M2);
+    pb.aluImm(Opcode::AndI, M6, M2, 8191);   // scattered output slot
+    pb.store(M4, M6, kOutTab);
+    pb.jump(blk[bJoin]);
+
+    pb.switchTo(blk[bCaseDef]);              // cases 3-15 work
+    pb.aluImm(Opcode::ShrI, M4, M2, 2);
+    pb.alu(Opcode::Xor, M4, M4, M1);
+    pb.alu(Opcode::Xor, STATE, STATE, M4);   // deepen the serial chain
+    pb.jump(blk[bJoin]);
+
+    pb.switchTo(blk[bCase0]);                // case 0 work (rare)
+    pb.aluImm(Opcode::AddI, M4, M2, 100);
+    pb.alu(Opcode::Sub, M4, M4, M1);
+    // Falls through into bJoin (ids are laid out Case0 < Join? no).
+    pb.jump(blk[bJoin]);
+
+    // bJoin: two weakly biased ifs on independent data bits.
+    pb.switchTo(blk[bJoin]);
+    emitMix(pb, M5, M2, OCTR, 23);
+    pb.aluImm(Opcode::AndI, M6, M5, 31);
+    pb.aluImm(Opcode::SltI, M6, M6, 27);     // 27/32 = 84%
+    pb.branch(Opcode::BranchNe, M6, kZeroReg, blk[bElse1]);
+
+    pb.switchTo(blk[bThen1]);
+    pb.alu(Opcode::Add, M7, M5, M2);
+    pb.aluImm(Opcode::ShrI, M7, M7, 1);
+    // fallthrough to bElse1
+
+    pb.switchTo(blk[bElse1]);
+    pb.aluImm(Opcode::ShrI, M6, M5, 5);
+    pb.aluImm(Opcode::AndI, M6, M6, 15);
+    pb.aluImm(Opcode::SltI, M6, M6, 12);     // 12/16 = 75%
+    pb.branch(Opcode::BranchEq, M6, kZeroReg, blk[bChase]);
+
+    pb.switchTo(blk[bIf2]);
+    pb.alu(Opcode::Xor, M7, M5, STATE);
+    pb.aluImm(Opcode::ShrI, T1, M5, 2);
+    pb.aluImm(Opcode::AndI, T1, T1, 8191);
+    pb.store(M7, T1, kOutTab + (1 << 14));
+    // fallthrough to bThen2
+
+    pb.switchTo(blk[bThen2]);
+    pb.aluImm(Opcode::AddI, M7, M7, 1);
+    // fallthrough to bChase
+
+    // bChase: 3 serial hops through the node table; start is hashed so
+    // chases of different iterations are independent.
+    pb.switchTo(blk[bChase]);
+    pb.aluImm(Opcode::AndI, PTR, M5, 63);
+    pb.load(PTR, PTR, kNodeTab);
+    pb.load(PTR, PTR, kNodeTab);
+    pb.load(PTR, PTR, kNodeTab);
+    pb.alu(Opcode::Xor, M7, PTR, M2);
+    // fallthrough to bLatch
+
+    pb.switchTo(blk[bLatch]);
+    pb.aluImm(Opcode::AddI, OCTR, OCTR, 1);
+    pb.branch(Opcode::BranchLt, OCTR, OLIM, blk[bHead]);
+
+    pb.switchTo(blk[bDone]);
+    pb.halt();
+    return pb.build();
+}
+
+/**
+ * compress profile: one long symbol loop with a serial hash-state chain
+ * (1 op/iteration), an evolving in-memory hash table giving data-
+ * dependent hit/miss branches, and a couple of weakly biased control
+ * bits. Low oracle ILP, mid-80s predictability.
+ */
+Program
+makeCompressLike(int scale)
+{
+    const std::int64_t iters = 3200ll * scale;
+    constexpr std::int64_t kHashTab = 1 << 20;
+    constexpr std::int64_t kOutTab = 1 << 21;
+
+    ProgramBuilder pb;
+    enum Blk
+    {
+        bInit, bHead, bMiss, bHit, bAfter, bRatio, bLatch, bDone,
+        kNumBlk
+    };
+    std::vector<BlockId> blk(kNumBlk);
+    for (int i = 0; i < kNumBlk; ++i)
+        blk[i] = pb.newBlock();
+
+    pb.switchTo(blk[bInit]);
+    pb.loadImm(KREG, kGolden);
+    pb.loadImm(STATE, 0x2545);
+    pb.loadImm(OCTR, 0);
+    pb.loadImm(OLIM, iters);
+
+    // bHead: next input symbol (independent), hash-chain update, lookup.
+    pb.switchTo(blk[bHead]);
+    emitMix(pb, M0, OCTR, OCTR, 5);
+    pb.aluImm(Opcode::AndI, M0, M0, 255);      // symbol
+    pb.alu(Opcode::Add, STATE, STATE, M0);     // serial chain (1 op/iter)
+    pb.aluImm(Opcode::AndI, M1, STATE, 4095);  // hash index (off-chain)
+    pb.load(M2, M1, kHashTab);                 // table probe
+    pb.alu(Opcode::Xor, M3, M2, M0);
+    pb.aluImm(Opcode::AndI, M3, M3, 7);
+    pb.branch(Opcode::BranchEq, M3, kZeroReg, blk[bHit]); // ~1/8 "hit"
+
+    pb.switchTo(blk[bMiss]);                   // new dictionary entry
+    pb.store(M0, M1, kHashTab);
+    pb.aluImm(Opcode::ShrI, M4, M2, 3);
+    pb.alu(Opcode::Xor, M4, M4, M0);
+    pb.store(M4, M1, kOutTab);
+    pb.jump(blk[bAfter]);
+
+    pb.switchTo(blk[bHit]);                    // emit existing code
+    pb.alu(Opcode::Add, M4, M2, M0);
+    pb.aluImm(Opcode::ShrI, M4, M4, 1);
+    pb.store(M4, M1, kOutTab + 4096);
+    // fallthrough to bAfter
+
+    pb.switchTo(blk[bAfter]);
+    // Weakly biased control bit from loaded table data (data-dependent).
+    pb.alu(Opcode::Xor, M5, M2, M0);
+    pb.aluImm(Opcode::AndI, M5, M5, 3);
+    pb.branch(Opcode::BranchNe, M5, kZeroReg, blk[bLatch]); // ~3/4
+
+    pb.switchTo(blk[bRatio]);                  // compression-ratio check
+    pb.aluImm(Opcode::ShrI, M6, M0, 2);
+    pb.alu(Opcode::Add, M6, M6, M2);
+    pb.store(M6, M1, kOutTab + 8192);
+    // fallthrough
+
+    pb.switchTo(blk[bLatch]);
+    pb.aluImm(Opcode::AddI, OCTR, OCTR, 1);
+    pb.branch(Opcode::BranchLt, OCTR, OLIM, blk[bHead]);
+
+    pb.switchTo(blk[bDone]);
+    pb.halt();
+    return pb.build();
+}
+
+/**
+ * eqntott profile: bit-vector comparison kernels. Three-level nest —
+ * term pairs (outer) x vectors (middle) x words (short inner, trip
+ * ~12, like cmppt's word loops). Inner-iteration work (hash the two
+ * words, compare, store the verdict) is independent across iterations
+ * and across loops, so the dataflow height is only the counter chains
+ * (oracle speedups in the thousands), and a finite window holds many
+ * independent short loops at once. Branches: a very skewed miscompare
+ * test plus short-loop latches — high overall predictability.
+ */
+Program
+makeEqnottLike(int scale)
+{
+    const std::int64_t outer = 3ll * scale;
+    constexpr std::int64_t kOutTab = 1 << 21;
+
+    // Four unrolled word-compare lanes per inner iteration, as a
+    // compiler would emit for bit-vector compares: each 1-op counter
+    // chain step feeds ~45 independent instructions — the wide, flat
+    // dataflow behind eqntott's huge ILP. Block layout per lane:
+    // [work_i + skip-branch][rare_i], with rare_i falling through to
+    // work_{i+1} (or to the latch after the last lane).
+    constexpr int kLanes = 4;
+    ProgramBuilder pb;
+    enum Blk
+    {
+        bInit, bOuterHead, bMidHead,
+        bWork0, bRare0, bWork1, bRare1, bWork2, bRare2, bWork3, bRare3,
+        bInnerLatch, bMidLatch, bOuterLatch, bDone, kNumBlk
+    };
+    std::vector<BlockId> blk(kNumBlk);
+    for (int i = 0; i < kNumBlk; ++i)
+        blk[i] = pb.newBlock();
+
+    pb.switchTo(blk[bInit]);
+    pb.loadImm(KREG, kGolden);
+    pb.loadImm(OCTR, 0);
+    pb.loadImm(OLIM, outer);
+
+    pb.switchTo(blk[bOuterHead]);
+    pb.loadImm(MCTR, 0);
+    pb.loadImm(MLIM, 60);                     // vectors per term pair
+
+    pb.switchTo(blk[bMidHead]);
+    emitMix(pb, M0, OCTR, MCTR, 3);
+    pb.aluImm(Opcode::AndI, M0, M0, 3);
+    pb.aluImm(Opcode::AddI, ILIM, M0, 11);    // words per vector: 11..14
+    pb.loadImm(ICTR, 0);
+
+    for (int lane = 0; lane < kLanes; ++lane) {
+        const BlockId next_work = lane + 1 < kLanes
+                                      ? blk[bWork0 + 2 * (lane + 1)]
+                                      : blk[bInnerLatch];
+        pb.switchTo(blk[bWork0 + 2 * lane]);
+        emitMix(pb, M1, MCTR, ICTR, 17 + lane * 7);
+        pb.aluImm(Opcode::AndI, M2, M1, 255);     // word a
+        pb.aluImm(Opcode::ShrI, M3, M1, 8);
+        pb.aluImm(Opcode::AndI, M3, M3, 255);     // word b
+        pb.alu(Opcode::Sub, M4, M2, M3);          // compare
+        if (lane == 0) {
+            // Verdict slot index, shared by all four lanes.
+            pb.aluImm(Opcode::ShlI, M5, MCTR, 10);
+            pb.alu(Opcode::Add, M5, M5, ICTR);
+        }
+        pb.store(M4, M5, kOutTab + lane * (1 << 18));
+        pb.aluImm(Opcode::AndI, M6, M1, 31);
+        pb.branch(Opcode::BranchNe, M6, kZeroReg, next_work); // 31/32
+
+        pb.switchTo(blk[bRare0 + 2 * lane]);      // "words equal" path
+        pb.alu(Opcode::Add, M7, M2, M3);
+        pb.store(M7, M5, kOutTab + (1 << 16) + lane);
+        // fallthrough to the next lane's work block (or the latch)
+    }
+
+    pb.switchTo(blk[bInnerLatch]);
+    pb.aluImm(Opcode::AddI, ICTR, ICTR, 1);
+    pb.branch(Opcode::BranchLt, ICTR, ILIM, blk[bWork0]);
+
+    pb.switchTo(blk[bMidLatch]);
+    pb.aluImm(Opcode::AddI, MCTR, MCTR, 1);
+    pb.branch(Opcode::BranchLt, MCTR, MLIM, blk[bMidHead]);
+
+    pb.switchTo(blk[bOuterLatch]);
+    pb.aluImm(Opcode::AddI, OCTR, OCTR, 1);
+    pb.branch(Opcode::BranchLt, OCTR, OLIM, blk[bOuterHead]);
+
+    pb.switchTo(blk[bDone]);
+    pb.halt();
+    return pb.build();
+}
+
+/**
+ * espresso profile: cube operations. Three-level nest — cover passes
+ * (outer) x cube pairs (middle) x words (short inner, trip ~11) — with
+ * independent mask arithmetic per word, a skewed empty-intersection
+ * test, and a cost accumulator updated on ~1/4 of cube pairs whose
+ * serial chain holds the oracle ILP in the several-hundreds, like the
+ * paper's espresso.
+ */
+Program
+makeEspressoLike(int scale)
+{
+    const std::int64_t outer = 4ll * scale;
+    constexpr std::int64_t kOutTab = 1 << 21;
+
+    ProgramBuilder pb;
+    enum Blk
+    {
+        bInit, bOuterHead, bMidHead, bInnerBody, bSharp, bAfter, bRare,
+        bInnerLatch, bMidTail, bCost, bMidLatch, bOuterLatch, bDone,
+        kNumBlk
+    };
+    std::vector<BlockId> blk(kNumBlk);
+    for (int i = 0; i < kNumBlk; ++i)
+        blk[i] = pb.newBlock();
+
+    pb.switchTo(blk[bInit]);
+    pb.loadImm(KREG, kGolden);
+    pb.loadImm(STATE, 0);                     // cover cost accumulator
+    pb.loadImm(OCTR, 0);
+    pb.loadImm(OLIM, outer);
+
+    pb.switchTo(blk[bOuterHead]);
+    pb.loadImm(MCTR, 0);
+    pb.loadImm(MLIM, 55);                     // cube pairs per pass
+
+    pb.switchTo(blk[bMidHead]);
+    emitMix(pb, M0, OCTR, MCTR, 7);
+    pb.aluImm(Opcode::AndI, M0, M0, 3);
+    pb.aluImm(Opcode::AddI, ILIM, M0, 10);    // words per cube: 10..13
+    pb.loadImm(ICTR, 0);
+
+    pb.switchTo(blk[bInnerBody]);
+    // First word pair of the cube operation.
+    emitMix(pb, M1, MCTR, ICTR, 29);
+    pb.aluImm(Opcode::ShrI, M2, M1, 7);       // mask a
+    pb.alu(Opcode::And, M3, M1, M2);          // intersection
+    pb.alu(Opcode::Or, M4, M1, M2);           // union
+    pb.alu(Opcode::Xor, M5, M3, M4);          // distance
+    pb.aluImm(Opcode::ShlI, M6, MCTR, 10);
+    pb.alu(Opcode::Add, M6, M6, ICTR);
+    pb.store(M5, M6, kOutTab);
+    // Second and third word pairs (unrolled lanes — wide independent
+    // work per counter-chain step, as compiled set-operation code is).
+    emitMix(pb, M1, ICTR, MCTR, 47);
+    pb.aluImm(Opcode::ShrI, M2, M1, 5);
+    pb.alu(Opcode::And, M3, M1, M2);
+    pb.alu(Opcode::Or, M4, M1, M2);
+    pb.alu(Opcode::Xor, M7, M3, M4);
+    pb.store(M7, M6, kOutTab + (1 << 17));
+    emitMix(pb, M2, MCTR, ICTR, 61);
+    pb.aluImm(Opcode::ShrI, M3, M2, 11);
+    pb.alu(Opcode::And, M4, M2, M3);
+    pb.alu(Opcode::Or, M7, M2, M3);
+    pb.store(M7, M6, kOutTab + (1 << 18));
+    pb.aluImm(Opcode::AndI, M7, M1, 31);
+    pb.aluImm(Opcode::SltI, M7, M7, 28);      // 28/32 = 87.5%
+    pb.branch(Opcode::BranchNe, M7, kZeroReg, blk[bAfter]);
+
+    pb.switchTo(blk[bSharp]);                 // sharp operation (12.5%)
+    pb.alu(Opcode::Sub, M7, M4, M3);
+    pb.aluImm(Opcode::ShrI, M7, M7, 1);
+    pb.store(M7, M6, kOutTab + (1 << 16));
+    // fallthrough
+
+    pb.switchTo(blk[bAfter]);
+    pb.aluImm(Opcode::AndI, M7, M5, 31);
+    pb.branch(Opcode::BranchNe, M7, kZeroReg, blk[bInnerLatch]); // 31/32
+
+    pb.switchTo(blk[bRare]);                  // empty intersection
+    pb.alu(Opcode::Add, M7, M3, M4);
+    // fallthrough
+
+    pb.switchTo(blk[bInnerLatch]);
+    pb.aluImm(Opcode::AddI, ICTR, ICTR, 1);
+    pb.branch(Opcode::BranchLt, ICTR, ILIM, blk[bInnerBody]);
+
+    // Cost accounting on ~1/4 of cube pairs: the only serial chain
+    // spanning the whole run (sets the oracle ceiling).
+    pb.switchTo(blk[bMidTail]);
+    emitMix(pb, M7, MCTR, OCTR, 41);
+    pb.aluImm(Opcode::AndI, M7, M7, 3);
+    pb.branch(Opcode::BranchNe, M7, kZeroReg, blk[bMidLatch]); // 3/4
+
+    pb.switchTo(blk[bCost]);
+    pb.alu(Opcode::Add, STATE, STATE, M5);    // serial accumulator
+    // fallthrough
+
+    pb.switchTo(blk[bMidLatch]);
+    pb.aluImm(Opcode::AddI, MCTR, MCTR, 1);
+    pb.branch(Opcode::BranchLt, MCTR, MLIM, blk[bMidHead]);
+
+    pb.switchTo(blk[bOuterLatch]);
+    pb.aluImm(Opcode::AddI, OCTR, OCTR, 1);
+    pb.branch(Opcode::BranchLt, OCTR, OLIM, blk[bOuterHead]);
+
+    pb.switchTo(blk[bDone]);
+    pb.halt();
+    return pb.build();
+}
+
+/**
+ * xlisp profile: interpreter main loop (the 9-queens run of the paper);
+ * every "form" evaluation is a short inner loop whose body carries a
+ * 2-op serial eval chain, independent across forms; a 1-op GC-counter
+ * chain spans the whole run. Middling ILP (~100) and ~0.9
+ * predictability.
+ */
+Program
+makeXlispLike(int scale)
+{
+    const std::int64_t iters = 850ll * scale;
+    constexpr std::int64_t kHeap = 1 << 20;
+
+    ProgramBuilder pb;
+    enum Blk
+    {
+        bInit, bHead, bEval, bGuardRare, bEvalCont, bCons, bAfterCons,
+        bGc, bEvalLatch, bLatch, bDone, kNumBlk
+    };
+    std::vector<BlockId> blk(kNumBlk);
+    for (int i = 0; i < kNumBlk; ++i)
+        blk[i] = pb.newBlock();
+
+    pb.switchTo(blk[bInit]);
+    pb.loadImm(KREG, kGolden);
+    pb.loadImm(STATE, 0);                     // GC allocation counter
+    pb.loadImm(OCTR, 0);
+    pb.loadImm(OLIM, iters);
+
+    pb.switchTo(blk[bHead]);
+    emitMix(pb, M0, OCTR, OCTR, 13);
+    pb.aluImm(Opcode::AndI, M1, M0, 7);
+    pb.aluImm(Opcode::AddI, ILIM, M1, 12);    // eval depth 12..19
+    pb.loadImm(ICTR, 0);
+    pb.aluImm(Opcode::ShrI, M2, M0, 4);       // eval seed
+
+    pb.switchTo(blk[bEval]);
+    // Wide per-step work: cell fetches and tag tests, independent of
+    // the eval chain...
+    emitMix(pb, M3, ICTR, OCTR, 31);
+    pb.aluImm(Opcode::ShrI, M5, M3, 9);       // cdr field
+    pb.aluImm(Opcode::AndI, M5, M5, 1023);
+    pb.aluImm(Opcode::XorI, M6, M3, 0x2a);    // tag check
+    pb.alu(Opcode::Add, M7, M5, M6);          // arg evaluation
+    // ...then a single serial eval-chain step per form element.
+    pb.alu(Opcode::Add, M2, M2, M3);
+    pb.aluImm(Opcode::AndI, M4, M3, 31);
+    pb.aluImm(Opcode::SltI, M4, M4, 31);      // 31/32: error check
+    pb.branch(Opcode::BranchNe, M4, kZeroReg, blk[bEvalCont]);
+
+    pb.switchTo(blk[bGuardRare]);             // rare error path
+    pb.aluImm(Opcode::XorI, M5, M3, 0x55);
+    // fallthrough
+
+    pb.switchTo(blk[bEvalCont]);
+    pb.aluImm(Opcode::ShrI, M4, M3, 5);
+    pb.aluImm(Opcode::AndI, M4, M4, 15);
+    pb.aluImm(Opcode::SltI, M4, M4, 13);      // 13/16: atom vs cons
+    pb.branch(Opcode::BranchNe, M4, kZeroReg, blk[bAfterCons]);
+
+    pb.switchTo(blk[bCons]);                  // allocate a cons (1/8)
+    pb.aluImm(Opcode::AndI, M5, STATE, 1023);
+    pb.store(M2, M5, kHeap);
+    pb.aluImm(Opcode::AddI, STATE, STATE, 1); // GC chain (serial)
+    // fallthrough
+
+    pb.switchTo(blk[bAfterCons]);
+    pb.alu(Opcode::Xor, M6, M2, M3);
+    pb.aluImm(Opcode::AndI, M6, M6, 31);
+    pb.aluImm(Opcode::SltI, M6, M6, 28);      // 28/32 ~ 87.5%
+    pb.branch(Opcode::BranchNe, M6, kZeroReg, blk[bEvalLatch]);
+
+    pb.switchTo(blk[bGc]);                    // property lookup (12.5%)
+    pb.aluImm(Opcode::AndI, M7, M3, 1023);
+    pb.load(M7, M7, kHeap);
+    pb.alu(Opcode::Add, M7, M7, M2);
+    // fallthrough
+
+    pb.switchTo(blk[bEvalLatch]);
+    pb.aluImm(Opcode::AddI, ICTR, ICTR, 1);
+    pb.branch(Opcode::BranchLt, ICTR, ILIM, blk[bEval]);
+
+    pb.switchTo(blk[bLatch]);
+    pb.aluImm(Opcode::AddI, OCTR, OCTR, 1);
+    pb.branch(Opcode::BranchLt, OCTR, OLIM, blk[bHead]);
+
+    pb.switchTo(blk[bDone]);
+    pb.halt();
+    return pb.build();
+}
+
+/**
+ * sc profile: spreadsheet recalculation — fixed-shape row/column sweeps
+ * whose loop latches have constant trip counts and whose data tests are
+ * extremely skewed (empty-cell checks). Predictability well above the
+ * rest of the suite, which is exactly why the paper dropped it.
+ */
+Program
+makeScLike(int scale)
+{
+    const std::int64_t rows = 25ll * scale;
+    constexpr std::int64_t kSheet = 1 << 20;
+
+    ProgramBuilder pb;
+    enum Blk
+    {
+        bInit, bRowHead, bCellBody, bRecalc, bCellLatch, bRowLatch,
+        bDone, kNumBlk
+    };
+    std::vector<BlockId> blk(kNumBlk);
+    for (int i = 0; i < kNumBlk; ++i)
+        blk[i] = pb.newBlock();
+
+    pb.switchTo(blk[bInit]);
+    pb.loadImm(KREG, kGolden);
+    pb.loadImm(OCTR, 0);
+    pb.loadImm(OLIM, rows);
+
+    pb.switchTo(blk[bRowHead]);
+    pb.loadImm(ICTR, 0);
+    pb.loadImm(ILIM, 64);                     // constant columns/row
+
+    pb.switchTo(blk[bCellBody]);
+    emitMix(pb, M1, OCTR, ICTR, 53);
+    pb.aluImm(Opcode::ShlI, M2, OCTR, 8);
+    pb.alu(Opcode::Add, M2, M2, ICTR);        // cell address
+    pb.load(M3, M2, kSheet);
+    pb.aluImm(Opcode::AndI, M4, M1, 63);
+    pb.aluImm(Opcode::SltI, M4, M4, 63);      // 63/64: cell has value
+    pb.branch(Opcode::BranchNe, M4, kZeroReg, blk[bCellLatch]);
+
+    pb.switchTo(blk[bRecalc]);                // rare formula rebuild
+    pb.alu(Opcode::Add, M5, M3, M1);
+    pb.store(M5, M2, kSheet);
+    // fallthrough
+
+    pb.switchTo(blk[bCellLatch]);
+    pb.aluImm(Opcode::AddI, ICTR, ICTR, 1);
+    pb.branch(Opcode::BranchLt, ICTR, ILIM, blk[bCellBody]);
+
+    pb.switchTo(blk[bRowLatch]);
+    pb.aluImm(Opcode::AddI, OCTR, OCTR, 1);
+    pb.branch(Opcode::BranchLt, OCTR, OLIM, blk[bRowHead]);
+
+    pb.switchTo(blk[bDone]);
+    pb.halt();
+    return pb.build();
+}
+
+} // namespace
+
+Program
+makeExcludedScLike(int scale)
+{
+    dee_assert(scale >= 1, "workload scale must be >= 1");
+    return makeScLike(scale);
+}
+
+const char *
+workloadName(WorkloadId id)
+{
+    switch (id) {
+      case WorkloadId::Cc1: return "cc1";
+      case WorkloadId::Compress: return "compress";
+      case WorkloadId::Eqntott: return "eqntott";
+      case WorkloadId::Espresso: return "espresso";
+      case WorkloadId::Xlisp: return "xlisp";
+    }
+    return "???";
+}
+
+std::vector<WorkloadId>
+allWorkloads()
+{
+    return {WorkloadId::Cc1, WorkloadId::Compress, WorkloadId::Eqntott,
+            WorkloadId::Espresso, WorkloadId::Xlisp};
+}
+
+WorkloadId
+workloadByName(const std::string &name)
+{
+    for (WorkloadId id : allWorkloads())
+        if (name == workloadName(id))
+            return id;
+    dee_fatal("unknown workload '", name,
+              "' (try: cc1 compress eqntott espresso xlisp)");
+}
+
+Program
+makeWorkload(WorkloadId id, int scale)
+{
+    dee_assert(scale >= 1, "workload scale must be >= 1");
+    switch (id) {
+      case WorkloadId::Cc1: return makeCc1Like(scale);
+      case WorkloadId::Compress: return makeCompressLike(scale);
+      case WorkloadId::Eqntott: return makeEqnottLike(scale);
+      case WorkloadId::Espresso: return makeEspressoLike(scale);
+      case WorkloadId::Xlisp: return makeXlispLike(scale);
+    }
+    dee_panic("unhandled workload id");
+}
+
+} // namespace dee

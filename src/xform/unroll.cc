@@ -1,0 +1,180 @@
+#include "xform/unroll.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dee
+{
+
+Opcode
+invertBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::BranchEq: return Opcode::BranchNe;
+      case Opcode::BranchNe: return Opcode::BranchEq;
+      case Opcode::BranchLt: return Opcode::BranchGe;
+      case Opcode::BranchGe: return Opcode::BranchLt;
+      default:
+        dee_panic("invertBranch on non-branch ", opcodeName(op));
+    }
+}
+
+std::vector<LoopInfo>
+findSimpleLoops(const Program &program)
+{
+    std::vector<LoopInfo> loops;
+    const auto num_blocks = static_cast<BlockId>(program.numBlocks());
+
+    for (BlockId latch = 0; latch < num_blocks; ++latch) {
+        const BasicBlock &lb = program.block(latch);
+        if (lb.instrs.empty())
+            continue;
+        const Instruction &br = lb.instrs.back();
+        if (!isCondBranch(br.op) || br.target > latch)
+            continue;
+        const BlockId head = br.target;
+        // The latch must have an in-bounds fallthrough exit.
+        if (latch + 1 >= num_blocks)
+            continue;
+
+        // Eligibility: the latch's branch is the only back edge in
+        // [head, latch]; no control from outside enters at any block
+        // other than the head; interior control stays inside or exits
+        // forward past the latch.
+        bool eligible = true;
+        std::size_t body_instrs = 0;
+        for (BlockId b = 0; b < num_blocks && eligible; ++b) {
+            const bool inside = b >= head && b <= latch;
+            if (inside)
+                body_instrs += program.block(b).instrs.size();
+            const BasicBlock &blk = program.block(b);
+            if (blk.instrs.empty())
+                continue;
+            const Instruction &last = blk.instrs.back();
+            if (!isCondBranch(last.op) && last.op != Opcode::Jump)
+                continue;
+            const BlockId target = last.target;
+            const bool target_inside = target >= head && target <= latch;
+            if (!inside && target_inside && target != head)
+                eligible = false; // side entry into the body
+            if (inside && b != latch && target_inside && target <= b)
+                eligible = false; // interior back edge (nested loop)
+            if (b == latch && isCondBranch(last.op) && target != head)
+                eligible = false; // (can't happen; defensive)
+        }
+        if (eligible)
+            loops.push_back(LoopInfo{head, latch, body_instrs});
+    }
+    return loops;
+}
+
+namespace
+{
+
+/** Replicates one eligible loop `factor` times. */
+Program
+unrollOne(const Program &program, const LoopInfo &loop, int factor)
+{
+    const auto num_blocks = static_cast<BlockId>(program.numBlocks());
+    const BlockId head = loop.head;
+    const BlockId latch = loop.latch;
+    const BlockId n_body = latch - head + 1;
+    const BlockId shift =
+        static_cast<BlockId>(factor - 1) * n_body;
+
+    // Remap for code outside the loop (and for exit targets).
+    auto remap_outer = [&](BlockId t) {
+        return t > latch ? t + shift : t;
+    };
+
+    Program out;
+    // Prefix.
+    for (BlockId b = 0; b < head; ++b) {
+        BasicBlock blk = program.block(b);
+        for (Instruction &inst : blk.instrs)
+            if (isControl(inst.op) && inst.op != Opcode::Halt)
+                inst.target = remap_outer(inst.target);
+        out.addBlock(std::move(blk));
+    }
+    // Copies.
+    for (int c = 0; c < factor; ++c) {
+        const auto copy_off = static_cast<BlockId>(c) * n_body;
+        for (BlockId b = head; b <= latch; ++b) {
+            BasicBlock blk = program.block(b);
+            for (std::size_t i = 0; i < blk.instrs.size(); ++i) {
+                Instruction &inst = blk.instrs[i];
+                if (!isControl(inst.op) || inst.op == Opcode::Halt)
+                    continue;
+                const bool is_latch_branch =
+                    b == latch && i + 1 == blk.instrs.size() &&
+                    isCondBranch(inst.op);
+                if (is_latch_branch) {
+                    if (c + 1 == factor) {
+                        inst.target = head; // back to copy 0
+                    } else {
+                        // Continue -> fall through to the next copy;
+                        // exit -> inverted branch to the loop exit.
+                        inst.op = invertBranch(inst.op);
+                        inst.target = remap_outer(latch + 1);
+                    }
+                } else if (inst.target >= head && inst.target <= latch) {
+                    inst.target += copy_off; // stay in this copy
+                } else {
+                    inst.target = remap_outer(inst.target);
+                }
+            }
+            out.addBlock(std::move(blk));
+        }
+    }
+    // Suffix.
+    for (BlockId b = latch + 1; b < num_blocks; ++b) {
+        BasicBlock blk = program.block(b);
+        for (Instruction &inst : blk.instrs)
+            if (isControl(inst.op) && inst.op != Opcode::Halt)
+                inst.target = remap_outer(inst.target);
+        out.addBlock(std::move(blk));
+    }
+    out.validate();
+    return out;
+}
+
+} // namespace
+
+Program
+unrollProgram(const Program &program, const UnrollOptions &options,
+              UnrollReport *report)
+{
+    dee_assert(options.factor >= 1, "unroll factor must be >= 1");
+    UnrollReport local;
+    local.instrsBefore = program.numInstrs();
+
+    Program current = program;
+    // Unroll highest-address loops first so earlier loop coordinates
+    // stay valid across rebuilds.
+    std::vector<LoopInfo> loops = findSimpleLoops(current);
+    local.loopsConsidered = static_cast<int>(loops.size());
+    std::sort(loops.begin(), loops.end(),
+              [](const LoopInfo &a, const LoopInfo &b) {
+                  return a.head > b.head;
+              });
+    for (const LoopInfo &loop : loops) {
+        if (loop.bodyInstrs == 0)
+            continue;
+        const int fit = static_cast<int>(
+            static_cast<std::size_t>(options.maxBodyInstrs) /
+            loop.bodyInstrs);
+        const int factor = std::min(options.factor, fit);
+        if (factor < 2)
+            continue;
+        current = unrollOne(current, loop, factor);
+        ++local.loopsUnrolled;
+    }
+
+    local.instrsAfter = current.numInstrs();
+    if (report)
+        *report = local;
+    return current;
+}
+
+} // namespace dee

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Machine-code to machine-code loop unrolling filter.
+ *
+ * The paper (Section 4.2): "The execution of loops with lengths less
+ * than that of the Instruction Queue can be enhanced by a machine-code
+ * to machine-code loop unrolling filter program, to achieve average
+ * loop sizes of about 3/4 the length of the Queue."
+ *
+ * unrollProgram() is that filter: it finds simple counted loops — a
+ * contiguous block range [head..latch] whose only back edge is the
+ * latch's conditional branch and which no outside branch enters — and
+ * replicates the body, rewriting each non-final copy's latch into an
+ * inverted loop-exit branch that falls through to the next copy. The
+ * transformation is strictly semantics-preserving (tests verify the
+ * architectural state against the untransformed program on every
+ * workload and on random programs).
+ */
+
+#ifndef DEE_XFORM_UNROLL_HH
+#define DEE_XFORM_UNROLL_HH
+
+#include <cstdint>
+
+#include "isa/isa.hh"
+
+namespace dee
+{
+
+/** Unrolling policy. */
+struct UnrollOptions
+{
+    /** Replication factor for each eligible loop (>= 2 to change
+     *  anything). */
+    int factor = 2;
+    /**
+     * Do not unroll a loop whose body would exceed this many static
+     * instructions after replication — the paper's "about 3/4 the
+     * length of the Queue" sizing rule (24 for the 32-row IQ).
+     */
+    int maxBodyInstrs = 24;
+};
+
+/** What the filter did. */
+struct UnrollReport
+{
+    int loopsConsidered = 0; ///< simple counted loops found
+    int loopsUnrolled = 0;   ///< loops actually replicated
+    std::size_t instrsBefore = 0;
+    std::size_t instrsAfter = 0;
+};
+
+/**
+ * One candidate loop: blocks [head, latch] with the latch's final
+ * conditional branch as the only back edge.
+ */
+struct LoopInfo
+{
+    BlockId head = 0;
+    BlockId latch = 0;
+    std::size_t bodyInstrs = 0;
+};
+
+/** Finds the simple counted loops the filter can legally unroll. */
+std::vector<LoopInfo> findSimpleLoops(const Program &program);
+
+/** The branch with inverted condition (Eq<->Ne, Lt<->Ge). */
+Opcode invertBranch(Opcode op);
+
+/**
+ * Applies the filter and returns the transformed program (validated).
+ * @param report optional out-parameter with statistics.
+ */
+Program unrollProgram(const Program &program,
+                      const UnrollOptions &options = {},
+                      UnrollReport *report = nullptr);
+
+} // namespace dee
+
+#endif // DEE_XFORM_UNROLL_HH

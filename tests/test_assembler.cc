@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the text assembler (src/isa/assembler): parsing of every
+ * instruction form, diagnostics, and the disassemble -> parse round
+ * trip on hand-written, generated and random programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exec/interp.hh"
+#include "isa/assembler.hh"
+#include "workloads/random_program.hh"
+#include "workloads/workloads.hh"
+
+namespace dee
+{
+namespace
+{
+
+TEST(Assembler, ParsesEveryForm)
+{
+    const char *src = R"(
+# a demo of every instruction form
+B0:
+    li r1, 5
+    li r2, -3          ; negative immediate
+    add r3, r1, r2
+    sub r4, r1, r2
+    mul r5, r1, r2
+    slt r6, r2, r1
+    addi r7, r1, 100
+    shli r8, r1, 4
+    lw r9, 16(r1)
+    sw r9, 24(r1)
+    blt r2, r1, B2
+B1:
+    nop
+B2:
+    j B3
+B3:
+    halt
+)";
+    Program p = parseAssembly(src);
+    EXPECT_EQ(p.numBlocks(), 4u);
+    EXPECT_EQ(p.numInstrs(), 14u);
+    EXPECT_EQ(p.instr(0).op, Opcode::LoadImm);
+    EXPECT_EQ(p.instr(1).imm, -3);
+    EXPECT_EQ(p.instr(8).op, Opcode::Load);
+    EXPECT_EQ(p.instr(8).imm, 16);
+    EXPECT_EQ(p.instr(10).op, Opcode::BranchLt);
+    EXPECT_EQ(p.instr(10).target, 2u);
+}
+
+TEST(Assembler, ExecutesCorrectly)
+{
+    const char *src = R"(
+B0:
+    li r1, 0
+    li r2, 10
+    li r3, 0
+B1:
+    addi r1, r1, 1
+    add r3, r3, r1
+    blt r1, r2, B1
+B2:
+    sw r3, 100(r0)
+    halt
+)";
+    Interpreter interp(parseAssembly(src));
+    const ExecResult r = interp.run();
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.state.regs[3], 55);
+    EXPECT_EQ(r.state.readMem(100), 55);
+}
+
+TEST(Assembler, RoundTripsHandProgram)
+{
+    const char *src = R"(
+B0:
+    li r1, 7
+    beq r1, r0, B2
+B1:
+    addi r1, r1, 1
+B2:
+    halt
+)";
+    Program p = parseAssembly(src);
+    Program q = parseAssembly(p.disassemble());
+    EXPECT_EQ(p.disassemble(), q.disassemble());
+}
+
+class AsmRoundTrip : public ::testing::TestWithParam<WorkloadId>
+{
+};
+
+TEST_P(AsmRoundTrip, WorkloadsRoundTrip)
+{
+    Program p = makeWorkload(GetParam(), 1);
+    Program q = parseAssembly(p.disassemble());
+    ASSERT_EQ(p.numInstrs(), q.numInstrs());
+    EXPECT_EQ(p.disassemble(), q.disassemble());
+    // And they compute the same thing.
+    Interpreter ia(p), ib(q);
+    const auto ra = ia.run(2'000'000, false);
+    const auto rb = ib.run(2'000'000, false);
+    EXPECT_EQ(ra.steps, rb.steps);
+    for (int r = 0; r < kNumRegs; ++r)
+        EXPECT_EQ(ra.state.regs[r], rb.state.regs[r]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, AsmRoundTrip, ::testing::ValuesIn(allWorkloads()),
+    [](const ::testing::TestParamInfo<WorkloadId> &info) {
+        return std::string(workloadName(info.param));
+    });
+
+TEST(Assembler, RandomProgramsRoundTrip)
+{
+    for (std::uint64_t seed : {5u, 17u, 29u, 61u}) {
+        Rng rng(seed);
+        Program p = makeRandomProgram(rng);
+        Program q = parseAssembly(p.disassemble());
+        EXPECT_EQ(p.disassemble(), q.disassemble()) << "seed " << seed;
+    }
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const char *src = R"(
+# leading comment
+
+B0:   # trailing comment on a label
+    li r1, 1   ; semicolon comment
+    halt
+)";
+    Program p = parseAssembly(src);
+    EXPECT_EQ(p.numInstrs(), 2u);
+}
+
+TEST(AssemblerDeath, Diagnostics)
+{
+    EXPECT_EXIT(parseAssembly("B0:\n    frob r1, r2\n    halt\n"),
+                ::testing::ExitedWithCode(1), "unknown mnemonic");
+    EXPECT_EXIT(parseAssembly("B1:\n    halt\n"),
+                ::testing::ExitedWithCode(1), "declared in order");
+    EXPECT_EXIT(parseAssembly("    li r1, 5\n"),
+                ::testing::ExitedWithCode(1), "before the first block");
+    EXPECT_EXIT(parseAssembly("B0:\n    li r99, 5\n    halt\n"),
+                ::testing::ExitedWithCode(1), "register out of range");
+    EXPECT_EXIT(parseAssembly("B0:\n    li r1, 5 extra\n    halt\n"),
+                ::testing::ExitedWithCode(1), "trailing text");
+    EXPECT_EXIT(parseAssembly("B0:\n    j B9\n"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(parseAssembly("\n# only comments\n"),
+                ::testing::ExitedWithCode(1), "no blocks");
+}
+
+TEST(AssemblerFile, MissingFileIsFatal)
+{
+    EXPECT_EXIT(parseAssemblyFile("/nonexistent/prog.s"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(AssemblerFile, ShippedProgramsParseAndTerminate)
+{
+    for (const char *name : {"gcd.s", "collatz.s"}) {
+        const std::string path = std::string(DEE_SOURCE_DIR) +
+                                 "/examples/programs/" + name;
+        Program p = parseAssemblyFile(path);
+        Interpreter interp(p);
+        const ExecResult r = interp.run(20'000'000, false);
+        EXPECT_TRUE(r.halted) << name;
+        EXPECT_GT(r.steps, 1000u) << name;
+    }
+}
+
+} // namespace
+} // namespace dee

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit tests for src/cfg: CFG edges, postdominators, control
+ * dependence (direct and total) on diamonds, loops and nests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/cfg.hh"
+#include "isa/builder.hh"
+
+namespace dee
+{
+namespace
+{
+
+/**
+ * Diamond:
+ *   B0: beq -> B2 (else), fallthrough B1 (then)
+ *   B1: then, falls into B2? No: B1 then-block falls to B2 join.
+ *   B2: join, halt
+ */
+Program
+diamond()
+{
+    ProgramBuilder pb;
+    const BlockId b0 = pb.newBlock();
+    const BlockId b1 = pb.newBlock();
+    const BlockId b2 = pb.newBlock();
+    pb.switchTo(b0);
+    pb.branch(Opcode::BranchEq, 1, 2, b2);
+    pb.switchTo(b1);
+    pb.aluImm(Opcode::AddI, 3, 3, 1);
+    pb.switchTo(b2);
+    pb.halt();
+    return pb.build();
+}
+
+TEST(CfgDiamond, Edges)
+{
+    Program p = diamond();
+    Cfg cfg(p);
+    EXPECT_EQ(cfg.numBlocks(), 3u);
+    const auto &s0 = cfg.successors(0);
+    ASSERT_EQ(s0.size(), 2u);
+    EXPECT_EQ(s0[0], 1u);
+    EXPECT_EQ(s0[1], 2u);
+    ASSERT_EQ(cfg.successors(1).size(), 1u);
+    EXPECT_EQ(cfg.successors(1)[0], 2u);
+    ASSERT_EQ(cfg.successors(2).size(), 1u);
+    EXPECT_EQ(cfg.successors(2)[0], cfg.exitNode());
+}
+
+TEST(CfgDiamond, Postdominators)
+{
+    Program p = diamond();
+    Cfg cfg(p);
+    EXPECT_EQ(cfg.ipostdom(0), 2u); // join postdominates the branch
+    EXPECT_EQ(cfg.ipostdom(1), 2u);
+    EXPECT_EQ(cfg.ipostdom(2), cfg.exitNode());
+    EXPECT_TRUE(cfg.postdominates(2, 0));
+    EXPECT_FALSE(cfg.postdominates(1, 0)); // then-side is avoidable
+    EXPECT_TRUE(cfg.postdominates(cfg.exitNode(), 0));
+}
+
+TEST(CfgDiamond, ControlDependence)
+{
+    Program p = diamond();
+    Cfg cfg(p);
+    // Only the then-block depends on the branch; the join does not.
+    const auto &deps = cfg.controlDependents(0);
+    ASSERT_EQ(deps.size(), 1u);
+    EXPECT_EQ(deps[0], 1u);
+    EXPECT_TRUE(cfg.isControlDependent(1, 0));
+    EXPECT_FALSE(cfg.isControlDependent(2, 0));
+    // Non-branch blocks control nothing.
+    EXPECT_TRUE(cfg.controlDependents(1).empty());
+}
+
+/**
+ * Loop:
+ *   B0: init, falls into B1
+ *   B1: body; blt -> B1 (backward), fallthrough B2
+ *   B2: halt
+ */
+Program
+loop()
+{
+    ProgramBuilder pb;
+    const BlockId b0 = pb.newBlock();
+    const BlockId b1 = pb.newBlock();
+    const BlockId b2 = pb.newBlock();
+    pb.switchTo(b0);
+    pb.loadImm(1, 0);
+    pb.loadImm(2, 10);
+    pb.switchTo(b1);
+    pb.aluImm(Opcode::AddI, 1, 1, 1);
+    pb.branch(Opcode::BranchLt, 1, 2, b1);
+    pb.switchTo(b2);
+    pb.halt();
+    return pb.build();
+}
+
+TEST(CfgLoop, PostdominatorsSkipLoop)
+{
+    Program p = loop();
+    Cfg cfg(p);
+    EXPECT_EQ(cfg.ipostdom(1), 2u);
+    EXPECT_EQ(cfg.ipostdom(0), 1u);
+}
+
+TEST(CfgLoop, LoopBodyDependsOnLatch)
+{
+    Program p = loop();
+    Cfg cfg(p);
+    // The body block is control dependent on its own latch branch.
+    EXPECT_TRUE(cfg.isControlDependent(1, 1));
+    // The exit block is not.
+    EXPECT_FALSE(cfg.isControlDependent(2, 1));
+}
+
+/**
+ * Nested control dependence:
+ *   B0: beq -> B4 (skip all), ft B1
+ *   B1: beq -> B3 (skip inner), ft B2
+ *   B2: inner work, ft B3
+ *   B3: outer work, ft B4
+ *   B4: halt
+ */
+Program
+nested()
+{
+    ProgramBuilder pb;
+    std::vector<BlockId> b(5);
+    for (auto &x : b)
+        x = pb.newBlock();
+    pb.switchTo(b[0]);
+    pb.branch(Opcode::BranchEq, 1, 2, b[4]);
+    pb.switchTo(b[1]);
+    pb.branch(Opcode::BranchEq, 3, 4, b[3]);
+    pb.switchTo(b[2]);
+    pb.aluImm(Opcode::AddI, 5, 5, 1);
+    pb.switchTo(b[3]);
+    pb.aluImm(Opcode::AddI, 6, 6, 1);
+    pb.switchTo(b[4]);
+    pb.halt();
+    return pb.build();
+}
+
+TEST(CfgNested, DirectControlDependence)
+{
+    Program p = nested();
+    Cfg cfg(p);
+    // Outer branch controls B1, B2? B2 is controlled by inner branch
+    // directly; outer controls B1 and B3 (both avoidable via B4).
+    EXPECT_TRUE(cfg.isControlDependent(1, 0));
+    EXPECT_TRUE(cfg.isControlDependent(3, 0));
+    EXPECT_FALSE(cfg.isControlDependent(4, 0));
+    EXPECT_TRUE(cfg.isControlDependent(2, 1));
+    EXPECT_FALSE(cfg.isControlDependent(3, 1));
+}
+
+TEST(CfgNested, TotalControlDependenceIsTransitive)
+{
+    Program p = nested();
+    Cfg cfg(p);
+    // B2 is not directly dependent on B0, but transitively (through the
+    // inner branch in B1) it is — the paper's "total" dependencies.
+    EXPECT_FALSE(cfg.isControlDependent(2, 0));
+    EXPECT_TRUE(cfg.isTotalControlDependent(2, 0));
+    // Direct dependents are included in the closure.
+    EXPECT_TRUE(cfg.isTotalControlDependent(1, 0));
+    // The final join is independent even transitively.
+    EXPECT_FALSE(cfg.isTotalControlDependent(4, 0));
+}
+
+TEST(CfgJumpOnly, JumpHasSingleSuccessor)
+{
+    ProgramBuilder pb;
+    const BlockId b0 = pb.newBlock();
+    const BlockId b1 = pb.newBlock();
+    const BlockId b2 = pb.newBlock();
+    pb.switchTo(b0);
+    pb.jump(b2);
+    pb.switchTo(b1);
+    pb.nop(); // unreachable
+    pb.switchTo(b2);
+    pb.halt();
+    Program p = pb.build();
+    Cfg cfg(p);
+    ASSERT_EQ(cfg.successors(0).size(), 1u);
+    EXPECT_EQ(cfg.successors(0)[0], 2u);
+    // No branch -> no control dependents anywhere.
+    for (BlockId b = 0; b < cfg.numBlocks(); ++b)
+        EXPECT_TRUE(cfg.controlDependents(b).empty());
+}
+
+TEST(CfgBranchToFallthrough, DeduplicatedEdge)
+{
+    ProgramBuilder pb;
+    const BlockId b0 = pb.newBlock();
+    const BlockId b1 = pb.newBlock();
+    pb.switchTo(b0);
+    pb.branch(Opcode::BranchEq, 1, 2, b1); // target == fallthrough
+    pb.switchTo(b1);
+    pb.halt();
+    Program p = pb.build();
+    Cfg cfg(p);
+    EXPECT_EQ(cfg.successors(0).size(), 1u);
+    // A branch with equal arms controls nothing.
+    EXPECT_TRUE(cfg.controlDependents(0).empty());
+}
+
+} // namespace
+} // namespace dee

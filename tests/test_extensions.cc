@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests for the smaller extensions: the dynamic-cp cost estimator,
+ * confidence-gated DEE coverage, and the static-window reach override.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sim/models.hh"
+#include "core/tree/cp_cost.hh"
+#include "core/tree/geometry.hh"
+#include "workloads/suite.hh"
+
+namespace dee
+{
+namespace
+{
+
+// --- Dynamic-cp cost ---------------------------------------------------------
+
+TEST(CpCost, ChainCosts)
+{
+    // SP chain of depth 6: depths 1..6 sum to 21.
+    const SpecTree chain = SpecTree::singlePath(0.7, 6);
+    const DynamicCpCost cost = dynamicCpCost(chain);
+    EXPECT_EQ(cost.cps, 6);
+    EXPECT_EQ(cost.fullRecomputeMults, 21u);
+    EXPECT_EQ(cost.incrementalMults, 6u);
+    EXPECT_NEAR(cost.meanDepth, 3.5, 1e-12);
+    EXPECT_GT(cost.sortComparisons, 0u);
+}
+
+TEST(CpCost, PaperBandAtLevoDesignPoint)
+{
+    // "30-100 cps ... hundreds or thousands of multiplications".
+    const SpecTree tree = SpecTree::deeStatic(0.9053, 100);
+    const DynamicCpCost cost = dynamicCpCost(tree);
+    EXPECT_EQ(cost.cps, 100);
+    EXPECT_GE(cost.fullRecomputeMults, 500u);
+    EXPECT_LE(cost.fullRecomputeMults, 5000u);
+}
+
+TEST(CpCost, EmptyTreeIsFree)
+{
+    const SpecTree tree = SpecTree::singlePath(0.9, 0);
+    const DynamicCpCost cost = dynamicCpCost(tree);
+    EXPECT_EQ(cost.cps, 0);
+    EXPECT_EQ(cost.fullRecomputeMults, 0u);
+    EXPECT_EQ(cost.sortComparisons, 0u);
+}
+
+TEST(CpCost, RenderMentionsFields)
+{
+    const std::string out =
+        dynamicCpCost(SpecTree::deeStatic(0.9, 34)).render();
+    EXPECT_NE(out.find("cps=34"), std::string::npos);
+    EXPECT_NE(out.find("Mults"), std::string::npos);
+}
+
+// --- Confidence-gated coverage ------------------------------------------------
+
+TEST(ConfidenceDee, ThresholdZeroEqualsPlainChainCoverage)
+{
+    // Gating nothing must reproduce the SP chain exactly (same ML,
+    // same reach).
+    const BenchmarkInstance inst = makeInstance(WorkloadId::Compress, 1);
+    TwoBitPredictor pa(inst.trace.numStatic);
+    TwoBitPredictor pb(inst.trace.numStatic);
+    const double p = characteristicAccuracy(inst.trace, pa);
+    const auto acc = profileBranchAccuracy(inst.trace, pa);
+
+    SimConfig plain;
+    plain.cd = CdModel::Minimal;
+    WindowSim s_plain(inst.trace, SpecTree::singlePath(p, 20), plain,
+                      &inst.cfg);
+
+    SimConfig gated = plain;
+    gated.confidence.accuracy = &acc;
+    gated.confidence.threshold = 0.0;
+    gated.confidence.sideLen = 4;
+    WindowSim s_gated(inst.trace, SpecTree::singlePath(p, 20), gated,
+                      &inst.cfg);
+
+    EXPECT_EQ(s_plain.run(pa).cycles, s_gated.run(pb).cycles);
+}
+
+TEST(ConfidenceDee, GatingEverythingHelps)
+{
+    // Threshold 1.0 covers every mispredicted branch's continuation —
+    // at least as good as gating nothing.
+    const BenchmarkInstance inst = makeInstance(WorkloadId::Xlisp, 1);
+    TwoBitPredictor pa(inst.trace.numStatic);
+    const double p = characteristicAccuracy(inst.trace, pa);
+    const auto acc = profileBranchAccuracy(inst.trace, pa);
+
+    auto run_with_threshold = [&](double threshold) {
+        SimConfig config;
+        config.cd = CdModel::Minimal;
+        config.confidence.accuracy = &acc;
+        config.confidence.threshold = threshold;
+        config.confidence.sideLen = 8;
+        TwoBitPredictor pred(inst.trace.numStatic);
+        WindowSim sim(inst.trace, SpecTree::singlePath(p, 30), config,
+                      &inst.cfg);
+        return sim.run(pred);
+    };
+    const SimResult none = run_with_threshold(0.0);
+    const SimResult all = run_with_threshold(1.1);
+    EXPECT_LE(all.cycles, none.cycles);
+    EXPECT_GT(all.sidePathFetches, 0u);
+    EXPECT_EQ(none.sidePathFetches, 0u);
+}
+
+TEST(ConfidenceDee, SideLenBoundsCoverage)
+{
+    const BenchmarkInstance inst = makeInstance(WorkloadId::Cc1, 1);
+    TwoBitPredictor pa(inst.trace.numStatic);
+    const double p = characteristicAccuracy(inst.trace, pa);
+    const auto acc = profileBranchAccuracy(inst.trace, pa);
+    auto cycles_with_len = [&](int len) {
+        SimConfig config;
+        config.cd = CdModel::Minimal;
+        config.confidence.accuracy = &acc;
+        config.confidence.threshold = 1.1;
+        config.confidence.sideLen = len;
+        TwoBitPredictor pred(inst.trace.numStatic);
+        WindowSim sim(inst.trace, SpecTree::singlePath(p, 30), config,
+                      &inst.cfg);
+        return sim.run(pred).cycles;
+    };
+    // Longer side coverage never hurts.
+    EXPECT_GE(cycles_with_len(1), cycles_with_len(4));
+    EXPECT_GE(cycles_with_len(4), cycles_with_len(16));
+}
+
+// --- Window-reach override ------------------------------------------------------
+
+TEST(WindowReach, OverrideExtendsRouteB)
+{
+    const BenchmarkInstance inst = makeInstance(WorkloadId::Espresso, 1);
+    TwoBitPredictor pa(inst.trace.numStatic);
+    TwoBitPredictor pb(inst.trace.numStatic);
+    const double p = characteristicAccuracy(inst.trace, pa);
+
+    SimConfig narrow;
+    narrow.cd = CdModel::Minimal;
+    WindowSim s_narrow(inst.trace, SpecTree::singlePath(p, 30), narrow,
+                       &inst.cfg);
+
+    SimConfig wide = narrow;
+    wide.windowReachOverride = 256;
+    WindowSim s_wide(inst.trace, SpecTree::singlePath(p, 30), wide,
+                     &inst.cfg);
+
+    EXPECT_LE(s_wide.run(pb).cycles, s_narrow.run(pa).cycles);
+}
+
+TEST(WindowReach, OverrideIgnoredForPlainModels)
+{
+    // Plain models have no route B, so the override must not matter.
+    const BenchmarkInstance inst = makeInstance(WorkloadId::Compress, 1);
+    TwoBitPredictor pa(inst.trace.numStatic);
+    TwoBitPredictor pb(inst.trace.numStatic);
+    SimConfig a;
+    SimConfig b;
+    b.windowReachOverride = 999;
+    WindowSim sa(inst.trace, SpecTree::singlePath(0.9, 16), a);
+    WindowSim sb(inst.trace, SpecTree::singlePath(0.9, 16), b);
+    EXPECT_EQ(sa.run(pa).cycles, sb.run(pb).cycles);
+}
+
+// --- Issue statistics ----------------------------------------------------------
+
+TEST(IssueStats, PeakIssueBoundsAndPaperEstimate)
+{
+    const BenchmarkInstance inst = makeInstance(WorkloadId::Espresso, 1);
+    TwoBitPredictor pred(inst.trace.numStatic);
+    const double p = characteristicAccuracy(inst.trace, pred);
+    SimConfig config;
+    config.cd = CdModel::Minimal;
+    config.gatherIssueStats = true;
+    WindowSim sim(inst.trace, SpecTree::deeStatic(p, 100), config,
+                  &inst.cfg);
+    const SimResult r = sim.run(pred);
+    EXPECT_GE(r.peakIssue, static_cast<std::uint64_t>(r.speedup));
+    // The paper's Section 5.1 estimate: < 200 busy PEs at 100 paths.
+    EXPECT_LT(r.peakIssue, 200u);
+    EXPECT_GT(r.peakIssue, 0u);
+}
+
+TEST(IssueStats, DisabledByDefault)
+{
+    const BenchmarkInstance inst = makeInstance(WorkloadId::Compress, 1);
+    TwoBitPredictor pred(inst.trace.numStatic);
+    const SimResult r =
+        runModel(ModelKind::DEE_CD_MF, inst.trace, &inst.cfg, pred, 64);
+    EXPECT_EQ(r.peakIssue, 0u);
+}
+
+// --- Per-branch accuracy profiling ---------------------------------------------
+
+TEST(ProfileAccuracy, MatchesAggregateMeasure)
+{
+    const BenchmarkInstance inst = makeInstance(WorkloadId::Eqntott, 1);
+    TwoBitPredictor pred(inst.trace.numStatic);
+    const auto per_branch = profileBranchAccuracy(inst.trace, pred);
+    const AccuracyReport total = measureAccuracy(inst.trace, pred);
+
+    // Execution-weighted mean of per-branch accuracies equals the
+    // aggregate accuracy.
+    std::vector<double> seen(inst.trace.numStatic, 0.0);
+    for (const auto &rec : inst.trace.records)
+        if (rec.isBranch)
+            seen[rec.sid] += 1.0;
+    double weighted = 0.0;
+    double total_seen = 0.0;
+    for (std::size_t s = 0; s < per_branch.size(); ++s) {
+        weighted += per_branch[s] * seen[s];
+        total_seen += seen[s];
+    }
+    EXPECT_NEAR(weighted / total_seen, total.accuracy, 1e-9);
+}
+
+TEST(ProfileAccuracy, UnseenBranchesDefaultToOne)
+{
+    Trace t;
+    t.numStatic = 5;
+    TraceRecord br;
+    br.op = Opcode::BranchEq;
+    br.sid = 2;
+    br.isBranch = true;
+    br.taken = true;
+    t.records = {br, br};
+    TwoBitPredictor pred(5);
+    const auto acc = profileBranchAccuracy(t, pred);
+    EXPECT_DOUBLE_EQ(acc[0], 1.0);
+    EXPECT_DOUBLE_EQ(acc[4], 1.0);
+    EXPECT_DOUBLE_EQ(acc[2], 1.0) << "always-taken branch, predicted";
+}
+
+} // namespace
+} // namespace dee

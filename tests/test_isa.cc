@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for src/isa: instruction metadata, Program indexing,
+ * builder workflows, validation, disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/isa.hh"
+
+namespace dee
+{
+namespace
+{
+
+TEST(OpClassification, Classes)
+{
+    EXPECT_EQ(opClass(Opcode::Add), OpClass::IntAlu);
+    EXPECT_EQ(opClass(Opcode::LoadImm), OpClass::IntAlu);
+    EXPECT_EQ(opClass(Opcode::Load), OpClass::Load);
+    EXPECT_EQ(opClass(Opcode::Store), OpClass::Store);
+    EXPECT_EQ(opClass(Opcode::BranchLt), OpClass::CondBranch);
+    EXPECT_EQ(opClass(Opcode::Jump), OpClass::Jump);
+    EXPECT_EQ(opClass(Opcode::Halt), OpClass::Halt);
+    EXPECT_EQ(opClass(Opcode::Nop), OpClass::Nop);
+}
+
+TEST(OpClassification, ControlPredicates)
+{
+    EXPECT_TRUE(isCondBranch(Opcode::BranchEq));
+    EXPECT_FALSE(isCondBranch(Opcode::Jump));
+    EXPECT_TRUE(isControl(Opcode::Jump));
+    EXPECT_TRUE(isControl(Opcode::Halt));
+    EXPECT_FALSE(isControl(Opcode::Add));
+}
+
+TEST(InstructionOperands, AluSources)
+{
+    Instruction add{Opcode::Add, 3, 1, 2, 0, 0};
+    EXPECT_EQ(add.dest(), 3);
+    const auto srcs = add.sources();
+    ASSERT_EQ(srcs.size(), 2u);
+    EXPECT_EQ(srcs[0], 1);
+    EXPECT_EQ(srcs[1], 2);
+}
+
+TEST(InstructionOperands, ZeroRegisterIsNotADependence)
+{
+    Instruction add{Opcode::Add, 3, kZeroReg, kZeroReg, 0, 0};
+    EXPECT_TRUE(add.sources().empty());
+    // Writing r0 is discarded, so there is no destination either.
+    Instruction to_zero{Opcode::Add, kZeroReg, 1, 2, 0, 0};
+    EXPECT_EQ(to_zero.dest(), kNoReg);
+}
+
+TEST(InstructionOperands, LoadStoreSources)
+{
+    Instruction load{Opcode::Load, 5, 4, kNoReg, 8, 0};
+    EXPECT_EQ(load.dest(), 5);
+    ASSERT_EQ(load.sources().size(), 1u);
+    EXPECT_EQ(load.sources()[0], 4);
+
+    Instruction store{Opcode::Store, kNoReg, 4, 6, 8, 0};
+    EXPECT_EQ(store.dest(), kNoReg);
+    ASSERT_EQ(store.sources().size(), 2u);
+}
+
+TEST(InstructionOperands, BranchHasNoDest)
+{
+    Instruction br{Opcode::BranchLt, kNoReg, 1, 2, 0, 3};
+    EXPECT_EQ(br.dest(), kNoReg);
+    EXPECT_EQ(br.sources().size(), 2u);
+}
+
+TEST(InstructionOperands, LoadImmHasNoSources)
+{
+    Instruction li{Opcode::LoadImm, 7, kNoReg, kNoReg, 42, 0};
+    EXPECT_TRUE(li.sources().empty());
+    EXPECT_EQ(li.dest(), 7);
+}
+
+Program
+tinyProgram()
+{
+    ProgramBuilder pb;
+    const BlockId b0 = pb.newBlock();
+    const BlockId b1 = pb.newBlock();
+    const BlockId b2 = pb.newBlock();
+    pb.switchTo(b0);
+    pb.loadImm(1, 5);
+    pb.branch(Opcode::BranchEq, 1, kZeroReg, b2);
+    pb.switchTo(b1);
+    pb.aluImm(Opcode::AddI, 2, 1, 1);
+    pb.switchTo(b2);
+    pb.halt();
+    return pb.build();
+}
+
+TEST(Program, StaticIdsAreDense)
+{
+    Program p = tinyProgram();
+    EXPECT_EQ(p.numBlocks(), 3u);
+    EXPECT_EQ(p.numInstrs(), 4u);
+    EXPECT_EQ(p.staticId(0, 0), 0u);
+    EXPECT_EQ(p.staticId(0, 1), 1u);
+    EXPECT_EQ(p.staticId(1, 0), 2u);
+    EXPECT_EQ(p.staticId(2, 0), 3u);
+}
+
+TEST(Program, LocateInvertsStaticId)
+{
+    Program p = tinyProgram();
+    for (StaticId sid = 0; sid < p.numInstrs(); ++sid) {
+        const auto [blk, idx] = p.locate(sid);
+        EXPECT_EQ(p.staticId(blk, idx), sid);
+    }
+}
+
+TEST(Program, InstrLookup)
+{
+    Program p = tinyProgram();
+    EXPECT_EQ(p.instr(0).op, Opcode::LoadImm);
+    EXPECT_EQ(p.instr(1).op, Opcode::BranchEq);
+    EXPECT_EQ(p.instr(3).op, Opcode::Halt);
+}
+
+TEST(Program, BlockTerminatorDetection)
+{
+    Program p = tinyProgram();
+    EXPECT_TRUE(p.block(0).hasTerminator());
+    EXPECT_FALSE(p.block(1).hasTerminator()); // falls through
+    EXPECT_TRUE(p.block(2).hasTerminator());
+}
+
+TEST(Builder, SwitchToAppendsToChosenBlock)
+{
+    ProgramBuilder pb;
+    const BlockId a = pb.newBlock();
+    const BlockId b = pb.newBlock();
+    pb.switchTo(a);
+    pb.loadImm(1, 1);
+    pb.switchTo(b);
+    pb.halt();
+    pb.switchTo(a);
+    pb.loadImm(2, 2);
+    Program p = pb.build();
+    EXPECT_EQ(p.block(a).instrs.size(), 2u);
+    EXPECT_EQ(p.block(b).instrs.size(), 1u);
+}
+
+TEST(Disassemble, Formats)
+{
+    EXPECT_EQ(disassemble(Instruction{Opcode::Add, 3, 1, 2, 0, 0}),
+              "add r3, r1, r2");
+    EXPECT_EQ(disassemble(Instruction{Opcode::AddI, 3, 1, kNoReg, 7, 0}),
+              "addi r3, r1, 7");
+    EXPECT_EQ(disassemble(Instruction{Opcode::LoadImm, 4, kNoReg, kNoReg,
+                                      -2, 0}),
+              "li r4, -2");
+    EXPECT_EQ(disassemble(Instruction{Opcode::Load, 5, 6, kNoReg, 16, 0}),
+              "lw r5, 16(r6)");
+    EXPECT_EQ(disassemble(Instruction{Opcode::Store, kNoReg, 6, 5, 16, 0}),
+              "sw r5, 16(r6)");
+    EXPECT_EQ(disassemble(Instruction{Opcode::BranchLt, kNoReg, 1, 2, 0,
+                                      9}),
+              "blt r1, r2, B9");
+    EXPECT_EQ(disassemble(Instruction{Opcode::Jump, kNoReg, kNoReg,
+                                      kNoReg, 0, 4}),
+              "j B4");
+    EXPECT_EQ(disassemble(Instruction{Opcode::Halt, kNoReg, kNoReg,
+                                      kNoReg, 0, 0}),
+              "halt");
+}
+
+TEST(Disassemble, WholeProgramMentionsBlocks)
+{
+    Program p = tinyProgram();
+    const std::string out = p.disassemble();
+    EXPECT_NE(out.find("B0:"), std::string::npos);
+    EXPECT_NE(out.find("B2:"), std::string::npos);
+    EXPECT_NE(out.find("halt"), std::string::npos);
+}
+
+using IsaDeath = ::testing::Test;
+
+TEST(IsaDeath, ValidateRejectsMissingTerminator)
+{
+    ProgramBuilder pb;
+    pb.newBlock();
+    pb.loadImm(1, 1); // no halt
+    EXPECT_EXIT(pb.build(), ::testing::ExitedWithCode(1), "must end");
+}
+
+TEST(IsaDeath, ValidateRejectsOutOfRangeTarget)
+{
+    ProgramBuilder pb;
+    const BlockId a = pb.newBlock();
+    pb.switchTo(a);
+    pb.branch(Opcode::BranchEq, 1, 2, 99);
+    EXPECT_EXIT(pb.build(), ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(IsaDeath, ValidateRejectsMidBlockControl)
+{
+    ProgramBuilder pb;
+    const BlockId a = pb.newBlock();
+    pb.switchTo(a);
+    pb.jump(a);
+    pb.loadImm(1, 1);
+    EXPECT_EXIT(pb.build(), ::testing::ExitedWithCode(1),
+                "not at block end");
+}
+
+} // namespace
+} // namespace dee

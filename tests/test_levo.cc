@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Tests for the Levo machine model (src/levo): differential functional
+ * correctness against the sequential interpreter, timing sanity, DEE
+ * path coverage, window refills, loop capture, and configuration
+ * effects (the paper's Section 4 machine).
+ */
+
+#include <gtest/gtest.h>
+
+#include "exec/interp.hh"
+#include "isa/builder.hh"
+#include "levo/levo.hh"
+#include "workloads/random_program.hh"
+#include "workloads/workloads.hh"
+
+namespace dee
+{
+namespace
+{
+
+/** Runs both machines and checks the final architectural state. */
+void
+expectStateMatch(const Program &p, const LevoConfig &config,
+                 std::uint64_t max_instrs = 2'000'000)
+{
+    Cfg cfg(p);
+    Interpreter interp(p);
+    const ExecResult ref = interp.run(max_instrs, false);
+    LevoMachine machine(p, cfg, config);
+    const LevoResult out = machine.run(max_instrs);
+
+    EXPECT_EQ(out.halted, ref.halted);
+    EXPECT_EQ(out.instructions, ref.steps);
+    for (int r = 0; r < kNumRegs; ++r)
+        EXPECT_EQ(out.finalState.regs[r], ref.state.regs[r])
+            << "r" << r;
+    EXPECT_EQ(out.finalState.memory.size(), ref.state.memory.size());
+    for (const auto &[addr, val] : ref.state.memory)
+        EXPECT_EQ(out.finalState.readMem(addr), val) << "addr " << addr;
+}
+
+Program
+sumLoop(std::int64_t n)
+{
+    ProgramBuilder pb;
+    const BlockId init = pb.newBlock();
+    const BlockId body = pb.newBlock();
+    const BlockId done = pb.newBlock();
+    pb.switchTo(init);
+    pb.loadImm(1, 0);
+    pb.loadImm(2, n);
+    pb.loadImm(3, 0);
+    pb.switchTo(body);
+    pb.aluImm(Opcode::AddI, 1, 1, 1);
+    pb.alu(Opcode::Add, 3, 3, 1);
+    pb.branch(Opcode::BranchLt, 1, 2, body);
+    pb.switchTo(done);
+    pb.store(3, kZeroReg, 64);
+    pb.halt();
+    return pb.build();
+}
+
+TEST(LevoFunctional, SumLoopMatchesInterpreter)
+{
+    expectStateMatch(sumLoop(50), LevoConfig{});
+}
+
+TEST(LevoFunctional, TinyIqStillCorrect)
+{
+    LevoConfig config;
+    config.iqRows = 4;
+    config.columns = 2;
+    config.deePaths = 0;
+    expectStateMatch(sumLoop(50), config);
+}
+
+class LevoWorkloads : public ::testing::TestWithParam<WorkloadId>
+{
+};
+
+TEST_P(LevoWorkloads, StateMatchesInterpreter)
+{
+    expectStateMatch(makeWorkload(GetParam(), 1), LevoConfig{},
+                     5'000'000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, LevoWorkloads, ::testing::ValuesIn(allWorkloads()),
+    [](const ::testing::TestParamInfo<WorkloadId> &info) {
+        return std::string(workloadName(info.param));
+    });
+
+class LevoRandom : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(LevoRandom, StateMatchesInterpreter)
+{
+    Rng rng(GetParam());
+    expectStateMatch(makeRandomProgram(rng), LevoConfig{});
+}
+
+TEST_P(LevoRandom, SmallMachineStateMatches)
+{
+    Rng rng(GetParam());
+    LevoConfig config;
+    config.iqRows = 8;
+    config.columns = 2;
+    config.deePaths = 1;
+    expectStateMatch(makeRandomProgram(rng), config);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LevoRandom,
+                         ::testing::Values(3, 7, 11, 19, 42, 101, 202,
+                                           303));
+
+TEST(LevoTiming, IpcAboveOneOnParallelLoop)
+{
+    // The captured sum loop has cross-iteration ILP through renaming:
+    // Levo should beat the sequential machine.
+    Program p = sumLoop(500);
+    Cfg cfg(p);
+    LevoMachine machine(p, cfg, LevoConfig{});
+    const LevoResult r = machine.run();
+    EXPECT_GT(r.ipc, 1.0);
+    EXPECT_LE(r.ipc, static_cast<double>(LevoConfig{}.iqRows));
+}
+
+TEST(LevoTiming, CyclesAtLeastDataflowHeight)
+{
+    // A strictly serial chain cannot run faster than one op per cycle.
+    ProgramBuilder pb;
+    pb.newBlock();
+    pb.loadImm(1, 1);
+    for (int i = 0; i < 50; ++i)
+        pb.aluImm(Opcode::AddI, 1, 1, 1);
+    pb.halt();
+    Program p = pb.build();
+    Cfg cfg(p);
+    LevoMachine machine(p, cfg, LevoConfig{});
+    const LevoResult r = machine.run();
+    EXPECT_GE(r.cycles, 51u);
+    EXPECT_EQ(r.finalState.regs[1], 51);
+}
+
+TEST(LevoTiming, PerRowPeSerializesInstances)
+{
+    // One static instruction iterated m+k times: the row's single PE
+    // bounds throughput to one instance per cycle.
+    Program p = sumLoop(100);
+    Cfg cfg(p);
+    LevoMachine machine(p, cfg, LevoConfig{});
+    const LevoResult r = machine.run();
+    // 100 iterations of the same 3 rows: at least ~100 cycles.
+    EXPECT_GE(r.cycles, 100u);
+}
+
+TEST(LevoStats, PendingBranchesAndUtilization)
+{
+    Program p = sumLoop(200);
+    Cfg cfg(p);
+    LevoMachine machine(p, cfg, LevoConfig{});
+    const LevoResult r = machine.run();
+    EXPECT_GE(r.peakPendingBranches, 1u);
+    EXPECT_LE(r.peakPendingBranches, r.branches);
+    EXPECT_GT(r.meanRowUtilization, 0.0);
+    EXPECT_LE(r.meanRowUtilization, 1.0)
+        << "one PE per row bounds per-row throughput";
+}
+
+TEST(LevoStats, LoopCaptureDetected)
+{
+    Program p = sumLoop(100);
+    Cfg cfg(p);
+    LevoMachine machine(p, cfg, LevoConfig{});
+    const LevoResult r = machine.run();
+    // The whole 6-instruction loop fits a 32-row IQ.
+    EXPECT_GT(r.backwardTakenBranches, 90u);
+    EXPECT_DOUBLE_EQ(r.loopCaptureFraction(), 1.0);
+    EXPECT_EQ(r.refills, 0u);
+}
+
+TEST(LevoStats, UncapturedLoopRefills)
+{
+    // A loop body longer than the IQ forces linear-mode refills.
+    ProgramBuilder pb;
+    const BlockId init = pb.newBlock();
+    const BlockId body = pb.newBlock();
+    const BlockId done = pb.newBlock();
+    pb.switchTo(init);
+    pb.loadImm(1, 0);
+    pb.loadImm(2, 20);
+    pb.switchTo(body);
+    for (int i = 0; i < 40; ++i) // 40 > 16 rows
+        pb.aluImm(Opcode::AddI, 3, 3, 1);
+    pb.aluImm(Opcode::AddI, 1, 1, 1);
+    pb.branch(Opcode::BranchLt, 1, 2, body);
+    pb.switchTo(done);
+    pb.halt();
+    Program p = pb.build();
+    Cfg cfg(p);
+    LevoConfig config;
+    config.iqRows = 16;
+    LevoMachine machine(p, cfg, config);
+    const LevoResult r = machine.run();
+    EXPECT_GT(r.refills, 19u);
+    EXPECT_DOUBLE_EQ(r.loopCaptureFraction(), 0.0);
+    EXPECT_EQ(r.finalState.regs[3], 800);
+}
+
+TEST(LevoStats, VePredicationOnForwardBranches)
+{
+    // if (i & 1) skip-then, inside a loop: taken forward branches must
+    // virtually execute the skipped rows.
+    ProgramBuilder pb;
+    const BlockId init = pb.newBlock();
+    const BlockId head = pb.newBlock();
+    const BlockId then_blk = pb.newBlock();
+    const BlockId latch = pb.newBlock();
+    const BlockId done = pb.newBlock();
+    pb.switchTo(init);
+    pb.loadImm(1, 0);
+    pb.loadImm(2, 50);
+    pb.switchTo(head);
+    pb.aluImm(Opcode::AndI, 3, 1, 1);
+    pb.branch(Opcode::BranchNe, 3, kZeroReg, latch); // skip on odd
+    pb.switchTo(then_blk);
+    pb.aluImm(Opcode::AddI, 4, 4, 1);
+    pb.switchTo(latch);
+    pb.aluImm(Opcode::AddI, 1, 1, 1);
+    pb.branch(Opcode::BranchLt, 1, 2, head);
+    pb.switchTo(done);
+    pb.halt();
+    Program p = pb.build();
+    Cfg cfg(p);
+    LevoMachine machine(p, cfg, LevoConfig{});
+    const LevoResult r = machine.run();
+    EXPECT_GT(r.vePredications, 20u);
+    EXPECT_EQ(r.finalState.regs[4], 25);
+}
+
+TEST(LevoDee, CoverageReducesCycles)
+{
+    // An unpredictable-branch loop: DEE paths should absorb most
+    // mispredictions and beat the no-DEE machine.
+    ProgramBuilder pb;
+    const BlockId init = pb.newBlock();
+    const BlockId head = pb.newBlock();
+    const BlockId then_blk = pb.newBlock();
+    const BlockId latch = pb.newBlock();
+    const BlockId done = pb.newBlock();
+    pb.switchTo(init);
+    pb.loadImm(1, 0);
+    pb.loadImm(2, 400);
+    pb.loadImm(31, 0x9e3779b97f4a7c15ll);
+    pb.switchTo(head);
+    pb.alu(Opcode::Mul, 5, 1, 31);
+    pb.aluImm(Opcode::ShrI, 5, 5, 33);
+    pb.aluImm(Opcode::AndI, 5, 5, 1); // pseudo-random bit
+    pb.branch(Opcode::BranchNe, 5, kZeroReg, latch);
+    pb.switchTo(then_blk);
+    pb.aluImm(Opcode::AddI, 4, 4, 3);
+    pb.switchTo(latch);
+    pb.aluImm(Opcode::AddI, 1, 1, 1);
+    pb.branch(Opcode::BranchLt, 1, 2, head);
+    pb.switchTo(done);
+    pb.halt();
+    Program p = pb.build();
+    Cfg cfg(p);
+
+    LevoConfig with_dee;
+    with_dee.deePaths = 3;
+    LevoConfig without_dee = with_dee;
+    without_dee.deePaths = 0;
+
+    const LevoResult a = LevoMachine(p, cfg, with_dee).run();
+    const LevoResult b = LevoMachine(p, cfg, without_dee).run();
+    EXPECT_GT(a.deeCovered, 0u);
+    EXPECT_EQ(b.deeCovered, 0u);
+    EXPECT_LT(a.cycles, b.cycles);
+    // Functional result identical either way.
+    EXPECT_EQ(a.finalState.regs[4], b.finalState.regs[4]);
+}
+
+TEST(LevoConfigTest, TransistorEstimateScales)
+{
+    LevoConfig base; // 32x8, 3 DEE paths
+    const double base_m = base.transistorEstimateMillions();
+    EXPECT_GT(base_m, 10.0);
+
+    LevoConfig big = base;
+    big.deePaths = 11;
+    big.deeColumns = 2;
+    EXPECT_NEAR(big.transistorEstimateMillions() - base_m,
+                11.0 * 2.0 - 3.0, 1e-9)
+        << "each extra 1-column DEE path ~ 1M transistors";
+}
+
+TEST(LevoConfigTest, RejectsBadGeometry)
+{
+    Program p = sumLoop(5);
+    Cfg cfg(p);
+    LevoConfig bad;
+    bad.iqRows = 0;
+    EXPECT_EXIT(LevoMachine(p, cfg, bad), ::testing::ExitedWithCode(1),
+                "at least 1x1");
+}
+
+TEST(LevoPredictors, AlternativePredictorsWork)
+{
+    Program p = makeWorkload(WorkloadId::Compress, 1);
+    Cfg cfg(p);
+    for (const char *name : {"2bit", "pap", "gshare", "oracle"}) {
+        LevoConfig config;
+        config.predictor = name;
+        LevoMachine machine(p, cfg, config);
+        const LevoResult r = machine.run(200'000);
+        EXPECT_GT(r.ipc, 0.5) << name;
+        if (std::string(name) == "oracle")
+            EXPECT_EQ(r.mispredicted, 0u);
+    }
+}
+
+TEST(LevoPredictors, OracleBeatsTwoBit)
+{
+    Program p = makeWorkload(WorkloadId::Cc1, 1);
+    Cfg cfg(p);
+    LevoConfig two_bit;
+    LevoConfig oracle = two_bit;
+    oracle.predictor = "oracle";
+    const LevoResult a = LevoMachine(p, cfg, two_bit).run(500'000);
+    const LevoResult b = LevoMachine(p, cfg, oracle).run(500'000);
+    EXPECT_LE(b.cycles, a.cycles);
+}
+
+} // namespace
+} // namespace dee

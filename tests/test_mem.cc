@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for the cache hierarchy model (src/mem) and its integration
+ * with the ILP simulators, plus the Riseman-Foster limit study
+ * (src/core/sim/limits).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sim/limits.hh"
+#include "core/sim/models.hh"
+#include "mem/cache.hh"
+#include "workloads/suite.hh"
+
+namespace dee
+{
+namespace
+{
+
+TraceRecord
+loadAt(std::uint64_t addr)
+{
+    TraceRecord r;
+    r.op = Opcode::Load;
+    r.rd = 1;
+    r.rs1 = kNoReg;
+    r.memAddr = addr;
+    return r;
+}
+
+TraceRecord
+storeAt(std::uint64_t addr)
+{
+    TraceRecord r;
+    r.op = Opcode::Store;
+    r.rs1 = kNoReg;
+    r.rs2 = kNoReg;
+    r.memAddr = addr;
+    return r;
+}
+
+// --- CacheLevel -------------------------------------------------------------
+
+TEST(CacheLevel, ColdMissThenHit)
+{
+    CacheLevel cache(CacheLevelConfig{8, 4, 2, 1});
+    EXPECT_FALSE(cache.access(100));
+    EXPECT_TRUE(cache.access(100));
+    EXPECT_TRUE(cache.access(103)) << "same 8-word line";
+    EXPECT_FALSE(cache.access(108)) << "next line";
+}
+
+TEST(CacheLevel, LruEviction)
+{
+    // 1 set, 2 ways, 1-word lines: classic LRU behaviour.
+    CacheLevel cache(CacheLevelConfig{1, 1, 2, 1});
+    EXPECT_FALSE(cache.access(1));
+    EXPECT_FALSE(cache.access(2));
+    EXPECT_TRUE(cache.access(1));  // 1 is now MRU
+    EXPECT_FALSE(cache.access(3)); // evicts 2
+    EXPECT_TRUE(cache.access(1));
+    EXPECT_FALSE(cache.access(2)) << "2 was evicted";
+}
+
+TEST(CacheLevel, SetIndexingSeparatesConflicts)
+{
+    // 2 sets: even/odd lines go to different sets.
+    CacheLevel cache(CacheLevelConfig{1, 2, 1, 1});
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_FALSE(cache.access(1));
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_TRUE(cache.access(1));
+    EXPECT_FALSE(cache.access(2)); // conflicts with 0
+    EXPECT_TRUE(cache.access(1)) << "odd set untouched";
+}
+
+TEST(CacheLevel, ResetColdsEverything)
+{
+    CacheLevel cache(CacheLevelConfig{8, 4, 2, 1});
+    cache.access(0);
+    EXPECT_TRUE(cache.access(0));
+    cache.reset();
+    EXPECT_FALSE(cache.access(0));
+}
+
+// --- computeMemoryLatencies -------------------------------------------------
+
+TEST(MemoryReplay, LatenciesPerLevel)
+{
+    // Sequential sweep larger than L1 but inside L2, then re-sweep:
+    // first pass misses everywhere, second pass hits L2 at least.
+    MemoryConfig config;
+    config.l1 = CacheLevelConfig{1, 4, 1, 1};  // 4 words
+    config.l2 = CacheLevelConfig{1, 64, 4, 8}; // 256 words
+    config.memoryLatency = 50;
+
+    Trace t;
+    t.numStatic = 1;
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t a = 0; a < 32; ++a)
+            t.records.push_back(loadAt(a));
+
+    std::vector<int> latencies;
+    const MemoryStats stats =
+        computeMemoryLatencies(t, config, &latencies);
+
+    EXPECT_EQ(stats.accesses, 64u);
+    EXPECT_EQ(stats.loads, 64u);
+    ASSERT_EQ(latencies.size(), t.records.size());
+    for (std::size_t i = 0; i < 32; ++i)
+        EXPECT_EQ(latencies[i], 50) << "cold miss " << i;
+    for (std::size_t i = 32; i < 64; ++i)
+        EXPECT_EQ(latencies[i], 8) << "L2 hit " << i;
+}
+
+TEST(MemoryReplay, TinyWorkingSetAllL1)
+{
+    Trace t;
+    t.numStatic = 1;
+    for (int i = 0; i < 100; ++i)
+        t.records.push_back(loadAt(static_cast<std::uint64_t>(i % 4)));
+    std::vector<int> latencies;
+    const MemoryStats stats =
+        computeMemoryLatencies(t, MemoryConfig{}, &latencies);
+    EXPECT_GT(stats.l1HitRate(), 0.98);
+    EXPECT_NEAR(stats.meanLoadLatency, 1.0, 0.7);
+}
+
+TEST(MemoryReplay, StoresWarmButDoNotCount)
+{
+    Trace t;
+    t.numStatic = 1;
+    t.records.push_back(storeAt(40)); // write-allocate warms the line
+    t.records.push_back(loadAt(40));
+    std::vector<int> latencies;
+    const MemoryStats stats =
+        computeMemoryLatencies(t, MemoryConfig{}, &latencies);
+    EXPECT_EQ(stats.loads, 1u);
+    EXPECT_EQ(stats.accesses, 2u);
+    EXPECT_EQ(latencies[0], 0) << "stores carry no load latency";
+    EXPECT_EQ(latencies[1], MemoryConfig{}.l1.hitLatency);
+}
+
+TEST(MemoryReplay, NonMemoryOpsUntouched)
+{
+    Trace t;
+    t.numStatic = 1;
+    TraceRecord alu;
+    alu.op = Opcode::Add;
+    t.records = {alu, loadAt(0), alu};
+    std::vector<int> latencies;
+    computeMemoryLatencies(t, MemoryConfig{}, &latencies);
+    EXPECT_EQ(latencies[0], 0);
+    EXPECT_EQ(latencies[2], 0);
+}
+
+TEST(MemoryIntegration, SlowerMemoryNeverHelps)
+{
+    const BenchmarkInstance inst = makeInstance(WorkloadId::Compress, 1);
+    std::vector<int> latencies;
+    computeMemoryLatencies(inst.trace, MemoryConfig::small(),
+                           &latencies);
+
+    TwoBitPredictor pa(inst.trace.numStatic);
+    TwoBitPredictor pb(inst.trace.numStatic);
+    ModelRunOptions perfect;
+    ModelRunOptions cached;
+    cached.loadLatencies = &latencies;
+    const SimResult fast = runModel(ModelKind::DEE_CD_MF, inst.trace,
+                                    &inst.cfg, pa, 100, perfect);
+    const SimResult slow = runModel(ModelKind::DEE_CD_MF, inst.trace,
+                                    &inst.cfg, pb, 100, cached);
+    EXPECT_LE(slow.speedup, fast.speedup * 1.0001);
+    EXPECT_GT(slow.speedup, fast.speedup * 0.2)
+        << "caches keep it within a small factor";
+}
+
+TEST(MemoryIntegration, OracleRespectsLoadLatencies)
+{
+    Trace t;
+    t.numStatic = 2;
+    TraceRecord ld = loadAt(12345678); // cold miss
+    TraceRecord use;
+    use.op = Opcode::Add;
+    use.rd = 2;
+    use.rs1 = 1; // depends on the load
+    t.records = {ld, use};
+    std::vector<int> latencies;
+    computeMemoryLatencies(t, MemoryConfig{}, &latencies);
+    ASSERT_EQ(latencies[0], MemoryConfig{}.memoryLatency);
+    const SimResult r = oracleSim(t, LatencyModel::unit(), &latencies);
+    EXPECT_EQ(r.cycles,
+              static_cast<std::uint64_t>(MemoryConfig{}.memoryLatency) +
+                  1);
+}
+
+// --- Riseman-Foster limit study ---------------------------------------------
+
+TEST(LimitStudy, UnlimitedEqualsOracle)
+{
+    const BenchmarkInstance inst = makeInstance(WorkloadId::Compress, 1);
+    const LimitResult unlimited = limitStudy(inst.trace, std::nullopt);
+    const SimResult oracle = oracleSim(inst.trace);
+    EXPECT_EQ(unlimited.cycles, oracle.cycles);
+}
+
+TEST(LimitStudy, MonotoneInBypassCount)
+{
+    const BenchmarkInstance inst = makeInstance(WorkloadId::Xlisp, 1);
+    double prev = 0.0;
+    for (int j : {0, 1, 2, 4, 8, 32}) {
+        const LimitResult r = limitStudy(inst.trace, j);
+        EXPECT_GE(r.speedup, prev * 0.9999) << "j=" << j;
+        prev = r.speedup;
+    }
+    const LimitResult inf = limitStudy(inst.trace, std::nullopt);
+    EXPECT_GE(inf.speedup, prev * 0.9999);
+}
+
+TEST(LimitStudy, ZeroBypassSerializesAtBranches)
+{
+    // Independent instructions separated by a branch: with j=0 the
+    // second group waits for the branch; unlimited runs in 1 cycle.
+    Trace t;
+    t.numStatic = 4;
+    TraceRecord li;
+    li.op = Opcode::LoadImm;
+    li.rd = 1;
+    TraceRecord br;
+    br.op = Opcode::BranchEq;
+    br.isBranch = true;
+    t.records = {li, br, li, li};
+    EXPECT_EQ(limitStudy(t, 0).cycles, 2u);
+    EXPECT_EQ(limitStudy(t, std::nullopt).cycles, 1u);
+    EXPECT_EQ(limitStudy(t, 1).cycles, 1u);
+}
+
+// --- PE limits ---------------------------------------------------------------
+
+TEST(PeLimit, WidthOneIsSequentialIsh)
+{
+    Trace t;
+    t.numStatic = 8;
+    TraceRecord li;
+    li.op = Opcode::LoadImm;
+    li.rd = 1;
+    for (int i = 0; i < 8; ++i)
+        t.records.push_back(li);
+    SimConfig config;
+    config.peLimit = 1;
+    AlwaysTakenPredictor pred;
+    WindowSim sim(t, SpecTree::singlePath(0.9, 4), config);
+    EXPECT_EQ(sim.run(pred).cycles, 8u);
+
+    config.peLimit = 4;
+    WindowSim sim4(t, SpecTree::singlePath(0.9, 4), config);
+    EXPECT_EQ(sim4.run(pred).cycles, 2u);
+
+    config.peLimit = 0;
+    WindowSim sim_inf(t, SpecTree::singlePath(0.9, 4), config);
+    EXPECT_EQ(sim_inf.run(pred).cycles, 1u);
+}
+
+TEST(PeLimit, MonotoneOnRealWorkload)
+{
+    const BenchmarkInstance inst = makeInstance(WorkloadId::Espresso, 1);
+    double prev = 0.0;
+    for (int w : {2, 4, 16, 64, 0}) {
+        TwoBitPredictor pred(inst.trace.numStatic);
+        ModelRunOptions options;
+        options.peLimit = w;
+        const SimResult r = runModel(ModelKind::DEE_CD_MF, inst.trace,
+                                     &inst.cfg, pred, 100, options);
+        EXPECT_GE(r.speedup, prev * 0.9999) << "width " << w;
+        prev = r.speedup;
+    }
+}
+
+TEST(PeLimit, CapsIpcExactly)
+{
+    const BenchmarkInstance inst = makeInstance(WorkloadId::Eqntott, 1);
+    TwoBitPredictor pred(inst.trace.numStatic);
+    ModelRunOptions options;
+    options.peLimit = 4;
+    const SimResult r = runModel(ModelKind::DEE_CD_MF, inst.trace,
+                                 &inst.cfg, pred, 100, options);
+    EXPECT_LE(r.speedup, 4.0001);
+}
+
+} // namespace
+} // namespace dee

@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Tests for the DEE theory core (src/core/tree): Theorem 1 /
+ * Corollary 1 resource allocation, the closed-form static-tree
+ * geometry, and the SpecTree builders — including numeric
+ * reproduction of the paper's Figure 1 and Figure 2 trees.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tree/allocate.hh"
+#include "core/tree/geometry.hh"
+#include "core/tree/spec_tree.hh"
+
+namespace dee
+{
+namespace
+{
+
+// --- Theorem 1 / Corollary 1 -------------------------------------------
+
+TEST(Theorem1, AllResourcesOnLargestCp)
+{
+    const std::vector<PathSpec> paths{{0.7}, {0.3}, {0.21}};
+    const auto assignment = allocateResources(paths, 10.0);
+    EXPECT_DOUBLE_EQ(assignment[0], 10.0);
+    EXPECT_DOUBLE_EQ(assignment[1], 0.0);
+    EXPECT_DOUBLE_EQ(assignment[2], 0.0);
+    EXPECT_DOUBLE_EQ(totalPerformance(paths, assignment), 7.0);
+}
+
+TEST(Corollary1, SaturationSpillsToNextPath)
+{
+    std::vector<PathSpec> paths{{0.7, 4.0}, {0.3, 4.0}, {0.21}};
+    const auto assignment = allocateResources(paths, 10.0);
+    EXPECT_DOUBLE_EQ(assignment[0], 4.0);
+    EXPECT_DOUBLE_EQ(assignment[1], 4.0);
+    EXPECT_DOUBLE_EQ(assignment[2], 2.0);
+}
+
+TEST(Corollary1, AllSaturatedLeavesResourcesIdle)
+{
+    std::vector<PathSpec> paths{{0.9, 2.0}, {0.5, 1.0}};
+    const auto assignment = allocateResources(paths, 10.0);
+    EXPECT_DOUBLE_EQ(assignment[0] + assignment[1], 3.0);
+}
+
+TEST(Theorem1, GreedyMatchesBruteForceExhaustively)
+{
+    // Exhaustive optimality check on small instances: the paper's
+    // greatest-marginal-benefit rule must equal the true optimum.
+    const std::vector<std::vector<PathSpec>> instances = {
+        {{0.7, 3.0}, {0.49, 2.0}, {0.3}, {0.21, 4.0}},
+        {{0.5, 1.0}, {0.5, 1.0}, {0.5, 1.0}},
+        {{0.9, 2.0}, {0.09, 5.0}, {0.009}},
+        {{0.6}, {0.6}},
+        {{0.8, 6.0}, {0.64, 6.0}, {0.512, 6.0}, {0.2, 6.0}},
+    };
+    for (const auto &paths : instances) {
+        for (int e_tot : {1, 3, 7, 12}) {
+            const auto greedy = allocateResources(
+                paths, static_cast<double>(e_tot));
+            const double greedy_perf = totalPerformance(paths, greedy);
+            const double best = bruteForceBest(paths, e_tot);
+            EXPECT_NEAR(greedy_perf, best, 1e-9)
+                << "e_tot=" << e_tot;
+        }
+    }
+}
+
+TEST(Theorem1, ZeroBudgetAssignsNothing)
+{
+    const std::vector<PathSpec> paths{{0.7}};
+    const auto assignment = allocateResources(paths, 0.0);
+    EXPECT_DOUBLE_EQ(assignment[0], 0.0);
+}
+
+TEST(Theorem1, ZeroCpPathsGetNothing)
+{
+    const std::vector<PathSpec> paths{{0.7, 2.0}, {0.0}};
+    const auto assignment = allocateResources(paths, 5.0);
+    EXPECT_DOUBLE_EQ(assignment[1], 0.0);
+}
+
+// --- Closed-form geometry (Section 3.1) ----------------------------------
+
+TEST(Geometry, PaperFigure2DesignPoint)
+{
+    // p = 0.90, E_T = 34 must give the paper's l = 24, h_DEE = 4.
+    const TreeGeometry g = computeGeometry(0.90, 34);
+    EXPECT_EQ(g.mainLineLength, 24);
+    EXPECT_EQ(g.deeHeight, 4);
+    EXPECT_TRUE(g.hasDeeRegion());
+}
+
+TEST(Geometry, ClosedFormsAreMutuallyInverse)
+{
+    for (double p : {0.7, 0.85, 0.9, 0.95}) {
+        for (double h : {1.0, 2.0, 5.0, 10.0}) {
+            const double et = etForHeight(p, h);
+            EXPECT_NEAR(heightForEt(p, et), h, 1e-9)
+                << "p=" << p << " h=" << h;
+        }
+    }
+}
+
+TEST(Geometry, MlLengthRelation)
+{
+    // l = h + log_p(1-p) - 1 (paper's third relation).
+    const double p = 0.9;
+    EXPECT_NEAR(mlLengthForHeight(p, 4.0), 4.0 + logP1mp(p) - 1.0, 1e-12);
+}
+
+TEST(Geometry, LogP1mpKnownValues)
+{
+    EXPECT_NEAR(logP1mp(0.5), 1.0, 1e-12);
+    EXPECT_NEAR(logP1mp(0.9), std::log(0.1) / std::log(0.9), 1e-12);
+}
+
+TEST(Geometry, SmallBudgetDegeneratesToSp)
+{
+    // Below the first-side-path threshold DEE == SP (the paper's
+    // "at and below 16 path resources the DEE tree is the same as SP").
+    const TreeGeometry g = computeGeometry(0.9053, 16);
+    EXPECT_EQ(g.deeHeight, 0);
+    EXPECT_EQ(g.mainLineLength, 16);
+}
+
+TEST(Geometry, ThresholdMatchesLogRelation)
+{
+    const double p = 0.9053;
+    const int threshold = static_cast<int>(logP1mp(p)); // ~21
+    const TreeGeometry below = computeGeometry(p, threshold);
+    EXPECT_EQ(below.deeHeight, 0);
+    const TreeGeometry above = computeGeometry(p, threshold + 10);
+    EXPECT_GT(above.deeHeight, 0);
+}
+
+TEST(Geometry, BudgetExactlySpent)
+{
+    for (double p : {0.86, 0.9, 0.95}) {
+        for (int et : {8, 16, 32, 64, 100, 256}) {
+            const TreeGeometry g = computeGeometry(p, et);
+            const int total = g.mainLineLength +
+                              g.deeHeight * (g.deeHeight + 1) / 2;
+            EXPECT_EQ(total, et) << "p=" << p << " ET=" << et;
+        }
+    }
+}
+
+TEST(Geometry, MlAtLeastAsDeepAsDeeRegion)
+{
+    for (double p : {0.75, 0.86, 0.9, 0.95})
+        for (int et : {4, 8, 32, 128, 512}) {
+            const TreeGeometry g = computeGeometry(p, et);
+            EXPECT_GE(g.mainLineLength, std::max(g.deeHeight, 1));
+        }
+}
+
+TEST(Geometry, ValidityPredicates)
+{
+    EXPECT_TRUE(deeRegionNonEmpty(0.9, 24.0));  // 0.1 > 0.9^24
+    EXPECT_FALSE(deeRegionNonEmpty(0.9, 5.0));  // 0.1 < 0.9^5
+    EXPECT_TRUE(geometryValid(0.9, 24.0));      // 0.9^24 > 0.01
+    EXPECT_FALSE(geometryValid(0.9, 60.0));
+}
+
+TEST(Geometry, RejectsBadInputs)
+{
+    EXPECT_EXIT(computeGeometry(0.3, 10), ::testing::ExitedWithCode(1),
+                "inverted");
+    EXPECT_EXIT(computeGeometry(0.9, 0), ::testing::ExitedWithCode(1),
+                "must be >= 1");
+}
+
+// --- SpecTree builders ----------------------------------------------------
+
+TEST(SpecTreeSp, IsAChainOfPredictedEdges)
+{
+    const SpecTree t = SpecTree::singlePath(0.7, 6);
+    EXPECT_EQ(t.numPaths(), 6);
+    EXPECT_EQ(t.maxDepth(), 6);
+    int cur = SpecTree::kOrigin;
+    double cp = 1.0;
+    for (int d = 1; d <= 6; ++d) {
+        cur = t.child(cur, true);
+        ASSERT_NE(cur, kNoNode);
+        cp *= 0.7;
+        EXPECT_NEAR(t.node(cur).cp, cp, 1e-12);
+        EXPECT_EQ(t.child(t.node(cur).parent, false), kNoNode);
+    }
+}
+
+TEST(SpecTreeSp, Figure1SpCumulativeProbabilities)
+{
+    // Figure 1 SP tree, p = 0.7: cps .7 .49 .34 .24 .17 .12.
+    const SpecTree t = SpecTree::singlePath(0.7, 6);
+    const double expect[] = {0.7, 0.49, 0.343, 0.2401, 0.16807,
+                             0.117649};
+    int cur = SpecTree::kOrigin;
+    for (int d = 0; d < 6; ++d) {
+        cur = t.child(cur, true);
+        EXPECT_NEAR(t.node(cur).cp, expect[d], 1e-9);
+    }
+}
+
+TEST(SpecTreeEe, CompleteLevels)
+{
+    // Figure 1 EE tree: 6 paths = two full levels, depth 2.
+    const SpecTree t = SpecTree::eager(0.7, 6);
+    EXPECT_EQ(t.numPaths(), 6);
+    EXPECT_EQ(t.maxDepth(), 2);
+    // Every depth-1 node has both children.
+    const int p1 = t.child(SpecTree::kOrigin, true);
+    const int n1 = t.child(SpecTree::kOrigin, false);
+    ASSERT_NE(p1, kNoNode);
+    ASSERT_NE(n1, kNoNode);
+    EXPECT_NE(t.child(p1, true), kNoNode);
+    EXPECT_NE(t.child(p1, false), kNoNode);
+    EXPECT_NE(t.child(n1, true), kNoNode);
+    EXPECT_NE(t.child(n1, false), kNoNode);
+    EXPECT_NEAR(t.node(n1).cp, 0.3, 1e-12);
+    EXPECT_NEAR(t.node(t.child(n1, false)).cp, 0.09, 1e-12);
+}
+
+TEST(SpecTreeEe, CoversEveryOutcomeToDepth)
+{
+    const SpecTree t = SpecTree::eager(0.6, 14); // depth 3 complete
+    for (int mask = 0; mask < 8; ++mask) {
+        std::vector<bool> outcomes{(mask & 1) != 0, (mask & 2) != 0,
+                                   (mask & 4) != 0};
+        const auto covered = t.walk(outcomes);
+        EXPECT_NE(covered[0], kNoNode);
+        EXPECT_NE(covered[1], kNoNode);
+        EXPECT_NE(covered[2], kNoNode);
+    }
+}
+
+TEST(SpecTreeDeeGreedy, Figure1DeeTree)
+{
+    // Figure 1 DEE, p = 0.7, 6 paths: ML depth 4 (.7 .49 .34 .24), a
+    // side path off the root (.3) extended one predicted step (.21).
+    const SpecTree t = SpecTree::deeGreedy(0.7, 6);
+    EXPECT_EQ(t.numPaths(), 6);
+
+    const int m1 = t.child(SpecTree::kOrigin, true);
+    const int s1 = t.child(SpecTree::kOrigin, false);
+    ASSERT_NE(m1, kNoNode);
+    ASSERT_NE(s1, kNoNode);
+    EXPECT_NEAR(t.node(s1).cp, 0.3, 1e-12);
+
+    const int m2 = t.child(m1, true);
+    const int m3 = t.child(m2, true);
+    const int m4 = t.child(m3, true);
+    ASSERT_NE(m4, kNoNode);
+    EXPECT_NEAR(t.node(m4).cp, 0.2401, 1e-9);
+    EXPECT_EQ(t.child(m4, true), kNoNode) << "ML stops at depth 4";
+
+    const int s1ext = t.child(s1, true);
+    ASSERT_NE(s1ext, kNoNode);
+    EXPECT_NEAR(t.node(s1ext).cp, 0.21, 1e-12);
+}
+
+TEST(SpecTreeDeeGreedy, AssignmentOrderMatchesFigure1)
+{
+    // Circled numbers in Figure 1: resources go to cps
+    // .7 .49 .34 .3 .24 .21 in that order.
+    const SpecTree t = SpecTree::deeGreedy(0.7, 6);
+    const auto order = t.assignmentOrder();
+    ASSERT_EQ(order.size(), 6u);
+    const double expect[] = {0.7, 0.49, 0.343, 0.3, 0.2401, 0.21};
+    for (int i = 0; i < 6; ++i)
+        EXPECT_NEAR(t.node(order[i]).cp, expect[i], 1e-9) << "i=" << i;
+}
+
+TEST(SpecTreeDeeGreedy, HighAccuracyDegeneratesToSp)
+{
+    // p -> 1: DEE becomes SP (paper Section 2).
+    const SpecTree t = SpecTree::deeGreedy(0.99, 20);
+    EXPECT_EQ(t.maxDepth(), 20);
+    int cur = SpecTree::kOrigin;
+    for (int d = 0; d < 20; ++d) {
+        EXPECT_EQ(t.child(cur, false), kNoNode);
+        cur = t.child(cur, true);
+    }
+}
+
+TEST(SpecTreeDeeGreedy, FiftyPercentDegeneratesToEager)
+{
+    // p -> 0.5: DEE becomes EE (paper Section 2): with 6 paths both
+    // children of the origin and all four grandchildren are included.
+    const SpecTree t = SpecTree::deeGreedy(0.5, 6);
+    EXPECT_EQ(t.maxDepth(), 2);
+    const int p1 = t.child(SpecTree::kOrigin, true);
+    const int n1 = t.child(SpecTree::kOrigin, false);
+    EXPECT_NE(t.child(p1, true), kNoNode);
+    EXPECT_NE(t.child(p1, false), kNoNode);
+    EXPECT_NE(t.child(n1, true), kNoNode);
+    EXPECT_NE(t.child(n1, false), kNoNode);
+}
+
+TEST(SpecTreeDeeGreedy, GreedyIncludesTopCpNodes)
+{
+    // Every included node must have cp >= every excluded candidate.
+    const double p = 0.85;
+    const SpecTree t = SpecTree::deeGreedy(p, 40);
+    double min_included = 1.0;
+    double max_frontier = 0.0;
+    for (int i = 1; i <= t.numPaths(); ++i) {
+        const TreeNode &n = t.node(i);
+        min_included = std::min(min_included, n.cp);
+        if (n.predChild == kNoNode)
+            max_frontier = std::max(max_frontier, n.cp * p);
+        if (n.npredChild == kNoNode)
+            max_frontier = std::max(max_frontier, n.cp * (1.0 - p));
+    }
+    EXPECT_GE(min_included, max_frontier - 1e-12);
+}
+
+TEST(SpecTreeDeeStatic, Figure2Shape)
+{
+    // p = 0.9, E_T = 34: ML of 24, triangular DEE region of height 4;
+    // side path off the root has cp 0.1, off ML-1 0.09, etc.
+    const SpecTree t = SpecTree::deeStatic(0.9, 34);
+    EXPECT_EQ(t.numPaths(), 34);
+    EXPECT_EQ(t.maxDepth(), 24);
+
+    const int side1 = t.child(SpecTree::kOrigin, false);
+    ASSERT_NE(side1, kNoNode);
+    EXPECT_NEAR(t.node(side1).cp, 0.1, 1e-12);
+
+    const int m1 = t.child(SpecTree::kOrigin, true);
+    EXPECT_NEAR(t.node(m1).cp, 0.9, 1e-12);
+    const int side2 = t.child(m1, false);
+    ASSERT_NE(side2, kNoNode);
+    EXPECT_NEAR(t.node(side2).cp, 0.09, 1e-12);
+
+    // Side path 1 extends to depth 4: 0.1 * 0.9^3 = 0.0729.
+    int cur = side1;
+    for (int d = 2; d <= 4; ++d) {
+        cur = t.child(cur, true);
+        ASSERT_NE(cur, kNoNode) << "d=" << d;
+    }
+    EXPECT_NEAR(t.node(cur).cp, 0.0729, 1e-9);
+    EXPECT_EQ(t.child(cur, true), kNoNode) << "side paths end at h";
+}
+
+TEST(SpecTreeDeeStatic, SidePathsOnlyOffFirstHBranches)
+{
+    const SpecTree t = SpecTree::deeStatic(0.9, 34);
+    int cur = SpecTree::kOrigin;
+    for (int depth = 0; depth < 24; ++depth) {
+        const int side = t.child(cur, false);
+        if (depth < 4)
+            EXPECT_NE(side, kNoNode) << "depth=" << depth;
+        else
+            EXPECT_EQ(side, kNoNode) << "depth=" << depth;
+        cur = t.child(cur, true);
+    }
+}
+
+TEST(SpecTreeDeeStatic, MatchesGreedyShapeAtFigure2Point)
+{
+    // At the paper's own design point the heuristic tree and the
+    // theory-exact greedy tree agree on node count per depth.
+    const SpecTree heuristic = SpecTree::deeStatic(0.9, 34);
+    const SpecTree greedy = SpecTree::deeGreedy(0.9, 34);
+    std::vector<int> count_h(40, 0), count_g(40, 0);
+    for (int i = 1; i <= heuristic.numPaths(); ++i)
+        ++count_h[heuristic.node(i).depth];
+    for (int i = 1; i <= greedy.numPaths(); ++i)
+        ++count_g[greedy.node(i).depth];
+    // Same total and similar profile (identical at the design point).
+    EXPECT_EQ(heuristic.numPaths(), greedy.numPaths());
+    for (int d = 1; d < 6; ++d)
+        EXPECT_EQ(count_h[d], count_g[d]) << "depth=" << d;
+}
+
+TEST(SpecTreeWalk, FollowsOutcomes)
+{
+    const SpecTree t = SpecTree::deeStatic(0.9, 34);
+    // All-correct: follows ML for 24 steps.
+    std::vector<bool> all_correct(30, true);
+    auto covered = t.walk(all_correct);
+    for (int d = 0; d < 24; ++d)
+        EXPECT_NE(covered[d], kNoNode) << d;
+    EXPECT_EQ(covered[24], kNoNode);
+
+    // One early mispredict: side path to depth 4.
+    std::vector<bool> one_miss{false, true, true, true, true};
+    covered = t.walk(one_miss);
+    EXPECT_NE(covered[0], kNoNode);
+    EXPECT_NE(covered[3], kNoNode); // depth 4 via side path
+    EXPECT_EQ(covered[4], kNoNode); // beyond the side path
+
+    // Two mispredicts: uncovered after the second.
+    std::vector<bool> two_miss{false, false, true};
+    covered = t.walk(two_miss);
+    EXPECT_NE(covered[0], kNoNode);
+    EXPECT_EQ(covered[1], kNoNode);
+    EXPECT_EQ(covered[2], kNoNode);
+}
+
+TEST(SpecTreeRender, MentionsStructure)
+{
+    const SpecTree t = SpecTree::deeGreedy(0.7, 6);
+    const std::string out = t.render();
+    EXPECT_NE(out.find("paths=6"), std::string::npos);
+    EXPECT_NE(out.find("cp=0.700"), std::string::npos);
+    EXPECT_NE(out.find("N cp=0.300"), std::string::npos);
+}
+
+TEST(SpecTreeInvariants, CpProductsAndDepths)
+{
+    for (double p : {0.6, 0.8, 0.92}) {
+        const SpecTree t = SpecTree::deeGreedy(p, 50);
+        for (int i = 1; i <= t.numPaths(); ++i) {
+            const TreeNode &n = t.node(i);
+            const TreeNode &par = t.node(n.parent);
+            EXPECT_EQ(n.depth, par.depth + 1);
+            const double local = n.viaPredicted ? p : 1.0 - p;
+            EXPECT_NEAR(n.cp, par.cp * local, 1e-12);
+        }
+    }
+}
+
+} // namespace
+} // namespace dee

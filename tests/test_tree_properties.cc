@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Parameterized property sweeps over (p, E_T) design points for the
+ * speculation-tree builders: structural theorems that must hold at
+ * every point, not just the paper's examples.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tree/geometry.hh"
+#include "core/tree/spec_tree.hh"
+
+namespace dee
+{
+namespace
+{
+
+struct DesignPoint
+{
+    double p;
+    int et;
+};
+
+class TreeSweep : public ::testing::TestWithParam<DesignPoint>
+{
+};
+
+TEST_P(TreeSweep, StaticTreeSpendsExactBudget)
+{
+    const auto [p, et] = GetParam();
+    const SpecTree tree = SpecTree::deeStatic(p, et);
+    EXPECT_EQ(tree.numPaths(), et);
+}
+
+TEST_P(TreeSweep, GreedyTreeSpendsExactBudget)
+{
+    const auto [p, et] = GetParam();
+    const SpecTree tree = SpecTree::deeGreedy(p, et);
+    EXPECT_EQ(tree.numPaths(), et);
+}
+
+TEST_P(TreeSweep, EagerTreeSpendsExactBudget)
+{
+    const auto [p, et] = GetParam();
+    const SpecTree tree = SpecTree::eager(p, et);
+    EXPECT_EQ(tree.numPaths(), et);
+}
+
+TEST_P(TreeSweep, StaticCoverageTheorem)
+{
+    // deeStatic covers exactly: all-correct prefixes to depth l, and
+    // single-mispredict prefixes (mispredict at depth j <= h) to depth
+    // h; nothing past a second mispredict.
+    const auto [p, et] = GetParam();
+    const TreeGeometry g = computeGeometry(p, et);
+    const SpecTree tree = SpecTree::deeStatic(g);
+    const int l = g.mainLineLength;
+    const int h = g.deeHeight;
+
+    // All-correct.
+    {
+        std::vector<bool> outcomes(static_cast<std::size_t>(l) + 3,
+                                   true);
+        const auto covered = tree.walk(outcomes);
+        for (int d = 0; d < l; ++d)
+            EXPECT_NE(covered[static_cast<std::size_t>(d)], kNoNode);
+        EXPECT_EQ(covered[static_cast<std::size_t>(l)], kNoNode);
+    }
+    // One mispredict at each depth.
+    for (int j = 1; j <= l + 1; ++j) {
+        std::vector<bool> outcomes(static_cast<std::size_t>(l) + 3,
+                                   true);
+        outcomes[static_cast<std::size_t>(j - 1)] = false;
+        const auto covered = tree.walk(outcomes);
+        for (std::size_t d = 0; d < outcomes.size(); ++d) {
+            const int depth = static_cast<int>(d) + 1;
+            bool expect_covered;
+            if (depth < j) {
+                expect_covered = depth <= l; // still on the ML
+            } else {
+                // Crossed the mispredict: only a side path can cover,
+                // which exists iff j <= h, reaching down to depth h.
+                expect_covered = j <= h && depth <= h;
+            }
+            EXPECT_EQ(covered[d] != kNoNode, expect_covered)
+                << "p=" << GetParam().p << " et=" << GetParam().et
+                << " mispredict at " << j << " depth " << depth;
+        }
+    }
+    // Two mispredicts: nothing covered past the second.
+    if (h >= 2) {
+        std::vector<bool> outcomes(static_cast<std::size_t>(h) + 2,
+                                   true);
+        outcomes[0] = false;
+        outcomes[1] = false;
+        const auto covered = tree.walk(outcomes);
+        EXPECT_NE(covered[0], kNoNode);
+        for (std::size_t d = 1; d < outcomes.size(); ++d)
+            EXPECT_EQ(covered[d], kNoNode);
+    }
+}
+
+TEST_P(TreeSweep, GreedyPtotDominatesOtherShapes)
+{
+    // Theorem 1 by construction: the greedy tree's total cp is maximal
+    // among the equal-budget shapes we can build.
+    const auto [p, et] = GetParam();
+    auto ptot = [](const SpecTree &t) {
+        double sum = 0.0;
+        for (int i = 1; i <= t.numPaths(); ++i)
+            sum += t.node(i).cp;
+        return sum;
+    };
+    const double greedy = ptot(SpecTree::deeGreedy(p, et));
+    EXPECT_GE(greedy, ptot(SpecTree::singlePath(p, et)) - 1e-9);
+    EXPECT_GE(greedy, ptot(SpecTree::eager(p, et)) - 1e-9);
+    EXPECT_GE(greedy, ptot(SpecTree::deeStatic(p, et)) - 1e-9);
+}
+
+TEST_P(TreeSweep, StaticHeuristicNearGreedy)
+{
+    // The Section 3 heuristic gives up little of the theory optimum.
+    const auto [p, et] = GetParam();
+    auto ptot = [](const SpecTree &t) {
+        double sum = 0.0;
+        for (int i = 1; i <= t.numPaths(); ++i)
+            sum += t.node(i).cp;
+        return sum;
+    };
+    const double greedy = ptot(SpecTree::deeGreedy(p, et));
+    const double heuristic = ptot(SpecTree::deeStatic(p, et));
+    const TreeGeometry g = computeGeometry(p, et);
+    if (geometryValid(p, g.mainLineLength)) {
+        // Inside the closed forms' validity region ("these relations
+        // hold while p^l > (1-p)^2") the heuristic is near-optimal.
+        EXPECT_GE(heuristic, 0.93 * greedy)
+            << "p=" << p << " et=" << et;
+    } else {
+        // Outside it (low p: second-order side paths matter, greedy
+        // grows an EE-like bush) the triangle gives up more, but stays
+        // within half of the theory optimum.
+        EXPECT_GE(heuristic, 0.48 * greedy)
+            << "p=" << p << " et=" << et;
+    }
+}
+
+TEST_P(TreeSweep, EagerDepthIsLogarithmic)
+{
+    const auto [p, et] = GetParam();
+    const SpecTree tree = SpecTree::eager(p, et);
+    const int depth = tree.maxDepth();
+    EXPECT_LE(std::pow(2.0, depth - 1), et + 1);
+    EXPECT_GE(std::pow(2.0, depth + 1) - 2, et);
+}
+
+TEST_P(TreeSweep, AssignmentOrderIsByDescendingCp)
+{
+    const auto [p, et] = GetParam();
+    const SpecTree tree = SpecTree::deeGreedy(p, et);
+    const auto order = tree.assignmentOrder();
+    for (std::size_t i = 1; i < order.size(); ++i)
+        EXPECT_LE(tree.node(order[i]).cp,
+                  tree.node(order[i - 1]).cp + 1e-12);
+}
+
+std::vector<DesignPoint>
+designPoints()
+{
+    std::vector<DesignPoint> points;
+    for (double p : {0.55, 0.7, 0.8, 0.86, 0.9053, 0.95, 0.98})
+        for (int et : {1, 2, 6, 16, 34, 100, 256})
+            points.push_back(DesignPoint{p, et});
+    return points;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TreeSweep, ::testing::ValuesIn(designPoints()),
+    [](const ::testing::TestParamInfo<DesignPoint> &info) {
+        return "p" +
+               std::to_string(static_cast<int>(info.param.p * 10000)) +
+               "_et" + std::to_string(info.param.et);
+    });
+
+} // namespace
+} // namespace dee

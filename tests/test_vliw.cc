@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Tests for liveness analysis (src/cfg/liveness) and the software-DEE
+ * VLIW scheduler (src/vliw): schedule legality, hoisting safety, edge
+ * accounting, and policy ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/liveness.hh"
+#include "isa/builder.hh"
+#include "vliw/vliw.hh"
+#include "workloads/suite.hh"
+
+namespace dee
+{
+namespace
+{
+
+// --- Liveness ----------------------------------------------------------------
+
+Program
+diamondProgram()
+{
+    // B0: r1=..., beq -> B2 ; B1 (then): uses r1, defines r4
+    // B2 (join): uses r2; r4 dead there.
+    ProgramBuilder pb;
+    const BlockId b0 = pb.newBlock();
+    const BlockId b1 = pb.newBlock();
+    const BlockId b2 = pb.newBlock();
+    pb.switchTo(b0);
+    pb.loadImm(1, 3);
+    pb.loadImm(2, 4);
+    pb.branch(Opcode::BranchEq, 1, 2, b2);
+    pb.switchTo(b1);
+    pb.aluImm(Opcode::AddI, 4, 1, 1);
+    pb.store(4, kZeroReg, 8);
+    pb.switchTo(b2);
+    pb.store(2, kZeroReg, 16);
+    pb.halt();
+    return pb.build();
+}
+
+TEST(Liveness, DiamondSets)
+{
+    Program p = diamondProgram();
+    Cfg cfg(p);
+    Liveness live(p, cfg);
+
+    // r1 is live into the then-block (read there); r2 live into join.
+    EXPECT_TRUE(live.isLiveIn(1, 1));
+    EXPECT_TRUE(live.isLiveIn(2, 2));
+    // r4 is defined in B1 and dead at the join.
+    EXPECT_FALSE(live.isLiveIn(2, 4));
+    // Nothing is live into B0 (all inputs are immediates).
+    EXPECT_FALSE(live.isLiveIn(0, 1));
+    EXPECT_FALSE(live.isLiveIn(0, 2));
+    // liveOut(B0) contains both paths' needs.
+    EXPECT_TRUE(live.liveOut(0).test(1));
+    EXPECT_TRUE(live.liveOut(0).test(2));
+}
+
+TEST(Liveness, LoopCarriedRegistersStayLive)
+{
+    ProgramBuilder pb;
+    const BlockId init = pb.newBlock();
+    const BlockId body = pb.newBlock();
+    const BlockId done = pb.newBlock();
+    pb.switchTo(init);
+    pb.loadImm(1, 0);
+    pb.loadImm(2, 10);
+    pb.switchTo(body);
+    pb.aluImm(Opcode::AddI, 1, 1, 1);
+    pb.branch(Opcode::BranchLt, 1, 2, body);
+    pb.switchTo(done);
+    pb.halt();
+    Program p = pb.build();
+    Cfg cfg(p);
+    Liveness live(p, cfg);
+    // Counter and limit are live around the back edge.
+    EXPECT_TRUE(live.isLiveIn(body, 1));
+    EXPECT_TRUE(live.isLiveIn(body, 2));
+    EXPECT_TRUE(live.liveOut(body).test(1));
+    // Dead after the loop.
+    EXPECT_FALSE(live.isLiveIn(done, 1));
+}
+
+TEST(Liveness, ZeroRegisterNeverLive)
+{
+    Program p = diamondProgram();
+    Cfg cfg(p);
+    Liveness live(p, cfg);
+    for (BlockId b = 0; b < p.numBlocks(); ++b)
+        EXPECT_FALSE(live.isLiveIn(b, kZeroReg));
+}
+
+TEST(Liveness, UseDefHelpers)
+{
+    Instruction add{Opcode::Add, 3, 1, 2, 0, 0};
+    EXPECT_TRUE(usesOf(add).test(1));
+    EXPECT_TRUE(usesOf(add).test(2));
+    EXPECT_FALSE(usesOf(add).test(3));
+    EXPECT_TRUE(defsOf(add).test(3));
+    EXPECT_EQ(defsOf(add).count(), 1u);
+
+    Instruction store{Opcode::Store, kNoReg, 4, 5, 0, 0};
+    EXPECT_TRUE(defsOf(store).none());
+}
+
+// --- VLIW base scheduling -------------------------------------------------
+
+std::vector<double>
+flatProfile(const Program &p, double value = 0.8)
+{
+    return std::vector<double>(p.numInstrs(), value);
+}
+
+TEST(VliwSchedule, WidthBoundsBundles)
+{
+    // 8 independent li's: 4-wide -> 2 bundles (+ none for halt block).
+    ProgramBuilder pb;
+    pb.newBlock();
+    for (RegId r = 1; r <= 8; ++r)
+        pb.loadImm(r, r);
+    pb.halt();
+    Program p = pb.build();
+    Cfg cfg(p);
+    VliwConfig config;
+    config.width = 4;
+    config.policy = HoistPolicy::None;
+    VliwScheduler sched(p, cfg, config, flatProfile(p));
+    // 9 instructions (8 li + halt): halt shares the last bundle when a
+    // slot is free, else adds one.
+    EXPECT_LE(sched.blockSchedule(0).bundles, 3);
+    EXPECT_GE(sched.blockSchedule(0).bundles, 2);
+}
+
+TEST(VliwSchedule, ChainsSerialize)
+{
+    ProgramBuilder pb;
+    pb.newBlock();
+    pb.loadImm(1, 0);
+    for (int i = 0; i < 6; ++i)
+        pb.aluImm(Opcode::AddI, 1, 1, 1);
+    pb.halt();
+    Program p = pb.build();
+    Cfg cfg(p);
+    VliwConfig config;
+    config.width = 8;
+    config.policy = HoistPolicy::None;
+    VliwScheduler sched(p, cfg, config, flatProfile(p));
+    EXPECT_GE(sched.blockSchedule(0).bundles, 7);
+}
+
+TEST(VliwSchedule, MemoryOrderingRespected)
+{
+    // store; load (same addr class): the load must not pass the store.
+    ProgramBuilder pb;
+    pb.newBlock();
+    pb.loadImm(1, 7);
+    pb.store(1, kZeroReg, 8);
+    pb.load(2, kZeroReg, 8);
+    pb.halt();
+    Program p = pb.build();
+    Cfg cfg(p);
+    VliwConfig config;
+    config.width = 8;
+    config.policy = HoistPolicy::None;
+    VliwScheduler sched(p, cfg, config, flatProfile(p));
+    // li(0) -> store(1) -> load(2): at least 3 bundles.
+    EXPECT_GE(sched.blockSchedule(0).bundles, 3);
+}
+
+// --- Hoisting ------------------------------------------------------------
+
+Program
+hoistableDiamond()
+{
+    // B0: slow chain + branch (free slots exist);
+    // B1 (then): independent li r10; B2 (else via taken): li r11;
+    // B3 join: halt. r10/r11 dead on the opposite paths.
+    ProgramBuilder pb;
+    const BlockId b0 = pb.newBlock();
+    const BlockId b1 = pb.newBlock();
+    const BlockId b2 = pb.newBlock();
+    const BlockId b3 = pb.newBlock();
+    pb.switchTo(b0);
+    pb.loadImm(1, 0);
+    pb.aluImm(Opcode::AddI, 1, 1, 1);
+    pb.aluImm(Opcode::AddI, 1, 1, 1);
+    pb.aluImm(Opcode::AddI, 1, 1, 1);
+    pb.branch(Opcode::BranchEq, 1, kZeroReg, b2);
+    pb.switchTo(b1);
+    pb.loadImm(10, 5);
+    pb.store(10, kZeroReg, 8);
+    pb.jump(b3);
+    pb.switchTo(b2);
+    pb.loadImm(11, 6);
+    pb.store(11, kZeroReg, 16);
+    pb.switchTo(b3);
+    pb.halt();
+    return pb.build();
+}
+
+TEST(VliwHoist, FillsFreeSlotsSafely)
+{
+    Program p = hoistableDiamond();
+    Cfg cfg(p);
+    Liveness live(p, cfg);
+    VliwConfig config;
+    config.width = 4;
+    config.policy = HoistPolicy::Dee;
+    VliwScheduler sched(p, cfg, config, flatProfile(p, 0.3));
+    EXPECT_GT(sched.totalHoisted(), 0);
+
+    // Every hoisted instruction's dest must be dead on the other path.
+    const auto &h_fall = sched.hoistedAlong(0, 1);
+    const auto &h_taken = sched.hoistedAlong(0, 2);
+    for (std::size_t idx : h_fall) {
+        const RegId d = p.block(1).instrs[idx].dest();
+        EXPECT_FALSE(live.isLiveIn(2, d));
+    }
+    for (std::size_t idx : h_taken) {
+        const RegId d = p.block(2).instrs[idx].dest();
+        EXPECT_FALSE(live.isLiveIn(1, d));
+    }
+}
+
+TEST(VliwHoist, AdjustedBundlesNeverExceedBase)
+{
+    const BenchmarkInstance inst = makeInstance(WorkloadId::Cc1, 1);
+    VliwConfig config;
+    config.policy = HoistPolicy::Dee;
+    VliwScheduler sched(inst.program, inst.cfg, config,
+                        flatProfile(inst.program));
+    for (BlockId b = 0; b < inst.program.numBlocks(); ++b) {
+        for (BlockId s : inst.cfg.successors(b)) {
+            if (s >= inst.program.numBlocks())
+                continue;
+            EXPECT_LE(sched.adjustedBundles(b, s),
+                      sched.blockSchedule(s).bundles);
+        }
+    }
+}
+
+TEST(VliwHoist, NonePolicyHoistsNothing)
+{
+    const BenchmarkInstance inst = makeInstance(WorkloadId::Xlisp, 1);
+    VliwConfig config;
+    config.policy = HoistPolicy::None;
+    VliwScheduler sched(inst.program, inst.cfg, config,
+                        flatProfile(inst.program));
+    EXPECT_EQ(sched.totalHoisted(), 0);
+}
+
+TEST(VliwEvaluate, CyclesBounds)
+{
+    const BenchmarkInstance inst = makeInstance(WorkloadId::Compress, 1);
+    VliwConfig config;
+    config.width = 4;
+    config.policy = HoistPolicy::Dee;
+    VliwScheduler sched(inst.program, inst.cfg, config,
+                        flatProfile(inst.program));
+    const std::uint64_t cycles = sched.evaluate(inst.trace);
+    // Can't beat width; can't be slower than 1 instr/bundle + blocks.
+    EXPECT_GE(cycles, inst.trace.size() / 4);
+    EXPECT_LE(cycles, 2 * inst.trace.size());
+}
+
+TEST(VliwEvaluate, PolicyOrderingOnSuite)
+{
+    // dee >= single-path >= none in total cycles (lower is better).
+    const BenchmarkInstance inst = makeInstance(WorkloadId::Espresso, 1);
+    // Use the real profile.
+    std::vector<double> freq(inst.trace.numStatic, 0.5);
+    {
+        std::vector<double> seen(inst.trace.numStatic, 0.0);
+        std::vector<double> taken(inst.trace.numStatic, 0.0);
+        for (const auto &rec : inst.trace.records) {
+            if (!rec.isBranch)
+                continue;
+            seen[rec.sid] += 1;
+            taken[rec.sid] += rec.taken ? 1 : 0;
+        }
+        for (std::size_t s = 0; s < freq.size(); ++s)
+            if (seen[s] > 0)
+                freq[s] = taken[s] / seen[s];
+    }
+    auto cycles_for = [&](HoistPolicy policy) {
+        VliwConfig config;
+        config.width = 4;
+        config.policy = policy;
+        config.maxHoistPerBlock = 2;
+        VliwScheduler sched(inst.program, inst.cfg, config, freq);
+        return sched.evaluate(inst.trace);
+    };
+    const auto none = cycles_for(HoistPolicy::None);
+    const auto sp = cycles_for(HoistPolicy::SinglePath);
+    const auto dee = cycles_for(HoistPolicy::Dee);
+    EXPECT_LE(sp, none);
+    EXPECT_LE(dee, sp);
+}
+
+TEST(VliwEvaluate, Deterministic)
+{
+    const BenchmarkInstance inst = makeInstance(WorkloadId::Eqntott, 1);
+    VliwConfig config;
+    VliwScheduler a(inst.program, inst.cfg, config,
+                    flatProfile(inst.program));
+    VliwScheduler b(inst.program, inst.cfg, config,
+                    flatProfile(inst.program));
+    EXPECT_EQ(a.evaluate(inst.trace), b.evaluate(inst.trace));
+    EXPECT_EQ(a.totalHoisted(), b.totalHoisted());
+}
+
+TEST(VliwNames, PolicyNames)
+{
+    EXPECT_STREQ(hoistPolicyName(HoistPolicy::Dee), "dee");
+    EXPECT_STREQ(hoistPolicyName(HoistPolicy::None), "none");
+    EXPECT_STREQ(hoistPolicyName(HoistPolicy::SinglePath),
+                 "single-path");
+    EXPECT_STREQ(hoistPolicyName(HoistPolicy::Eager), "eager");
+}
+
+} // namespace
+} // namespace dee

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the loop unrolling filter (src/xform): loop detection,
+ * branch inversion, structural correctness, and — the critical
+ * property — exact semantic preservation against the interpreter on
+ * workloads and random programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/cfg.hh"
+#include "exec/interp.hh"
+#include "isa/builder.hh"
+#include "levo/levo.hh"
+#include "workloads/random_program.hh"
+#include "workloads/workloads.hh"
+#include "xform/unroll.hh"
+
+namespace dee
+{
+namespace
+{
+
+Program
+countedLoop(std::int64_t n, int body_ops)
+{
+    ProgramBuilder pb;
+    const BlockId init = pb.newBlock();
+    const BlockId body = pb.newBlock();
+    const BlockId done = pb.newBlock();
+    pb.switchTo(init);
+    pb.loadImm(1, 0);
+    pb.loadImm(2, n);
+    pb.switchTo(body);
+    for (int i = 0; i < body_ops; ++i)
+        pb.aluImm(Opcode::AddI, 3, 3, 1);
+    pb.aluImm(Opcode::AddI, 1, 1, 1);
+    pb.branch(Opcode::BranchLt, 1, 2, body);
+    pb.switchTo(done);
+    pb.store(3, kZeroReg, 8);
+    pb.halt();
+    return pb.build();
+}
+
+void
+expectSameSemantics(const Program &a, const Program &b,
+                    std::uint64_t cap = 3'000'000)
+{
+    Interpreter ia(a), ib(b);
+    const ExecResult ra = ia.run(cap, false);
+    const ExecResult rb = ib.run(cap, false);
+    ASSERT_TRUE(ra.halted);
+    ASSERT_TRUE(rb.halted);
+    for (int r = 0; r < kNumRegs; ++r)
+        EXPECT_EQ(ra.state.regs[r], rb.state.regs[r]) << "r" << r;
+    EXPECT_EQ(ra.state.memory.size(), rb.state.memory.size());
+    for (const auto &[addr, val] : ra.state.memory)
+        EXPECT_EQ(rb.state.readMem(addr), val) << "addr " << addr;
+}
+
+TEST(InvertBranch, AllFourOps)
+{
+    EXPECT_EQ(invertBranch(Opcode::BranchEq), Opcode::BranchNe);
+    EXPECT_EQ(invertBranch(Opcode::BranchNe), Opcode::BranchEq);
+    EXPECT_EQ(invertBranch(Opcode::BranchLt), Opcode::BranchGe);
+    EXPECT_EQ(invertBranch(Opcode::BranchGe), Opcode::BranchLt);
+}
+
+TEST(FindLoops, DetectsCountedLoop)
+{
+    Program p = countedLoop(10, 3);
+    const auto loops = findSimpleLoops(p);
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops[0].head, 1u);
+    EXPECT_EQ(loops[0].latch, 1u);
+    EXPECT_EQ(loops[0].bodyInstrs, 5u);
+}
+
+TEST(FindLoops, RejectsNestedInner)
+{
+    // Outer loop containing an inner loop: the outer candidate has an
+    // interior back edge and must be rejected; the inner is eligible.
+    ProgramBuilder pb;
+    const BlockId init = pb.newBlock();
+    const BlockId outer_head = pb.newBlock();
+    const BlockId inner_body = pb.newBlock();
+    const BlockId outer_latch = pb.newBlock();
+    const BlockId done = pb.newBlock();
+    pb.switchTo(init);
+    pb.loadImm(1, 0);
+    pb.loadImm(2, 5);
+    pb.switchTo(outer_head);
+    pb.loadImm(3, 0);
+    pb.loadImm(4, 4);
+    pb.switchTo(inner_body);
+    pb.aluImm(Opcode::AddI, 3, 3, 1);
+    pb.branch(Opcode::BranchLt, 3, 4, inner_body);
+    pb.switchTo(outer_latch);
+    pb.aluImm(Opcode::AddI, 1, 1, 1);
+    pb.branch(Opcode::BranchLt, 1, 2, outer_head);
+    pb.switchTo(done);
+    pb.halt();
+    Program p = pb.build();
+
+    const auto loops = findSimpleLoops(p);
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops[0].head, inner_body);
+}
+
+TEST(FindLoops, RejectsSideEntry)
+{
+    // A branch jumping into the middle of a loop body disqualifies it.
+    ProgramBuilder pb;
+    const BlockId init = pb.newBlock();
+    const BlockId head = pb.newBlock();
+    const BlockId mid = pb.newBlock();
+    const BlockId latch = pb.newBlock();
+    const BlockId done = pb.newBlock();
+    pb.switchTo(init);
+    pb.loadImm(1, 0);
+    pb.loadImm(2, 5);
+    pb.branch(Opcode::BranchEq, 5, kZeroReg, mid); // side entry!
+    pb.switchTo(head);
+    pb.aluImm(Opcode::AddI, 3, 3, 1);
+    pb.switchTo(mid);
+    pb.aluImm(Opcode::AddI, 3, 3, 2);
+    pb.switchTo(latch);
+    pb.aluImm(Opcode::AddI, 1, 1, 1);
+    pb.branch(Opcode::BranchLt, 1, 2, head);
+    pb.switchTo(done);
+    pb.halt();
+    Program p = pb.build();
+    EXPECT_TRUE(findSimpleLoops(p).empty());
+}
+
+TEST(Unroll, FactorTwoPreservesSemantics)
+{
+    Program p = countedLoop(10, 3);
+    UnrollOptions options;
+    options.factor = 2;
+    UnrollReport report;
+    Program u = unrollProgram(p, options, &report);
+    EXPECT_EQ(report.loopsUnrolled, 1);
+    EXPECT_GT(report.instrsAfter, report.instrsBefore);
+    expectSameSemantics(p, u);
+}
+
+TEST(Unroll, OddTripCountPreserved)
+{
+    // Trip 7 with factor 2: the early-exit inverted branches must fire.
+    Program p = countedLoop(7, 2);
+    Program u = unrollProgram(p, UnrollOptions{2, 24});
+    expectSameSemantics(p, u);
+}
+
+TEST(Unroll, TripOneAndZeroIterationsPreserved)
+{
+    for (std::int64_t n : {1, 2, 3}) {
+        Program p = countedLoop(n, 2);
+        Program u = unrollProgram(p, UnrollOptions{4, 64});
+        expectSameSemantics(p, u);
+    }
+}
+
+TEST(Unroll, FactorFourGrowsBody)
+{
+    Program p = countedLoop(100, 1);
+    UnrollReport report;
+    Program u = unrollProgram(p, UnrollOptions{4, 64}, &report);
+    EXPECT_EQ(report.loopsUnrolled, 1);
+    // Body of 3 instrs x4 copies replaces the x1 body.
+    EXPECT_EQ(report.instrsAfter, report.instrsBefore + 3u * 3u);
+    expectSameSemantics(p, u);
+}
+
+TEST(Unroll, SizeCapBlocksHugeBodies)
+{
+    Program p = countedLoop(10, 30); // 32-instr body
+    UnrollReport report;
+    Program u = unrollProgram(p, UnrollOptions{2, 24}, &report);
+    EXPECT_EQ(report.loopsUnrolled, 0);
+    EXPECT_EQ(u.numInstrs(), p.numInstrs());
+}
+
+TEST(Unroll, FactorOneIsIdentity)
+{
+    Program p = countedLoop(10, 2);
+    UnrollReport report;
+    Program u = unrollProgram(p, UnrollOptions{1, 64}, &report);
+    EXPECT_EQ(report.loopsUnrolled, 0);
+    EXPECT_EQ(u.numInstrs(), p.numInstrs());
+}
+
+TEST(Unroll, LoopWithInternalIfPreserved)
+{
+    // Loop body containing a forward if-diamond (multi-block body).
+    ProgramBuilder pb;
+    const BlockId init = pb.newBlock();
+    const BlockId head = pb.newBlock();
+    const BlockId then_blk = pb.newBlock();
+    const BlockId latch = pb.newBlock();
+    const BlockId done = pb.newBlock();
+    pb.switchTo(init);
+    pb.loadImm(1, 0);
+    pb.loadImm(2, 9);
+    pb.switchTo(head);
+    pb.aluImm(Opcode::AndI, 4, 1, 1);
+    pb.branch(Opcode::BranchNe, 4, kZeroReg, latch);
+    pb.switchTo(then_blk);
+    pb.aluImm(Opcode::AddI, 3, 3, 5);
+    pb.switchTo(latch);
+    pb.aluImm(Opcode::AddI, 1, 1, 1);
+    pb.branch(Opcode::BranchLt, 1, 2, head);
+    pb.switchTo(done);
+    pb.store(3, kZeroReg, 16);
+    pb.halt();
+    Program p = pb.build();
+
+    const auto loops = findSimpleLoops(p);
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops[0].head, head);
+    EXPECT_EQ(loops[0].latch, latch);
+
+    Program u = unrollProgram(p, UnrollOptions{3, 64});
+    expectSameSemantics(p, u);
+}
+
+class UnrollWorkloads : public ::testing::TestWithParam<WorkloadId>
+{
+};
+
+TEST_P(UnrollWorkloads, SemanticsPreserved)
+{
+    Program p = makeWorkload(GetParam(), 1);
+    UnrollReport report;
+    Program u = unrollProgram(p, UnrollOptions{2, 48}, &report);
+    expectSameSemantics(p, u, 10'000'000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, UnrollWorkloads, ::testing::ValuesIn(allWorkloads()),
+    [](const ::testing::TestParamInfo<WorkloadId> &info) {
+        return std::string(workloadName(info.param));
+    });
+
+class UnrollRandom : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(UnrollRandom, SemanticsPreserved)
+{
+    Rng rng(GetParam());
+    Program p = makeRandomProgram(rng);
+    Program u = unrollProgram(p, UnrollOptions{3, 48});
+    expectSameSemantics(p, u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnrollRandom,
+                         ::testing::Values(2, 4, 6, 10, 14, 22, 30, 46,
+                                           62, 94));
+
+TEST(UnrollLevo, UnrolledLoopsStillMatchInterpreter)
+{
+    Program p = makeWorkload(WorkloadId::Compress, 1);
+    Program u = unrollProgram(p, UnrollOptions{2, 24});
+    Cfg cfg(u);
+    Interpreter interp(u);
+    const ExecResult ref = interp.run(5'000'000, false);
+    LevoMachine machine(u, cfg, LevoConfig{});
+    const LevoResult out = machine.run(5'000'000);
+    EXPECT_EQ(out.instructions, ref.steps);
+    for (int r = 0; r < kNumRegs; ++r)
+        EXPECT_EQ(out.finalState.regs[r], ref.state.regs[r]);
+}
+
+} // namespace
+} // namespace dee
