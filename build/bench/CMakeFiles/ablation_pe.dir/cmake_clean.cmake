@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pe.dir/ablation_pe.cpp.o"
+  "CMakeFiles/ablation_pe.dir/ablation_pe.cpp.o.d"
+  "ablation_pe"
+  "ablation_pe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

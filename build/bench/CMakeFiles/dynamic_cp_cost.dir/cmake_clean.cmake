@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_cp_cost.dir/dynamic_cp_cost.cpp.o"
+  "CMakeFiles/dynamic_cp_cost.dir/dynamic_cp_cost.cpp.o.d"
+  "dynamic_cp_cost"
+  "dynamic_cp_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_cp_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

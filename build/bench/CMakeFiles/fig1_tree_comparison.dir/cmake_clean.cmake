@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_tree_comparison.dir/fig1_tree_comparison.cpp.o"
+  "CMakeFiles/fig1_tree_comparison.dir/fig1_tree_comparison.cpp.o.d"
+  "fig1_tree_comparison"
+  "fig1_tree_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_tree_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

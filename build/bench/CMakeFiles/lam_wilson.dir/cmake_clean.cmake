@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lam_wilson.dir/lam_wilson.cpp.o"
+  "CMakeFiles/lam_wilson.dir/lam_wilson.cpp.o.d"
+  "lam_wilson"
+  "lam_wilson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lam_wilson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

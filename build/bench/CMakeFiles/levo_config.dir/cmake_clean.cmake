@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/levo_config.dir/levo_config.cpp.o"
+  "CMakeFiles/levo_config.dir/levo_config.cpp.o.d"
+  "levo_config"
+  "levo_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/levo_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/levo_unroll.dir/levo_unroll.cpp.o"
+  "CMakeFiles/levo_unroll.dir/levo_unroll.cpp.o.d"
+  "levo_unroll"
+  "levo_unroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/levo_unroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_accuracy.dir/predictor_accuracy.cpp.o"
+  "CMakeFiles/predictor_accuracy.dir/predictor_accuracy.cpp.o.d"
+  "predictor_accuracy"
+  "predictor_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolution_location.dir/resolution_location.cpp.o"
+  "CMakeFiles/resolution_location.dir/resolution_location.cpp.o.d"
+  "resolution_location"
+  "resolution_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolution_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riseman_foster.dir/riseman_foster.cpp.o"
+  "CMakeFiles/riseman_foster.dir/riseman_foster.cpp.o.d"
+  "riseman_foster"
+  "riseman_foster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riseman_foster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for riseman_foster.
+# This may be replaced when dependencies are built.

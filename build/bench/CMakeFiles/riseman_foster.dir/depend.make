@@ -1,0 +1,2 @@
+# Empty dependencies file for riseman_foster.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_exclusion.dir/sc_exclusion.cpp.o"
+  "CMakeFiles/sc_exclusion.dir/sc_exclusion.cpp.o.d"
+  "sc_exclusion"
+  "sc_exclusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_exclusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superscalar_compare.dir/superscalar_compare.cpp.o"
+  "CMakeFiles/superscalar_compare.dir/superscalar_compare.cpp.o.d"
+  "superscalar_compare"
+  "superscalar_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superscalar_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm1_optimality.dir/thm1_optimality.cpp.o"
+  "CMakeFiles/thm1_optimality.dir/thm1_optimality.cpp.o.d"
+  "thm1_optimality"
+  "thm1_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm1_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

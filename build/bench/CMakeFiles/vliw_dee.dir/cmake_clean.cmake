@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vliw_dee.dir/vliw_dee.cpp.o"
+  "CMakeFiles/vliw_dee.dir/vliw_dee.cpp.o.d"
+  "vliw_dee"
+  "vliw_dee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vliw_dee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vliw_dee.
+# This may be replaced when dependencies are built.

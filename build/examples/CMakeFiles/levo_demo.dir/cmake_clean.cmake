@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/levo_demo.dir/levo_demo.cpp.o"
+  "CMakeFiles/levo_demo.dir/levo_demo.cpp.o.d"
+  "levo_demo"
+  "levo_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/levo_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_sweep.dir/spec_sweep.cpp.o"
+  "CMakeFiles/spec_sweep.dir/spec_sweep.cpp.o.d"
+  "spec_sweep"
+  "spec_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

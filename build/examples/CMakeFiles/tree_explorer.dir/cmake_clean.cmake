@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_explorer.dir/tree_explorer.cpp.o"
+  "CMakeFiles/tree_explorer.dir/tree_explorer.cpp.o.d"
+  "tree_explorer"
+  "tree_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

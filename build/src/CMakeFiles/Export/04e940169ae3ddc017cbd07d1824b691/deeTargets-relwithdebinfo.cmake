@@ -1,0 +1,149 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "dee::dee_common" for configuration "RelWithDebInfo"
+set_property(TARGET dee::dee_common APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(dee::dee_common PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdee_common.a"
+  )
+
+list(APPEND _cmake_import_check_targets dee::dee_common )
+list(APPEND _cmake_import_check_files_for_dee::dee_common "${_IMPORT_PREFIX}/lib/libdee_common.a" )
+
+# Import target "dee::dee_isa" for configuration "RelWithDebInfo"
+set_property(TARGET dee::dee_isa APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(dee::dee_isa PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdee_isa.a"
+  )
+
+list(APPEND _cmake_import_check_targets dee::dee_isa )
+list(APPEND _cmake_import_check_files_for_dee::dee_isa "${_IMPORT_PREFIX}/lib/libdee_isa.a" )
+
+# Import target "dee::dee_cfg" for configuration "RelWithDebInfo"
+set_property(TARGET dee::dee_cfg APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(dee::dee_cfg PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdee_cfg.a"
+  )
+
+list(APPEND _cmake_import_check_targets dee::dee_cfg )
+list(APPEND _cmake_import_check_files_for_dee::dee_cfg "${_IMPORT_PREFIX}/lib/libdee_cfg.a" )
+
+# Import target "dee::dee_exec" for configuration "RelWithDebInfo"
+set_property(TARGET dee::dee_exec APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(dee::dee_exec PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdee_exec.a"
+  )
+
+list(APPEND _cmake_import_check_targets dee::dee_exec )
+list(APPEND _cmake_import_check_files_for_dee::dee_exec "${_IMPORT_PREFIX}/lib/libdee_exec.a" )
+
+# Import target "dee::dee_trace" for configuration "RelWithDebInfo"
+set_property(TARGET dee::dee_trace APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(dee::dee_trace PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdee_trace.a"
+  )
+
+list(APPEND _cmake_import_check_targets dee::dee_trace )
+list(APPEND _cmake_import_check_files_for_dee::dee_trace "${_IMPORT_PREFIX}/lib/libdee_trace.a" )
+
+# Import target "dee::dee_workloads" for configuration "RelWithDebInfo"
+set_property(TARGET dee::dee_workloads APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(dee::dee_workloads PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdee_workloads.a"
+  )
+
+list(APPEND _cmake_import_check_targets dee::dee_workloads )
+list(APPEND _cmake_import_check_files_for_dee::dee_workloads "${_IMPORT_PREFIX}/lib/libdee_workloads.a" )
+
+# Import target "dee::dee_bpred" for configuration "RelWithDebInfo"
+set_property(TARGET dee::dee_bpred APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(dee::dee_bpred PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdee_bpred.a"
+  )
+
+list(APPEND _cmake_import_check_targets dee::dee_bpred )
+list(APPEND _cmake_import_check_files_for_dee::dee_bpred "${_IMPORT_PREFIX}/lib/libdee_bpred.a" )
+
+# Import target "dee::dee_mem" for configuration "RelWithDebInfo"
+set_property(TARGET dee::dee_mem APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(dee::dee_mem PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdee_mem.a"
+  )
+
+list(APPEND _cmake_import_check_targets dee::dee_mem )
+list(APPEND _cmake_import_check_files_for_dee::dee_mem "${_IMPORT_PREFIX}/lib/libdee_mem.a" )
+
+# Import target "dee::dee_xform" for configuration "RelWithDebInfo"
+set_property(TARGET dee::dee_xform APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(dee::dee_xform PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdee_xform.a"
+  )
+
+list(APPEND _cmake_import_check_targets dee::dee_xform )
+list(APPEND _cmake_import_check_files_for_dee::dee_xform "${_IMPORT_PREFIX}/lib/libdee_xform.a" )
+
+# Import target "dee::dee_superscalar" for configuration "RelWithDebInfo"
+set_property(TARGET dee::dee_superscalar APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(dee::dee_superscalar PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdee_superscalar.a"
+  )
+
+list(APPEND _cmake_import_check_targets dee::dee_superscalar )
+list(APPEND _cmake_import_check_files_for_dee::dee_superscalar "${_IMPORT_PREFIX}/lib/libdee_superscalar.a" )
+
+# Import target "dee::dee_vliw" for configuration "RelWithDebInfo"
+set_property(TARGET dee::dee_vliw APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(dee::dee_vliw PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdee_vliw.a"
+  )
+
+list(APPEND _cmake_import_check_targets dee::dee_vliw )
+list(APPEND _cmake_import_check_files_for_dee::dee_vliw "${_IMPORT_PREFIX}/lib/libdee_vliw.a" )
+
+# Import target "dee::dee_tree" for configuration "RelWithDebInfo"
+set_property(TARGET dee::dee_tree APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(dee::dee_tree PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdee_tree.a"
+  )
+
+list(APPEND _cmake_import_check_targets dee::dee_tree )
+list(APPEND _cmake_import_check_files_for_dee::dee_tree "${_IMPORT_PREFIX}/lib/libdee_tree.a" )
+
+# Import target "dee::dee_sim" for configuration "RelWithDebInfo"
+set_property(TARGET dee::dee_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(dee::dee_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdee_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets dee::dee_sim )
+list(APPEND _cmake_import_check_files_for_dee::dee_sim "${_IMPORT_PREFIX}/lib/libdee_sim.a" )
+
+# Import target "dee::dee_levo" for configuration "RelWithDebInfo"
+set_property(TARGET dee::dee_levo APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(dee::dee_levo PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdee_levo.a"
+  )
+
+list(APPEND _cmake_import_check_targets dee::dee_levo )
+list(APPEND _cmake_import_check_files_for_dee::dee_levo "${_IMPORT_PREFIX}/lib/libdee_levo.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("isa")
+subdirs("cfg")
+subdirs("exec")
+subdirs("trace")
+subdirs("workloads")
+subdirs("bpred")
+subdirs("mem")
+subdirs("xform")
+subdirs("superscalar")
+subdirs("vliw")
+subdirs("core")
+subdirs("levo")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dee_bpred.dir/bpred.cc.o"
+  "CMakeFiles/dee_bpred.dir/bpred.cc.o.d"
+  "libdee_bpred.a"
+  "libdee_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dee_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dee_cfg.dir/cfg.cc.o"
+  "CMakeFiles/dee_cfg.dir/cfg.cc.o.d"
+  "CMakeFiles/dee_cfg.dir/liveness.cc.o"
+  "CMakeFiles/dee_cfg.dir/liveness.cc.o.d"
+  "libdee_cfg.a"
+  "libdee_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dee_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dee_common.dir/cli.cc.o"
+  "CMakeFiles/dee_common.dir/cli.cc.o.d"
+  "CMakeFiles/dee_common.dir/logging.cc.o"
+  "CMakeFiles/dee_common.dir/logging.cc.o.d"
+  "CMakeFiles/dee_common.dir/stats.cc.o"
+  "CMakeFiles/dee_common.dir/stats.cc.o.d"
+  "CMakeFiles/dee_common.dir/table.cc.o"
+  "CMakeFiles/dee_common.dir/table.cc.o.d"
+  "libdee_common.a"
+  "libdee_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dee_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

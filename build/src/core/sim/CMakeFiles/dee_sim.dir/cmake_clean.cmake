@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dee_sim.dir/limits.cc.o"
+  "CMakeFiles/dee_sim.dir/limits.cc.o.d"
+  "CMakeFiles/dee_sim.dir/models.cc.o"
+  "CMakeFiles/dee_sim.dir/models.cc.o.d"
+  "CMakeFiles/dee_sim.dir/window_sim.cc.o"
+  "CMakeFiles/dee_sim.dir/window_sim.cc.o.d"
+  "libdee_sim.a"
+  "libdee_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dee_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/tree/allocate.cc" "src/core/tree/CMakeFiles/dee_tree.dir/allocate.cc.o" "gcc" "src/core/tree/CMakeFiles/dee_tree.dir/allocate.cc.o.d"
+  "/root/repo/src/core/tree/cp_cost.cc" "src/core/tree/CMakeFiles/dee_tree.dir/cp_cost.cc.o" "gcc" "src/core/tree/CMakeFiles/dee_tree.dir/cp_cost.cc.o.d"
+  "/root/repo/src/core/tree/geometry.cc" "src/core/tree/CMakeFiles/dee_tree.dir/geometry.cc.o" "gcc" "src/core/tree/CMakeFiles/dee_tree.dir/geometry.cc.o.d"
+  "/root/repo/src/core/tree/spec_tree.cc" "src/core/tree/CMakeFiles/dee_tree.dir/spec_tree.cc.o" "gcc" "src/core/tree/CMakeFiles/dee_tree.dir/spec_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dee_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dee_tree.dir/allocate.cc.o"
+  "CMakeFiles/dee_tree.dir/allocate.cc.o.d"
+  "CMakeFiles/dee_tree.dir/cp_cost.cc.o"
+  "CMakeFiles/dee_tree.dir/cp_cost.cc.o.d"
+  "CMakeFiles/dee_tree.dir/geometry.cc.o"
+  "CMakeFiles/dee_tree.dir/geometry.cc.o.d"
+  "CMakeFiles/dee_tree.dir/spec_tree.cc.o"
+  "CMakeFiles/dee_tree.dir/spec_tree.cc.o.d"
+  "libdee_tree.a"
+  "libdee_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dee_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dee_exec.dir/interp.cc.o"
+  "CMakeFiles/dee_exec.dir/interp.cc.o.d"
+  "libdee_exec.a"
+  "libdee_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dee_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

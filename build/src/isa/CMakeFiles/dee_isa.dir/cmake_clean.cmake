@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dee_isa.dir/assembler.cc.o"
+  "CMakeFiles/dee_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/dee_isa.dir/builder.cc.o"
+  "CMakeFiles/dee_isa.dir/builder.cc.o.d"
+  "CMakeFiles/dee_isa.dir/isa.cc.o"
+  "CMakeFiles/dee_isa.dir/isa.cc.o.d"
+  "libdee_isa.a"
+  "libdee_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dee_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dee_levo.dir/levo.cc.o"
+  "CMakeFiles/dee_levo.dir/levo.cc.o.d"
+  "libdee_levo.a"
+  "libdee_levo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dee_levo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

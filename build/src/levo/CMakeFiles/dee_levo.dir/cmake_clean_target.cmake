@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdee_levo.a"
+)

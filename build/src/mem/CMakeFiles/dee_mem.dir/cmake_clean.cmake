@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dee_mem.dir/cache.cc.o"
+  "CMakeFiles/dee_mem.dir/cache.cc.o.d"
+  "libdee_mem.a"
+  "libdee_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dee_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

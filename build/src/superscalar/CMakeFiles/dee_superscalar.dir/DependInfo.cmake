@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/superscalar/superscalar.cc" "src/superscalar/CMakeFiles/dee_superscalar.dir/superscalar.cc.o" "gcc" "src/superscalar/CMakeFiles/dee_superscalar.dir/superscalar.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bpred/CMakeFiles/dee_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/sim/CMakeFiles/dee_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dee_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dee_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dee_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/tree/CMakeFiles/dee_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/dee_cfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

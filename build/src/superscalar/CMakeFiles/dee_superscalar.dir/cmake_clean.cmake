@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dee_superscalar.dir/superscalar.cc.o"
+  "CMakeFiles/dee_superscalar.dir/superscalar.cc.o.d"
+  "libdee_superscalar.a"
+  "libdee_superscalar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dee_superscalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dee_trace.dir/trace.cc.o"
+  "CMakeFiles/dee_trace.dir/trace.cc.o.d"
+  "CMakeFiles/dee_trace.dir/trace_io.cc.o"
+  "CMakeFiles/dee_trace.dir/trace_io.cc.o.d"
+  "libdee_trace.a"
+  "libdee_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dee_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dee_vliw.dir/vliw.cc.o"
+  "CMakeFiles/dee_vliw.dir/vliw.cc.o.d"
+  "libdee_vliw.a"
+  "libdee_vliw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dee_vliw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

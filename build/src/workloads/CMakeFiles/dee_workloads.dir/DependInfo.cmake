@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/random_program.cc" "src/workloads/CMakeFiles/dee_workloads.dir/random_program.cc.o" "gcc" "src/workloads/CMakeFiles/dee_workloads.dir/random_program.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/workloads/CMakeFiles/dee_workloads.dir/suite.cc.o" "gcc" "src/workloads/CMakeFiles/dee_workloads.dir/suite.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/dee_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/dee_workloads.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/dee_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/dee_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dee_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dee_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dee_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dee_workloads.dir/random_program.cc.o"
+  "CMakeFiles/dee_workloads.dir/random_program.cc.o.d"
+  "CMakeFiles/dee_workloads.dir/suite.cc.o"
+  "CMakeFiles/dee_workloads.dir/suite.cc.o.d"
+  "CMakeFiles/dee_workloads.dir/workloads.cc.o"
+  "CMakeFiles/dee_workloads.dir/workloads.cc.o.d"
+  "libdee_workloads.a"
+  "libdee_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dee_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dee_xform.dir/unroll.cc.o"
+  "CMakeFiles/dee_xform.dir/unroll.cc.o.d"
+  "libdee_xform.a"
+  "libdee_xform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dee_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

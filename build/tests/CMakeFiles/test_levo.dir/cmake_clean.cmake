@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_levo.dir/test_levo.cc.o"
+  "CMakeFiles/test_levo.dir/test_levo.cc.o.d"
+  "test_levo"
+  "test_levo.pdb"
+  "test_levo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_levo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

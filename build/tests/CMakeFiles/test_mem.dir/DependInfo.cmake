@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/test_mem.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/test_mem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/dee_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dee_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/xform/CMakeFiles/dee_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/superscalar/CMakeFiles/dee_superscalar.dir/DependInfo.cmake"
+  "/root/repo/build/src/vliw/CMakeFiles/dee_vliw.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/sim/CMakeFiles/dee_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/tree/CMakeFiles/dee_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/levo/CMakeFiles/dee_levo.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/dee_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dee_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/dee_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dee_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dee_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dee_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

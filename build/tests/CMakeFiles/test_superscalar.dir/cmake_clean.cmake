@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_superscalar.dir/test_superscalar.cc.o"
+  "CMakeFiles/test_superscalar.dir/test_superscalar.cc.o.d"
+  "test_superscalar"
+  "test_superscalar.pdb"
+  "test_superscalar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_superscalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_properties.dir/test_tree_properties.cc.o"
+  "CMakeFiles/test_tree_properties.dir/test_tree_properties.cc.o.d"
+  "test_tree_properties"
+  "test_tree_properties.pdb"
+  "test_tree_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

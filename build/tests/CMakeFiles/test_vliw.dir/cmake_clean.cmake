@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vliw.dir/test_vliw.cc.o"
+  "CMakeFiles/test_vliw.dir/test_vliw.cc.o.d"
+  "test_vliw"
+  "test_vliw.pdb"
+  "test_vliw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vliw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
