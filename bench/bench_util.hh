@@ -19,10 +19,23 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "core/sim/models.hh"
+#include "obs/obs.hh"
 #include "workloads/suite.hh"
 
 namespace dee::bench
 {
+
+/**
+ * Standard bench observability scope: declare the obs flags before
+ * cli.parse(), then open a session after it. The returned Session's
+ * manifest is live for the whole run; outputs are written when the
+ * session leaves scope (see obs/session.hh).
+ */
+inline obs::Session
+openSession(const std::string &tool, const Cli &cli)
+{
+    return obs::Session(tool, cli);
+}
 
 /** Speedup of one model at one resource level on one instance. */
 inline double
@@ -70,6 +83,23 @@ renderSweep(const std::string &title,
         table.addRow(std::move(row));
     }
     return "== " + title + "\n" + table.render();
+}
+
+/** Model -> speedup-series object for run manifests. */
+inline obs::Json
+seriesToJson(const std::map<ModelKind, std::vector<double>> &series)
+{
+    obs::Json out = obs::Json::object();
+    for (ModelKind kind : allModels()) {
+        const auto it = series.find(kind);
+        if (it == series.end())
+            continue;
+        obs::Json row = obs::Json::array();
+        for (double s : it->second)
+            row.push(obs::Json(s));
+        out[modelName(kind)] = std::move(row);
+    }
+    return out;
 }
 
 /** Harmonic mean across instances, element-wise per model/ET. */

@@ -8,7 +8,8 @@
  * graph, each row a model and each column a resource level E_T in
  * {8, 16, 32, 64, 128, 256}, exactly the series the paper plots.
  *
- * Flags: --scale N (trace size), --penalty P (mispredict penalty).
+ * Flags: --scale N (trace size), --penalty P (mispredict penalty),
+ * plus the standard observability flags (--json/--trace-out/--stats).
  */
 
 #include <cstdio>
@@ -22,7 +23,9 @@ main(int argc, char **argv)
     dee::Cli cli("Figure 5 reproduction: model speedups vs resources");
     cli.flag("scale", "4", "workload scale factor");
     cli.flag("penalty", "1", "misprediction penalty (cycles)");
+    dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
+    dee::obs::Session session("fig5_speedups", cli);
 
     const std::vector<int> ets{8, 16, 32, 64, 128, 256};
     dee::ModelRunOptions options;
@@ -31,6 +34,14 @@ main(int argc, char **argv)
 
     const double paper_oracle[] = {23.22, 25.86, 2810.48, 815.62,
                                    104.35};
+
+    dee::obs::Json ets_json = dee::obs::Json::array();
+    for (int e_t : ets)
+        ets_json.push(dee::obs::Json(e_t));
+    session.manifest().results()["ets"] = std::move(ets_json);
+    dee::obs::Json &benchmarks =
+        (session.manifest().results()["benchmarks"] =
+             dee::obs::Json::object());
 
     std::vector<std::map<dee::ModelKind, std::vector<double>>> all;
     const auto suite =
@@ -45,10 +56,13 @@ main(int argc, char **argv)
                               series, ets)
                               .c_str());
         std::printf("\n");
+        benchmarks[inst.name] = dee::bench::seriesToJson(series);
         all.push_back(std::move(series));
     }
 
     const auto hm = dee::bench::harmonicSeries(all, ets.size());
+    session.manifest().results()["harmonic_mean"] =
+        dee::bench::seriesToJson(hm);
     std::printf("%s", dee::bench::renderSweep(
                           "Harmonic Mean (paper oracle: 53.82)", hm,
                           ets)

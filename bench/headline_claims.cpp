@@ -21,7 +21,9 @@ main(int argc, char **argv)
 {
     dee::Cli cli("Section 5.3 headline claims at E_T = 100");
     cli.flag("scale", "4", "workload scale factor");
+    dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
+    dee::obs::Session session("headline_claims", cli);
 
     const auto suite =
         dee::makeSuite(static_cast<int>(cli.integer("scale")));
@@ -42,18 +44,23 @@ main(int argc, char **argv)
     const double oracle = hm_at(dee::ModelKind::Oracle, 0);
 
     dee::Table table({"claim", "measured", "paper", "ratio"});
-    dee::bench::compareToPaper(table, "DEE-CD-MF @100 (x sequential)",
-                               dee100, 31.9);
-    dee::bench::compareToPaper(table, "DEE-CD-MF @100 / SP @100",
-                               dee100 / sp100, 5.8);
-    dee::bench::compareToPaper(table, "DEE-CD-MF @100 / EE @100",
-                               dee100 / ee100, 4.0);
-    dee::bench::compareToPaper(table, "DEE-CD-MF @8 / EE @256",
-                               dee8 / ee256, 1.0);
-    dee::bench::compareToPaper(table, "DEE-CD-MF @32 (x sequential)",
-                               dee32, 26.0);
-    dee::bench::compareToPaper(table, "DEE-CD-MF @100 / Oracle (%)",
-                               100.0 * dee100 / oracle, 59.0);
+    dee::obs::Json &claims = (session.manifest().results()["claims"] =
+                                  dee::obs::Json::object());
+    auto claim = [&](const std::string &what, double measured,
+                     double paper) {
+        dee::bench::compareToPaper(table, what, measured, paper);
+        dee::obs::Json entry = dee::obs::Json::object();
+        entry["measured"] = dee::obs::Json(measured);
+        entry["paper"] = dee::obs::Json(paper);
+        claims[what] = std::move(entry);
+    };
+    claim("DEE-CD-MF @100 (x sequential)", dee100, 31.9);
+    claim("DEE-CD-MF @100 / SP @100", dee100 / sp100, 5.8);
+    claim("DEE-CD-MF @100 / EE @100", dee100 / ee100, 4.0);
+    claim("DEE-CD-MF @8 / EE @256", dee8 / ee256, 1.0);
+    claim("DEE-CD-MF @32 (x sequential)", dee32, 26.0);
+    claim("DEE-CD-MF @100 / Oracle (%)", 100.0 * dee100 / oracle,
+          59.0);
     std::printf("%s", table.render().c_str());
 
     // Section 5.1's PE estimate: "the maximum number of PE's used at
@@ -85,5 +92,8 @@ main(int argc, char **argv)
                 "speedup, %.1f (\"much lower\") \n",
                 static_cast<unsigned long long>(peak),
                 dee::harmonicMean(means));
+    session.manifest().results()["peak_busy_pes"] = dee::obs::Json(peak);
+    session.manifest().results()["mean_busy_pes"] =
+        dee::obs::Json(dee::harmonicMean(means));
     return 0;
 }

@@ -4,15 +4,23 @@
  * themselves: interpreter, oracle pass, windowed simulator per model,
  * Levo machine, tree construction. These measure the *tool's* speed
  * (instructions simulated per second), not the paper's results.
+ *
+ * Accepts the standard observability flags (--json/--trace-out/
+ * --stats) in addition to the google-benchmark ones; they are
+ * stripped from argv before benchmark::Initialize sees them.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "bpred/bpred.hh"
 #include "core/sim/models.hh"
 #include "core/tree/spec_tree.hh"
 #include "exec/interp.hh"
 #include "levo/levo.hh"
+#include "obs/obs.hh"
 #include "workloads/suite.hh"
 
 namespace
@@ -101,6 +109,66 @@ BM_TreeConstruction(benchmark::State &state)
 }
 BENCHMARK(BM_TreeConstruction)->Arg(32)->Arg(256)->Arg(2048);
 
+/**
+ * Pulls the obs flags out of argv (google-benchmark aborts on flags
+ * it does not know). Accepts both "--flag value" and "--flag=value".
+ */
+dee::obs::SessionOptions
+extractObsFlags(int &argc, char **argv)
+{
+    dee::obs::SessionOptions options;
+    // Matches "--name VALUE" (consuming the next arg) or "--name=VALUE".
+    auto match = [&](int &i, const char *name,
+                     std::string &value) -> bool {
+        const std::string arg = argv[i];
+        if (arg == name) {
+            if (i + 1 < argc)
+                value = argv[++i];
+            return true;
+        }
+        const std::string prefix = std::string(name) + "=";
+        if (arg.rfind(prefix, 0) == 0) {
+            value = arg.substr(prefix.size());
+            return true;
+        }
+        return false;
+    };
+    std::vector<char *> kept;
+    kept.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (match(i, "--json", options.jsonPath) ||
+            match(i, "--trace-out", options.traceOutPath)) {
+            continue;
+        }
+        // "--stats" is a bare switch here (or "--stats=BOOL"): taking a
+        // separate value argument would swallow benchmark flags.
+        const std::string arg = argv[i];
+        if (arg == "--stats" || arg.rfind("--stats=", 0) == 0) {
+            const std::string v =
+                arg == "--stats" ? "true" : arg.substr(8);
+            options.dumpStats = v == "true" || v == "1";
+            continue;
+        }
+        kept.push_back(argv[i]);
+    }
+    argc = static_cast<int>(kept.size());
+    for (int i = 0; i < argc; ++i)
+        argv[i] = kept[i];
+    return options;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    const dee::obs::SessionOptions options =
+        extractObsFlags(argc, argv);
+    dee::obs::Session session("perf_microbench", options);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

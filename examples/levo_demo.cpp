@@ -15,6 +15,7 @@
 #include "exec/interp.hh"
 #include "isa/builder.hh"
 #include "levo/levo.hh"
+#include "obs/obs.hh"
 #include "workloads/workloads.hh"
 
 namespace
@@ -68,7 +69,9 @@ main(int argc, char **argv)
     cli.flag("workload", "",
              "run a suite workload instead of the demo program "
              "(cc1|compress|eqntott|espresso|xlisp)");
+    dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
+    dee::obs::Session session("levo_demo", cli);
 
     dee::Program program = cli.str("workload").empty()
                                ? demoProgram()
@@ -106,5 +109,15 @@ main(int argc, char **argv)
         match = match && out.finalState.readMem(addr) == val;
     std::printf("architectural state vs interpreter: %s\n",
                 match ? "MATCH" : "MISMATCH");
+
+    dee::obs::Json &results = session.manifest().results();
+    results["instructions"] =
+        dee::obs::Json(static_cast<std::uint64_t>(out.instructions));
+    results["cycles"] =
+        dee::obs::Json(static_cast<std::uint64_t>(out.cycles));
+    results["ipc"] = dee::obs::Json(out.ipc);
+    results["dee_covered"] =
+        dee::obs::Json(static_cast<std::uint64_t>(out.deeCovered));
+    results["state_match"] = dee::obs::Json(match);
     return match ? 0 : 1;
 }

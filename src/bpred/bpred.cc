@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "obs/registry.hh"
 
 namespace dee
 {
@@ -320,6 +321,14 @@ measureAccuracy(const Trace &trace, BranchPredictor &pred,
         report.accuracy = static_cast<double>(report.correct) /
                           static_cast<double>(report.branches);
     }
+
+    // Per-predictor accuracy bookkeeping, e.g. bpred.2bit.mispredicts.
+    const std::string prefix = "bpred." + pred.name();
+    obs::Registry &reg = obs::Registry::global();
+    reg.counter(prefix + ".branches") += report.branches;
+    reg.counter(prefix + ".mispredicts") +=
+        report.branches - report.correct;
+    reg.stat(prefix + ".accuracy").add(report.accuracy);
     return report;
 }
 

@@ -53,7 +53,24 @@ Cli::parse(int argc, const char *const *argv)
         if (it == flags_.end())
             dee_fatal("unknown flag --", name, "\n", usage());
         it->second.value = value;
+        it->second.provided = true;
     }
+}
+
+bool
+Cli::provided(const std::string &name) const
+{
+    return lookup(name).provided;
+}
+
+std::vector<std::pair<std::string, std::string>>
+Cli::values() const
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(order_.size());
+    for (const auto &name : order_)
+        out.emplace_back(name, flags_.at(name).value);
+    return out;
 }
 
 const Cli::Flag &

@@ -39,6 +39,13 @@ class Cli
     double real(const std::string &name) const;
     bool boolean(const std::string &name) const;
 
+    /** True iff the flag was explicitly set on the command line. */
+    bool provided(const std::string &name) const;
+
+    /** All (name, current value) pairs in declaration order — used by
+     *  run manifests to record the effective configuration. */
+    std::vector<std::pair<std::string, std::string>> values() const;
+
     /** Renders the usage/help text. */
     std::string usage() const;
 
@@ -48,6 +55,7 @@ class Cli
         std::string value;
         std::string defaultValue;
         std::string help;
+        bool provided = false;
     };
 
     const Flag &lookup(const std::string &name) const;

@@ -1,9 +1,51 @@
 #include "common/logging.hh"
 
 #include <cstdio>
+#include <cstring>
 
 namespace dee
 {
+
+namespace
+{
+
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("DEE_LOG_LEVEL");
+    if (env == nullptr)
+        return LogLevel::Info;
+    if (std::strcmp(env, "warn") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "error") == 0 ||
+        std::strcmp(env, "quiet") == 0) {
+        return LogLevel::Error;
+    }
+    // "info", "", and anything unrecognized: print everything.
+    return LogLevel::Info;
+}
+
+LogLevel &
+levelStorage()
+{
+    static LogLevel level = levelFromEnv();
+    return level;
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return levelStorage();
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelStorage() = level;
+}
+
 namespace detail
 {
 
@@ -33,12 +75,16 @@ fatalImpl(const std::string &msg, const char *file, int line)
 void
 warnImpl(const std::string &msg, const char *file, int line)
 {
+    if (logLevel() > LogLevel::Warn)
+        return;
     logMessage("warn", msg, file, line);
 }
 
 void
 informImpl(const std::string &msg)
 {
+    if (logLevel() > LogLevel::Info)
+        return;
     std::fprintf(stderr, "info: %s\n", msg.c_str());
     std::fflush(stderr);
 }

@@ -7,6 +7,14 @@
  * fatal(): the run cannot continue because of a user-level problem (bad
  *          configuration, invalid arguments). Calls std::exit(1).
  * warn()/inform(): non-fatal status messages to stderr.
+ *
+ * Verbosity is controlled by the DEE_LOG_LEVEL environment variable so
+ * binaries that emit machine-readable streams (--json / --trace-out
+ * runs) can keep stderr clean:
+ *   DEE_LOG_LEVEL=info   (default) everything prints
+ *   DEE_LOG_LEVEL=warn   inform() suppressed
+ *   DEE_LOG_LEVEL=error  inform() and warn() suppressed
+ * panic() and fatal() always print. Unknown values fall back to info.
  */
 
 #ifndef DEE_COMMON_LOGGING_HH
@@ -18,6 +26,20 @@
 
 namespace dee
 {
+
+/** Minimum severity that still prints; see file comment. */
+enum class LogLevel
+{
+    Info = 0,
+    Warn = 1,
+    Error = 2,
+};
+
+/** Current level (reads DEE_LOG_LEVEL once, on first use). */
+LogLevel logLevel();
+
+/** Overrides the environment-derived level (tests, embedding tools). */
+void setLogLevel(LogLevel level);
 
 namespace detail
 {

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/table.hh"
 
 namespace dee
 {
@@ -131,17 +132,19 @@ Histogram::bucketLo(std::size_t i) const
 std::string
 Histogram::render(const std::string &label) const
 {
-    std::ostringstream oss;
-    oss << label << " (n=" << total_ << ")\n";
+    Table table({"bucket", "count", "fraction"});
     for (std::size_t i = 0; i < counts_.size(); ++i) {
-        oss << "  [" << bucketLo(i) << ", " << bucketLo(i) + width_ << "): "
-            << counts_[i] << " (" << 100.0 * fraction(i) << "%)\n";
+        table.addRow({"[" + Table::fmt(bucketLo(i)) + ", " +
+                          Table::fmt(bucketLo(i) + width_) + ")",
+                      std::to_string(counts_[i]),
+                      Table::fmtPercent(fraction(i))});
     }
     if (underflow_ > 0)
-        oss << "  underflow: " << underflow_ << "\n";
+        table.addRow({"underflow", std::to_string(underflow_), ""});
     if (overflow_ > 0)
-        oss << "  overflow: " << overflow_ << "\n";
-    return oss.str();
+        table.addRow({"overflow", std::to_string(overflow_), ""});
+    return label + " (n=" + std::to_string(total_) + ")\n" +
+           table.render();
 }
 
 } // namespace dee

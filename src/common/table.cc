@@ -31,6 +31,12 @@ Table::fmt(double value, int precision)
 }
 
 std::string
+Table::fmtPercent(double fraction, int precision)
+{
+    return fmt(100.0 * fraction, precision) + "%";
+}
+
+std::string
 Table::render() const
 {
     std::vector<std::size_t> widths(headers_.size());

@@ -27,6 +27,11 @@ class Table
     /** Convenience: formats doubles with the given precision. */
     static std::string fmt(double value, int precision = 2);
 
+    /** Formats a fraction as a percentage, e.g. 0.123 -> "12.3%".
+     *  The one place percentage rendering lives — stat render()
+     *  methods route through here rather than hand-rolling "* 100". */
+    static std::string fmtPercent(double fraction, int precision = 1);
+
     std::size_t numRows() const { return rows_.size(); }
 
     /** Renders with a separator line under the header. */

@@ -101,6 +101,7 @@ runModel(ModelKind kind, const Trace &trace, const Cfg *cfg,
     config.mispredictPenalty = options.mispredictPenalty;
     config.latency = options.latency;
     config.gatherResolveStats = options.gatherResolveStats;
+    config.gatherIssueStats = options.gatherIssueStats;
     config.peLimit = options.peLimit;
     config.loadLatencies = options.loadLatencies;
 

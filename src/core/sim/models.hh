@@ -60,6 +60,8 @@ struct ModelRunOptions
     int mispredictPenalty = 1;
     LatencyModel latency = LatencyModel::unit();
     bool gatherResolveStats = false;
+    /** Track per-cycle issue counts (peak/mean occupancy). */
+    bool gatherIssueStats = false;
     /**
      * Characteristic accuracy for tree sizing; <= 0 means "measure it
      * from the trace with a clone of the predictor" (heuristic step 1).

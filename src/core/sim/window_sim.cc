@@ -8,6 +8,10 @@
 #include <unordered_map>
 
 #include "common/logging.hh"
+#include "common/table.hh"
+#include "obs/registry.hh"
+#include "obs/timer.hh"
+#include "obs/trace_event.hh"
 
 namespace dee
 {
@@ -62,11 +66,13 @@ SimResult::render() const
 {
     std::ostringstream oss;
     oss << "instructions=" << instructions << " cycles=" << cycles
-        << " speedup=" << speedup << " branches=" << branches
-        << " mispredicted=" << mispredicted
-        << " accuracy=" << predictionAccuracy;
-    if (!resolveDepthCounts.empty())
-        oss << " resolveAtRoot=" << resolveAtRootFraction();
+        << " speedup=" << Table::fmt(speedup) << " branches="
+        << branches << " mispredicted=" << mispredicted
+        << " accuracy=" << Table::fmtPercent(predictionAccuracy);
+    if (!resolveDepthCounts.empty()) {
+        oss << " resolveAtRoot="
+            << Table::fmtPercent(resolveAtRootFraction());
+    }
     return oss.str();
 }
 
@@ -153,6 +159,11 @@ struct PendingMispredict
 SimResult
 WindowSim::run(BranchPredictor &predictor) const
 {
+    obs::ScopedTimer run_timer("sim.window.run_ms");
+    obs::Tracer &tracer = obs::Tracer::global();
+    const bool tracing =
+        DEE_OBS_TRACE_ENABLED != 0 && tracer.enabled();
+
     predictor.reset();
 
     const auto &records = trace_.records;
@@ -295,6 +306,11 @@ WindowSim::run(BranchPredictor &predictor) const
                     if (!crossed_npred.empty()) {
                         ++result.sidePathFetches;
                         bypass[r + d + 1] = crossed_npred;
+                        dee_trace_event_if(
+                            tracing, tracer, "sim.side_path_fetch", 'i', now,
+                            "path",
+                            static_cast<std::int64_t>(r + d + 1),
+                            "root", static_cast<std::int64_t>(r));
                     }
                 }
             }
@@ -314,6 +330,11 @@ WindowSim::run(BranchPredictor &predictor) const
                     if (!crossed_npred.empty()) {
                         ++result.sidePathFetches;
                         bypass[r + d + 1] = crossed_npred;
+                        dee_trace_event_if(
+                            tracing, tracer, "sim.side_path_fetch", 'i', now,
+                            "path",
+                            static_cast<std::int64_t>(r + d + 1),
+                            "root", static_cast<std::int64_t>(r));
                     }
                 }
             }
@@ -421,6 +442,18 @@ WindowSim::run(BranchPredictor &predictor) const
             std::max({root_time[r], done,
                       res + (correct[r] ? 0 : penalty)});
         root_time[r + 1] = move;
+
+        if (!correct[r]) {
+            dee_trace_event_if(tracing, tracer, "sim.copyback", 'i',
+                               res + penalty, "path",
+                               static_cast<std::int64_t>(r));
+        }
+        dee_trace_event_if(tracing, tracer, "sim.root_advance", 'i',
+                           move, "path",
+                           static_cast<std::int64_t>(r + 1),
+                           "mispredict",
+                           correct[r] ? std::int64_t{0}
+                                      : std::int64_t{1});
     }
 
     // --- Totals -----------------------------------------------------------
@@ -436,6 +469,18 @@ WindowSim::run(BranchPredictor &predictor) const
             const std::uint32_t count = ++per_cycle[exec[i]];
             result.peakIssue =
                 std::max<std::uint64_t>(result.peakIssue, count);
+        }
+        if (tracing) {
+            // PE-issue occupancy as Chrome counter events, in cycle
+            // order so the track renders as a timeline.
+            std::vector<std::pair<std::int64_t, std::uint32_t>> cycles(
+                per_cycle.begin(), per_cycle.end());
+            std::sort(cycles.begin(), cycles.end());
+            for (const auto &[cycle, count] : cycles) {
+                dee_trace_event_if(tracing, tracer, "sim.issue_occupancy", 'C',
+                                cycle, "value",
+                                static_cast<std::int64_t>(count));
+            }
         }
     }
     last_cycle = std::max(last_cycle, root_time[num_paths]);
@@ -462,6 +507,22 @@ WindowSim::run(BranchPredictor &predictor) const
                 depth, result.resolveDepthCounts.size() - 1);
             ++result.resolveDepthCounts[depth];
         }
+    }
+
+    // Publish run totals into the global registry: a handful of map
+    // lookups per run, negligible against the simulation itself.
+    obs::Registry &reg = obs::Registry::global();
+    ++reg.counter("sim.window.runs");
+    reg.counter("sim.window.instructions") += result.instructions;
+    reg.counter("sim.window.cycles") += result.cycles;
+    reg.counter("sim.window.branches") += result.branches;
+    reg.counter("sim.window.mispredicts") += result.mispredicted;
+    reg.counter("sim.window.side_path_fetches") +=
+        result.sidePathFetches;
+    reg.stat("sim.window.speedup").add(result.speedup);
+    if (config_.gatherIssueStats) {
+        reg.stat("sim.window.peak_issue")
+            .add(static_cast<double>(result.peakIssue));
     }
 
     return result;
@@ -500,6 +561,8 @@ SimResult
 oracleSim(const Trace &trace, LatencyModel latency,
           const std::vector<int> *load_latencies)
 {
+    obs::ScopedTimer run_timer("sim.oracle.run_ms");
+
     const auto &records = trace.records;
     SimResult result;
     result.instructions = records.size();
@@ -551,6 +614,11 @@ oracleSim(const Trace &trace, LatencyModel latency,
     result.speedup = static_cast<double>(records.size()) /
                      static_cast<double>(result.cycles);
     result.predictionAccuracy = 1.0;
+
+    obs::Registry &reg = obs::Registry::global();
+    ++reg.counter("sim.oracle.runs");
+    reg.counter("sim.oracle.instructions") += result.instructions;
+    reg.stat("sim.oracle.speedup").add(result.speedup);
     return result;
 }
 

@@ -8,6 +8,9 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/registry.hh"
+#include "obs/timer.hh"
+#include "obs/trace_event.hh"
 
 namespace dee
 {
@@ -64,6 +67,11 @@ LevoMachine::LevoMachine(Program program, Cfg cfg,
 LevoResult
 LevoMachine::run(std::uint64_t max_instrs) const
 {
+    obs::ScopedTimer run_timer("levo.run_ms");
+    obs::Tracer &tracer = obs::Tracer::global();
+    const bool tracing =
+        DEE_OBS_TRACE_ENABLED != 0 && tracer.enabled();
+
     const int n = config_.iqRows;
     const int m = config_.columns;
 
@@ -149,6 +157,9 @@ LevoMachine::run(std::uint64_t max_instrs) const
             iq_base = sid;
             fetch_ready = std::max(fetch_ready, last_control_complete) +
                           config_.refillPenalty;
+            dee_trace_event_if(tracing, tracer, "levo.refill", 'i',
+                               fetch_ready, "iq_base",
+                               static_cast<std::int64_t>(sid));
             for (int c = 0; c < m; ++c)
                 clear_column(c);
             cur_col = 0;
@@ -319,12 +330,23 @@ LevoMachine::run(std::uint64_t max_instrs) const
                         dee_capacity});
                     if (cd_stalls.size() > 64)
                         cd_stalls.erase(cd_stalls.begin());
+                    dee_trace_event_if(
+                        tracing, tracer, "levo.copyback", 'i',
+                        resolve_time + config_.mispredictPenalty,
+                        "sid", static_cast<std::int64_t>(sid),
+                        "pending",
+                        static_cast<std::int64_t>(pending_before),
+                        static_cast<std::uint32_t>(pending_before));
                 } else {
                     // No alternate state held: everything later waits
                     // for resolution (+ penalty).
                     stall_all_until =
                         std::max(stall_all_until,
                                  resolve_time + config_.mispredictPenalty);
+                    dee_trace_event_if(
+                        tracing, tracer, "levo.uncovered_mispredict", 'i',
+                        stall_all_until, "sid",
+                        static_cast<std::int64_t>(sid));
                 }
             }
             break;
@@ -367,6 +389,11 @@ LevoMachine::run(std::uint64_t max_instrs) const
                     ++result.columnStalls;
                     fetch_ready = std::max(fetch_ready,
                                            col_last_complete[cur_col]);
+                    dee_trace_event_if(tracing, tracer,
+                                       "levo.column_stall", 'i',
+                                       fetch_ready, "column",
+                                       static_cast<std::int64_t>(
+                                           cur_col));
                 }
                 clear_column(cur_col);
                 col_last_complete[cur_col] = 0;
@@ -386,6 +413,18 @@ LevoMachine::run(std::uint64_t max_instrs) const
     result.meanRowUtilization =
         static_cast<double>(result.instructions) /
         (static_cast<double>(n) * static_cast<double>(result.cycles));
+
+    obs::Registry &reg = obs::Registry::global();
+    ++reg.counter("levo.runs");
+    reg.counter("levo.instructions") += result.instructions;
+    reg.counter("levo.cycles") += result.cycles;
+    reg.counter("levo.branches") += result.branches;
+    reg.counter("levo.mispredicts") += result.mispredicted;
+    reg.counter("levo.copybacks") += result.deeCovered;
+    reg.counter("levo.refills") += result.refills;
+    reg.counter("levo.column_stalls") += result.columnStalls;
+    reg.counter("levo.ve_predications") += result.vePredications;
+    reg.stat("levo.ipc").add(result.ipc);
     return result;
 }
 

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/table.hh"
+#include "obs/registry.hh"
 
 namespace dee
 {
@@ -41,8 +43,9 @@ MemoryStats::render() const
 {
     std::ostringstream oss;
     oss << "accesses=" << accesses << " loads=" << loads
-        << " L1 hit=" << 100.0 * l1HitRate() << "% L2 hit="
-        << 100.0 * l2HitRate() << "% meanLoadLat=" << meanLoadLatency;
+        << " L1 hit=" << Table::fmtPercent(l1HitRate()) << " L2 hit="
+        << Table::fmtPercent(l2HitRate()) << " meanLoadLat="
+        << Table::fmt(meanLoadLatency);
     return oss.str();
 }
 
@@ -146,6 +149,14 @@ computeMemoryLatencies(const Trace &trace, const MemoryConfig &config,
             static_cast<double>(load_latency_sum) /
             static_cast<double>(stats.loads);
     }
+
+    obs::Registry &reg = obs::Registry::global();
+    reg.counter("mem.accesses") += stats.accesses;
+    reg.counter("mem.l1.hits") += stats.l1Hits;
+    reg.counter("mem.l1.misses") += stats.l1Misses;
+    reg.counter("mem.l2.hits") += stats.l2Hits;
+    reg.counter("mem.l2.misses") += stats.l2Misses;
+    reg.stat("mem.load_latency").add(stats.meanLoadLatency);
     return stats;
 }
 

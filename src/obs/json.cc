@@ -1,0 +1,491 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace dee::obs
+{
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    dee_assert(kind_ == Kind::Object, "Json::operator[] on a non-object");
+    for (auto &[k, v] : object_) {
+        if (k == key)
+            return v;
+    }
+    object_.emplace_back(key, Json());
+    return object_.back().second;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : object_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+void
+Json::push(Json value)
+{
+    dee_assert(kind_ == Kind::Array, "Json::push on a non-array");
+    array_.push_back(std::move(value));
+}
+
+std::size_t
+Json::size() const
+{
+    switch (kind_) {
+      case Kind::Array: return array_.size();
+      case Kind::Object: return object_.size();
+      default: return 0;
+    }
+}
+
+std::string
+Json::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Doubles print shortest-round-trip; non-finite values have no JSON
+ *  spelling and degrade to null. */
+std::string
+formatDouble(double d)
+{
+    if (!std::isfinite(d))
+        return "null";
+    char buf[32];
+    const auto [ptr, ec] =
+        std::to_chars(buf, buf + sizeof(buf), d);
+    if (ec != std::errc())
+        return "null";
+    return std::string(buf, ptr);
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    const std::string pad =
+        pretty ? std::string(static_cast<std::size_t>(indent) *
+                                 (static_cast<std::size_t>(depth) + 1),
+                             ' ')
+               : "";
+    const std::string close_pad =
+        pretty ? std::string(static_cast<std::size_t>(indent) *
+                                 static_cast<std::size_t>(depth),
+                             ' ')
+               : "";
+    const char *nl = pretty ? "\n" : "";
+    const char *colon = pretty ? ": " : ":";
+
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Int:
+        out += std::to_string(int_);
+        break;
+      case Kind::Double:
+        out += formatDouble(double_);
+        break;
+      case Kind::String:
+        out += '"';
+        out += escape(string_);
+        out += '"';
+        break;
+      case Kind::Array:
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        out += nl;
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            out += pad;
+            array_[i].dumpTo(out, indent, depth + 1);
+            if (i + 1 < array_.size())
+                out += ',';
+            out += nl;
+        }
+        out += close_pad;
+        out += ']';
+        break;
+      case Kind::Object:
+        if (object_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        out += nl;
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            out += pad;
+            out += '"';
+            out += escape(object_[i].first);
+            out += '"';
+            out += colon;
+            object_[i].second.dumpTo(out, indent, depth + 1);
+            if (i + 1 < object_.size())
+                out += ',';
+            out += nl;
+        }
+        out += close_pad;
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a raw character range. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *err)
+        : text_(text), err_(err)
+    {
+    }
+
+    bool
+    run(Json *out)
+    {
+        skipWs();
+        Json value;
+        if (!parseValue(value))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        if (out)
+            *out = std::move(value);
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (err_ && err_->empty()) {
+            *err_ = what + " (at offset " + std::to_string(pos_) + ")";
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(const char *word, Json value, Json &out)
+    {
+        const std::size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0)
+            return fail("invalid literal");
+        pos_ += len;
+        out = std::move(value);
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected '\"'");
+        ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                ++pos_;
+                continue;
+            }
+            if (pos_ + 1 >= text_.size())
+                return fail("dangling escape");
+            const char esc = text_[pos_ + 1];
+            pos_ += 2;
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_ + static_cast<size_t>(i)];
+                    if (!std::isxdigit(static_cast<unsigned char>(h)))
+                        return fail("bad \\u escape digit");
+                    code = code * 16 +
+                           static_cast<unsigned>(
+                               std::isdigit(
+                                   static_cast<unsigned char>(h))
+                                   ? h - '0'
+                                   : std::tolower(h) - 'a' + 10);
+                }
+                pos_ += 4;
+                // Encode as UTF-8 (surrogate pairs are passed through
+                // as two separate code units; good enough for the
+                // ASCII-centric documents this layer emits).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(Json &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        bool is_double = false;
+        auto digits = [&] {
+            const std::size_t before = pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+            return pos_ > before;
+        };
+        if (!digits())
+            return fail("malformed number");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            is_double = true;
+            ++pos_;
+            if (!digits())
+                return fail("malformed number fraction");
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            is_double = true;
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            if (!digits())
+                return fail("malformed number exponent");
+        }
+        const std::string token = text_.substr(start, pos_ - start);
+        if (is_double) {
+            out = Json(std::strtod(token.c_str(), nullptr));
+        } else {
+            out = Json(static_cast<std::int64_t>(
+                std::strtoll(token.c_str(), nullptr, 10)));
+        }
+        return true;
+    }
+
+    bool
+    parseValue(Json &out)
+    {
+        if (++depth_ > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        bool ok = false;
+        switch (text_[pos_]) {
+          case '{': ok = parseObject(out); break;
+          case '[': ok = parseArray(out); break;
+          case '"': {
+            std::string s;
+            ok = parseString(s);
+            if (ok)
+                out = Json(std::move(s));
+            break;
+          }
+          case 't': ok = literal("true", Json(true), out); break;
+          case 'f': ok = literal("false", Json(false), out); break;
+          case 'n': ok = literal("null", Json(), out); break;
+          default: ok = parseNumber(out); break;
+        }
+        --depth_;
+        return ok;
+    }
+
+    bool
+    parseObject(Json &out)
+    {
+        out = Json::object();
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':' in object");
+            ++pos_;
+            Json value;
+            if (!parseValue(value))
+                return false;
+            out[key] = std::move(value);
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(Json &out)
+    {
+        out = Json::array();
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            Json value;
+            if (!parseValue(value))
+                return false;
+            out.push(std::move(value));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    static constexpr int kMaxDepth = 256;
+
+    const std::string &text_;
+    std::string *err_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+bool
+Json::parse(const std::string &text, Json *out, std::string *err)
+{
+    std::string local_err;
+    Parser parser(text, err ? err : &local_err);
+    return parser.run(out);
+}
+
+} // namespace dee::obs

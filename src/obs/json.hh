@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Minimal JSON document model for the observability layer.
+ *
+ * Everything dee::obs emits (registry dumps, run manifests) is built as
+ * a Json tree and serialized with dump(). A deliberately small
+ * recursive-descent parse() is included so tests (and tools) can
+ * round-trip emitted documents without external dependencies; it
+ * accepts standard JSON and nothing more.
+ *
+ * Objects preserve insertion order so manifests diff cleanly.
+ */
+
+#ifndef DEE_OBS_JSON_HH
+#define DEE_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dee::obs
+{
+
+/** An ordered JSON value: null, bool, int, double, string, array,
+ *  object. */
+class Json
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    using Member = std::pair<std::string, Json>;
+
+    Json() : kind_(Kind::Null) {}
+    Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Json(std::int64_t i) : kind_(Kind::Int), int_(i) {}
+    Json(std::uint64_t u)
+        : kind_(Kind::Int), int_(static_cast<std::int64_t>(u)) {}
+    Json(int i) : kind_(Kind::Int), int_(i) {}
+    Json(double d) : kind_(Kind::Double), double_(d) {}
+    Json(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+    Json(const char *s) : kind_(Kind::String), string_(s) {}
+
+    static Json object();
+    static Json array();
+
+    Kind kind() const { return kind_; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Double;
+    }
+
+    /** Object member access; inserts a null member if absent. The value
+     *  must be an object. */
+    Json &operator[](const std::string &key);
+
+    /** Read-only member lookup; null reference semantics via pointer. */
+    const Json *find(const std::string &key) const;
+
+    /** Appends to an array. The value must be an array. */
+    void push(Json value);
+
+    bool asBool() const { return bool_; }
+    std::int64_t asInt() const { return int_; }
+    double asDouble() const
+    {
+        return kind_ == Kind::Int ? static_cast<double>(int_) : double_;
+    }
+    const std::string &asString() const { return string_; }
+    const std::vector<Json> &items() const { return array_; }
+    const std::vector<Member> &members() const { return object_; }
+    std::size_t size() const;
+
+    /**
+     * Serializes the tree. @param indent < 0 renders compact
+     * single-line JSON; >= 0 pretty-prints with that many spaces per
+     * level.
+     */
+    std::string dump(int indent = -1) const;
+
+    /**
+     * Parses standard JSON. @return true on success with *out filled;
+     * false with *err describing the first failure (offset included).
+     * Either output pointer may be null.
+     */
+    static bool parse(const std::string &text, Json *out,
+                      std::string *err = nullptr);
+
+    /** Escapes a string body per RFC 8259 (no surrounding quotes). */
+    static std::string escape(const std::string &s);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Json> array_;
+    std::vector<Member> object_;
+};
+
+} // namespace dee::obs
+
+#endif // DEE_OBS_JSON_HH

@@ -1,0 +1,41 @@
+#include "obs/manifest.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace dee::obs
+{
+
+Manifest::Manifest(std::string tool)
+    : tool_(std::move(tool)), start_(std::chrono::steady_clock::now())
+{
+}
+
+Json
+Manifest::toJson(const Registry &registry) const
+{
+    Json root = Json::object();
+    root["schema"] = Json("dee.run.v1");
+    root["tool"] = Json(tool_);
+    root["config"] = config_;
+    root["results"] = results_;
+    root["stats"] = registry.toJson();
+    const auto now = std::chrono::steady_clock::now();
+    root["wall_clock_ms"] = Json(
+        std::chrono::duration<double, std::milli>(now - start_).count());
+    return root;
+}
+
+void
+Manifest::write(const std::string &path, const Registry &registry) const
+{
+    std::ofstream out(path);
+    if (!out)
+        dee_fatal("cannot open manifest output file '", path, "'");
+    out << toJson(registry).dump(2) << "\n";
+    if (!out.good())
+        dee_fatal("error writing manifest file '", path, "'");
+}
+
+} // namespace dee::obs

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Machine-readable run manifests.
+ *
+ * Every bench/example can emit one JSON document describing the run:
+ * which tool, what configuration, the results it computed (per-model
+ * speedups, claim tables, ...), a snapshot of the stats registry, and
+ * the wall-clock time. Manifests are what perf-trajectory tracking and
+ * regression diffing consume; the schema is versioned so downstream
+ * parsers can evolve.
+ *
+ *     {
+ *       "schema": "dee.run.v1",
+ *       "tool": "fig5_speedups",
+ *       "config": { ... },
+ *       "results": { ... },
+ *       "stats": { ... },          // Registry::toJson()
+ *       "wall_clock_ms": 123.4
+ *     }
+ */
+
+#ifndef DEE_OBS_MANIFEST_HH
+#define DEE_OBS_MANIFEST_HH
+
+#include <chrono>
+#include <string>
+
+#include "obs/json.hh"
+#include "obs/registry.hh"
+
+namespace dee::obs
+{
+
+/** Builder for one run's manifest document. */
+class Manifest
+{
+  public:
+    /** @param tool the emitting binary's name. */
+    explicit Manifest(std::string tool);
+
+    /** Mutable "config" object: flag values, workload scale, ... */
+    Json &config() { return config_; }
+
+    /** Mutable "results" object: whatever the tool computed. */
+    Json &results() { return results_; }
+
+    /** Convenience setter: config()[key] = value. */
+    template <typename T>
+    void
+    setConfig(const std::string &key, T value)
+    {
+        config_[key] = Json(value);
+    }
+
+    /**
+     * The complete document, stats snapshotted from @p registry and
+     * wall clock measured since construction.
+     */
+    Json toJson(const Registry &registry = Registry::global()) const;
+
+    /** Pretty-printed toJson() to a file; fatal if unwritable. */
+    void write(const std::string &path,
+               const Registry &registry = Registry::global()) const;
+
+  private:
+    std::string tool_;
+    Json config_ = Json::object();
+    Json results_ = Json::object();
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace dee::obs
+
+#endif // DEE_OBS_MANIFEST_HH

@@ -1,0 +1,244 @@
+#include "obs/registry.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace dee::obs
+{
+
+namespace
+{
+
+bool
+validSegmentChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '-';
+}
+
+/** Paths are dot-separated non-empty [A-Za-z0-9_-]+ segments. */
+bool
+validPath(const std::string &path)
+{
+    if (path.empty() || path.front() == '.' || path.back() == '.')
+        return false;
+    bool prev_dot = false;
+    for (const char c : path) {
+        if (c == '.') {
+            if (prev_dot)
+                return false;
+            prev_dot = true;
+        } else if (validSegmentChar(c)) {
+            prev_dot = false;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+Registry &
+Registry::global()
+{
+    static Registry instance;
+    return instance;
+}
+
+const char *
+Registry::kindName(Entry::Kind kind)
+{
+    switch (kind) {
+      case Entry::Kind::Counter: return "counter";
+      case Entry::Kind::Scalar: return "scalar";
+      case Entry::Kind::Stat: return "stat";
+      case Entry::Kind::Hist: return "histogram";
+    }
+    return "???";
+}
+
+Registry::Entry &
+Registry::resolve(const std::string &path, Entry::Kind kind)
+{
+    if (!validPath(path)) {
+        dee_fatal("bad stat path '", path,
+                  "' (want dot-separated [A-Za-z0-9_-] segments)");
+    }
+    auto it = entries_.find(path);
+    if (it != entries_.end()) {
+        if (it->second.kind != kind) {
+            dee_fatal("stat path '", path, "' already registered as a ",
+                      kindName(it->second.kind), ", re-requested as a ",
+                      kindName(kind));
+        }
+        return it->second;
+    }
+    // Tree-shape check: no leaf may be a dotted prefix of another.
+    // entries_ is ordered, so candidate conflicts are adjacent to the
+    // insertion point.
+    const auto next = entries_.lower_bound(path);
+    if (next != entries_.end() &&
+        next->first.size() > path.size() &&
+        next->first.compare(0, path.size(), path) == 0 &&
+        next->first[path.size()] == '.') {
+        dee_fatal("stat path '", path, "' is a prefix of existing '",
+                  next->first, "'");
+    }
+    if (next != entries_.begin()) {
+        const auto &prev = std::prev(next)->first;
+        if (path.size() > prev.size() &&
+            path.compare(0, prev.size(), prev) == 0 &&
+            path[prev.size()] == '.') {
+            dee_fatal("stat path '", path,
+                      "' descends through existing leaf '", prev, "'");
+        }
+    }
+    Entry entry;
+    entry.kind = kind;
+    return entries_.emplace(path, std::move(entry)).first->second;
+}
+
+std::uint64_t &
+Registry::counter(const std::string &path)
+{
+    return resolve(path, Entry::Kind::Counter).counter;
+}
+
+double &
+Registry::scalar(const std::string &path)
+{
+    return resolve(path, Entry::Kind::Scalar).scalar;
+}
+
+RunningStat &
+Registry::stat(const std::string &path)
+{
+    return resolve(path, Entry::Kind::Stat).stat;
+}
+
+Histogram &
+Registry::histogram(const std::string &path, double lo, double hi,
+                    std::size_t buckets)
+{
+    Entry &entry = resolve(path, Entry::Kind::Hist);
+    if (!entry.hist)
+        entry.hist = std::make_unique<Histogram>(lo, hi, buckets);
+    return *entry.hist;
+}
+
+bool
+Registry::contains(const std::string &path) const
+{
+    return entries_.count(path) > 0;
+}
+
+std::string
+Registry::renderText() const
+{
+    Table table({"stat", "value"});
+    std::ostringstream hists;
+    for (const auto &[path, entry] : entries_) {
+        switch (entry.kind) {
+          case Entry::Kind::Counter:
+            table.addRow({path, std::to_string(entry.counter)});
+            break;
+          case Entry::Kind::Scalar:
+            table.addRow({path, Table::fmt(entry.scalar, 4)});
+            break;
+          case Entry::Kind::Stat: {
+            std::ostringstream cell;
+            cell << "n=" << entry.stat.count()
+                 << " mean=" << Table::fmt(entry.stat.mean(), 4)
+                 << " min=" << Table::fmt(entry.stat.min(), 4)
+                 << " max=" << Table::fmt(entry.stat.max(), 4);
+            table.addRow({path, cell.str()});
+            break;
+          }
+          case Entry::Kind::Hist:
+            hists << entry.hist->render(path);
+            break;
+        }
+    }
+    std::string out = table.render();
+    const std::string tail = hists.str();
+    if (!tail.empty()) {
+        out += "\n";
+        out += tail;
+    }
+    return out;
+}
+
+namespace
+{
+
+Json
+statToJson(const RunningStat &s)
+{
+    Json j = Json::object();
+    j["count"] = Json(s.count());
+    j["mean"] = Json(s.mean());
+    j["min"] = Json(s.min());
+    j["max"] = Json(s.max());
+    j["stddev"] = Json(s.stddev());
+    j["sum"] = Json(s.sum());
+    return j;
+}
+
+Json
+histToJson(const Histogram &h)
+{
+    Json j = Json::object();
+    j["lo"] = Json(h.bucketLo(0));
+    j["total"] = Json(h.total());
+    j["underflow"] = Json(h.underflow());
+    j["overflow"] = Json(h.overflow());
+    Json buckets = Json::array();
+    for (std::size_t i = 0; i < h.numBuckets(); ++i)
+        buckets.push(Json(h.bucketCount(i)));
+    j["buckets"] = std::move(buckets);
+    return j;
+}
+
+} // namespace
+
+Json
+Registry::toJson() const
+{
+    Json root = Json::object();
+    for (const auto &[path, entry] : entries_) {
+        // Walk/create the nested objects for all but the last segment.
+        Json *node = &root;
+        std::size_t start = 0;
+        while (true) {
+            const std::size_t dot = path.find('.', start);
+            if (dot == std::string::npos)
+                break;
+            Json &child = (*node)[path.substr(start, dot - start)];
+            if (!child.isObject())
+                child = Json::object();
+            node = &child;
+            start = dot + 1;
+        }
+        Json &leaf = (*node)[path.substr(start)];
+        switch (entry.kind) {
+          case Entry::Kind::Counter:
+            leaf = Json(entry.counter);
+            break;
+          case Entry::Kind::Scalar:
+            leaf = Json(entry.scalar);
+            break;
+          case Entry::Kind::Stat:
+            leaf = statToJson(entry.stat);
+            break;
+          case Entry::Kind::Hist:
+            leaf = histToJson(*entry.hist);
+            break;
+        }
+    }
+    return root;
+}
+
+} // namespace dee::obs

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Hierarchical statistics registry (gem5-stats flavored).
+ *
+ * Simulators and benches register named quantities under dotted paths
+ * ("sim.window.peak_issue", "levo.copybacks", "bpred.2bit.mispredicts")
+ * and the whole tree can be dumped as an aligned text table or as a
+ * nested JSON document for run manifests.
+ *
+ * Four kinds of entry are supported:
+ *   - counter:   monotonically growing std::uint64_t
+ *   - scalar:    a plain double (set, not accumulated)
+ *   - stat:      a RunningStat (count/mean/min/max/stddev)
+ *   - histogram: a fixed-bucket Histogram
+ *
+ * The first access at a path creates the entry; later accesses return
+ * the same object. Accessing a path as a different kind, or creating a
+ * path that is a dotted prefix of an existing leaf (or vice versa), is
+ * a fatal naming error — the hierarchy must stay a tree.
+ *
+ * The registry is intentionally single-threaded, like the simulators
+ * that feed it.
+ */
+
+#ifndef DEE_OBS_REGISTRY_HH
+#define DEE_OBS_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/stats.hh"
+#include "obs/json.hh"
+
+namespace dee::obs
+{
+
+/** Named-stat tree; see file comment for the path rules. */
+class Registry
+{
+  public:
+    /** Process-wide instance used by the simulators. */
+    static Registry &global();
+
+    /** Returns the counter at @p path, creating it at zero. */
+    std::uint64_t &counter(const std::string &path);
+
+    /** Returns the scalar at @p path, creating it at zero. */
+    double &scalar(const std::string &path);
+
+    /** Returns the RunningStat at @p path, creating it empty. */
+    RunningStat &stat(const std::string &path);
+
+    /**
+     * Returns the Histogram at @p path, creating it with the given
+     * geometry; the geometry arguments are ignored (not rechecked) on
+     * later accesses.
+     */
+    Histogram &histogram(const std::string &path, double lo, double hi,
+                         std::size_t buckets);
+
+    bool contains(const std::string &path) const;
+    std::size_t size() const { return entries_.size(); }
+
+    /** Drops every entry (references become dangling). */
+    void clear() { entries_.clear(); }
+
+    /** Aligned "path  value" table, histograms appended below. */
+    std::string renderText() const;
+
+    /** Nested-object dump: "a.b.c" becomes {"a":{"b":{"c":...}}}. */
+    Json toJson() const;
+
+  private:
+    struct Entry
+    {
+        enum class Kind
+        {
+            Counter,
+            Scalar,
+            Stat,
+            Hist,
+        };
+
+        Kind kind;
+        std::uint64_t counter = 0;
+        double scalar = 0.0;
+        RunningStat stat;
+        // Histogram has no default geometry; boxed.
+        std::unique_ptr<Histogram> hist;
+    };
+
+    static const char *kindName(Entry::Kind kind);
+
+    /** Validates the path, checks tree-shape and kind conflicts, and
+     *  returns the (possibly new) entry. */
+    Entry &resolve(const std::string &path, Entry::Kind kind);
+
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace dee::obs
+
+#endif // DEE_OBS_REGISTRY_HH

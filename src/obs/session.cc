@@ -1,0 +1,91 @@
+#include "obs/session.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace dee::obs
+{
+
+namespace
+{
+
+/** Output paths are written at exit, after a potentially long run —
+ *  reject unwritable ones up front instead. */
+void
+checkWritable(const std::string &path, const char *what)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        dee_fatal("cannot open ", what, " file '", path, "'");
+}
+
+} // namespace
+
+void
+declareFlags(Cli &cli)
+{
+    cli.flag("json", "",
+             "write a JSON run manifest (config, results, stats "
+             "snapshot, wall clock) to this path");
+    cli.flag("trace-out", "",
+             "enable cycle-level tracing and write trace_event "
+             "JSON-Lines to this path (view in Perfetto)");
+    cli.flag("stats", "false",
+             "dump the stats registry as text to stderr at exit");
+}
+
+SessionOptions
+SessionOptions::fromCli(const Cli &cli)
+{
+    SessionOptions options;
+    options.jsonPath = cli.str("json");
+    options.traceOutPath = cli.str("trace-out");
+    options.dumpStats = cli.boolean("stats");
+    return options;
+}
+
+Session::Session(std::string tool, SessionOptions options)
+    : options_(std::move(options)), manifest_(std::move(tool))
+{
+    if (!options_.jsonPath.empty())
+        checkWritable(options_.jsonPath, "run manifest");
+    if (!options_.traceOutPath.empty()) {
+        checkWritable(options_.traceOutPath, "trace output");
+        Tracer::global().enable();
+    }
+}
+
+Session::Session(std::string tool, const Cli &cli)
+    : Session(std::move(tool), SessionOptions::fromCli(cli))
+{
+    for (const auto &[name, value] : cli.values()) {
+        // The observability flags themselves are not configuration.
+        if (name == "json" || name == "trace-out" || name == "stats")
+            continue;
+        manifest_.setConfig(name, value);
+    }
+}
+
+Session::~Session()
+{
+    if (!options_.traceOutPath.empty()) {
+        Tracer &tracer = Tracer::global();
+        tracer.writeFile(options_.traceOutPath);
+        dee_inform("wrote ", tracer.size(), " trace events (",
+                   tracer.dropped(), " dropped) to ",
+                   options_.traceOutPath);
+        tracer.disable();
+    }
+    if (options_.dumpStats) {
+        std::fputs(Registry::global().renderText().c_str(), stderr);
+        std::fflush(stderr);
+    }
+    if (!options_.jsonPath.empty()) {
+        manifest_.write(options_.jsonPath);
+        dee_inform("wrote run manifest to ", options_.jsonPath);
+    }
+}
+
+} // namespace dee::obs

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * One-stop observability wiring for bench/example binaries.
+ *
+ * A tool declares the standard flags before parsing, then opens a
+ * Session; the Session enables tracing when requested, exposes the run
+ * Manifest to fill in, and on destruction writes the trace file, dumps
+ * the stats registry, and writes the manifest:
+ *
+ *     dee::Cli cli("...");
+ *     dee::obs::declareFlags(cli);        // --json --trace-out --stats
+ *     cli.parse(argc, argv);
+ *     dee::obs::Session session("fig5_speedups", cli);
+ *     ...
+ *     session.manifest().results()["speedups"] = ...;
+ *     return 0;                           // outputs written here
+ *
+ * Flags:
+ *   --json PATH       write the run manifest (config + results + stats
+ *                     snapshot + wall clock) as JSON to PATH
+ *   --trace-out PATH  enable the cycle-level tracer and write its ring
+ *                     as JSON-Lines trace_event records to PATH
+ *   --stats BOOL      dump the stats registry as text to stderr at exit
+ */
+
+#ifndef DEE_OBS_SESSION_HH
+#define DEE_OBS_SESSION_HH
+
+#include <string>
+
+#include "common/cli.hh"
+#include "obs/manifest.hh"
+#include "obs/trace_event.hh"
+
+namespace dee::obs
+{
+
+/** Declares --json, --trace-out and --stats on @p cli. */
+void declareFlags(Cli &cli);
+
+/** Parsed values of the standard observability flags. */
+struct SessionOptions
+{
+    std::string jsonPath;     ///< empty: no manifest
+    std::string traceOutPath; ///< empty: tracer stays off
+    bool dumpStats = false;   ///< text registry dump to stderr at exit
+
+    /** Reads the declareFlags() flags back from a parsed Cli. */
+    static SessionOptions fromCli(const Cli &cli);
+};
+
+/** RAII run scope: enables tracing up front, emits outputs at exit. */
+class Session
+{
+  public:
+    /** @param tool the binary name recorded in the manifest. */
+    Session(std::string tool, SessionOptions options);
+
+    /** Convenience: options from the Cli, and every flag value copied
+     *  into the manifest's config section. */
+    Session(std::string tool, const Cli &cli);
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** Writes trace / stats / manifest outputs as requested. */
+    ~Session();
+
+    Manifest &manifest() { return manifest_; }
+    const SessionOptions &options() const { return options_; }
+
+  private:
+    SessionOptions options_;
+    Manifest manifest_;
+};
+
+} // namespace dee::obs
+
+#endif // DEE_OBS_SESSION_HH

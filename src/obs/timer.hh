@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Scoped wall-clock profiling into the stats registry.
+ *
+ * A ScopedTimer measures real elapsed time (steady_clock) from
+ * construction to destruction and add()s the milliseconds into a
+ * RunningStat at a dotted registry path, so repeated phases accumulate
+ * count/mean/min/max. The registry lookup happens once, in the
+ * constructor; the destructor is two clock reads and an add().
+ *
+ *     {
+ *         obs::ScopedTimer t("sim.window.run_ms");
+ *         ... hot phase ...
+ *     }  // sim.window.run_ms gains one sample
+ */
+
+#ifndef DEE_OBS_TIMER_HH
+#define DEE_OBS_TIMER_HH
+
+#include <chrono>
+#include <string>
+
+#include "obs/registry.hh"
+
+namespace dee::obs
+{
+
+/** RAII wall-clock sample into Registry::stat(path), in milliseconds. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(const std::string &path,
+                         Registry &registry = Registry::global())
+        : stat_(registry.stat(path)),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer() { stat_.add(elapsedMs()); }
+
+    /** Milliseconds since construction. */
+    double
+    elapsedMs() const
+    {
+        const auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double, std::milli>(now - start_)
+            .count();
+    }
+
+  private:
+    RunningStat &stat_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace dee::obs
+
+#endif // DEE_OBS_TIMER_HH

@@ -1,0 +1,93 @@
+#include "obs/trace_event.hh"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace dee::obs
+{
+
+Tracer &
+Tracer::global()
+{
+    static Tracer instance;
+    return instance;
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity)
+{
+    dee_assert(capacity_ > 0, "Tracer needs a positive capacity");
+}
+
+void
+Tracer::enable()
+{
+    if (ring_.size() != capacity_)
+        ring_.resize(capacity_);
+    enabled_ = true;
+}
+
+void
+Tracer::disable()
+{
+    enabled_ = false;
+}
+
+void
+Tracer::setCapacity(std::size_t capacity)
+{
+    dee_assert(capacity > 0, "Tracer needs a positive capacity");
+    capacity_ = capacity;
+    ring_.assign(enabled_ ? capacity_ : 0, TraceEvent{});
+    head_ = 0;
+    count_ = 0;
+}
+
+void
+Tracer::clear()
+{
+    dropped_ += count_;
+    head_ = 0;
+    count_ = 0;
+}
+
+const TraceEvent &
+Tracer::event(std::size_t i) const
+{
+    dee_assert(i < count_, "Tracer event index out of range");
+    const std::size_t oldest = (head_ + capacity_ - count_) % capacity_;
+    return ring_[(oldest + i) % capacity_];
+}
+
+void
+Tracer::writeJsonLines(std::ostream &os) const
+{
+    for (std::size_t i = 0; i < count_; ++i) {
+        const TraceEvent &e = event(i);
+        os << "{\"name\":\"" << e.name << "\",\"ph\":\"" << e.phase
+           << "\",\"ts\":" << e.ts << ",\"pid\":0,\"tid\":" << e.tid;
+        if (e.phase == 'X')
+            os << ",\"dur\":" << e.dur;
+        if (e.arg1Name) {
+            os << ",\"args\":{\"" << e.arg1Name << "\":" << e.arg1;
+            if (e.arg2Name)
+                os << ",\"" << e.arg2Name << "\":" << e.arg2;
+            os << "}";
+        }
+        os << "}\n";
+    }
+}
+
+void
+Tracer::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        dee_fatal("cannot open trace output file '", path, "'");
+    writeJsonLines(out);
+    if (!out.good())
+        dee_fatal("error writing trace output file '", path, "'");
+}
+
+} // namespace dee::obs

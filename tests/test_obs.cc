@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Unit tests for the observability layer: stats registry naming rules,
+ * tracer ring-buffer semantics, JSON emission round-tripped through the
+ * built-in parser, scoped timers and run manifests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/obs.hh"
+
+namespace
+{
+
+using dee::obs::Json;
+using dee::obs::Manifest;
+using dee::obs::Registry;
+using dee::obs::ScopedTimer;
+using dee::obs::Tracer;
+
+TEST(Registry, CounterScalarStatHistogram)
+{
+    Registry reg;
+    reg.counter("sim.window.runs") += 3;
+    reg.counter("sim.window.runs") += 2;
+    EXPECT_EQ(reg.counter("sim.window.runs"), 5u);
+
+    reg.scalar("sim.window.speedup_last") = 31.9;
+    EXPECT_DOUBLE_EQ(reg.scalar("sim.window.speedup_last"), 31.9);
+
+    reg.stat("sim.window.speedup").add(2.0);
+    reg.stat("sim.window.speedup").add(4.0);
+    EXPECT_EQ(reg.stat("sim.window.speedup").count(), 2u);
+    EXPECT_DOUBLE_EQ(reg.stat("sim.window.speedup").mean(), 3.0);
+
+    auto &hist = reg.histogram("sim.window.occupancy", 0.0, 8.0, 4);
+    hist.add(1.0);
+    hist.add(5.0);
+    // Same object on re-access; geometry arguments ignored.
+    EXPECT_EQ(&reg.histogram("sim.window.occupancy", 0.0, 1.0, 1),
+              &hist);
+    EXPECT_EQ(hist.total(), 2u);
+
+    EXPECT_TRUE(reg.contains("sim.window.runs"));
+    EXPECT_FALSE(reg.contains("sim.window"));
+    EXPECT_EQ(reg.size(), 4u);
+    reg.clear();
+    EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(RegistryDeathTest, KindConflictIsFatal)
+{
+    Registry reg;
+    reg.counter("levo.copybacks");
+    EXPECT_EXIT(reg.scalar("levo.copybacks"),
+                ::testing::ExitedWithCode(1), "registered as a counter");
+}
+
+TEST(RegistryDeathTest, PrefixOfLeafIsFatal)
+{
+    Registry reg;
+    reg.counter("bpred.2bit.mispredicts");
+    // A leaf cannot also be an interior node, in either direction.
+    EXPECT_EXIT(reg.counter("bpred.2bit"),
+                ::testing::ExitedWithCode(1), "prefix");
+    EXPECT_EXIT(reg.counter("bpred.2bit.mispredicts.fast"),
+                ::testing::ExitedWithCode(1), "descends through");
+}
+
+TEST(RegistryDeathTest, MalformedPathIsFatal)
+{
+    Registry reg;
+    EXPECT_EXIT(reg.counter(""), ::testing::ExitedWithCode(1), "path");
+    EXPECT_EXIT(reg.counter("a..b"), ::testing::ExitedWithCode(1),
+                "path");
+    EXPECT_EXIT(reg.counter("a.b!"), ::testing::ExitedWithCode(1),
+                "path");
+}
+
+TEST(Registry, TextAndJsonDumps)
+{
+    Registry reg;
+    reg.counter("sim.window.mispredicts") = 7;
+    reg.scalar("levo.ipc_last") = 6.5;
+    reg.stat("sim.window.speedup").add(12.0);
+
+    const std::string text = reg.renderText();
+    EXPECT_NE(text.find("sim.window.mispredicts"), std::string::npos);
+    EXPECT_NE(text.find("7"), std::string::npos);
+
+    const Json doc = reg.toJson();
+    const Json *sim = doc.find("sim");
+    ASSERT_NE(sim, nullptr);
+    const Json *window = sim->find("window");
+    ASSERT_NE(window, nullptr);
+    const Json *mp = window->find("mispredicts");
+    ASSERT_NE(mp, nullptr);
+    EXPECT_EQ(mp->asInt(), 7);
+    const Json *speedup = window->find("speedup");
+    ASSERT_NE(speedup, nullptr);
+    ASSERT_TRUE(speedup->isObject());
+    EXPECT_EQ(speedup->find("count")->asInt(), 1);
+    EXPECT_DOUBLE_EQ(speedup->find("mean")->asDouble(), 12.0);
+}
+
+TEST(Tracer, RingWraparoundKeepsNewestEvents)
+{
+    Tracer tracer(4);
+    tracer.enable();
+    for (int i = 0; i < 6; ++i)
+        tracer.record("tick", 'i', i);
+    EXPECT_EQ(tracer.size(), 4u);
+    EXPECT_EQ(tracer.recorded(), 6u);
+    EXPECT_EQ(tracer.dropped(), 2u);
+    // Oldest-first iteration yields timestamps 2..5.
+    for (std::size_t i = 0; i < tracer.size(); ++i)
+        EXPECT_EQ(tracer.event(i).ts, static_cast<std::int64_t>(i + 2));
+
+    tracer.clear();
+    EXPECT_EQ(tracer.size(), 0u);
+    EXPECT_EQ(tracer.dropped(), 6u);
+}
+
+TEST(Tracer, MacroSkipsArgumentEvaluationWhenDisabled)
+{
+    Tracer tracer(4);
+    int evaluations = 0;
+    auto ts = [&]() -> std::int64_t { return ++evaluations; };
+
+    dee_trace_event(tracer, "off", 'i', ts());
+    EXPECT_EQ(evaluations, 0);
+    EXPECT_EQ(tracer.size(), 0u);
+
+    tracer.enable();
+    dee_trace_event(tracer, "on", 'i', ts());
+    EXPECT_EQ(evaluations, 1);
+    EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(Tracer, JsonLinesAreWellFormedTraceEvents)
+{
+    Tracer tracer(8);
+    tracer.enable();
+    tracer.record("sim.root_advance", 'i', 10, "path", 3, "mispredict",
+                  1);
+    tracer.record("sim.issue_occupancy", 'C', 11, "busy", 42);
+    tracer.record("sim.window.run", 'X', 0, nullptr, 0, nullptr, 0, 2,
+                  100);
+
+    std::ostringstream os;
+    tracer.writeJsonLines(os);
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(is, line)) {
+        Json event;
+        std::string err;
+        ASSERT_TRUE(Json::parse(line, &event, &err)) << err;
+        ASSERT_TRUE(event.isObject());
+        EXPECT_NE(event.find("name"), nullptr);
+        EXPECT_NE(event.find("ph"), nullptr);
+        EXPECT_NE(event.find("ts"), nullptr);
+        EXPECT_NE(event.find("pid"), nullptr);
+        EXPECT_NE(event.find("tid"), nullptr);
+        ++lines;
+    }
+    EXPECT_EQ(lines, 3u);
+
+    std::ostringstream os2;
+    tracer.writeJsonLines(os2);
+    const std::string text = os2.str();
+    EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(text.find("\"dur\":100"), std::string::npos);
+    EXPECT_NE(text.find("\"mispredict\":1"), std::string::npos);
+}
+
+TEST(Json, RoundTripThroughParser)
+{
+    Json doc = Json::object();
+    doc["name"] = Json("quote \" backslash \\ newline \n tab \t");
+    doc["count"] = Json(std::int64_t{-42});
+    doc["ratio"] = Json(31.9);
+    doc["flag"] = Json(true);
+    doc["nothing"] = Json();
+    Json arr = Json::array();
+    arr.push(Json(1));
+    arr.push(Json("two"));
+    Json inner = Json::object();
+    inner["deep"] = Json(3.5);
+    arr.push(std::move(inner));
+    doc["items"] = std::move(arr);
+
+    for (int indent : {-1, 2}) {
+        Json back;
+        std::string err;
+        ASSERT_TRUE(Json::parse(doc.dump(indent), &back, &err)) << err;
+        EXPECT_EQ(back.find("name")->asString(),
+                  "quote \" backslash \\ newline \n tab \t");
+        EXPECT_EQ(back.find("count")->asInt(), -42);
+        EXPECT_DOUBLE_EQ(back.find("ratio")->asDouble(), 31.9);
+        EXPECT_TRUE(back.find("flag")->asBool());
+        EXPECT_EQ(back.find("nothing")->kind(), Json::Kind::Null);
+        const Json &items = *back.find("items");
+        ASSERT_EQ(items.size(), 3u);
+        EXPECT_EQ(items.items()[0].asInt(), 1);
+        EXPECT_EQ(items.items()[1].asString(), "two");
+        EXPECT_DOUBLE_EQ(items.items()[2].find("deep")->asDouble(),
+                         3.5);
+    }
+}
+
+TEST(Json, ParserRejectsMalformedInput)
+{
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru",
+          "\"unterminated", "{\"a\":1}trailing", "nan"}) {
+        Json out;
+        std::string err;
+        EXPECT_FALSE(Json::parse(bad, &out, &err)) << bad;
+        EXPECT_FALSE(err.empty()) << bad;
+    }
+}
+
+TEST(Json, UnicodeEscapes)
+{
+    Json out;
+    std::string err;
+    ASSERT_TRUE(Json::parse("\"a\\u00e9b\\u20acc\"", &out, &err))
+        << err;
+    EXPECT_EQ(out.asString(), "a\xc3\xa9"
+                              "b\xe2\x82\xac"
+                              "c");
+}
+
+TEST(ScopedTimer, RecordsOneSamplePerScope)
+{
+    Registry reg;
+    {
+        ScopedTimer timer("sim.window.run_ms", reg);
+    }
+    {
+        ScopedTimer timer("sim.window.run_ms", reg);
+    }
+    const dee::RunningStat &stat = reg.stat("sim.window.run_ms");
+    EXPECT_EQ(stat.count(), 2u);
+    EXPECT_GE(stat.min(), 0.0);
+}
+
+TEST(Manifest, DocumentShapeAndRoundTrip)
+{
+    Registry reg;
+    reg.counter("sim.window.runs") = 1;
+
+    Manifest manifest("test_tool");
+    manifest.setConfig("scale", 4);
+    manifest.results()["speedup"] = Json(31.9);
+
+    Json back;
+    std::string err;
+    ASSERT_TRUE(Json::parse(manifest.toJson(reg).dump(2), &back, &err))
+        << err;
+    EXPECT_EQ(back.find("schema")->asString(), "dee.run.v1");
+    EXPECT_EQ(back.find("tool")->asString(), "test_tool");
+    EXPECT_EQ(back.find("config")->find("scale")->asInt(), 4);
+    EXPECT_DOUBLE_EQ(back.find("results")->find("speedup")->asDouble(),
+                     31.9);
+    EXPECT_EQ(back.find("stats")
+                  ->find("sim")
+                  ->find("window")
+                  ->find("runs")
+                  ->asInt(),
+              1);
+    ASSERT_NE(back.find("wall_clock_ms"), nullptr);
+    EXPECT_TRUE(back.find("wall_clock_ms")->isNumber());
+}
+
+} // namespace

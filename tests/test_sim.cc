@@ -12,6 +12,7 @@
 #include "core/sim/models.hh"
 #include "core/sim/window_sim.hh"
 #include "exec/interp.hh"
+#include "obs/registry.hh"
 #include "workloads/suite.hh"
 
 namespace dee
@@ -517,6 +518,53 @@ TEST(ResolveStats, ParallelResolutionResolvesDeeper)
         total += c;
     EXPECT_EQ(total, r.mispredicted);
     EXPECT_LT(r.resolveAtRootFraction(), 1.0);
+}
+
+TEST(Observability, RegistryCountersMatchSimResult)
+{
+    // The window simulator publishes its run totals into the global
+    // stats registry; they must agree exactly with the legacy
+    // SimResult fields the benches print.
+    const BenchmarkInstance inst = makeInstance(WorkloadId::Compress, 1);
+    obs::Registry &reg = obs::Registry::global();
+    reg.clear();
+
+    TwoBitPredictor pred(inst.trace.numStatic);
+    ModelRunOptions options;
+    options.gatherIssueStats = true;
+    const SimResult r = runModel(ModelKind::DEE_CD_MF, inst.trace,
+                                 &inst.cfg, pred, 64, options);
+
+    EXPECT_EQ(reg.counter("sim.window.runs"), 1u);
+    EXPECT_EQ(reg.counter("sim.window.instructions"), r.instructions);
+    EXPECT_EQ(reg.counter("sim.window.cycles"), r.cycles);
+    EXPECT_EQ(reg.counter("sim.window.branches"), r.branches);
+    EXPECT_EQ(reg.counter("sim.window.mispredicts"), r.mispredicted);
+    EXPECT_EQ(reg.counter("sim.window.side_path_fetches"),
+              r.sidePathFetches);
+    EXPECT_EQ(reg.stat("sim.window.speedup").count(), 1u);
+    EXPECT_DOUBLE_EQ(reg.stat("sim.window.speedup").mean(), r.speedup);
+    EXPECT_EQ(reg.stat("sim.window.peak_issue").count(), 1u);
+    EXPECT_DOUBLE_EQ(reg.stat("sim.window.peak_issue").mean(),
+                     static_cast<double>(r.peakIssue));
+
+    // A second run accumulates rather than overwrites.
+    TwoBitPredictor pred2(inst.trace.numStatic);
+    runModel(ModelKind::DEE_CD_MF, inst.trace, &inst.cfg, pred2, 64,
+             options);
+    EXPECT_EQ(reg.counter("sim.window.runs"), 2u);
+    EXPECT_EQ(reg.counter("sim.window.instructions"),
+              2 * r.instructions);
+
+    // The oracle pass publishes under its own subtree.
+    reg.clear();
+    const SimResult oracle = oracleSim(inst.trace);
+    EXPECT_EQ(reg.counter("sim.oracle.runs"), 1u);
+    EXPECT_EQ(reg.counter("sim.oracle.instructions"),
+              oracle.instructions);
+    EXPECT_DOUBLE_EQ(reg.stat("sim.oracle.speedup").mean(),
+                     oracle.speedup);
+    reg.clear();
 }
 
 } // namespace
