@@ -58,16 +58,24 @@ main(int argc, char **argv)
 {
     dee::Cli cli("Confidence-gated DEE vs the static tree (DEE-CD-MF)");
     cli.flag("scale", "4", "workload scale factor");
+    dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
+    dee::obs::Session session("ablation_confidence", cli);
     const auto suite =
         dee::makeSuite(static_cast<int>(cli.integer("scale")));
 
     const std::vector<int> ets{16, 32, 64, 100};
     dee::Table table({"variant", "ET=16", "ET=32", "ET=64", "ET=100"});
 
+    dee::obs::Json ets_json = dee::obs::Json::array();
+    for (int e_t : ets)
+        ets_json.push(dee::obs::Json(e_t));
+    session.manifest().results()["ets"] = std::move(ets_json);
+
     for (bool gated : {false, true}) {
         std::vector<std::string> row{
             gated ? "confidence-gated side paths" : "static tree"};
+        dee::obs::Json series = dee::obs::Json::array();
         for (int e_t : ets) {
             std::vector<double> xs;
             for (const auto &inst : suite) {
@@ -101,8 +109,13 @@ main(int argc, char **argv)
                 dee::WindowSim sim(inst.trace, tree, config, &inst.cfg);
                 xs.push_back(sim.run(pred).speedup);
             }
-            row.push_back(dee::Table::fmt(dee::harmonicMean(xs), 2));
+            const double hm = dee::harmonicMean(xs);
+            series.push(dee::obs::Json(hm));
+            row.push_back(dee::Table::fmt(hm, 2));
         }
+        session.manifest().results()[gated ? "gated_speedup"
+                                           : "static_speedup"] =
+            std::move(series);
         table.addRow(std::move(row));
     }
     std::printf("%s\nfinding: at equal expected resources, confidence "

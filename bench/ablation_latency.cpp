@@ -19,7 +19,9 @@ main(int argc, char **argv)
 {
     dee::Cli cli("Non-unit latency study (paper future work)");
     cli.flag("scale", "4", "workload scale factor");
+    dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
+    dee::obs::Session session("ablation_latency", cli);
     const auto suite =
         dee::makeSuite(static_cast<int>(cli.integer("scale")));
 
@@ -31,6 +33,7 @@ main(int argc, char **argv)
                                     : dee::LatencyModel::unit();
         std::vector<std::string> row{realistic ? "3-cycle loads"
                                                : "unit (paper)"};
+        dee::obs::Json point = dee::obs::Json::object();
         for (dee::ModelKind kind :
              {dee::ModelKind::SP, dee::ModelKind::EE, dee::ModelKind::DEE,
               dee::ModelKind::SP_CD_MF, dee::ModelKind::DEE_CD_MF,
@@ -39,8 +42,13 @@ main(int argc, char **argv)
             for (const auto &inst : suite)
                 xs.push_back(
                     dee::bench::speedupOf(kind, inst, 100, options));
-            row.push_back(dee::Table::fmt(dee::harmonicMean(xs), 2));
+            const double hm = dee::harmonicMean(xs);
+            point[std::string(dee::modelName(kind)) + "_speedup"] =
+                dee::obs::Json(hm);
+            row.push_back(dee::Table::fmt(hm, 2));
         }
+        session.manifest().results()[realistic ? "realistic" : "unit"] =
+            std::move(point);
         table.addRow(std::move(row));
     }
     std::printf("%s\nspeedups are vs a *unit-latency* sequential "

@@ -20,7 +20,9 @@ main(int argc, char **argv)
 {
     dee::Cli cli("Cache hierarchy study at E_T = 100");
     cli.flag("scale", "4", "workload scale factor");
+    dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
+    dee::obs::Session session("ablation_memory", cli);
     const auto suite =
         dee::makeSuite(static_cast<int>(cli.integer("scale")));
 
@@ -36,6 +38,8 @@ main(int argc, char **argv)
         {"tiny L1, 100-cycle memory", true, dee::MemoryConfig::small()},
     };
 
+    dee::obs::Json &out = (session.manifest().results()["memory"] =
+                               dee::obs::Json::object());
     dee::Table table({"memory", "L1 hit", "mean load lat", "SP",
                       "DEE-CD-MF", "Oracle"});
     for (const auto &point : points) {
@@ -60,6 +64,16 @@ main(int argc, char **argv)
             oracle.push_back(dee::bench::speedupOf(
                 dee::ModelKind::Oracle, inst, 0, options));
         }
+        dee::obs::Json entry = dee::obs::Json::object();
+        entry["l1_hit_rate"] = dee::obs::Json(point.enabled ? l1_hit : 1.0);
+        entry["mean_load_latency"] =
+            dee::obs::Json(point.enabled ? mean_lat : 1.0);
+        entry["sp_speedup"] = dee::obs::Json(dee::harmonicMean(sp));
+        entry["dee_cd_mf_speedup"] =
+            dee::obs::Json(dee::harmonicMean(dee_mf));
+        entry["oracle_speedup"] =
+            dee::obs::Json(dee::harmonicMean(oracle));
+        out[point.name] = std::move(entry);
         table.addRow({point.name,
                       point.enabled
                           ? dee::Table::fmt(100.0 * l1_hit, 1) + "%"

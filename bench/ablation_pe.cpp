@@ -20,7 +20,9 @@ main(int argc, char **argv)
 {
     dee::Cli cli("Issue-width (PE) limit study at E_T = 100");
     cli.flag("scale", "4", "workload scale factor");
+    dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
+    dee::obs::Session session("ablation_pe", cli);
     const auto suite =
         dee::makeSuite(static_cast<int>(cli.integer("scale")));
 
@@ -30,10 +32,18 @@ main(int argc, char **argv)
         headers.push_back(w == 0 ? "PE=inf" : "PE=" + std::to_string(w));
     dee::Table table(headers);
 
+    dee::obs::Json widths_json = dee::obs::Json::array();
+    for (int w : widths)
+        widths_json.push(dee::obs::Json(w));
+    session.manifest().results()["pe_widths"] = std::move(widths_json);
+    dee::obs::Json &out = (session.manifest().results()["models"] =
+                               dee::obs::Json::object());
+
     for (dee::ModelKind kind :
          {dee::ModelKind::SP, dee::ModelKind::DEE,
           dee::ModelKind::SP_CD_MF, dee::ModelKind::DEE_CD_MF}) {
         std::vector<std::string> row{dee::modelName(kind)};
+        dee::obs::Json series = dee::obs::Json::array();
         for (int w : widths) {
             dee::ModelRunOptions options;
             options.peLimit = w;
@@ -41,8 +51,11 @@ main(int argc, char **argv)
             for (const auto &inst : suite)
                 xs.push_back(
                     dee::bench::speedupOf(kind, inst, 100, options));
-            row.push_back(dee::Table::fmt(dee::harmonicMean(xs), 2));
+            const double hm = dee::harmonicMean(xs);
+            series.push(dee::obs::Json(hm));
+            row.push_back(dee::Table::fmt(hm, 2));
         }
+        out[dee::modelName(kind)] = std::move(series);
         table.addRow(std::move(row));
     }
     std::printf("%s\npaper: max busy PEs 'likely less than 200 (for "

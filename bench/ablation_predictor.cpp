@@ -20,10 +20,14 @@ main(int argc, char **argv)
 {
     dee::Cli cli("Predictor choice vs DEE benefit (E_T = 100)");
     cli.flag("scale", "4", "workload scale factor");
+    dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
+    dee::obs::Session session("ablation_predictor", cli);
     const auto suite =
         dee::makeSuite(static_cast<int>(cli.integer("scale")));
 
+    dee::obs::Json &out = (session.manifest().results()["predictors"] =
+                               dee::obs::Json::object());
     dee::Table table({"predictor", "mean accuracy", "SP-CD-MF",
                       "DEE-CD-MF", "DEE benefit"});
     for (const char *name :
@@ -47,6 +51,12 @@ main(int argc, char **argv)
         }
         const double sp_hm = dee::harmonicMean(sp);
         const double dee_hm = dee::harmonicMean(dee);
+        dee::obs::Json entry = dee::obs::Json::object();
+        entry["accuracy"] = dee::obs::Json(dee::arithmeticMean(accs));
+        entry["sp_cd_mf_speedup"] = dee::obs::Json(sp_hm);
+        entry["dee_cd_mf_speedup"] = dee::obs::Json(dee_hm);
+        entry["dee_benefit"] = dee::obs::Json(dee_hm / sp_hm);
+        out[name] = std::move(entry);
         table.addRow({name,
                       dee::Table::fmt(dee::arithmeticMean(accs), 4),
                       dee::Table::fmt(sp_hm, 2),

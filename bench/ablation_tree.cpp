@@ -47,20 +47,33 @@ main(int argc, char **argv)
 {
     dee::Cli cli("DEE tree-shape ablations (DEE-CD-MF, harmonic mean)");
     cli.flag("scale", "4", "workload scale factor");
+    dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
+    dee::obs::Session session("ablation_tree", cli);
     const auto suite =
         dee::makeSuite(static_cast<int>(cli.integer("scale")));
     const std::vector<int> ets{32, 64, 100, 256};
 
+    dee::obs::Json ets_json = dee::obs::Json::array();
+    for (int e_t : ets)
+        ets_json.push(dee::obs::Json(e_t));
+    session.manifest().results()["ets"] = std::move(ets_json);
+
     // 1. Heuristic vs greedy tree.
     {
+        dee::obs::Json &out = (session.manifest().results()["tree"] =
+                                   dee::obs::Json::object());
         dee::Table table({"tree", "ET=32", "ET=64", "ET=100", "ET=256"});
         for (bool greedy : {false, true}) {
             std::vector<std::string> row{
                 greedy ? "greedy (theory-exact)" : "static heuristic"};
-            for (int e_t : ets)
-                row.push_back(dee::Table::fmt(
-                    hmWithTree(suite, greedy, -1.0, e_t, 1), 2));
+            dee::obs::Json series = dee::obs::Json::array();
+            for (int e_t : ets) {
+                const double hm = hmWithTree(suite, greedy, -1.0, e_t, 1);
+                series.push(dee::obs::Json(hm));
+                row.push_back(dee::Table::fmt(hm, 2));
+            }
+            out[greedy ? "greedy" : "static"] = std::move(series);
             table.addRow(std::move(row));
         }
         std::printf("== heuristic vs theory tree ==\n%s\n",
@@ -69,14 +82,23 @@ main(int argc, char **argv)
 
     // 2. Mis-estimated characteristic p.
     {
+        dee::obs::Json &out =
+            (session.manifest().results()["p_sensitivity"] =
+                 dee::obs::Json::object());
         dee::Table table({"design p", "ET=32", "ET=64", "ET=100",
                           "ET=256"});
         for (double p : {0.80, 0.86, 0.9053, 0.95, -1.0}) {
+            const std::string label =
+                p < 0 ? "measured" : dee::Table::fmt(p, 4);
             std::vector<std::string> row{
                 p < 0 ? "measured per workload" : dee::Table::fmt(p, 4)};
-            for (int e_t : ets)
-                row.push_back(dee::Table::fmt(
-                    hmWithTree(suite, false, p, e_t, 1), 2));
+            dee::obs::Json series = dee::obs::Json::array();
+            for (int e_t : ets) {
+                const double hm = hmWithTree(suite, false, p, e_t, 1);
+                series.push(dee::obs::Json(hm));
+                row.push_back(dee::Table::fmt(hm, 2));
+            }
+            out[label] = std::move(series);
             table.addRow(std::move(row));
         }
         std::printf("== characteristic-p sensitivity ==\n%s\n",
@@ -85,13 +107,20 @@ main(int argc, char **argv)
 
     // 3. Misprediction penalty.
     {
+        dee::obs::Json &out = (session.manifest().results()["penalty"] =
+                                   dee::obs::Json::object());
         dee::Table table({"penalty", "ET=32", "ET=64", "ET=100",
                           "ET=256"});
         for (int penalty : {0, 1, 2, 4}) {
             std::vector<std::string> row{std::to_string(penalty)};
-            for (int e_t : ets)
-                row.push_back(dee::Table::fmt(
-                    hmWithTree(suite, false, -1.0, e_t, penalty), 2));
+            dee::obs::Json series = dee::obs::Json::array();
+            for (int e_t : ets) {
+                const double hm =
+                    hmWithTree(suite, false, -1.0, e_t, penalty);
+                series.push(dee::obs::Json(hm));
+                row.push_back(dee::Table::fmt(hm, 2));
+            }
+            out[std::to_string(penalty)] = std::move(series);
             table.addRow(std::move(row));
         }
         std::printf("== misprediction penalty (paper: 1 cycle, maybe "

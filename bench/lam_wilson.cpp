@@ -22,7 +22,9 @@ main(int argc, char **argv)
 {
     dee::Cli cli("Lam-Wilson unlimited vs constrained models");
     cli.flag("scale", "4", "workload scale factor");
+    dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
+    dee::obs::Session session("lam_wilson", cli);
     const auto suite =
         dee::makeSuite(static_cast<int>(cli.integer("scale")));
 
@@ -53,9 +55,19 @@ main(int argc, char **argv)
         push(dee::bench::speedupOf(dee::ModelKind::Oracle, inst, 0));
         table.addRow(std::move(row));
     }
+    const char *col_names[] = {"lw_sp",       "sp_256",
+                               "lw_sp_cd",    "sp_cd_256",
+                               "lw_sp_cd_mf", "sp_cd_mf_256",
+                               "dee_cd_mf_256", "oracle"};
+    dee::obs::Json &out =
+        (session.manifest().results()["harmonic_mean_speedup"] =
+             dee::obs::Json::object());
     std::vector<std::string> hm{"harmonic mean"};
-    for (auto &col : cols)
-        hm.push_back(dee::Table::fmt(dee::harmonicMean(col), 2));
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+        const double v = dee::harmonicMean(cols[c]);
+        out[col_names[c]] = dee::obs::Json(v);
+        hm.push_back(dee::Table::fmt(v, 2));
+    }
     table.addRow(std::move(hm));
 
     std::printf("%s\nLam & Wilson (ISCA'92) reported HM speedups of "

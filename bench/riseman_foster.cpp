@@ -16,6 +16,7 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "core/sim/limits.hh"
+#include "obs/obs.hh"
 #include "workloads/suite.hh"
 
 int
@@ -23,7 +24,9 @@ main(int argc, char **argv)
 {
     dee::Cli cli("Riseman-Foster bounded-branch limit study");
     cli.flag("scale", "4", "workload scale factor");
+    dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
+    dee::obs::Session session("riseman_foster", cli);
     const auto suite =
         dee::makeSuite(static_cast<int>(cli.integer("scale")));
 
@@ -46,9 +49,20 @@ main(int argc, char **argv)
         }
         table.addRow(std::move(row));
     }
+    dee::obs::Json points_json = dee::obs::Json::array();
+    for (const auto &j : points)
+        points_json.push(j ? dee::obs::Json(*j) : dee::obs::Json(-1));
+    session.manifest().results()["bypassed_jumps"] =
+        std::move(points_json);
+    dee::obs::Json hm_json = dee::obs::Json::array();
     std::vector<std::string> hm_row{"harmonic mean"};
-    for (const auto &col : columns)
-        hm_row.push_back(dee::Table::fmt(dee::harmonicMean(col), 2));
+    for (const auto &col : columns) {
+        const double v = dee::harmonicMean(col);
+        hm_json.push(dee::obs::Json(v));
+        hm_row.push_back(dee::Table::fmt(v, 2));
+    }
+    session.manifest().results()["harmonic_mean_speedup"] =
+        std::move(hm_json);
     table.addRow(std::move(hm_row));
 
     std::printf("%s\nRiseman-Foster 1972 (harmonic means): j=0 ~1.72, "

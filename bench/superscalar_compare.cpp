@@ -23,7 +23,9 @@ main(int argc, char **argv)
 {
     dee::Cli cli("Superscalar vs Levo vs DEE");
     cli.flag("scale", "2", "workload scale factor");
+    dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
+    dee::obs::Session session("superscalar_compare", cli);
     const auto suite =
         dee::makeSuite(static_cast<int>(cli.integer("scale")));
 
@@ -62,6 +64,13 @@ main(int argc, char **argv)
                       dee::Table::fmt(dee_mf, 2),
                       dee::Table::fmt(oracle, 2)});
     }
+    dee::obs::Json &out = (session.manifest().results()["harmonic_mean"] =
+                               dee::obs::Json::object());
+    out["ooo4_ipc"] = dee::obs::Json(dee::harmonicMean(c4));
+    out["ooo6_ipc"] = dee::obs::Json(dee::harmonicMean(c6));
+    out["levo_ipc"] = dee::obs::Json(dee::harmonicMean(clevo));
+    out["dee_cd_mf_speedup"] = dee::obs::Json(dee::harmonicMean(cdee));
+    out["oracle_speedup"] = dee::obs::Json(dee::harmonicMean(cor));
     table.addRow({"harmonic mean", dee::Table::fmt(dee::harmonicMean(c4), 2),
                   dee::Table::fmt(dee::harmonicMean(c6), 2),
                   dee::Table::fmt(dee::harmonicMean(clevo), 2),

@@ -332,6 +332,32 @@ measureAccuracy(const Trace &trace, BranchPredictor &pred,
     return report;
 }
 
+ConfidenceEstimator::ConfidenceEstimator(std::uint32_t num_static)
+    : seen_(num_static, 0), right_(num_static, 0)
+{
+}
+
+void
+ConfidenceEstimator::record(StaticId sid, bool correct)
+{
+    if (sid >= seen_.size())
+        return;
+    ++seen_[sid];
+    if (correct)
+        ++right_[sid];
+}
+
+double
+ConfidenceEstimator::estimate(StaticId sid) const
+{
+    if (sid >= seen_.size() || seen_[sid] == 0)
+        return 1.0;
+    // Laplace smoothing with one optimistic pseudo-sample: a single
+    // early mispredict should not brand a branch low-confidence.
+    return (static_cast<double>(right_[sid]) + 1.0) /
+           (static_cast<double>(seen_[sid]) + 1.0);
+}
+
 std::vector<bool>
 backwardTable(const Program &program)
 {

@@ -213,6 +213,40 @@ class TournamentPredictor : public BranchPredictor
 std::unique_ptr<BranchPredictor>
 makePredictor(const std::string &name, std::uint32_t num_static);
 
+/**
+ * Running per-static-branch confidence: the measured accuracy of the
+ * predictor on each static branch so far, Laplace-smoothed toward the
+ * optimistic power-on prior (a branch never seen predicts as well as
+ * hardware allows — matching the paper's treatment of unseen branches
+ * as accuracy 1.0).
+ *
+ * Cycle accounting uses this to attribute squashed speculative work to
+ * confidence buckets: waste behind a low-confidence branch is exactly
+ * the work DEE's side paths rescue, waste behind a high-confidence
+ * branch is the residual no placement heuristic can dodge.
+ */
+class ConfidenceEstimator
+{
+  public:
+    explicit ConfidenceEstimator(std::uint32_t num_static);
+
+    /** Records one resolved prediction for the branch at @p sid. */
+    void record(StaticId sid, bool correct);
+
+    /** Smoothed accuracy estimate in (0, 1]; 1.0 before any sample. */
+    double estimate(StaticId sid) const;
+
+    std::uint64_t
+    samples(StaticId sid) const
+    {
+        return sid < seen_.size() ? seen_[sid] : 0;
+    }
+
+  private:
+    std::vector<std::uint32_t> seen_;
+    std::vector<std::uint32_t> right_;
+};
+
 /** Result of measuring a predictor over one trace. */
 struct AccuracyReport
 {

@@ -87,7 +87,8 @@ runModel(ModelKind kind, const Trace &trace, const Cfg *cfg,
          const ModelRunOptions &options)
 {
     if (kind == ModelKind::Oracle) {
-        return oracleSim(trace, options.latency, options.loadLatencies);
+        return oracleSim(trace, options.latency, options.loadLatencies,
+                         options.gatherAccounting);
     }
 
     double p = options.characteristicP;
@@ -102,6 +103,7 @@ runModel(ModelKind kind, const Trace &trace, const Cfg *cfg,
     config.latency = options.latency;
     config.gatherResolveStats = options.gatherResolveStats;
     config.gatherIssueStats = options.gatherIssueStats;
+    config.gatherAccounting = options.gatherAccounting;
     config.peLimit = options.peLimit;
     config.loadLatencies = options.loadLatencies;
 

@@ -62,6 +62,8 @@ struct ModelRunOptions
     bool gatherResolveStats = false;
     /** Track per-cycle issue counts (peak/mean occupancy). */
     bool gatherIssueStats = false;
+    /** Fill SimResult::account (see SimConfig::gatherAccounting). */
+    bool gatherAccounting = true;
     /**
      * Characteristic accuracy for tree sizing; <= 0 means "measure it
      * from the trace with a clone of the predictor" (heuristic step 1).

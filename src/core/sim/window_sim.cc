@@ -73,6 +73,10 @@ SimResult::render() const
         oss << " resolveAtRoot="
             << Table::fmtPercent(resolveAtRootFraction());
     }
+    if (account.valid()) {
+        oss << " waste=" << Table::fmtPercent(account.wasteFraction())
+            << " useful=" << Table::fmtPercent(account.usefulFraction());
+    }
     return oss.str();
 }
 
@@ -101,7 +105,14 @@ namespace
 class IssueSlots
 {
   public:
-    explicit IssueSlots(int width) : width_(width) {}
+    /** @param starved when non-null, every fully-occupied cycle an
+     *  instruction probed while waiting for a slot is appended —
+     *  the resource-starvation evidence for cycle accounting. */
+    explicit IssueSlots(int width,
+                        std::vector<std::int64_t> *starved = nullptr)
+        : width_(width), starved_(starved)
+    {
+    }
 
     std::int64_t
     claim(std::int64_t ready)
@@ -115,6 +126,8 @@ class IssueSlots
                 ++used;
                 return t;
             }
+            if (starved_)
+                starved_->push_back(t);
             ++t;
         }
     }
@@ -123,6 +136,7 @@ class IssueSlots
     int width_;
     std::int64_t floor_ = 0;
     std::unordered_map<std::int64_t, int> used_;
+    std::vector<std::int64_t> *starved_;
 };
 
 } // namespace
@@ -190,6 +204,11 @@ WindowSim::run(BranchPredictor &predictor) const
     const bool use_confidence = config_.confidence.accuracy != nullptr;
 
     // --- Prediction correctness per branch path (functional update) ----
+    // The same pass feeds the per-branch confidence estimator used to
+    // attribute squashed speculative work to accuracy buckets.
+    const bool accounting = config_.gatherAccounting;
+    ConfidenceEstimator confidence_meter(
+        accounting ? trace_.numStatic : 0);
     std::vector<std::uint8_t> correct(num_paths, 1);
     for (std::uint64_t k = 0; k < num_paths; ++k) {
         if (!paths[k].endsInBranch)
@@ -201,6 +220,8 @@ WindowSim::run(BranchPredictor &predictor) const
         const bool predicted = predictor.predict(q);
         predictor.update(q, b.taken);
         correct[k] = (predicted == b.taken) ? 1 : 0;
+        if (accounting)
+            confidence_meter.record(b.sid, correct[k] != 0);
         ++result.branches;
         if (!correct[k])
             ++result.mispredicted;
@@ -255,7 +276,10 @@ WindowSim::run(BranchPredictor &predictor) const
 
     std::deque<PendingMispredict> window_mispredicts;
     std::int64_t last_resolve = -1;
-    IssueSlots slots(config_.peLimit);
+    std::vector<std::int64_t> starved_cycles;
+    IssueSlots slots(config_.peLimit,
+                     accounting && config_.peLimit > 0 ? &starved_cycles
+                                                       : nullptr);
 
     // Effective completion latency of a dynamic instruction (cache-
     // model load latencies override the class latency when provided).
@@ -509,6 +533,38 @@ WindowSim::run(BranchPredictor &predictor) const
         }
     }
 
+    // --- Cycle accounting: classify every issue-slot-cycle ----------------
+    if (accounting) {
+        obs::SlotLedger ledger(
+            config_.peLimit > 0
+                ? static_cast<std::uint64_t>(config_.peLimit)
+                : 0,
+            result.cycles);
+        for (std::uint64_t i = 0; i < n; ++i)
+            ledger.issue(exec[i]);
+        for (std::uint64_t m = 0; m < num_paths; ++m) {
+            if (!paths[m].endsInBranch || correct[m])
+                continue;
+            // Wrong-path work occupies the machine from the moment the
+            // mispredicted branch's path was fetched (its prediction
+            // steered fetch from there) until resolution plus the
+            // repair penalty; spare slots in that span are squashed
+            // work, charged to the branch's confidence bucket.
+            const TraceRecord &b = records[paths[m].branchIndex()];
+            const std::int64_t begin = fetch_tree[m] == kNeverFetched
+                                           ? root_time[m]
+                                           : fetch_tree[m];
+            ledger.mark(obs::SlotClass::SquashedSpec, begin,
+                        resolve[m] + penalty,
+                        obs::confidenceBucket(
+                            confidence_meter.estimate(b.sid)));
+        }
+        for (const std::int64_t t : starved_cycles)
+            ledger.mark(obs::SlotClass::ResourceStarved, t, t + 1);
+        result.account =
+            ledger.finalize(result.cycles, tracing ? &tracer : nullptr);
+    }
+
     // Publish run totals into the global registry: a handful of map
     // lookups per run, negligible against the simulation itself.
     obs::Registry &reg = obs::Registry::global();
@@ -524,6 +580,8 @@ WindowSim::run(BranchPredictor &predictor) const
         reg.stat("sim.window.peak_issue")
             .add(static_cast<double>(result.peakIssue));
     }
+    if (result.account.valid())
+        result.account.publish(reg, "window");
 
     return result;
 }
@@ -559,7 +617,8 @@ profileBranchAccuracy(const Trace &trace, const BranchPredictor &pred)
 
 SimResult
 oracleSim(const Trace &trace, LatencyModel latency,
-          const std::vector<int> *load_latencies)
+          const std::vector<int> *load_latencies,
+          bool gather_accounting)
 {
     obs::ScopedTimer run_timer("sim.oracle.run_ms");
 
@@ -619,6 +678,20 @@ oracleSim(const Trace &trace, LatencyModel latency,
     ++reg.counter("sim.oracle.runs");
     reg.counter("sim.oracle.instructions") += result.instructions;
     reg.stat("sim.oracle.speedup").add(result.speedup);
+
+    if (gather_accounting) {
+        obs::SlotLedger ledger(0, result.cycles);
+        for (std::uint64_t i = 0; i < records.size(); ++i) {
+            const OpClass cls = opClass(records[i].op);
+            const int lat = (cls == OpClass::Load && load_latencies)
+                                ? (*load_latencies)[i]
+                                : latency.of(cls);
+            ledger.issue(done[i] - lat);
+        }
+        result.account = ledger.finalize(result.cycles);
+        if (result.account.valid())
+            result.account.publish(reg, "oracle");
+    }
     return result;
 }
 

@@ -57,6 +57,7 @@
 #include "bpred/bpred.hh"
 #include "cfg/cfg.hh"
 #include "core/tree/spec_tree.hh"
+#include "obs/accounting.hh"
 #include "trace/trace.hh"
 
 namespace dee
@@ -102,6 +103,15 @@ struct SimConfig
     /** Measure per-cycle issue counts (peak busy PEs — the paper's
      *  "<200 PEs at 100 branch paths" estimate). */
     bool gatherIssueStats = false;
+    /**
+     * Classify every issue-slot-cycle of the run into the closed
+     * obs::SlotClass taxonomy (SimResult::account, registry paths
+     * "acct.window.*"). Costs O(cycles) extra time and 5 bytes/cycle
+     * transient memory; on by default because the simulation itself
+     * dominates. The identity sum(classes) == PEs x cycles is checked
+     * fatally at end-of-run.
+     */
+    bool gatherAccounting = true;
     /**
      * Maximum instructions issued per cycle (the paper's future-work
      * "explicitly limited PE's"); 0 = unlimited, the paper's default
@@ -179,6 +189,10 @@ struct SimResult
      *  only filled when gatherIssueStats. The mean is `speedup`. */
     std::uint64_t peakIssue = 0;
 
+    /** Closed slot-cycle account (valid() iff gatherAccounting was on
+     *  and the run fit the ledger); see obs/accounting.hh. */
+    obs::CycleAccount account;
+
     std::string render() const;
 };
 
@@ -210,10 +224,14 @@ class WindowSim
 
 /** Oracle: dataflow-limit speedup (flow dependencies only).
  *  @param load_latencies optional per-record load latencies (cache
- *         model), overriding latency.load per access. */
+ *         model), overriding latency.load per access.
+ *  @param gather_accounting fill SimResult::account ("acct.oracle.*";
+ *         the oracle never speculates, so its slots split between
+ *         useful and the idle/fetch_stall residue). */
 SimResult oracleSim(const Trace &trace,
                     LatencyModel latency = LatencyModel::unit(),
-                    const std::vector<int> *load_latencies = nullptr);
+                    const std::vector<int> *load_latencies = nullptr,
+                    bool gather_accounting = true);
 
 } // namespace dee
 

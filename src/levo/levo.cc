@@ -47,8 +47,12 @@ LevoResult::render() const
         << refills << " columnStalls=" << columnStalls
         << " vePredications=" << vePredications << " loopCapture="
         << loopCaptureFraction() << " peakPending="
-        << peakPendingBranches << " rowUtil=" << meanRowUtilization
-        << (halted ? " halted" : " capped");
+        << peakPendingBranches << " rowUtil=" << meanRowUtilization;
+    if (account.valid()) {
+        oss << " waste=" << account.wasteFraction()
+            << " useful=" << account.usefulFraction();
+    }
+    oss << (halted ? " halted" : " capped");
     return oss.str();
 }
 
@@ -89,6 +93,14 @@ LevoMachine::run(std::uint64_t max_instrs) const
     auto predictor = makePredictor(
         config_.predictor, static_cast<std::uint32_t>(program_.numInstrs()));
     const std::vector<bool> backward = backwardTable(program_);
+
+    // Cycle accounting over the machine's n per-row PEs; the cycle
+    // count is unknown until the walk ends, so the ledger grows.
+    const bool accounting = config_.gatherAccounting;
+    obs::SlotLedger ledger(static_cast<std::uint64_t>(n));
+    ConfidenceEstimator confidence_meter(
+        accounting ? static_cast<std::uint32_t>(program_.numInstrs())
+                   : 0);
 
     // --- Timing state ----------------------------------------------------
     std::array<std::int64_t, kNumRegs> reg_ready;
@@ -160,6 +172,11 @@ LevoMachine::run(std::uint64_t max_instrs) const
             dee_trace_event_if(tracing, tracer, "levo.refill", 'i',
                                fetch_ready, "iq_base",
                                static_cast<std::int64_t>(sid));
+            if (accounting) {
+                ledger.mark(obs::SlotClass::RefillStall,
+                            fetch_ready - config_.refillPenalty,
+                            fetch_ready);
+            }
             for (int c = 0; c < m; ++c)
                 clear_column(c);
             cur_col = 0;
@@ -261,6 +278,8 @@ LevoMachine::run(std::uint64_t max_instrs) const
             q.actual = taken;
             const bool predicted = predictor->predict(q);
             predictor->update(q, taken);
+            if (accounting)
+                confidence_meter.record(sid, predicted == taken);
 
             const std::int64_t resolve_time = start + 1;
 
@@ -324,6 +343,12 @@ LevoMachine::run(std::uint64_t max_instrs) const
                     // inside the branch's control scope pay the
                     // copy-back penalty.
                     ++result.deeCovered;
+                    if (accounting) {
+                        ledger.mark(obs::SlotClass::CopyBack,
+                                    resolve_time,
+                                    resolve_time +
+                                        config_.mispredictPenalty);
+                    }
                     cd_stalls.push_back(CdStall{
                         cfg_.ipostdom(block),
                         resolve_time + config_.mispredictPenalty,
@@ -343,6 +368,16 @@ LevoMachine::run(std::uint64_t max_instrs) const
                     stall_all_until =
                         std::max(stall_all_until,
                                  resolve_time + config_.mispredictPenalty);
+                    if (accounting) {
+                        // Slots under an uncovered in-flight mispredict
+                        // hold doomed wrong-path state: squashed work,
+                        // charged to the branch's confidence bucket.
+                        ledger.mark(
+                            obs::SlotClass::SquashedSpec, start,
+                            resolve_time + config_.mispredictPenalty,
+                            obs::confidenceBucket(
+                                confidence_meter.estimate(sid)));
+                    }
                     dee_trace_event_if(
                         tracing, tracer, "levo.uncovered_mispredict", 'i',
                         stall_all_until, "sid",
@@ -367,6 +402,8 @@ LevoMachine::run(std::uint64_t max_instrs) const
         // Record execution in the bookkeeping matrices and retire the
         // PE/row for one cycle.
         re.set(row, static_cast<std::size_t>(cur_col));
+        if (accounting)
+            ledger.issue(start);
         row_free[row] = start + 1;
         col_last_complete[cur_col] =
             std::max(col_last_complete[cur_col], start + 1);
@@ -387,6 +424,13 @@ LevoMachine::run(std::uint64_t max_instrs) const
                 cur_col = (cur_col + 1) % m;
                 if (col_last_complete[cur_col] > start + 1) {
                     ++result.columnStalls;
+                    if (accounting) {
+                        // Waiting on an iteration column to recycle: a
+                        // structural-resource stall, not a fetch one.
+                        ledger.mark(obs::SlotClass::ResourceStarved,
+                                    start + 1,
+                                    col_last_complete[cur_col]);
+                    }
                     fetch_ready = std::max(fetch_ready,
                                            col_last_complete[cur_col]);
                     dee_trace_event_if(tracing, tracer,
@@ -414,6 +458,11 @@ LevoMachine::run(std::uint64_t max_instrs) const
         static_cast<double>(result.instructions) /
         (static_cast<double>(n) * static_cast<double>(result.cycles));
 
+    if (accounting) {
+        result.account =
+            ledger.finalize(result.cycles, tracing ? &tracer : nullptr);
+    }
+
     obs::Registry &reg = obs::Registry::global();
     ++reg.counter("levo.runs");
     reg.counter("levo.instructions") += result.instructions;
@@ -425,6 +474,8 @@ LevoMachine::run(std::uint64_t max_instrs) const
     reg.counter("levo.column_stalls") += result.columnStalls;
     reg.counter("levo.ve_predications") += result.vePredications;
     reg.stat("levo.ipc").add(result.ipc);
+    if (result.account.valid())
+        result.account.publish(reg, "levo");
     return result;
 }
 

@@ -42,6 +42,7 @@
 #include "common/bit_matrix.hh"
 #include "exec/interp.hh"
 #include "isa/isa.hh"
+#include "obs/accounting.hh"
 
 namespace dee
 {
@@ -56,6 +57,12 @@ struct LevoConfig
     int mispredictPenalty = 1;///< Cycles per covered misprediction.
     int refillPenalty = 2;    ///< Cycles to move/refill the IQ window.
     std::string predictor = "2bit"; ///< Per-row predictor type.
+    /**
+     * Classify every PE-slot-cycle of the run (LevoResult::account,
+     * registry "acct.levo.*"), including the Levo-only refill_stall
+     * and copy_back classes. O(cycles) extra work at end-of-run.
+     */
+    bool gatherAccounting = true;
 
     /**
      * Rough transistor estimate following the paper's Section 4.3
@@ -91,6 +98,10 @@ struct LevoResult
     /** Fraction of dynamic backward-taken branches whose loop fits the
      *  IQ — the paper's ">70% fit an IQ of 32" statistic. */
     double loopCaptureFraction() const;
+
+    /** Closed slot-cycle account over iqRows PEs (valid() iff
+     *  gatherAccounting was on and the run fit the ledger). */
+    obs::CycleAccount account;
 
     bool halted = false;
     MachineState finalState;   ///< Committed architectural state.

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "common/logging.hh"
+#include "obs/trace_event.hh"
 
 namespace dee::obs
 {
@@ -16,11 +17,31 @@ Json
 Manifest::toJson(const Registry &registry) const
 {
     Json root = Json::object();
-    root["schema"] = Json("dee.run.v1");
+    root["schema"] = Json("dee.run.v2");
     root["tool"] = Json(tool_);
     root["config"] = config_;
     root["results"] = results_;
-    root["stats"] = registry.toJson();
+
+    Json stats = registry.toJson();
+    // v2: the cycle-accounting subtree is what regression diffing cares
+    // about most, so surface it as a top-level section (empty object
+    // when no simulator published an account).
+    if (const Json *acct = stats.find("acct"))
+        root["accounting"] = *acct;
+    else
+        root["accounting"] = Json::object();
+
+    // v2: tracer health, so consumers can tell a truncated trace (ring
+    // wrapped, events dropped) from a complete one.
+    const Tracer &tracer = Tracer::global();
+    Json trace = Json::object();
+    trace["enabled"] = Json(tracer.enabled());
+    trace["recorded"] = Json(tracer.recorded());
+    trace["dropped"] = Json(tracer.dropped());
+    trace["buffered"] = Json(static_cast<std::uint64_t>(tracer.size()));
+    root["trace"] = std::move(trace);
+
+    root["stats"] = std::move(stats);
     const auto now = std::chrono::steady_clock::now();
     root["wall_clock_ms"] = Json(
         std::chrono::duration<double, std::milli>(now - start_).count());

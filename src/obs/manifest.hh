@@ -10,13 +10,20 @@
  * parsers can evolve.
  *
  *     {
- *       "schema": "dee.run.v1",
+ *       "schema": "dee.run.v2",
  *       "tool": "fig5_speedups",
  *       "config": { ... },
  *       "results": { ... },
+ *       "accounting": { ... },     // the stats "acct" subtree, surfaced
+ *       "trace": { "enabled": ..., "recorded": ..., "dropped": ...,
+ *                  "buffered": ... },
  *       "stats": { ... },          // Registry::toJson()
  *       "wall_clock_ms": 123.4
  *     }
+ *
+ * v2 adds the "accounting" and "trace" sections on top of v1; readers
+ * (obs/manifest_diff.hh) accept both versions — a v1 document simply
+ * has no accounting/trace metrics to diff.
  */
 
 #ifndef DEE_OBS_MANIFEST_HH

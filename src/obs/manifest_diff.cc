@@ -1,0 +1,330 @@
+#include "obs/manifest_diff.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace dee::obs
+{
+
+bool
+LoadedManifest::metric(const std::string &key, double *value) const
+{
+    for (const auto &[path, v] : metrics) {
+        if (path == key) {
+            if (value)
+                *value = v;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+flattenNumeric(const Json &node, const std::string &prefix,
+               std::vector<std::pair<std::string, double>> *out)
+{
+    dee_assert(out != nullptr, "flattenNumeric needs an output vector");
+    switch (node.kind()) {
+      case Json::Kind::Int:
+      case Json::Kind::Double:
+        out->emplace_back(prefix, node.asDouble());
+        break;
+      case Json::Kind::Object:
+        for (const auto &[key, value] : node.members()) {
+            flattenNumeric(value,
+                           prefix.empty() ? key : prefix + "." + key,
+                           out);
+        }
+        break;
+      case Json::Kind::Array: {
+        std::size_t i = 0;
+        for (const Json &item : node.items()) {
+            const std::string seg = std::to_string(i++);
+            flattenNumeric(item,
+                           prefix.empty() ? seg : prefix + "." + seg,
+                           out);
+        }
+        break;
+      }
+      default:
+        break; // bools, strings and nulls are not metrics
+    }
+}
+
+bool
+parseManifest(const std::string &text, const std::string &path,
+              LoadedManifest *out, std::string *err)
+{
+    dee_assert(out != nullptr, "parseManifest needs an output struct");
+    Json doc;
+    std::string parse_err;
+    if (!Json::parse(text, &doc, &parse_err)) {
+        if (err)
+            *err = path + ": " + parse_err;
+        return false;
+    }
+    if (!doc.isObject()) {
+        if (err)
+            *err = path + ": manifest root is not an object";
+        return false;
+    }
+    const Json *schema = doc.find("schema");
+    if (schema == nullptr ||
+        schema->kind() != Json::Kind::String) {
+        if (err)
+            *err = path + ": missing \"schema\" string";
+        return false;
+    }
+    const std::string &s = schema->asString();
+    if (s != "dee.run.v1" && s != "dee.run.v2") {
+        if (err)
+            *err = path + ": unsupported schema '" + s + "'";
+        return false;
+    }
+
+    out->path = path;
+    out->schema = s;
+    const Json *tool = doc.find("tool");
+    out->tool = tool != nullptr && tool->kind() == Json::Kind::String
+                    ? tool->asString()
+                    : "?";
+    out->metrics.clear();
+    // Flatten the sections that carry comparable numbers; "schema",
+    // "tool" and "config" are identity, not metrics.
+    for (const char *section :
+         {"results", "accounting", "trace", "stats"}) {
+        if (const Json *sub = doc.find(section))
+            flattenNumeric(*sub, section, &out->metrics);
+    }
+    if (const Json *wall = doc.find("wall_clock_ms");
+        wall != nullptr && wall->isNumber())
+        out->metrics.emplace_back("wall_clock_ms", wall->asDouble());
+    out->doc = std::move(doc);
+    return true;
+}
+
+bool
+loadManifestFile(const std::string &path, LoadedManifest *out,
+                 std::string *err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (err)
+            *err = path + ": cannot open";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseManifest(buf.str(), path, out, err);
+}
+
+bool
+globMatch(const std::string &pattern, const std::string &text)
+{
+    // Iterative '*' matcher with single-point backtracking.
+    std::size_t p = 0, t = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == text[t])) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = t;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            t = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+WatchSpec
+WatchSpec::parse(const std::string &text)
+{
+    WatchSpec spec;
+    spec.pattern = text;
+    if (text.size() >= 2) {
+        const std::string tail = text.substr(text.size() - 2);
+        if (tail == ":+" || tail == ":-") {
+            spec.pattern = text.substr(0, text.size() - 2);
+            spec.higherIsBetter = tail == ":+";
+        }
+    }
+    if (spec.pattern.empty())
+        dee_fatal("empty watch pattern in '", text, "'");
+    return spec;
+}
+
+bool
+RegressionReport::anyRegressed() const
+{
+    for (const RegressionItem &item : items) {
+        if (item.regressed)
+            return true;
+    }
+    return false;
+}
+
+std::string
+RegressionReport::render(double threshold) const
+{
+    Table table({"metric", "baseline", "candidate", "delta", "status"});
+    for (const RegressionItem &item : items) {
+        std::string status = "ok";
+        if (item.missing)
+            status = "MISSING";
+        else if (item.regressed)
+            status = "REGRESSED";
+        table.addRow({item.metric, Table::fmt(item.baseline, 6),
+                      item.missing ? "-" : Table::fmt(item.candidate, 6),
+                      item.missing ? "-"
+                                   : Table::fmtPercent(item.relChange, 2),
+                      status});
+    }
+    std::ostringstream oss;
+    oss << table.render();
+    oss << "threshold: " << Table::fmtPercent(threshold, 2)
+        << " relative; " << items.size() << " watched metric(s)\n";
+    return oss.str();
+}
+
+RegressionReport
+checkRegressions(const LoadedManifest &baseline,
+                 const LoadedManifest &candidate,
+                 const std::vector<WatchSpec> &watches, double threshold)
+{
+    dee_assert(threshold >= 0.0, "negative regression threshold");
+    RegressionReport report;
+    for (const auto &[path, base_value] : baseline.metrics) {
+        const WatchSpec *matched = nullptr;
+        for (const WatchSpec &w : watches) {
+            if (globMatch(w.pattern, path)) {
+                matched = &w;
+                break;
+            }
+        }
+        if (matched == nullptr)
+            continue;
+
+        RegressionItem item;
+        item.metric = path;
+        item.baseline = base_value;
+        double cand_value = 0.0;
+        if (!candidate.metric(path, &cand_value)) {
+            item.missing = true;
+            item.regressed = true;
+            report.items.push_back(std::move(item));
+            continue;
+        }
+        item.candidate = cand_value;
+        const double delta = cand_value - base_value;
+        // Relative change against the baseline magnitude; a zero
+        // baseline falls back to comparing the absolute move, so a
+        // metric appearing out of nowhere still trips the gate.
+        item.relChange = base_value != 0.0
+                             ? delta / std::fabs(base_value)
+                             : delta;
+        const double bad =
+            matched->higherIsBetter ? -item.relChange : item.relChange;
+        item.regressed = bad > threshold;
+        report.items.push_back(std::move(item));
+    }
+    return report;
+}
+
+namespace
+{
+
+/** Short column label: strip directories and a trailing ".json". */
+std::string
+columnLabel(const std::string &path)
+{
+    std::string label = path;
+    if (const std::size_t slash = label.find_last_of('/');
+        slash != std::string::npos)
+        label = label.substr(slash + 1);
+    if (label.size() > 5 &&
+        label.compare(label.size() - 5, 5, ".json") == 0)
+        label = label.substr(0, label.size() - 5);
+    return label;
+}
+
+} // namespace
+
+std::string
+renderManifestDiff(const std::vector<LoadedManifest> &manifests,
+                   const std::string &filter)
+{
+    dee_assert(!manifests.empty(), "nothing to diff");
+
+    // Row order: first manifest's document order, then metrics only
+    // later manifests have, in theirs.
+    std::vector<std::string> order;
+    for (const LoadedManifest &m : manifests) {
+        for (const auto &[path, value] : m.metrics) {
+            (void)value;
+            if (!filter.empty() && !globMatch(filter, path))
+                continue;
+            bool known = false;
+            for (const std::string &seen : order) {
+                if (seen == path) {
+                    known = true;
+                    break;
+                }
+            }
+            if (!known)
+                order.push_back(path);
+        }
+    }
+
+    std::vector<std::string> headers{"metric"};
+    for (const LoadedManifest &m : manifests)
+        headers.push_back(columnLabel(m.path));
+    const bool pairwise = manifests.size() == 2;
+    if (pairwise)
+        headers.push_back("delta");
+
+    Table table(std::move(headers));
+    for (const std::string &path : order) {
+        std::vector<std::string> row{path};
+        double first = 0.0, second = 0.0;
+        bool have_first = false, have_second = false;
+        for (std::size_t i = 0; i < manifests.size(); ++i) {
+            double value = 0.0;
+            if (manifests[i].metric(path, &value)) {
+                row.push_back(Table::fmt(value, 6));
+                if (i == 0) {
+                    first = value;
+                    have_first = true;
+                } else if (i == 1) {
+                    second = value;
+                    have_second = true;
+                }
+            } else {
+                row.push_back("-");
+            }
+        }
+        if (pairwise) {
+            if (have_first && have_second && first != 0.0) {
+                row.push_back(Table::fmtPercent(
+                    (second - first) / std::fabs(first), 2));
+            } else {
+                row.push_back("-");
+            }
+        }
+        table.addRow(std::move(row));
+    }
+    return table.render();
+}
+
+} // namespace dee::obs

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Manifest loading, flattening and cross-run diffing.
+ *
+ * The testable core of tools/dee_report: load two or more dee.run.v1/v2
+ * manifests, flatten every numeric leaf to a dotted metric path
+ * ("results.DEE-CD-MF.speedup", "accounting.window.waste_fraction"),
+ * render an aligned side-by-side diff, and check a watch-list of
+ * metrics for regressions beyond a relative threshold.
+ *
+ * Watch specs are "pattern[:+|-]" strings:
+ *   - pattern is a dotted path with '*' wildcards matching any run of
+ *     characters ("accounting.*.waste_fraction");
+ *   - ':+' (the default) means higher is better — a drop beyond the
+ *     threshold regresses; ':-' means lower is better — a rise beyond
+ *     the threshold regresses.
+ */
+
+#ifndef DEE_OBS_MANIFEST_DIFF_HH
+#define DEE_OBS_MANIFEST_DIFF_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace dee::obs
+{
+
+/** One parsed manifest plus its flattened numeric metrics. */
+struct LoadedManifest
+{
+    std::string path;   ///< where it was read from (label in diffs)
+    std::string schema; ///< "dee.run.v1" or "dee.run.v2"
+    std::string tool;   ///< emitting binary
+    Json doc;           ///< the full document
+
+    /** Every numeric leaf as (dotted path, value), document order. */
+    std::vector<std::pair<std::string, double>> metrics;
+
+    /** Looks up a flattened metric; false if absent. */
+    bool metric(const std::string &key, double *value) const;
+};
+
+/**
+ * Parses @p text as a manifest document. Accepts schema dee.run.v1 and
+ * dee.run.v2 (v1 simply lacks the accounting/trace sections).
+ * @return true on success; false with *err describing the failure.
+ */
+bool parseManifest(const std::string &text, const std::string &path,
+                   LoadedManifest *out, std::string *err);
+
+/** parseManifest() over a file's contents. */
+bool loadManifestFile(const std::string &path, LoadedManifest *out,
+                      std::string *err);
+
+/**
+ * Appends every numeric leaf under @p node to @p out as
+ * ("prefix.sub.path", value); array elements use their index as the
+ * segment. Bools, strings and nulls are skipped.
+ */
+void flattenNumeric(const Json &node, const std::string &prefix,
+                    std::vector<std::pair<std::string, double>> *out);
+
+/** '*'-wildcard match over dotted metric paths (matches any chars). */
+bool globMatch(const std::string &pattern, const std::string &text);
+
+/** One watched metric pattern with its goodness direction. */
+struct WatchSpec
+{
+    std::string pattern;
+    bool higherIsBetter = true;
+
+    /** Parses "pattern[:+|-]"; fatal on an empty pattern. */
+    static WatchSpec parse(const std::string &text);
+};
+
+/** Outcome of checking one watched metric across two manifests. */
+struct RegressionItem
+{
+    std::string metric;
+    double baseline = 0.0;
+    double candidate = 0.0;
+    /** Signed relative change, (candidate - baseline) / |baseline|. */
+    double relChange = 0.0;
+    bool regressed = false;
+    /** Metric matched a watch but is missing from the candidate. */
+    bool missing = false;
+};
+
+/** All watched-metric outcomes for a baseline/candidate pair. */
+struct RegressionReport
+{
+    std::vector<RegressionItem> items;
+
+    bool anyRegressed() const;
+    /** Aligned table, worst offenders flagged in the last column. */
+    std::string render(double threshold) const;
+};
+
+/**
+ * Evaluates @p watches over every baseline metric they match. A metric
+ * regresses when it moves in the bad direction by more than
+ * @p threshold relative to the baseline (a zero baseline compares the
+ * absolute change against the threshold instead). A watched baseline
+ * metric absent from the candidate is reported missing and counts as a
+ * regression.
+ */
+RegressionReport checkRegressions(const LoadedManifest &baseline,
+                                  const LoadedManifest &candidate,
+                                  const std::vector<WatchSpec> &watches,
+                                  double threshold);
+
+/**
+ * Side-by-side diff of every metric matching @p filter (empty matches
+ * all) across @p manifests, in first-manifest document order with
+ * later-only metrics appended. With exactly two manifests a relative
+ * "delta" column is added.
+ */
+std::string renderManifestDiff(
+    const std::vector<LoadedManifest> &manifests,
+    const std::string &filter = "");
+
+} // namespace dee::obs
+
+#endif // DEE_OBS_MANIFEST_DIFF_HH

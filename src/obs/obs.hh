@@ -2,19 +2,23 @@
  * @file
  * Umbrella header for the dee::obs observability layer.
  *
- *   registry.hh     hierarchical stats registry (dotted paths)
- *   trace_event.hh  cycle-level ring-buffer tracer (trace_event JSONL)
- *   timer.hh        ScopedTimer wall-clock profiling into the registry
- *   manifest.hh     machine-readable run manifests
- *   session.hh      --json/--trace-out/--stats wiring for binaries
- *   json.hh         the minimal JSON model everything above emits
+ *   registry.hh      hierarchical stats registry (dotted paths)
+ *   trace_event.hh   cycle-level ring-buffer tracer (trace_event JSONL)
+ *   timer.hh         ScopedTimer wall-clock profiling into the registry
+ *   accounting.hh    closed per-slot cycle accounting (acct.*)
+ *   manifest.hh      machine-readable run manifests
+ *   manifest_diff.hh manifest loading/flattening/diffing (dee_report)
+ *   session.hh       --json/--trace-out/--stats wiring for binaries
+ *   json.hh          the minimal JSON model everything above emits
  */
 
 #ifndef DEE_OBS_OBS_HH
 #define DEE_OBS_OBS_HH
 
+#include "obs/accounting.hh"
 #include "obs/json.hh"
 #include "obs/manifest.hh"
+#include "obs/manifest_diff.hh"
 #include "obs/registry.hh"
 #include "obs/session.hh"
 #include "obs/timer.hh"

@@ -70,6 +70,17 @@ Session::Session(std::string tool, const Cli &cli)
 
 Session::~Session()
 {
+    // Surface tracer health in the registry before any dump below
+    // snapshots it: a wrapped ring (dropped > 0) silently truncates the
+    // trace, which must be visible in stats and manifests.
+    {
+        const Tracer &tracer = Tracer::global();
+        if (tracer.recorded() > 0) {
+            Registry &reg = Registry::global();
+            reg.counter("trace.recorded") = tracer.recorded();
+            reg.counter("trace.dropped") = tracer.dropped();
+        }
+    }
     if (!options_.traceOutPath.empty()) {
         Tracer &tracer = Tracer::global();
         tracer.writeFile(options_.traceOutPath);

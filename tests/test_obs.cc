@@ -234,6 +234,61 @@ TEST(Json, UnicodeEscapes)
                               "c");
 }
 
+TEST(Json, EscapeEdgeCases)
+{
+    // Every single-character escape of RFC 8259, plus \u0041 ('A').
+    Json out;
+    std::string err;
+    ASSERT_TRUE(Json::parse(
+        "\"\\\"\\\\\\/\\b\\f\\n\\r\\t\\u0041\"", &out, &err))
+        << err;
+    EXPECT_EQ(out.asString(), "\"\\/\b\f\n\r\t"
+                              "A");
+
+    // \u0000 must survive as an embedded NUL, not truncate the string.
+    ASSERT_TRUE(Json::parse("\"a\\u0000b\"", &out, &err)) << err;
+    EXPECT_EQ(out.asString(), std::string("a\0b", 3));
+
+    // Malformed escapes are rejected, not silently passed through.
+    for (const char *bad : {"\"\\u12\"", "\"\\u12zq\"", "\"\\q\""}) {
+        std::string why;
+        EXPECT_FALSE(Json::parse(bad, &out, &why)) << bad;
+        EXPECT_FALSE(why.empty()) << bad;
+    }
+}
+
+TEST(Json, DeepNestingIsRejectedNotOverflowed)
+{
+    // Just inside the parser's depth cap: fine.
+    const int ok_depth = 200;
+    std::string ok(static_cast<std::size_t>(ok_depth), '[');
+    ok += std::string(static_cast<std::size_t>(ok_depth), ']');
+    Json out;
+    std::string err;
+    EXPECT_TRUE(Json::parse(ok, &out, &err)) << err;
+
+    // Far past the cap: a clean parse error, not a stack overflow.
+    const int bad_depth = 100000;
+    std::string bad(static_cast<std::size_t>(bad_depth), '[');
+    bad += std::string(static_cast<std::size_t>(bad_depth), ']');
+    EXPECT_FALSE(Json::parse(bad, &out, &err));
+    EXPECT_NE(err.find("deep"), std::string::npos) << err;
+}
+
+TEST(Json, DuplicateObjectKeysLastWins)
+{
+    Json out;
+    std::string err;
+    ASSERT_TRUE(Json::parse("{\"a\":1,\"b\":2,\"a\":3}", &out, &err))
+        << err;
+    ASSERT_TRUE(out.isObject());
+    // One member per key, holding the last value — the behaviour
+    // registry dumps rely on when a path is re-emitted.
+    EXPECT_EQ(out.size(), 2u);
+    EXPECT_EQ(out.find("a")->asInt(), 3);
+    EXPECT_EQ(out.find("b")->asInt(), 2);
+}
+
 TEST(ScopedTimer, RecordsOneSamplePerScope)
 {
     Registry reg;
@@ -261,7 +316,7 @@ TEST(Manifest, DocumentShapeAndRoundTrip)
     std::string err;
     ASSERT_TRUE(Json::parse(manifest.toJson(reg).dump(2), &back, &err))
         << err;
-    EXPECT_EQ(back.find("schema")->asString(), "dee.run.v1");
+    EXPECT_EQ(back.find("schema")->asString(), "dee.run.v2");
     EXPECT_EQ(back.find("tool")->asString(), "test_tool");
     EXPECT_EQ(back.find("config")->find("scale")->asInt(), 4);
     EXPECT_DOUBLE_EQ(back.find("results")->find("speedup")->asDouble(),
@@ -274,6 +329,243 @@ TEST(Manifest, DocumentShapeAndRoundTrip)
               1);
     ASSERT_NE(back.find("wall_clock_ms"), nullptr);
     EXPECT_TRUE(back.find("wall_clock_ms")->isNumber());
+
+    // v2 sections: accounting mirrors the registry's acct subtree
+    // (empty here) and trace reports tracer health.
+    ASSERT_NE(back.find("accounting"), nullptr);
+    EXPECT_TRUE(back.find("accounting")->isObject());
+    const Json *trace = back.find("trace");
+    ASSERT_NE(trace, nullptr);
+    ASSERT_NE(trace->find("recorded"), nullptr);
+    ASSERT_NE(trace->find("dropped"), nullptr);
+    ASSERT_NE(trace->find("buffered"), nullptr);
+}
+
+TEST(Manifest, AccountingSectionMirrorsRegistrySubtree)
+{
+    Registry reg;
+    reg.counter("acct.window.useful") = 40;
+    reg.counter("acct.window.idle") = 8;
+    reg.scalar("acct.window.waste_fraction") = 0.25;
+
+    Manifest manifest("test_tool");
+    const Json doc = manifest.toJson(reg);
+    const Json *acct = doc.find("accounting");
+    ASSERT_NE(acct, nullptr);
+    const Json *window = acct->find("window");
+    ASSERT_NE(window, nullptr);
+    EXPECT_EQ(window->find("useful")->asInt(), 40);
+    EXPECT_EQ(window->find("idle")->asInt(), 8);
+    EXPECT_DOUBLE_EQ(window->find("waste_fraction")->asDouble(), 0.25);
+}
+
+// --- Manifest diffing (the dee_report core) -----------------------------
+
+using dee::obs::checkRegressions;
+using dee::obs::flattenNumeric;
+using dee::obs::globMatch;
+using dee::obs::LoadedManifest;
+using dee::obs::parseManifest;
+using dee::obs::RegressionReport;
+using dee::obs::renderManifestDiff;
+using dee::obs::WatchSpec;
+
+/** A tiny v2 manifest with one tweakable result/accounting metric. */
+std::string
+manifestText(double speedup, double waste, bool with_extra = true)
+{
+    Json doc = Json::object();
+    doc["schema"] = Json("dee.run.v2");
+    doc["tool"] = Json("unit_test");
+    doc["config"] = Json::object();
+    doc["results"] = Json::object();
+    doc["results"]["speedup"] = Json(speedup);
+    if (with_extra)
+        doc["results"]["extra"] = Json(7);
+    doc["accounting"] = Json::object();
+    doc["accounting"]["window"] = Json::object();
+    doc["accounting"]["window"]["waste_fraction"] = Json(waste);
+    doc["stats"] = Json::object();
+    doc["wall_clock_ms"] = Json(1.5);
+    return doc.dump(2);
+}
+
+LoadedManifest
+loaded(const std::string &text, const std::string &label)
+{
+    LoadedManifest m;
+    std::string err;
+    EXPECT_TRUE(parseManifest(text, label, &m, &err)) << err;
+    return m;
+}
+
+TEST(ManifestDiff, GlobMatch)
+{
+    EXPECT_TRUE(globMatch("a.b.c", "a.b.c"));
+    EXPECT_FALSE(globMatch("a.b.c", "a.b.d"));
+    EXPECT_TRUE(globMatch("*", "anything.at.all"));
+    EXPECT_TRUE(globMatch("acct.*.waste_fraction",
+                          "acct.window.waste_fraction"));
+    EXPECT_FALSE(globMatch("acct.*.waste_fraction",
+                           "acct.window.useful"));
+    EXPECT_TRUE(globMatch("*speedup*", "results.DEE-CD-MF.speedup"));
+    EXPECT_FALSE(globMatch("", "x"));
+    EXPECT_TRUE(globMatch("**", "x"));
+}
+
+TEST(ManifestDiff, WatchSpecParsing)
+{
+    const WatchSpec plain = WatchSpec::parse("results.*");
+    EXPECT_EQ(plain.pattern, "results.*");
+    EXPECT_TRUE(plain.higherIsBetter);
+
+    const WatchSpec up = WatchSpec::parse("results.speedup:+");
+    EXPECT_EQ(up.pattern, "results.speedup");
+    EXPECT_TRUE(up.higherIsBetter);
+
+    const WatchSpec down = WatchSpec::parse("accounting.*:-");
+    EXPECT_EQ(down.pattern, "accounting.*");
+    EXPECT_FALSE(down.higherIsBetter);
+}
+
+TEST(ManifestDiff, FlattenNumericWalksObjectsAndArrays)
+{
+    Json doc = Json::object();
+    doc["a"] = Json(1);
+    doc["b"] = Json::object();
+    doc["b"]["c"] = Json(2.5);
+    doc["b"]["skip"] = Json("string");
+    Json arr = Json::array();
+    arr.push(Json(10));
+    arr.push(Json(20));
+    doc["d"] = std::move(arr);
+
+    std::vector<std::pair<std::string, double>> out;
+    flattenNumeric(doc, "", &out);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0].first, "a");
+    EXPECT_DOUBLE_EQ(out[1].second, 2.5);
+    EXPECT_EQ(out[1].first, "b.c");
+    EXPECT_EQ(out[2].first, "d.0");
+    EXPECT_EQ(out[3].first, "d.1");
+}
+
+TEST(ManifestDiff, ParseAcceptsV1AndV2RejectsOthers)
+{
+    const LoadedManifest v2 = loaded(manifestText(30.0, 0.2), "a.json");
+    EXPECT_EQ(v2.schema, "dee.run.v2");
+    EXPECT_EQ(v2.tool, "unit_test");
+    double value = 0.0;
+    ASSERT_TRUE(v2.metric("results.speedup", &value));
+    EXPECT_DOUBLE_EQ(value, 30.0);
+    ASSERT_TRUE(v2.metric("accounting.window.waste_fraction", &value));
+    EXPECT_DOUBLE_EQ(value, 0.2);
+    ASSERT_TRUE(v2.metric("wall_clock_ms", &value));
+
+    // v1: no accounting/trace sections, still loadable.
+    LoadedManifest v1;
+    std::string err;
+    ASSERT_TRUE(parseManifest("{\"schema\":\"dee.run.v1\",\"tool\":"
+                              "\"t\",\"results\":{\"x\":1}}",
+                              "v1.json", &v1, &err))
+        << err;
+    ASSERT_TRUE(v1.metric("results.x", &value));
+
+    LoadedManifest bad;
+    EXPECT_FALSE(parseManifest("{\"schema\":\"dee.run.v99\"}", "bad",
+                               &bad, &err));
+    EXPECT_NE(err.find("schema"), std::string::npos);
+    EXPECT_FALSE(parseManifest("not json", "bad", &bad, &err));
+    EXPECT_FALSE(parseManifest("[1,2]", "bad", &bad, &err));
+}
+
+TEST(ManifestDiff, RegressionGateTripsInTheWatchedDirectionOnly)
+{
+    const LoadedManifest base = loaded(manifestText(30.0, 0.20), "base");
+    const LoadedManifest slower = loaded(manifestText(27.0, 0.20), "c1");
+    const LoadedManifest faster = loaded(manifestText(33.0, 0.20), "c2");
+    const LoadedManifest wasteful =
+        loaded(manifestText(30.0, 0.30), "c3");
+
+    const std::vector<WatchSpec> watches{
+        WatchSpec::parse("results.speedup:+"),
+        WatchSpec::parse("accounting.*.waste_fraction:-")};
+
+    // 10% drop in speedup > 5% threshold: regression.
+    EXPECT_TRUE(
+        checkRegressions(base, slower, watches, 0.05).anyRegressed());
+    // Improvement in the good direction never trips.
+    EXPECT_FALSE(
+        checkRegressions(base, faster, watches, 0.05).anyRegressed());
+    // waste_fraction rose 50%: lower-is-better watch trips.
+    EXPECT_TRUE(
+        checkRegressions(base, wasteful, watches, 0.05).anyRegressed());
+    // Inside the threshold: no trip.
+    const LoadedManifest close = loaded(manifestText(29.5, 0.20), "c4");
+    EXPECT_FALSE(
+        checkRegressions(base, close, watches, 0.05).anyRegressed());
+
+    const RegressionReport report =
+        checkRegressions(base, slower, watches, 0.05);
+    ASSERT_EQ(report.items.size(), 2u);
+    EXPECT_EQ(report.items[0].metric, "results.speedup");
+    EXPECT_TRUE(report.items[0].regressed);
+    EXPECT_NEAR(report.items[0].relChange, -0.1, 1e-9);
+    EXPECT_FALSE(report.items[1].regressed);
+    EXPECT_NE(report.render(0.05).find("REGRESSED"),
+              std::string::npos);
+}
+
+TEST(ManifestDiff, MissingWatchedMetricCountsAsRegression)
+{
+    const LoadedManifest base = loaded(manifestText(30.0, 0.2), "base");
+    const LoadedManifest gone =
+        loaded(manifestText(30.0, 0.2, /*with_extra=*/false), "cand");
+    const std::vector<WatchSpec> watches{
+        WatchSpec::parse("results.*:+")};
+    const RegressionReport report =
+        checkRegressions(base, gone, watches, 0.05);
+    EXPECT_TRUE(report.anyRegressed());
+    bool saw_missing = false;
+    for (const auto &item : report.items)
+        saw_missing |= item.missing;
+    EXPECT_TRUE(saw_missing);
+}
+
+TEST(ManifestDiff, SideBySideRenderIncludesDeltaForPairs)
+{
+    const std::vector<LoadedManifest> pair{
+        loaded(manifestText(30.0, 0.2), "runs/base.json"),
+        loaded(manifestText(33.0, 0.2), "runs/cand.json")};
+    const std::string diff =
+        renderManifestDiff(pair, "results.*");
+    EXPECT_NE(diff.find("results.speedup"), std::string::npos);
+    EXPECT_NE(diff.find("base"), std::string::npos);
+    EXPECT_NE(diff.find("cand"), std::string::npos);
+    EXPECT_NE(diff.find("10.00%"), std::string::npos);
+    // Filter excludes accounting rows.
+    EXPECT_EQ(diff.find("waste_fraction"), std::string::npos);
+}
+
+TEST(Session, SurfacesTracerDropCountsInRegistry)
+{
+    Tracer &tracer = Tracer::global();
+    tracer.setCapacity(4);
+    tracer.enable();
+    for (int i = 0; i < 9; ++i)
+        tracer.record("tick", 'i', i);
+    tracer.disable();
+
+    {
+        dee::obs::Session session("test_tool", dee::obs::SessionOptions{});
+    }
+    Registry &reg = Registry::global();
+    ASSERT_TRUE(reg.contains("trace.recorded"));
+    ASSERT_TRUE(reg.contains("trace.dropped"));
+    EXPECT_EQ(reg.counter("trace.recorded"), 9u);
+    // Ring of 4 wrapped: 5 events silently discarded — the bug this
+    // surfacing exists to expose.
+    EXPECT_EQ(reg.counter("trace.dropped"), 5u);
 }
 
 } // namespace

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * dee_report: diff dee.run manifests and gate on regressions.
+ *
+ * Usage:
+ *   dee_report MANIFEST...                    side-by-side metric diff
+ *   dee_report --filter 'results.*' A B      restrict rows by glob
+ *   dee_report --check --baseline BASE CAND  exit 1 when a watched
+ *                                            metric regresses
+ *
+ * Flags:
+ *   --filter GLOB     only show metrics matching GLOB in the diff
+ *   --check           run regression gating (requires --baseline and
+ *                     exactly one candidate manifest)
+ *   --baseline PATH   baseline manifest for --check
+ *   --watch SPECS     comma-separated watch list, each "pattern[:+|-]"
+ *                     (':+' higher is better — default; ':-' lower is
+ *                     better); default watches the headline metrics:
+ *                       results.*speedup*:+, results.*ipc*:+,
+ *                       accounting.*.waste_fraction:-,
+ *                       accounting.*.useful_fraction:+
+ *   --threshold REL   relative regression tolerance (default 0.05)
+ *
+ * Exit status: 0 clean, 1 regression (or missing watched metric) in
+ * --check mode, 2 usage / load errors.
+ *
+ * Manifest paths are positional; the repo's Cli only does --flag pairs,
+ * so parsing here is hand-rolled over argv.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/manifest_diff.hh"
+
+namespace
+{
+
+using dee::obs::checkRegressions;
+using dee::obs::LoadedManifest;
+using dee::obs::loadManifestFile;
+using dee::obs::RegressionReport;
+using dee::obs::renderManifestDiff;
+using dee::obs::WatchSpec;
+
+constexpr const char *kDefaultWatches =
+    "results.*speedup*:+,results.*ipc*:+,"
+    "accounting.*.waste_fraction:-,accounting.*.useful_fraction:+";
+
+void
+usage(std::FILE *to)
+{
+    std::fputs(
+        "usage: dee_report [options] MANIFEST.json [MANIFEST.json...]\n"
+        "\n"
+        "Diffs dee.run.v1/v2 manifests metric by metric; with --check,\n"
+        "gates on watched-metric regressions against a baseline.\n"
+        "\n"
+        "options:\n"
+        "  --filter GLOB     only diff metrics matching GLOB\n"
+        "  --check           regression-gate one candidate against\n"
+        "                    --baseline (exit 1 on regression)\n"
+        "  --baseline PATH   baseline manifest for --check\n"
+        "  --watch SPECS     comma-separated \"pattern[:+|-]\" watch\n"
+        "                    list (+ higher is better, the default;\n"
+        "                    - lower is better)\n"
+        "  --threshold REL   relative tolerance, default 0.05\n"
+        "  --help            this text\n",
+        to);
+}
+
+std::vector<WatchSpec>
+parseWatchList(const std::string &specs)
+{
+    std::vector<WatchSpec> watches;
+    std::size_t begin = 0;
+    while (begin <= specs.size()) {
+        std::size_t end = specs.find(',', begin);
+        if (end == std::string::npos)
+            end = specs.size();
+        if (end > begin)
+            watches.push_back(
+                WatchSpec::parse(specs.substr(begin, end - begin)));
+        begin = end + 1;
+    }
+    return watches;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string filter;
+    std::string baseline_path;
+    std::string watch_specs = kDefaultWatches;
+    double threshold = 0.05;
+    bool check = false;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "dee_report: %s needs a value\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (arg == "--filter") {
+            filter = value("--filter");
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg == "--baseline") {
+            baseline_path = value("--baseline");
+        } else if (arg == "--watch") {
+            watch_specs = value("--watch");
+        } else if (arg == "--threshold") {
+            threshold = std::strtod(value("--threshold").c_str(),
+                                    nullptr);
+            if (threshold < 0.0) {
+                std::fputs("dee_report: --threshold must be >= 0\n",
+                           stderr);
+                return 2;
+            }
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "dee_report: unknown flag '%s'\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    auto load = [](const std::string &path) {
+        LoadedManifest m;
+        std::string err;
+        if (!loadManifestFile(path, &m, &err)) {
+            std::fprintf(stderr, "dee_report: %s\n", err.c_str());
+            std::exit(2);
+        }
+        return m;
+    };
+
+    if (check) {
+        if (baseline_path.empty() || paths.size() != 1) {
+            std::fputs("dee_report: --check needs --baseline PATH and "
+                       "exactly one candidate manifest\n",
+                       stderr);
+            return 2;
+        }
+        const LoadedManifest baseline = load(baseline_path);
+        const LoadedManifest candidate = load(paths[0]);
+        const RegressionReport report = checkRegressions(
+            baseline, candidate, parseWatchList(watch_specs),
+            threshold);
+        std::fputs(report.render(threshold).c_str(), stdout);
+        if (report.anyRegressed()) {
+            std::fprintf(stdout,
+                         "FAIL: regression vs %s\n",
+                         baseline_path.c_str());
+            return 1;
+        }
+        std::fputs("OK: no watched metric regressed\n", stdout);
+        return 0;
+    }
+
+    if (paths.empty()) {
+        usage(stderr);
+        return 2;
+    }
+    std::vector<LoadedManifest> manifests;
+    manifests.reserve(paths.size());
+    for (const std::string &path : paths)
+        manifests.push_back(load(path));
+    std::fputs(renderManifestDiff(manifests, filter).c_str(), stdout);
+    return 0;
+}
