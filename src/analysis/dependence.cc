@@ -1,0 +1,79 @@
+#include "analysis/dependence.hh"
+
+#include <algorithm>
+#include <array>
+
+namespace dee::analysis
+{
+
+DependenceSummary
+analyzeDependences(const Program &program)
+{
+    DependenceSummary summary;
+    summary.blocks.reserve(program.numBlocks());
+
+    std::uint64_t total_instrs = 0;
+    std::uint64_t total_critical = 0;
+    std::uint64_t distance_sum = 0;
+
+    for (BlockId b = 0; b < program.numBlocks(); ++b) {
+        const BasicBlock &blk = program.block(b);
+        BlockDependence bd;
+        bd.block = b;
+        bd.instrs = static_cast<std::uint32_t>(blk.instrs.size());
+
+        // Position of the last in-block def per register, and the
+        // dataflow depth of the instruction that produced it.
+        std::array<std::int32_t, kNumRegs> last_def;
+        last_def.fill(-1);
+        std::vector<std::uint32_t> depth(blk.instrs.size(), 0);
+
+        for (std::size_t i = 0; i < blk.instrs.size(); ++i) {
+            const Instruction &inst = blk.instrs[i];
+            std::uint32_t d = 1; // unit latency, no in-block deps
+            for (const RegId r : inst.sources()) {
+                if (r >= kNumRegs)
+                    continue; // malformed operand, verifier reports it
+                const std::int32_t def = last_def[r];
+                if (def < 0)
+                    continue; // live-in: distance is cross-block
+                d = std::max(d, depth[def] + 1);
+                const auto dist = static_cast<std::uint64_t>(
+                    static_cast<std::int32_t>(i) - def);
+                const std::size_t bucket =
+                    dist > kMaxTrackedDistance ? kMaxTrackedDistance
+                                               : dist - 1;
+                ++summary.distanceCounts[bucket];
+                ++summary.totalDeps;
+                distance_sum += dist;
+            }
+            depth[i] = d;
+            bd.criticalPath = std::max(bd.criticalPath, d);
+            const RegId dest = inst.dest();
+            if (dest != kNoReg && dest < kNumRegs)
+                last_def[dest] = static_cast<std::int32_t>(i);
+        }
+
+        if (bd.instrs > 0) {
+            bd.ilpBound = static_cast<double>(bd.instrs) /
+                          static_cast<double>(bd.criticalPath);
+        }
+        summary.maxBlockIlp = std::max(summary.maxBlockIlp, bd.ilpBound);
+        total_instrs += bd.instrs;
+        total_critical += bd.criticalPath;
+        summary.blocks.push_back(bd);
+    }
+
+    if (summary.totalDeps > 0) {
+        summary.meanDistance = static_cast<double>(distance_sum) /
+                               static_cast<double>(summary.totalDeps);
+    }
+    if (total_critical > 0) {
+        summary.serializedIlpBound =
+            static_cast<double>(total_instrs) /
+            static_cast<double>(total_critical);
+    }
+    return summary;
+}
+
+} // namespace dee::analysis

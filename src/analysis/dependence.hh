@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Static dependence analysis over basic blocks.
+ *
+ * The paper's ILP models are bounded by data-dependence structure: the
+ * oracle is pure dataflow height, and the windowed models can never
+ * beat the dependence DAG of the code inside the window. This pass
+ * computes, per basic block, the register-flow dependence DAG (memory
+ * treated as disambiguated, matching the simulators' by-address
+ * renaming — so the bound stays an upper bound), its unit-latency
+ * critical path, and the resulting static ILP upper bound
+ * instrs / critical-path. It also histograms static def->use distances
+ * (in instructions, within the defining block), the static shadow of
+ * the dependence-distance property the workload generators calibrate.
+ */
+
+#ifndef DEE_ANALYSIS_DEPENDENCE_HH
+#define DEE_ANALYSIS_DEPENDENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace dee::analysis
+{
+
+/** Dependence facts of one basic block. */
+struct BlockDependence
+{
+    BlockId block = 0;
+    std::uint32_t instrs = 0;
+    /** Longest register def->use chain, unit latency (0 if empty). */
+    std::uint32_t criticalPath = 0;
+    /** instrs / criticalPath; 0 for an empty block. */
+    double ilpBound = 0.0;
+};
+
+/** Def->use distances 1..kMaxTrackedDistance, with an overflow bucket. */
+constexpr std::size_t kMaxTrackedDistance = 8;
+
+/** Whole-program dependence summary. */
+struct DependenceSummary
+{
+    std::vector<BlockDependence> blocks;
+
+    /** distanceCounts[i] counts def->use pairs at distance i+1;
+     *  the final element counts distances > kMaxTrackedDistance. */
+    std::vector<std::uint64_t> distanceCounts =
+        std::vector<std::uint64_t>(kMaxTrackedDistance + 1, 0);
+    std::uint64_t totalDeps = 0;
+    double meanDistance = 0.0;
+
+    /** Largest per-block ILP bound (the widest dataflow in the code). */
+    double maxBlockIlp = 0.0;
+    /** Sum(instrs) / sum(criticalPath): the program ILP bound if every
+     *  block's critical path were serialized. */
+    double serializedIlpBound = 0.0;
+};
+
+/** Analyzes every block; the program must be structurally sound for
+ *  the result to be meaningful (run the verifier first). */
+DependenceSummary analyzeDependences(const Program &program);
+
+} // namespace dee::analysis
+
+#endif // DEE_ANALYSIS_DEPENDENCE_HH

@@ -1,0 +1,119 @@
+#include "analysis/findings.hh"
+
+#include <sstream>
+
+namespace dee::analysis
+{
+
+const char *
+findingCodeName(FindingCode code)
+{
+    switch (code) {
+      case FindingCode::EmptyProgram: return "empty-program";
+      case FindingCode::BranchTargetRange: return "branch-target-range";
+      case FindingCode::FallthroughOffEnd: return "fallthrough-off-end";
+      case FindingCode::RegisterRange: return "register-range";
+      case FindingCode::ControlMidBlock: return "control-mid-block";
+      case FindingCode::UseBeforeDef: return "use-before-def";
+      case FindingCode::UnreachableBlock: return "unreachable-block";
+      case FindingCode::NoHalt: return "no-halt";
+      case FindingCode::WriteToZeroReg: return "write-to-zero-reg";
+      case FindingCode::EmptyBlock: return "empty-block";
+      case FindingCode::ProfileDrift: return "profile-drift";
+    }
+    return "???";
+}
+
+Severity
+findingSeverity(FindingCode code)
+{
+    switch (code) {
+      case FindingCode::EmptyProgram:
+      case FindingCode::BranchTargetRange:
+      case FindingCode::FallthroughOffEnd:
+      case FindingCode::RegisterRange:
+      case FindingCode::ControlMidBlock:
+      case FindingCode::UseBeforeDef:
+      case FindingCode::ProfileDrift:
+        return Severity::Error;
+      case FindingCode::UnreachableBlock:
+      case FindingCode::NoHalt:
+      case FindingCode::WriteToZeroReg:
+      case FindingCode::EmptyBlock:
+        return Severity::Warning;
+    }
+    return Severity::Info;
+}
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Info: return "info";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "???";
+}
+
+std::string
+Finding::render() const
+{
+    std::ostringstream oss;
+    oss << severityName(severity()) << "[" << findingCodeName(code)
+        << "]";
+    if (block != kNoBlock) {
+        oss << " B" << block;
+        if (instr != kNoInstr)
+            oss << "/" << instr;
+    }
+    oss << ": " << message;
+    return oss.str();
+}
+
+obs::Json
+Finding::toJson() const
+{
+    obs::Json j = obs::Json::object();
+    j["code"] = findingCodeName(code);
+    j["severity"] = severityName(severity());
+    if (block != kNoBlock)
+        j["block"] = static_cast<std::int64_t>(block);
+    if (instr != kNoInstr)
+        j["instr"] = static_cast<std::int64_t>(instr);
+    j["message"] = message;
+    return j;
+}
+
+bool
+anyError(const std::vector<Finding> &findings)
+{
+    for (const Finding &f : findings) {
+        if (f.severity() == Severity::Error)
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+countAtSeverity(const std::vector<Finding> &findings, Severity severity)
+{
+    std::size_t count = 0;
+    for (const Finding &f : findings) {
+        if (f.severity() == severity)
+            ++count;
+    }
+    return count;
+}
+
+bool
+hasCode(const std::vector<Finding> &findings, FindingCode code)
+{
+    for (const Finding &f : findings) {
+        if (f.code == code)
+            return true;
+    }
+    return false;
+}
+
+} // namespace dee::analysis

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Finding taxonomy of the static-analysis pass.
+ *
+ * Every defect the verifier or cross-checker can detect has one stable
+ * code; tools and tests key on the code, never on message text. Codes
+ * carry a fixed severity:
+ *
+ *   Error   — the program is structurally broken (simulating it would
+ *             be meaningless or crash) or a generator drifted from its
+ *             declared profile; dee_lint exits non-zero.
+ *   Warning — suspicious but simulable (unreachable code, a program
+ *             that can never halt, writes to r0).
+ *   Info    — neutral observations surfaced for humans.
+ */
+
+#ifndef DEE_ANALYSIS_FINDINGS_HH
+#define DEE_ANALYSIS_FINDINGS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "obs/json.hh"
+
+namespace dee::analysis
+{
+
+/** Severity of a finding; ordering is by increasing badness. */
+enum class Severity : std::uint8_t
+{
+    Info,
+    Warning,
+    Error,
+};
+
+/** Stable defect codes; see findingSeverity() for the severity map. */
+enum class FindingCode : std::uint8_t
+{
+    // --- Verifier: structural program defects (Error) -----------------
+    EmptyProgram,       ///< no blocks at all
+    BranchTargetRange,  ///< branch/jump target block out of range
+    FallthroughOffEnd,  ///< last block can fall off the program end
+    RegisterRange,      ///< register operand index >= kNumRegs
+    ControlMidBlock,    ///< branch/jump/halt not at its block's end
+    UseBeforeDef,       ///< register maybe read before any write
+    // --- Verifier: suspicious structure (Warning) ---------------------
+    UnreachableBlock,   ///< no path from the entry reaches the block
+    NoHalt,             ///< no reachable halt: the program cannot stop
+    WriteToZeroReg,     ///< destination r0 (the write is dropped)
+    EmptyBlock,         ///< block with no instructions (pure fallthrough)
+    // --- Profile cross-checker ----------------------------------------
+    ProfileDrift,       ///< measured property outside the declared range
+};
+
+/** Stable identifier, e.g. "use-before-def". */
+const char *findingCodeName(FindingCode code);
+
+/** Fixed severity of a code. */
+Severity findingSeverity(FindingCode code);
+
+/** "error" / "warning" / "info". */
+const char *severityName(Severity severity);
+
+/** One detected defect, anchored to a program location when known. */
+struct Finding
+{
+    FindingCode code = FindingCode::EmptyProgram;
+    /** Block the finding is in, or kNoBlock for whole-program facts. */
+    BlockId block = kNoBlock;
+    /** Instruction index within the block, or kNoInstr. */
+    std::int32_t instr = kNoInstr;
+    /** Human-readable one-liner (codes are the machine contract). */
+    std::string message;
+
+    static constexpr BlockId kNoBlock = 0xffffffff;
+    static constexpr std::int32_t kNoInstr = -1;
+
+    Severity severity() const { return findingSeverity(code); }
+
+    /** "error[use-before-def] B3/2: ..." */
+    std::string render() const;
+
+    /** {"code":..., "severity":..., "block":..., "instr":..., "message":...} */
+    obs::Json toJson() const;
+};
+
+/** True if any finding in the list has Error severity. */
+bool anyError(const std::vector<Finding> &findings);
+
+/** Count of findings at exactly the given severity. */
+std::size_t countAtSeverity(const std::vector<Finding> &findings,
+                            Severity severity);
+
+/** True if some finding carries the given code. */
+bool hasCode(const std::vector<Finding> &findings, FindingCode code);
+
+} // namespace dee::analysis
+
+#endif // DEE_ANALYSIS_FINDINGS_HH

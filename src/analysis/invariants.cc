@@ -1,0 +1,107 @@
+#include "analysis/invariants.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dee::analysis
+{
+
+namespace
+{
+
+constexpr double kEps = 1e-9;
+
+void
+report(std::vector<std::string> *out, int node, const std::string &what)
+{
+    std::ostringstream oss;
+    oss << "node " << node << ": " << what;
+    out->push_back(oss.str());
+}
+
+} // namespace
+
+std::vector<std::string>
+specTreeViolations(const SpecTree &tree)
+{
+    std::vector<std::string> violations;
+    const int n = tree.numPaths() + 1;
+
+    const TreeNode &origin = tree.node(SpecTree::kOrigin);
+    if (origin.parent != kNoNode)
+        report(&violations, 0, "origin has a parent");
+    if (origin.depth != 0)
+        report(&violations, 0, "origin depth is not 0");
+    if (std::abs(origin.cp - 1.0) > kEps)
+        report(&violations, 0, "origin cp is not 1");
+
+    for (int i = 1; i < n; ++i) {
+        const TreeNode &node = tree.node(i);
+        if (node.parent < 0 || node.parent >= n) {
+            report(&violations, i, "parent out of range");
+            continue;
+        }
+        const TreeNode &par = tree.node(node.parent);
+        const int backlink =
+            node.viaPredicted ? par.predChild : par.npredChild;
+        if (backlink != i)
+            report(&violations, i, "parent child-slot does not link back");
+        if (node.depth != par.depth + 1)
+            report(&violations, i, "depth is not parent depth + 1");
+        if (node.cp <= 0.0)
+            report(&violations, i, "cp is not positive");
+        else if (node.cp > par.cp + kEps)
+            report(&violations, i, "cp exceeds parent cp");
+    }
+
+    // assignmentOrder() must rank every path exactly once, by
+    // non-increasing cp (Figure 1's circled resource order).
+    const std::vector<int> order = tree.assignmentOrder();
+    if (static_cast<int>(order.size()) != tree.numPaths()) {
+        report(&violations, kNoNode,
+               "assignment order is not a permutation of the paths");
+    } else {
+        std::vector<bool> seen(n, false);
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            const int id = order[i];
+            if (id <= 0 || id >= n || seen[id]) {
+                report(&violations, id,
+                       "assignment order repeats or skips a path");
+                break;
+            }
+            seen[id] = true;
+            if (i > 0 &&
+                tree.node(order[i - 1]).cp < tree.node(id).cp - kEps) {
+                report(&violations, id,
+                       "assignment order not sorted by descending cp");
+                break;
+            }
+        }
+    }
+    return violations;
+}
+
+double
+greedyOptimalityGap(const SpecTree &tree, double p)
+{
+    const int n = tree.numPaths() + 1;
+    if (n == 1)
+        return 0.0;
+
+    double min_included = 1.0;
+    for (int i = 1; i < n; ++i)
+        min_included = std::min(min_included, tree.node(i).cp);
+
+    double max_excluded = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const TreeNode &node = tree.node(i);
+        if (node.predChild == kNoNode)
+            max_excluded = std::max(max_excluded, node.cp * p);
+        if (node.npredChild == kNoNode)
+            max_excluded = std::max(max_excluded, node.cp * (1.0 - p));
+    }
+    return min_included - max_excluded;
+}
+
+} // namespace dee::analysis

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Deep structural checks over speculation trees.
+ *
+ * The simulators guard their own hot paths with DEE_INVARIANT
+ * (common/invariant.hh); the functions here are the heavyweight
+ * whole-structure audits that dee_lint and the tests run: tree shape
+ * consistency (parent/child backlinks, depth, cp decay along edges) and
+ * Theorem 1's optimality property — in a greedy DEE tree every included
+ * path has cp at least as large as every excluded frontier candidate.
+ */
+
+#ifndef DEE_ANALYSIS_INVARIANTS_HH
+#define DEE_ANALYSIS_INVARIANTS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/tree/spec_tree.hh"
+
+namespace dee::analysis
+{
+
+/**
+ * Audits a tree's structural invariants; returns one message per
+ * violation (empty = sound). Checks: origin shape (no parent, depth 0,
+ * cp 1), parent/child backlink consistency, depth = parent depth + 1,
+ * 0 < cp <= parent cp, and that assignmentOrder() is a permutation of
+ * the paths in non-increasing cp order.
+ */
+std::vector<std::string> specTreeViolations(const SpecTree &tree);
+
+/**
+ * Theorem 1 optimality gap: min cp over included paths minus max cp
+ * over excluded frontier candidates (empty child slots of included
+ * nodes, at local probability p / 1-p). Greedy trees have gap >= 0 up
+ * to rounding; a negative gap means some excluded path was more likely
+ * to be needed than an included one (e.g. SP past the crossover depth).
+ * Returns 0 for an origin-only tree.
+ */
+double greedyOptimalityGap(const SpecTree &tree, double p);
+
+} // namespace dee::analysis
+
+#endif // DEE_ANALYSIS_INVARIANTS_HH

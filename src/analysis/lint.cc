@@ -1,0 +1,108 @@
+#include "analysis/lint.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "analysis/verifier.hh"
+#include "cfg/cfg.hh"
+#include "obs/registry.hh"
+#include "workloads/profiles.hh"
+
+namespace dee::analysis
+{
+
+std::string
+LintReport::renderText() const
+{
+    std::ostringstream oss;
+    oss << "== lint: " << subject << " ==\n";
+    for (const Finding &f : findings)
+        oss << "  " << f.render() << "\n";
+
+    const std::size_t errors =
+        countAtSeverity(findings, Severity::Error);
+    const std::size_t warnings =
+        countAtSeverity(findings, Severity::Warning);
+    oss << "  " << errors << " error(s), " << warnings
+        << " warning(s)\n";
+
+    if (profiled) {
+        oss << std::fixed << std::setprecision(3);
+        oss << "  profile: blocks=" << profile.blocks
+            << " instrs=" << profile.instrs
+            << " branch_density=" << profile.branchDensity
+            << " loops=" << profile.loopCount << " nest="
+            << profile.maxLoopNest << "\n"
+            << "           mean_dep_distance="
+            << profile.meanDepDistance
+            << " max_block_ilp=" << profile.maxBlockIlp
+            << " serialized_ilp=" << profile.serializedIlpBound
+            << "\n";
+    }
+    return oss.str();
+}
+
+obs::Json
+LintReport::toJson() const
+{
+    obs::Json j = obs::Json::object();
+    j["subject"] = subject;
+    j["clean"] = clean();
+    obs::Json arr = obs::Json::array();
+    for (const Finding &f : findings)
+        arr.push(f.toJson());
+    j["findings"] = std::move(arr);
+    if (profiled)
+        j["profile"] = profile.toJson();
+    return j;
+}
+
+LintReport
+lintProgram(const std::string &subject, const Program &program)
+{
+    LintReport report;
+    report.subject = subject;
+    report.findings = verifyProgram(program);
+
+    // The structural analyses (Cfg, dominators, loops) assume the
+    // soundness the verifier just checked; only profile programs that
+    // passed.
+    if (!anyError(report.findings)) {
+        const Cfg cfg(program);
+        report.profile = measureStaticProfile(program, cfg);
+        report.profiled = true;
+    }
+    return report;
+}
+
+LintReport
+lintWorkload(WorkloadId id, int scale)
+{
+    std::ostringstream subject;
+    subject << workloadName(id) << " scale=" << scale;
+    LintReport report = lintProgram(subject.str(), makeWorkload(id, scale));
+    if (report.profiled) {
+        const std::vector<Finding> drift = crossCheckProfile(
+            report.profile, declaredStaticProfile(id));
+        report.findings.insert(report.findings.end(), drift.begin(),
+                               drift.end());
+    }
+    return report;
+}
+
+void
+recordLintStats(const LintReport &report)
+{
+    obs::Registry &reg = obs::Registry::global();
+    ++reg.counter("lint.programs");
+    reg.counter("lint.errors") +=
+        countAtSeverity(report.findings, Severity::Error);
+    reg.counter("lint.warnings") +=
+        countAtSeverity(report.findings, Severity::Warning);
+    for (const Finding &f : report.findings) {
+        ++reg.counter(std::string("lint.findings.") +
+                      findingCodeName(f.code));
+    }
+}
+
+} // namespace dee::analysis

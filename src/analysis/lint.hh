@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The full dee_lint pass: verify, analyze, cross-check.
+ *
+ * One LintReport per subject program. lintProgram() runs the verifier
+ * and — when the program is structurally sound — the static profile
+ * measurement (loops, dependence distances, ILP bounds).
+ * lintWorkload() additionally cross-checks the measured profile
+ * against the generator's declared ranges (workloads/profiles.hh).
+ *
+ * Every run feeds the `lint.*` subtree of the global stats registry so
+ * manifests record what was linted and what was found.
+ */
+
+#ifndef DEE_ANALYSIS_LINT_HH
+#define DEE_ANALYSIS_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/findings.hh"
+#include "analysis/profile.hh"
+#include "isa/isa.hh"
+#include "obs/json.hh"
+#include "workloads/workloads.hh"
+
+namespace dee::analysis
+{
+
+/** Result of linting one program. */
+struct LintReport
+{
+    /** What was linted, e.g. "eqntott scale=4" or a file name. */
+    std::string subject;
+    std::vector<Finding> findings;
+    /** True when the program was sound enough to profile. */
+    bool profiled = false;
+    StaticProfile profile;
+
+    /** No Error-severity findings (warnings allowed). */
+    bool clean() const { return !anyError(findings); }
+
+    /** Human-readable report: header, findings, profile table. */
+    std::string renderText() const;
+
+    /** {"subject", "clean", "findings": [...], "profile": {...}}. */
+    obs::Json toJson() const;
+};
+
+/**
+ * Verifies @p program and, if it has no structural errors, measures
+ * its static profile. Never asserts on broken input — that is the
+ * point of the pass.
+ */
+LintReport lintProgram(const std::string &subject, const Program &program);
+
+/**
+ * Lints makeWorkload(id, scale) and cross-checks the measured profile
+ * against the generator's declared ranges; drift is an Error finding.
+ */
+LintReport lintWorkload(WorkloadId id, int scale);
+
+/** Accumulates a report into the global `lint.*` registry counters. */
+void recordLintStats(const LintReport &report);
+
+} // namespace dee::analysis
+
+#endif // DEE_ANALYSIS_LINT_HH

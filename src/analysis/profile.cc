@@ -1,0 +1,104 @@
+#include "analysis/profile.hh"
+
+#include <sstream>
+
+namespace dee::analysis
+{
+
+obs::Json
+StaticProfile::toJson() const
+{
+    obs::Json j = obs::Json::object();
+    j["blocks"] = static_cast<std::int64_t>(blocks);
+    j["instrs"] = static_cast<std::int64_t>(instrs);
+    j["branch_density"] = branchDensity;
+    j["mean_block_len"] = meanBlockLen;
+    j["loop_count"] = static_cast<std::int64_t>(loopCount);
+    j["max_loop_nest"] = maxLoopNest;
+    j["mean_dep_distance"] = meanDepDistance;
+    j["max_block_ilp"] = maxBlockIlp;
+    j["serialized_ilp_bound"] = serializedIlpBound;
+    return j;
+}
+
+StaticProfile
+measureStaticProfile(const Program &program, const Cfg &cfg)
+{
+    StaticProfile prof;
+    prof.blocks = program.numBlocks();
+    prof.instrs = program.numInstrs();
+
+    std::uint64_t cond_branches = 0;
+    for (BlockId b = 0; b < program.numBlocks(); ++b) {
+        for (const Instruction &inst : program.block(b).instrs) {
+            if (isCondBranch(inst.op))
+                ++cond_branches;
+        }
+    }
+    if (prof.instrs > 0) {
+        prof.branchDensity = static_cast<double>(cond_branches) /
+                             static_cast<double>(prof.instrs);
+        prof.meanBlockLen = static_cast<double>(prof.instrs) /
+                            static_cast<double>(prof.blocks);
+    }
+
+    const Dominators doms(cfg);
+    const LoopForest loops(cfg, doms);
+    prof.loopCount = loops.loops().size();
+    prof.maxLoopNest = loops.maxDepth();
+
+    const DependenceSummary deps = analyzeDependences(program);
+    prof.meanDepDistance = deps.meanDistance;
+    prof.maxBlockIlp = deps.maxBlockIlp;
+    prof.serializedIlpBound = deps.serializedIlpBound;
+    return prof;
+}
+
+namespace
+{
+
+void
+checkRange(const char *property, double measured,
+           const PropertyRange &declared, std::vector<Finding> *out)
+{
+    if (declared.contains(measured))
+        return;
+    std::ostringstream msg;
+    msg << property << " measured " << measured
+        << " outside declared range [" << declared.lo << ", "
+        << declared.hi << "]";
+    out->push_back(Finding{FindingCode::ProfileDrift, Finding::kNoBlock,
+                           Finding::kNoInstr, msg.str()});
+}
+
+} // namespace
+
+std::vector<Finding>
+crossCheckProfile(const StaticProfile &measured,
+                  const DeclaredStaticProfile &declared)
+{
+    std::vector<Finding> findings;
+    checkRange("branch_density", measured.branchDensity,
+               declared.branchDensity, &findings);
+    checkRange("mean_dep_distance", measured.meanDepDistance,
+               declared.meanDepDistance, &findings);
+    checkRange("max_block_ilp", measured.maxBlockIlp,
+               declared.maxBlockIlp, &findings);
+    checkRange("loop_count", static_cast<double>(measured.loopCount),
+               declared.loopCount, &findings);
+    checkRange("block_count", static_cast<double>(measured.blocks),
+               declared.blockCount, &findings);
+    if (measured.maxLoopNest < declared.minLoopNest ||
+        measured.maxLoopNest > declared.maxLoopNest) {
+        std::ostringstream msg;
+        msg << "max_loop_nest measured " << measured.maxLoopNest
+            << " outside declared range [" << declared.minLoopNest
+            << ", " << declared.maxLoopNest << "]";
+        findings.push_back(Finding{FindingCode::ProfileDrift,
+                                   Finding::kNoBlock, Finding::kNoInstr,
+                                   msg.str()});
+    }
+    return findings;
+}
+
+} // namespace dee::analysis

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Measured static profile and the generator cross-checker.
+ *
+ * measureStaticProfile() computes the static properties the paper's
+ * argument leans on (branch density, loop structure, dependence
+ * distances, per-block ILP bounds); crossCheckProfile() compares them
+ * against a generator's DeclaredStaticProfile and reports
+ * profile-drift findings where a measurement leaves its declared
+ * range. Drift is an Error: the benches would silently evaluate the
+ * models on inputs with the wrong trace-level character.
+ */
+
+#ifndef DEE_ANALYSIS_PROFILE_HH
+#define DEE_ANALYSIS_PROFILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/dependence.hh"
+#include "analysis/findings.hh"
+#include "cfg/cfg.hh"
+#include "cfg/structure.hh"
+#include "isa/isa.hh"
+#include "obs/json.hh"
+#include "workloads/profiles.hh"
+
+namespace dee::analysis
+{
+
+/** Static properties measured on one program. */
+struct StaticProfile
+{
+    std::uint64_t blocks = 0;
+    std::uint64_t instrs = 0;
+    /** Conditional branches per static instruction. */
+    double branchDensity = 0.0;
+    /** Mean instructions per basic block. */
+    double meanBlockLen = 0.0;
+    std::uint64_t loopCount = 0;
+    int maxLoopNest = 0;
+    /** Static dependence facts (see dependence.hh). */
+    double meanDepDistance = 0.0;
+    double maxBlockIlp = 0.0;
+    double serializedIlpBound = 0.0;
+
+    obs::Json toJson() const;
+};
+
+/** Measures every property; the program must verify clean (the Cfg and
+ *  loop analyses assume structural soundness). */
+StaticProfile measureStaticProfile(const Program &program, const Cfg &cfg);
+
+/** Compares measured vs declared; one ProfileDrift finding per
+ *  property outside its range. */
+std::vector<Finding> crossCheckProfile(
+    const StaticProfile &measured, const DeclaredStaticProfile &declared);
+
+} // namespace dee::analysis
+
+#endif // DEE_ANALYSIS_PROFILE_HH

@@ -1,0 +1,291 @@
+#include "analysis/verifier.hh"
+
+#include <algorithm>
+#include <bitset>
+#include <sstream>
+
+namespace dee::analysis
+{
+
+namespace
+{
+
+using RegMask = std::bitset<kNumRegs>;
+
+/** Registers an instruction definitely writes (invalid ids skipped). */
+RegMask
+defsOf(const Instruction &inst)
+{
+    RegMask defs;
+    const RegId d = inst.dest();
+    if (d != kNoReg && d < kNumRegs)
+        defs.set(d);
+    return defs;
+}
+
+/**
+ * Successor blocks, tolerating malformed programs: out-of-range targets
+ * contribute no edge (they are reported separately) and a missing
+ * terminator on the last block simply ends the walk there.
+ */
+std::vector<BlockId>
+lenientSuccessors(const Program &program, BlockId b)
+{
+    const std::size_t n = program.numBlocks();
+    const BasicBlock &blk = program.block(b);
+    std::vector<BlockId> succs;
+    auto add = [&](BlockId to) {
+        if (to < n &&
+            std::find(succs.begin(), succs.end(), to) == succs.end())
+            succs.push_back(to);
+    };
+    if (blk.instrs.empty()) {
+        add(b + 1);
+        return succs;
+    }
+    const Instruction &last = blk.instrs.back();
+    switch (opClass(last.op)) {
+      case OpClass::CondBranch:
+        add(last.target);
+        add(b + 1);
+        break;
+      case OpClass::Jump:
+        add(last.target);
+        break;
+      case OpClass::Halt:
+        break;
+      default:
+        add(b + 1);
+        break;
+    }
+    return succs;
+}
+
+/** Blocks reachable from the entry over lenientSuccessors(). */
+std::vector<bool>
+reachableBlocks(const Program &program)
+{
+    const std::size_t n = program.numBlocks();
+    std::vector<bool> seen(n, false);
+    std::vector<BlockId> work{0};
+    seen[0] = true;
+    while (!work.empty()) {
+        const BlockId b = work.back();
+        work.pop_back();
+        for (const BlockId s : lenientSuccessors(program, b)) {
+            if (!seen[s]) {
+                seen[s] = true;
+                work.push_back(s);
+            }
+        }
+    }
+    return seen;
+}
+
+void
+checkInstructionForm(const Program &program, BlockId b,
+                     std::vector<Finding> *out)
+{
+    const BasicBlock &blk = program.block(b);
+    const std::size_t n = program.numBlocks();
+    for (std::size_t i = 0; i < blk.instrs.size(); ++i) {
+        const Instruction &inst = blk.instrs[i];
+        const auto at = static_cast<std::int32_t>(i);
+
+        auto check_reg = [&](RegId r, const char *which) {
+            if (r == kNoReg || r < kNumRegs)
+                return;
+            std::ostringstream msg;
+            msg << which << " register r" << int{r} << " of '"
+                << opcodeName(inst.op) << "' exceeds r"
+                << int{kNumRegs} - 1;
+            out->push_back(Finding{FindingCode::RegisterRange, b, at,
+                                   msg.str()});
+        };
+        check_reg(inst.rd, "destination");
+        check_reg(inst.rs1, "source");
+        check_reg(inst.rs2, "source");
+
+        if (isControl(inst.op) && i + 1 != blk.instrs.size()) {
+            std::ostringstream msg;
+            msg << "control op '" << opcodeName(inst.op) << "' followed by "
+                << blk.instrs.size() - i - 1 << " dead instruction(s)";
+            out->push_back(Finding{FindingCode::ControlMidBlock, b, at,
+                                   msg.str()});
+        }
+
+        if ((isCondBranch(inst.op) || inst.op == Opcode::Jump) &&
+            inst.target >= n) {
+            std::ostringstream msg;
+            msg << "'" << opcodeName(inst.op) << "' targets block B"
+                << inst.target << " but the program has " << n
+                << " block(s)";
+            out->push_back(Finding{FindingCode::BranchTargetRange, b, at,
+                                   msg.str()});
+        }
+
+        const OpClass cls = opClass(inst.op);
+        if ((cls == OpClass::IntAlu || cls == OpClass::Load) &&
+            inst.rd == kZeroReg) {
+            out->push_back(
+                Finding{FindingCode::WriteToZeroReg, b, at,
+                        std::string("result of '") + opcodeName(inst.op) +
+                            "' written to r0 is dropped"});
+        }
+    }
+}
+
+/**
+ * Forward must-be-defined dataflow: IN(B) = intersection of OUT(P) over
+ * reachable predecessors, OUT(B) = IN(B) | defs(B); the entry starts
+ * empty. A source register not definitely defined at its use is a
+ * maybe-use-before-def. One finding per (block, register).
+ */
+void
+checkDefBeforeUse(const Program &program,
+                  const std::vector<bool> &reachable,
+                  std::vector<Finding> *out)
+{
+    const std::size_t n = program.numBlocks();
+
+    // Predecessor lists over the lenient graph, reachable blocks only.
+    std::vector<std::vector<BlockId>> preds(n);
+    for (BlockId b = 0; b < n; ++b) {
+        if (!reachable[b])
+            continue;
+        for (const BlockId s : lenientSuccessors(program, b))
+            preds[s].push_back(b);
+    }
+
+    // Block def summaries.
+    std::vector<RegMask> defs(n);
+    for (BlockId b = 0; b < n; ++b) {
+        for (const Instruction &inst : program.block(b).instrs)
+            defs[b] |= defsOf(inst);
+    }
+
+    const RegMask all = RegMask{}.set();
+    std::vector<RegMask> in(n, all);
+    std::vector<RegMask> outSet(n, all);
+    in[0].reset();
+    outSet[0] = defs[0];
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b = 0; b < n; ++b) {
+            if (!reachable[b])
+                continue;
+            RegMask newIn = b == 0 ? RegMask{} : all;
+            for (const BlockId p : preds[b])
+                newIn &= outSet[p];
+            if (b == 0)
+                newIn.reset(); // the entry has no defined registers
+            const RegMask newOut = newIn | defs[b];
+            if (newIn != in[b] || newOut != outSet[b]) {
+                in[b] = newIn;
+                outSet[b] = newOut;
+                changed = true;
+            }
+        }
+    }
+
+    // Reporting pass: walk each reachable block with its solved IN set.
+    for (BlockId b = 0; b < n; ++b) {
+        if (!reachable[b])
+            continue;
+        RegMask defined = in[b];
+        RegMask reported;
+        const BasicBlock &blk = program.block(b);
+        for (std::size_t i = 0; i < blk.instrs.size(); ++i) {
+            const Instruction &inst = blk.instrs[i];
+            for (const RegId r : inst.sources()) {
+                if (r >= kNumRegs || defined.test(r) || reported.test(r))
+                    continue;
+                reported.set(r);
+                std::ostringstream msg;
+                msg << "r" << int{r} << " may be read by '"
+                    << opcodeName(inst.op)
+                    << "' before any write reaches it";
+                out->push_back(Finding{FindingCode::UseBeforeDef, b,
+                                       static_cast<std::int32_t>(i),
+                                       msg.str()});
+            }
+            defined |= defsOf(inst);
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Finding>
+verifyProgram(const Program &program)
+{
+    std::vector<Finding> findings;
+    const std::size_t n = program.numBlocks();
+    if (n == 0) {
+        findings.push_back(Finding{FindingCode::EmptyProgram,
+                                   Finding::kNoBlock, Finding::kNoInstr,
+                                   "program has no blocks"});
+        return findings;
+    }
+
+    for (BlockId b = 0; b < n; ++b) {
+        if (program.block(b).instrs.empty()) {
+            findings.push_back(Finding{FindingCode::EmptyBlock, b,
+                                       Finding::kNoInstr,
+                                       "block has no instructions"});
+        }
+        checkInstructionForm(program, b, &findings);
+    }
+
+    // Off-end fallthrough: the last block must end in halt/jump/branch
+    // (a conditional branch's not-taken arm is a legal program exit,
+    // matching Cfg's virtual-exit edge).
+    const BlockId last = static_cast<BlockId>(n - 1);
+    if (!program.block(last).hasTerminator()) {
+        findings.push_back(
+            Finding{FindingCode::FallthroughOffEnd, last,
+                    Finding::kNoInstr,
+                    "last block does not end in halt/jump/branch; "
+                    "execution would fall off the program end"});
+    }
+
+    const std::vector<bool> reachable = reachableBlocks(program);
+    bool reachable_halt = false;
+    for (BlockId b = 0; b < n; ++b) {
+        if (!reachable[b]) {
+            findings.push_back(Finding{FindingCode::UnreachableBlock, b,
+                                       Finding::kNoInstr,
+                                       "no path from B0 reaches this "
+                                       "block"});
+            continue;
+        }
+        for (const Instruction &inst : program.block(b).instrs) {
+            if (inst.op == Opcode::Halt)
+                reachable_halt = true;
+        }
+    }
+    // A reachable last block whose conditional branch can fall off the
+    // end exits the program too (Cfg's virtual-exit edge).
+    if (reachable[last] && !program.block(last).instrs.empty() &&
+        isCondBranch(program.block(last).instrs.back().op))
+        reachable_halt = true;
+    if (!reachable_halt) {
+        findings.push_back(Finding{FindingCode::NoHalt, Finding::kNoBlock,
+                                   Finding::kNoInstr,
+                                   "no reachable halt: the program "
+                                   "cannot terminate"});
+    }
+
+    checkDefBeforeUse(program, reachable, &findings);
+    return findings;
+}
+
+bool
+verifiesClean(const Program &program)
+{
+    return !anyError(verifyProgram(program));
+}
+
+} // namespace dee::analysis

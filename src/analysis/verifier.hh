@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Static program verifier.
+ *
+ * Program::validate() is fatal-on-violation — correct for builder bugs
+ * at construction time, useless for a diagnostic tool. This verifier
+ * accepts *arbitrary* Programs (including ones validate() would reject),
+ * never aborts, and reports every defect it can find as a Finding:
+ *
+ *  - structural: empty program, branch/jump targets out of range,
+ *    register indices out of range, control ops before a block's end,
+ *    a last block that can fall off the program end;
+ *  - reachability: blocks no entry path reaches, no reachable halt;
+ *  - dataflow: registers possibly read before ever being written
+ *    (forward must-be-defined analysis over the block graph — the set
+ *    of definitely-written registers is intersected over predecessors,
+ *    so a def on only one side of an if does not count);
+ *  - hygiene: writes to r0, empty blocks.
+ *
+ * The verifier builds its own lenient successor graph (ignoring
+ * out-of-range targets) rather than using Cfg, which asserts on exactly
+ * the malformed inputs this pass exists to diagnose.
+ */
+
+#ifndef DEE_ANALYSIS_VERIFIER_HH
+#define DEE_ANALYSIS_VERIFIER_HH
+
+#include <vector>
+
+#include "analysis/findings.hh"
+#include "isa/isa.hh"
+
+namespace dee::analysis
+{
+
+/** Runs every structural and dataflow check; order: block, then
+ *  instruction index, whole-program findings last. */
+std::vector<Finding> verifyProgram(const Program &program);
+
+/** True if verifyProgram() would report no Error-severity finding —
+ *  i.e. the program is safe to hand to Cfg / the simulators. */
+bool verifiesClean(const Program &program);
+
+} // namespace dee::analysis
+
+#endif // DEE_ANALYSIS_VERIFIER_HH

@@ -1,0 +1,198 @@
+#include "cfg/structure.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dee
+{
+
+Dominators::Dominators(const Cfg &cfg) : numBlocks_(cfg.numBlocks())
+{
+    const std::size_t n = numBlocks_;
+    constexpr BlockId entry = 0;
+
+    // Reverse post-order of the forward CFG from the entry.
+    std::vector<BlockId> order; // postorder
+    order.reserve(n);
+    std::vector<std::uint8_t> state(n, 0); // 0 new, 1 open, 2 done
+    std::vector<std::pair<BlockId, std::size_t>> stack;
+    stack.emplace_back(entry, 0);
+    state[entry] = 1;
+    while (!stack.empty()) {
+        auto &[node, i] = stack.back();
+        const auto &succs = cfg.successors(node);
+        if (i < succs.size()) {
+            const BlockId next = succs[i++];
+            if (next < n && state[next] == 0) { // skip the virtual exit
+                state[next] = 1;
+                stack.emplace_back(next, 0);
+            }
+        } else {
+            state[node] = 2;
+            order.push_back(node);
+            stack.pop_back();
+        }
+    }
+    std::reverse(order.begin(), order.end()); // RPO, entry first
+
+    std::vector<std::size_t> rpoIndex(n, ~std::size_t{0});
+    for (std::size_t i = 0; i < order.size(); ++i)
+        rpoIndex[order[i]] = i;
+
+    idom_.assign(n, kUnreachable);
+    idom_[entry] = entry;
+
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (rpoIndex[a] > rpoIndex[b])
+                a = idom_[a];
+            while (rpoIndex[b] > rpoIndex[a])
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const BlockId node : order) {
+            if (node == entry)
+                continue;
+            BlockId new_idom = kUnreachable;
+            for (const BlockId p : cfg.predecessors(node)) {
+                if (p >= n || idom_[p] == kUnreachable)
+                    continue; // unreachable or not yet processed
+                new_idom = new_idom == kUnreachable ? p
+                                                    : intersect(new_idom, p);
+            }
+            if (new_idom != kUnreachable && idom_[node] != new_idom) {
+                idom_[node] = new_idom;
+                changed = true;
+            }
+        }
+    }
+}
+
+BlockId
+Dominators::idom(BlockId b) const
+{
+    dee_assert(b < numBlocks_, "idom of unknown block ", b);
+    return idom_[b];
+}
+
+bool
+Dominators::reachable(BlockId b) const
+{
+    dee_assert(b < numBlocks_, "reachable of unknown block ", b);
+    return idom_[b] != kUnreachable;
+}
+
+bool
+Dominators::dominates(BlockId a, BlockId b) const
+{
+    dee_assert(a < numBlocks_ && b < numBlocks_,
+               "dominates over unknown blocks");
+    if (!reachable(b))
+        return false;
+    BlockId cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        if (cur == 0) // reached the entry without meeting a
+            return false;
+        cur = idom_[cur];
+    }
+}
+
+bool
+NaturalLoop::contains(BlockId b) const
+{
+    return std::binary_search(blocks.begin(), blocks.end(), b);
+}
+
+LoopForest::LoopForest(const Cfg &cfg, const Dominators &doms)
+{
+    const std::size_t n = cfg.numBlocks();
+    depth_.assign(n, 0);
+
+    // Collect back edges t -> h (h dominates t), merged per header.
+    for (BlockId h = 0; h < n; ++h) {
+        std::vector<BlockId> latches;
+        for (const BlockId t : cfg.predecessors(h)) {
+            if (t < n && doms.reachable(t) && doms.dominates(h, t))
+                latches.push_back(t);
+        }
+        if (latches.empty())
+            continue;
+
+        // Loop body: h plus everything reaching a latch backwards
+        // without passing h.
+        std::vector<bool> in(n, false);
+        in[h] = true;
+        std::vector<BlockId> work;
+        for (const BlockId t : latches) {
+            if (!in[t]) {
+                in[t] = true;
+                work.push_back(t);
+            }
+        }
+        while (!work.empty()) {
+            const BlockId b = work.back();
+            work.pop_back();
+            for (const BlockId p : cfg.predecessors(b)) {
+                if (p < n && doms.reachable(p) && !in[p]) {
+                    in[p] = true;
+                    work.push_back(p);
+                }
+            }
+        }
+
+        NaturalLoop loop;
+        loop.header = h;
+        loop.latches = std::move(latches);
+        for (BlockId b = 0; b < n; ++b) {
+            if (in[b])
+                loop.blocks.push_back(b);
+        }
+        loops_.push_back(std::move(loop));
+    }
+
+    // Nesting depth: a block's depth is the number of loops containing
+    // it; a loop's depth is the depth of its header.
+    for (const NaturalLoop &loop : loops_) {
+        for (const BlockId b : loop.blocks)
+            ++depth_[b];
+    }
+    for (NaturalLoop &loop : loops_)
+        loop.depth = depth_[loop.header];
+}
+
+std::size_t
+LoopForest::numTopLevel() const
+{
+    std::size_t count = 0;
+    for (const NaturalLoop &loop : loops_) {
+        if (loop.depth == 1)
+            ++count;
+    }
+    return count;
+}
+
+int
+LoopForest::loopDepth(BlockId b) const
+{
+    dee_assert(b < depth_.size(), "loopDepth of unknown block ", b);
+    return depth_[b];
+}
+
+int
+LoopForest::maxDepth() const
+{
+    int deepest = 0;
+    for (const int d : depth_)
+        deepest = std::max(deepest, d);
+    return deepest;
+}
+
+} // namespace dee

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Structural-invariant assertions for the simulators.
+ *
+ * DEE_INVARIANT() documents and enforces machine-model invariants
+ * (window ordering, tree shape, Levo column recycling) on hot paths.
+ * Unlike dee_assert — always on, for cheap internal checks — these are
+ * compiled out entirely when the build disables them, so the release
+ * simulators pay nothing:
+ *
+ *   cmake -DDEE_INVARIANTS=OFF ...   # default ON; see CMakeLists.txt
+ *
+ * A failed invariant is an internal bug: it panics (aborts), exactly
+ * like dee_assert.
+ */
+
+#ifndef DEE_COMMON_INVARIANT_HH
+#define DEE_COMMON_INVARIANT_HH
+
+#include "common/logging.hh"
+
+#if defined(DEE_INVARIANTS) && DEE_INVARIANTS
+/** True when DEE_INVARIANT checks are compiled in. */
+#define DEE_INVARIANTS_ENABLED 1
+#define DEE_INVARIANT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            dee_panic("invariant '", #cond, "' violated. ", \
+                      ##__VA_ARGS__); \
+        } \
+    } while (0)
+#else
+#define DEE_INVARIANTS_ENABLED 0
+// sizeof keeps the condition unevaluated while still "using" the
+// variables it names, so -Wunused stays quiet in both configurations.
+#define DEE_INVARIANT(cond, ...) \
+    do { \
+        (void)sizeof(cond); \
+    } while (0)
+#endif
+
+#endif // DEE_COMMON_INVARIANT_HH

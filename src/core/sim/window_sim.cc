@@ -7,6 +7,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "common/invariant.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "obs/registry.hh"
@@ -329,6 +330,9 @@ WindowSim::run(BranchPredictor &predictor) const
                     fetch_tree[r + d + 1] = now;
                     if (!crossed_npred.empty()) {
                         ++result.sidePathFetches;
+                        DEE_INVARIANT(crossed_npred.front() >= r &&
+                                          crossed_npred.back() <= r + d,
+                                      "bypass set escapes its walk");
                         bypass[r + d + 1] = crossed_npred;
                         dee_trace_event_if(
                             tracing, tracer, "sim.side_path_fetch", 'i', now,
@@ -353,6 +357,9 @@ WindowSim::run(BranchPredictor &predictor) const
                     fetch_tree[r + d + 1] = now;
                     if (!crossed_npred.empty()) {
                         ++result.sidePathFetches;
+                        DEE_INVARIANT(crossed_npred.front() >= r &&
+                                          crossed_npred.back() <= r + d,
+                                      "bypass set escapes its walk");
                         bypass[r + d + 1] = crossed_npred;
                         dee_trace_event_if(
                             tracing, tracer, "sim.side_path_fetch", 'i', now,
@@ -363,6 +370,11 @@ WindowSim::run(BranchPredictor &predictor) const
                 }
             }
         }
+
+        // Code at the root is never fetched later than the root's own
+        // arrival: coverage walks only ever relax fetch times.
+        DEE_INVARIANT(fetch_tree[r] <= now, "path ", r,
+                      " fetched after its root time");
 
         // Retire mispredicts whose window reach or control scope ended
         // (divergent ones stall until resolution wherever they are, so
@@ -465,6 +477,10 @@ WindowSim::run(BranchPredictor &predictor) const
         const std::int64_t move =
             std::max({root_time[r], done,
                       res + (correct[r] ? 0 : penalty)});
+        // The root only ever advances in time (static-window column
+        // ordering: path r+1's column is recycled at or after path r's).
+        DEE_INVARIANT(move >= now, "root time went backwards at path ",
+                      r);
         root_time[r + 1] = move;
 
         if (!correct[r]) {

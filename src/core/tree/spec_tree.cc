@@ -7,6 +7,7 @@
 #include <queue>
 #include <sstream>
 
+#include "common/invariant.hh"
 #include "common/logging.hh"
 
 namespace dee
@@ -57,6 +58,10 @@ SpecTree::addChild(int parent, bool predicted_edge, double local_p)
     child.viaPredicted = predicted_edge;
     child.depth = par.depth + 1;
     child.cp = par.cp * local_p;
+    // cp decays along every edge: a path is never more likely to be
+    // needed than the path it hangs from.
+    DEE_INVARIANT(child.cp > 0.0 && child.cp <= par.cp,
+                  "child cp out of (0, parent cp]");
     const int id = static_cast<int>(nodes_.size());
     slot = id;
     nodes_.push_back(child);
@@ -209,10 +214,16 @@ SpecTree::deeGreedy(double p, int e_t)
     };
 
     push_children(kOrigin);
+    double prev_cp = 1.0;
     for (int added = 0; added < e_t; ++added) {
         dee_assert(!queue.empty(), "greedy queue exhausted");
         const Candidate c = queue.top();
         queue.pop();
+        // Greatest Marginal Benefit admits paths in non-increasing cp
+        // order — the property Theorem 1's optimality proof rests on.
+        DEE_INVARIANT(c.cp <= prev_cp + 1e-12,
+                      "greedy admission order not monotone in cp");
+        prev_cp = c.cp;
         const int id = tree.addChild(c.parent, c.predictedEdge,
                                      c.predictedEdge ? p : 1.0 - p);
         push_children(id);

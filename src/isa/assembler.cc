@@ -153,8 +153,30 @@ mnemonics()
 
 } // namespace
 
+namespace
+{
+
+Program parseAssemblyImpl(const std::string &source, bool validate);
+
+} // namespace
+
 Program
 parseAssembly(const std::string &source)
+{
+    return parseAssemblyImpl(source, true);
+}
+
+Program
+parseAssemblyUnchecked(const std::string &source)
+{
+    return parseAssemblyImpl(source, false);
+}
+
+namespace
+{
+
+Program
+parseAssemblyImpl(const std::string &source, bool validate)
 {
     ProgramBuilder pb;
     int declared_blocks = 0;
@@ -273,8 +295,10 @@ parseAssembly(const std::string &source)
     }
     if (!any_block)
         dee_fatal("assembly source contains no blocks");
-    return pb.build();
+    return validate ? pb.build() : pb.buildUnchecked();
 }
+
+} // namespace
 
 Program
 parseAssemblyFile(const std::string &path)
@@ -285,6 +309,17 @@ parseAssemblyFile(const std::string &path)
     std::ostringstream buffer;
     buffer << file.rdbuf();
     return parseAssembly(buffer.str());
+}
+
+Program
+parseAssemblyFileUnchecked(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        dee_fatal("cannot open assembly file '", path, "'");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return parseAssemblyUnchecked(buffer.str());
 }
 
 } // namespace dee

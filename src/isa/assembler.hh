@@ -36,6 +36,17 @@ Program parseAssembly(const std::string &source);
 /** Assembles a file's contents (fatal on I/O or parse errors). */
 Program parseAssemblyFile(const std::string &path);
 
+/**
+ * Assembles without Program::validate(), so structurally broken
+ * programs (out-of-range branch targets, missing terminators) come
+ * back intact for the static verifier to diagnose. Syntax errors are
+ * still fatal — there is no program to return for those.
+ */
+Program parseAssemblyUnchecked(const std::string &source);
+
+/** File variant of parseAssemblyUnchecked (fatal on I/O errors). */
+Program parseAssemblyFileUnchecked(const std::string &path);
+
 } // namespace dee
 
 #endif // DEE_ISA_ASSEMBLER_HH

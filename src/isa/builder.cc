@@ -91,4 +91,10 @@ ProgramBuilder::build()
     return std::move(program_);
 }
 
+Program
+ProgramBuilder::buildUnchecked()
+{
+    return std::move(program_);
+}
+
 } // namespace dee

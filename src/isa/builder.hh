@@ -50,6 +50,13 @@ class ProgramBuilder
     /** Validates and returns the finished program. */
     Program build();
 
+    /**
+     * Returns the program as emitted, without validation. For tools
+     * that diagnose broken programs (the static verifier) rather than
+     * execute them; everything else wants build().
+     */
+    Program buildUnchecked();
+
   private:
     Program program_;
     BlockId current_ = 0;

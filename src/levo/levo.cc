@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/invariant.hh"
 #include "common/logging.hh"
 #include "obs/registry.hh"
 #include "obs/timer.hh"
@@ -182,6 +183,12 @@ LevoMachine::run(std::uint64_t max_instrs) const
             cur_col = 0;
         }
         const int row = static_cast<int>(sid - iq_base);
+        // The refill check above guarantees residence; every matrix
+        // access below indexes [row][cur_col].
+        DEE_INVARIANT(row >= 0 && row < n, "IQ row ", row,
+                      " outside the ", n, "-row window");
+        DEE_INVARIANT(cur_col >= 0 && cur_col < m, "active column ",
+                      cur_col, " outside the ", m, "-column window");
 
         // --- Timing: when can this instance execute? ---------------------
         std::int64_t start =
@@ -439,6 +446,14 @@ LevoMachine::run(std::uint64_t max_instrs) const
                                        static_cast<std::int64_t>(
                                            cur_col));
                 }
+                // Column ordering: a column is only recycled once its
+                // previous generation is complete (either it already
+                // was, or fetch now waits for it).
+                DEE_INVARIANT(col_last_complete[cur_col] <= start + 1 ||
+                                  fetch_ready >=
+                                      col_last_complete[cur_col],
+                              "column ", cur_col,
+                              " recycled before completion");
                 clear_column(cur_col);
                 col_last_complete[cur_col] = 0;
             }

@@ -13,8 +13,8 @@ namespace dee::obs
 bool
 LoadedManifest::metric(const std::string &key, double *value) const
 {
-    for (const auto &[path, v] : metrics) {
-        if (path == key) {
+    for (const auto &[metric_path, v] : metrics) {
+        if (metric_path == key) {
             if (value)
                 *value = v;
             return true;
@@ -195,6 +195,27 @@ RegressionReport::render(double threshold) const
     oss << table.render();
     oss << "threshold: " << Table::fmtPercent(threshold, 2)
         << " relative; " << items.size() << " watched metric(s)\n";
+    return oss.str();
+}
+
+std::string
+RegressionReport::renderFailures(double threshold) const
+{
+    std::ostringstream oss;
+    for (const RegressionItem &item : items) {
+        if (item.missing) {
+            oss << "FAIL " << item.metric
+                << ": watched metric missing from candidate (baseline "
+                << Table::fmt(item.baseline, 6) << ")\n";
+        } else if (item.regressed) {
+            oss << "FAIL " << item.metric << ": baseline "
+                << Table::fmt(item.baseline, 6) << ", candidate "
+                << Table::fmt(item.candidate, 6) << " ("
+                << Table::fmtPercent(item.relChange, 2)
+                << ", threshold " << Table::fmtPercent(threshold, 2)
+                << ")\n";
+        }
+    }
     return oss.str();
 }
 

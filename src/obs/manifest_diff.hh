@@ -97,6 +97,13 @@ struct RegressionReport
     bool anyRegressed() const;
     /** Aligned table, worst offenders flagged in the last column. */
     std::string render(double threshold) const;
+    /**
+     * One "FAIL <metric>: ..." line per regressed or missing item, with
+     * both values and the relative change — the actionable part of a
+     * failed gate, kept separate from the full table so CI logs show
+     * exactly which metric tripped it. Empty when nothing regressed.
+     */
+    std::string renderFailures(double threshold) const;
 };
 
 /**

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Declared static profiles of the workload generators.
+ *
+ * Each generator in workloads.cc promises a branch-path structure and a
+ * dependence shape (the file comment there describes them in prose);
+ * this header states those promises as checkable numeric ranges so the
+ * static-analysis pass (src/analysis) can fail the build when a
+ * generator drifts — e.g. an edit that accidentally serializes
+ * eqntott's independent lanes or makes cc1 branch-poor.
+ *
+ * The properties are *static* (measured on the emitted Program, not a
+ * trace), so they are scale-invariant: the scale knob only changes
+ * loop-bound immediates, never the block structure. Ranges are
+ * deliberately a little generous — they exist to catch structural
+ * drift, not to freeze every constant.
+ */
+
+#ifndef DEE_WORKLOADS_PROFILES_HH
+#define DEE_WORKLOADS_PROFILES_HH
+
+#include "workloads/workloads.hh"
+
+namespace dee
+{
+
+/** Closed numeric interval [lo, hi]. */
+struct PropertyRange
+{
+    double lo = 0.0;
+    double hi = 0.0;
+
+    bool contains(double v) const { return v >= lo && v <= hi; }
+};
+
+/** The generator's promise, as ranges over measured static properties. */
+struct DeclaredStaticProfile
+{
+    /** Conditional branches per static instruction. */
+    PropertyRange branchDensity;
+    /** Mean static register def->use distance (within blocks). */
+    PropertyRange meanDepDistance;
+    /** Largest per-block dependence-DAG ILP bound. */
+    PropertyRange maxBlockIlp;
+    /** Natural-loop count (merged per header). */
+    PropertyRange loopCount;
+    /** Deepest loop nesting: [min, max] as integers. */
+    int minLoopNest = 1;
+    int maxLoopNest = 1;
+    /** Static basic-block count. */
+    PropertyRange blockCount;
+};
+
+/** The declared profile of a workload generator. */
+DeclaredStaticProfile declaredStaticProfile(WorkloadId id);
+
+} // namespace dee
+
+#endif // DEE_WORKLOADS_PROFILES_HH

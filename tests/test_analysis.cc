@@ -1,0 +1,580 @@
+/**
+ * @file
+ * Static-analysis pass: verifier defect classes on handcrafted broken
+ * programs, forward dominators and natural loops, dependence-DAG ILP
+ * bounds, profile cross-checking, tree invariants, and the lint
+ * driver end to end over every workload generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/dependence.hh"
+#include "analysis/findings.hh"
+#include "analysis/invariants.hh"
+#include "analysis/lint.hh"
+#include "analysis/profile.hh"
+#include "analysis/verifier.hh"
+#include "cfg/cfg.hh"
+#include "cfg/structure.hh"
+#include "core/tree/spec_tree.hh"
+#include "isa/assembler.hh"
+#include "isa/builder.hh"
+#include "obs/registry.hh"
+#include "workloads/profiles.hh"
+#include "workloads/workloads.hh"
+
+namespace dee::analysis
+{
+namespace
+{
+
+Instruction
+make(Opcode op, RegId rd = kNoReg, RegId rs1 = kNoReg,
+     RegId rs2 = kNoReg, std::int64_t imm = 0, BlockId target = 0)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    inst.rs2 = rs2;
+    inst.imm = imm;
+    inst.target = target;
+    return inst;
+}
+
+/** loop: r1 = 0; while (r1 < 3) ++r1; halt — clean by construction. */
+Program
+cleanLoopProgram()
+{
+    ProgramBuilder b;
+    const BlockId entry = b.newBlock();
+    const BlockId body = b.newBlock();
+    const BlockId exit = b.newBlock();
+    b.switchTo(entry);
+    b.loadImm(1, 0);
+    b.loadImm(2, 3);
+    b.switchTo(body);
+    b.aluImm(Opcode::AddI, 1, 1, 1);
+    b.branch(Opcode::BranchLt, 1, 2, body);
+    b.switchTo(exit);
+    b.halt();
+    return b.build();
+}
+
+// --- Verifier: one test per defect class ------------------------------
+
+TEST(Verifier, EmptyProgramIsAnError)
+{
+    const std::vector<Finding> findings = verifyProgram(Program{});
+    EXPECT_TRUE(hasCode(findings, FindingCode::EmptyProgram));
+    EXPECT_TRUE(anyError(findings));
+}
+
+TEST(Verifier, OutOfRangeBranchTarget)
+{
+    Program p;
+    BasicBlock blk;
+    blk.instrs.push_back(make(Opcode::LoadImm, 1, kNoReg, kNoReg, 7));
+    blk.instrs.push_back(
+        make(Opcode::BranchEq, kNoReg, 1, 0, 0, /*target=*/99));
+    p.addBlock(std::move(blk));
+    BasicBlock tail;
+    tail.instrs.push_back(make(Opcode::Halt));
+    p.addBlock(std::move(tail));
+
+    const std::vector<Finding> findings = verifyProgram(p);
+    ASSERT_TRUE(hasCode(findings, FindingCode::BranchTargetRange));
+    EXPECT_FALSE(verifiesClean(p));
+    for (const Finding &f : findings) {
+        if (f.code == FindingCode::BranchTargetRange) {
+            EXPECT_EQ(f.block, 0u);
+            EXPECT_EQ(f.instr, 1);
+        }
+    }
+}
+
+TEST(Verifier, FallthroughOffProgramEnd)
+{
+    Program p;
+    BasicBlock blk;
+    blk.instrs.push_back(make(Opcode::LoadImm, 1, kNoReg, kNoReg, 1));
+    p.addBlock(std::move(blk)); // no terminator, nothing after
+    const std::vector<Finding> findings = verifyProgram(p);
+    EXPECT_TRUE(hasCode(findings, FindingCode::FallthroughOffEnd));
+    EXPECT_TRUE(anyError(findings));
+}
+
+TEST(Verifier, CondBranchInLastBlockIsALegalExit)
+{
+    // A conditional branch at the very end may fall through off the
+    // program: that is the normal loop-exit idiom, not a defect.
+    Program p;
+    BasicBlock blk;
+    blk.instrs.push_back(make(Opcode::LoadImm, 1, kNoReg, kNoReg, 1));
+    blk.instrs.push_back(make(Opcode::BranchEq, kNoReg, 1, 0, 0, 0));
+    p.addBlock(std::move(blk));
+    const std::vector<Finding> findings = verifyProgram(p);
+    EXPECT_FALSE(hasCode(findings, FindingCode::FallthroughOffEnd));
+    EXPECT_FALSE(hasCode(findings, FindingCode::NoHalt));
+}
+
+TEST(Verifier, RegisterIndexOutOfRange)
+{
+    Program p;
+    BasicBlock blk;
+    blk.instrs.push_back(make(Opcode::Add, /*rd=*/40, 1, 2));
+    blk.instrs.push_back(make(Opcode::Halt));
+    p.addBlock(std::move(blk));
+    const std::vector<Finding> findings = verifyProgram(p);
+    EXPECT_TRUE(hasCode(findings, FindingCode::RegisterRange));
+    EXPECT_TRUE(anyError(findings));
+}
+
+TEST(Verifier, ControlBeforeBlockEnd)
+{
+    Program p;
+    BasicBlock blk;
+    blk.instrs.push_back(make(Opcode::Jump, kNoReg, kNoReg, kNoReg, 0, 0));
+    blk.instrs.push_back(make(Opcode::Nop));
+    blk.instrs.push_back(make(Opcode::Halt));
+    p.addBlock(std::move(blk));
+    const std::vector<Finding> findings = verifyProgram(p);
+    EXPECT_TRUE(hasCode(findings, FindingCode::ControlMidBlock));
+}
+
+TEST(Verifier, UseBeforeDefStraightLine)
+{
+    Program p;
+    BasicBlock blk;
+    blk.instrs.push_back(make(Opcode::Add, 1, /*rs1=*/5, 0)); // r5 unset
+    blk.instrs.push_back(make(Opcode::Halt));
+    p.addBlock(std::move(blk));
+    const std::vector<Finding> findings = verifyProgram(p);
+    ASSERT_TRUE(hasCode(findings, FindingCode::UseBeforeDef));
+    EXPECT_TRUE(anyError(findings));
+}
+
+TEST(Verifier, UseBeforeDefThroughOneArmOfADiamond)
+{
+    // r7 is defined on the taken arm only; the join reads it, so some
+    // path reads it undefined. Must-analysis (intersection over
+    // predecessors) is required to see this.
+    Program p;
+    {
+        BasicBlock b0; // entry: defines the comparison input
+        b0.instrs.push_back(make(Opcode::LoadImm, 1, kNoReg, kNoReg, 1));
+        b0.instrs.push_back(make(Opcode::BranchEq, kNoReg, 1, 0, 0, 2));
+        p.addBlock(std::move(b0));
+    }
+    {
+        BasicBlock b1; // fallthrough arm: no def of r7
+        b1.instrs.push_back(make(Opcode::Nop));
+        p.addBlock(std::move(b1));
+    }
+    {
+        BasicBlock b2; // join (also the taken target): reads r7
+        b2.instrs.push_back(make(Opcode::Add, 2, 7, 1));
+        b2.instrs.push_back(make(Opcode::Halt));
+        p.addBlock(std::move(b2));
+    }
+    const std::vector<Finding> findings = verifyProgram(p);
+    EXPECT_TRUE(hasCode(findings, FindingCode::UseBeforeDef));
+}
+
+TEST(Verifier, DefOnEveryPathIsNotFlagged)
+{
+    // Same diamond, but both arms define r7 before the join reads it.
+    Program p;
+    {
+        BasicBlock b0;
+        b0.instrs.push_back(make(Opcode::LoadImm, 1, kNoReg, kNoReg, 1));
+        b0.instrs.push_back(make(Opcode::BranchEq, kNoReg, 1, 0, 0, 2));
+        p.addBlock(std::move(b0));
+    }
+    {
+        BasicBlock b1;
+        b1.instrs.push_back(make(Opcode::LoadImm, 7, kNoReg, kNoReg, 10));
+        b1.instrs.push_back(make(Opcode::Jump, kNoReg, kNoReg, kNoReg, 0, 3));
+        p.addBlock(std::move(b1));
+    }
+    {
+        BasicBlock b2;
+        b2.instrs.push_back(make(Opcode::LoadImm, 7, kNoReg, kNoReg, 20));
+        p.addBlock(std::move(b2));
+    }
+    {
+        BasicBlock b3;
+        b3.instrs.push_back(make(Opcode::Add, 2, 7, 1));
+        b3.instrs.push_back(make(Opcode::Halt));
+        p.addBlock(std::move(b3));
+    }
+    const std::vector<Finding> findings = verifyProgram(p);
+    EXPECT_FALSE(hasCode(findings, FindingCode::UseBeforeDef));
+}
+
+TEST(Verifier, ReadingR0IsAlwaysDefined)
+{
+    Program p;
+    BasicBlock blk;
+    blk.instrs.push_back(make(Opcode::Add, 1, 0, 0)); // r0 reads fine
+    blk.instrs.push_back(make(Opcode::Halt));
+    p.addBlock(std::move(blk));
+    EXPECT_FALSE(
+        hasCode(verifyProgram(p), FindingCode::UseBeforeDef));
+}
+
+TEST(Verifier, UnreachableBlockIsAWarning)
+{
+    Program p;
+    {
+        BasicBlock b0;
+        b0.instrs.push_back(make(Opcode::Jump, kNoReg, kNoReg, kNoReg, 0, 2));
+        p.addBlock(std::move(b0));
+    }
+    {
+        BasicBlock b1; // never targeted, never fallen into
+        b1.instrs.push_back(make(Opcode::Nop));
+        p.addBlock(std::move(b1));
+    }
+    {
+        BasicBlock b2;
+        b2.instrs.push_back(make(Opcode::Halt));
+        p.addBlock(std::move(b2));
+    }
+    const std::vector<Finding> findings = verifyProgram(p);
+    ASSERT_TRUE(hasCode(findings, FindingCode::UnreachableBlock));
+    EXPECT_FALSE(anyError(findings)); // warning, still simulable
+    EXPECT_TRUE(verifiesClean(p));
+}
+
+TEST(Verifier, NoReachableHalt)
+{
+    Program p;
+    BasicBlock blk;
+    blk.instrs.push_back(make(Opcode::Jump, kNoReg, kNoReg, kNoReg, 0, 0));
+    p.addBlock(std::move(blk));
+    EXPECT_TRUE(hasCode(verifyProgram(p), FindingCode::NoHalt));
+}
+
+TEST(Verifier, WriteToZeroRegAndEmptyBlock)
+{
+    Program p;
+    {
+        BasicBlock b0;
+        b0.instrs.push_back(make(Opcode::LoadImm, 0, kNoReg, kNoReg, 5));
+        p.addBlock(std::move(b0));
+    }
+    p.addBlock(BasicBlock{}); // empty, pure fallthrough
+    {
+        BasicBlock b2;
+        b2.instrs.push_back(make(Opcode::Halt));
+        p.addBlock(std::move(b2));
+    }
+    const std::vector<Finding> findings = verifyProgram(p);
+    EXPECT_TRUE(hasCode(findings, FindingCode::WriteToZeroReg));
+    EXPECT_TRUE(hasCode(findings, FindingCode::EmptyBlock));
+}
+
+TEST(Verifier, CleanProgramHasNoFindings)
+{
+    const Program p = cleanLoopProgram();
+    EXPECT_TRUE(verifyProgram(p).empty());
+    EXPECT_TRUE(verifiesClean(p));
+}
+
+// --- Dominators and natural loops -------------------------------------
+
+TEST(Structure, DominatorsOnADiamond)
+{
+    // 0 -> {1, 2} -> 3; 0 dominates everything, neither arm dominates
+    // the join.
+    ProgramBuilder b;
+    const BlockId b0 = b.newBlock();
+    const BlockId b1 = b.newBlock();
+    const BlockId b2 = b.newBlock();
+    const BlockId b3 = b.newBlock();
+    b.switchTo(b0);
+    b.loadImm(1, 1);
+    b.branch(Opcode::BranchEq, 1, 0, b2);
+    b.switchTo(b1);
+    b.jump(b3);
+    b.switchTo(b2);
+    b.nop();
+    b.switchTo(b3);
+    b.halt();
+    const Program p = b.build();
+    const Cfg cfg(p);
+    const Dominators doms(cfg);
+
+    EXPECT_EQ(doms.idom(b0), b0);
+    EXPECT_EQ(doms.idom(b1), b0);
+    EXPECT_EQ(doms.idom(b2), b0);
+    EXPECT_EQ(doms.idom(b3), b0);
+    EXPECT_TRUE(doms.dominates(b0, b3));
+    EXPECT_FALSE(doms.dominates(b1, b3));
+    EXPECT_TRUE(doms.dominates(b3, b3));
+}
+
+TEST(Structure, NestedLoopsGetDepths)
+{
+    // entry -> outer header -> inner header (self-latch) -> outer latch
+    // -> exit: one depth-1 loop containing a depth-2 loop.
+    ProgramBuilder b;
+    const BlockId entry = b.newBlock();
+    const BlockId outer = b.newBlock();
+    const BlockId inner = b.newBlock();
+    const BlockId latch = b.newBlock();
+    const BlockId exit = b.newBlock();
+    b.switchTo(entry);
+    b.loadImm(1, 0);
+    b.loadImm(3, 3);
+    b.switchTo(outer);
+    b.loadImm(2, 0);
+    b.switchTo(inner);
+    b.aluImm(Opcode::AddI, 2, 2, 1);
+    b.branch(Opcode::BranchLt, 2, 3, inner);
+    b.switchTo(latch);
+    b.aluImm(Opcode::AddI, 1, 1, 1);
+    b.branch(Opcode::BranchLt, 1, 3, outer);
+    b.switchTo(exit);
+    b.halt();
+    const Program p = b.build();
+    ASSERT_TRUE(verifiesClean(p));
+
+    const Cfg cfg(p);
+    const Dominators doms(cfg);
+    const LoopForest loops(cfg, doms);
+
+    ASSERT_EQ(loops.loops().size(), 2u);
+    EXPECT_EQ(loops.numTopLevel(), 1u);
+    EXPECT_EQ(loops.maxDepth(), 2);
+    EXPECT_EQ(loops.loopDepth(entry), 0);
+    EXPECT_EQ(loops.loopDepth(outer), 1);
+    EXPECT_EQ(loops.loopDepth(inner), 2);
+    EXPECT_EQ(loops.loopDepth(latch), 1);
+    EXPECT_EQ(loops.loopDepth(exit), 0);
+
+    for (const NaturalLoop &loop : loops.loops()) {
+        if (loop.header == inner) {
+            EXPECT_EQ(loop.depth, 2);
+            EXPECT_TRUE(loop.contains(inner));
+            EXPECT_FALSE(loop.contains(outer));
+        } else {
+            EXPECT_EQ(loop.header, outer);
+            EXPECT_EQ(loop.depth, 1);
+            EXPECT_TRUE(loop.contains(inner));
+            EXPECT_TRUE(loop.contains(latch));
+            EXPECT_FALSE(loop.contains(entry));
+        }
+    }
+}
+
+// --- Dependence DAG / ILP bounds --------------------------------------
+
+TEST(Dependence, SerialChainHasIlpOne)
+{
+    ProgramBuilder b;
+    b.newBlock();
+    b.loadImm(1, 0);
+    b.aluImm(Opcode::AddI, 1, 1, 1);
+    b.aluImm(Opcode::AddI, 1, 1, 1);
+    b.aluImm(Opcode::AddI, 1, 1, 1);
+    b.halt();
+    const DependenceSummary s = analyzeDependences(b.build());
+    ASSERT_EQ(s.blocks.size(), 1u);
+    EXPECT_EQ(s.blocks[0].criticalPath, 4); // halt is a free rider
+    EXPECT_NEAR(s.blocks[0].ilpBound, 5.0 / 4.0, 1e-9);
+    // Every dependence in the chain has distance 1.
+    EXPECT_EQ(s.distanceCounts[0], s.totalDeps);
+    EXPECT_NEAR(s.meanDistance, 1.0, 1e-9);
+}
+
+TEST(Dependence, IndependentOpsAreFullyParallel)
+{
+    ProgramBuilder b;
+    b.newBlock();
+    b.loadImm(1, 0);
+    b.loadImm(2, 0);
+    b.loadImm(3, 0);
+    b.loadImm(4, 0);
+    b.halt();
+    const DependenceSummary s = analyzeDependences(b.build());
+    ASSERT_EQ(s.blocks.size(), 1u);
+    EXPECT_EQ(s.blocks[0].criticalPath, 1);
+    EXPECT_NEAR(s.blocks[0].ilpBound, 5.0, 1e-9);
+    EXPECT_EQ(s.totalDeps, 0u);
+}
+
+TEST(Dependence, DistanceHistogramBuckets)
+{
+    ProgramBuilder b;
+    b.newBlock();
+    b.loadImm(1, 0); // idx 0
+    b.nop();         // idx 1
+    b.nop();         // idx 2
+    b.aluImm(Opcode::AddI, 2, 1, 1); // idx 3: distance 3 to idx 0
+    b.halt();
+    const DependenceSummary s = analyzeDependences(b.build());
+    EXPECT_EQ(s.totalDeps, 1u);
+    EXPECT_EQ(s.distanceCounts[2], 1u); // bucket for distance 3
+    EXPECT_NEAR(s.meanDistance, 3.0, 1e-9);
+}
+
+// --- Profile cross-checking -------------------------------------------
+
+TEST(Profile, MeasuredProfileMatchesDeclaredRanges)
+{
+    for (const WorkloadId id : allWorkloads()) {
+        const Program p = makeWorkload(id, 1);
+        const Cfg cfg(p);
+        const StaticProfile measured = measureStaticProfile(p, cfg);
+        const std::vector<Finding> drift =
+            crossCheckProfile(measured, declaredStaticProfile(id));
+        EXPECT_TRUE(drift.empty())
+            << workloadName(id) << ": "
+            << (drift.empty() ? "" : drift.front().message);
+    }
+}
+
+TEST(Profile, DriftIsDetected)
+{
+    const Program p = makeWorkload(WorkloadId::Eqntott, 1);
+    const Cfg cfg(p);
+    const StaticProfile measured = measureStaticProfile(p, cfg);
+
+    DeclaredStaticProfile wrong =
+        declaredStaticProfile(WorkloadId::Eqntott);
+    wrong.blockCount = {1000.0, 2000.0}; // nothing has 1000 blocks
+    const std::vector<Finding> drift =
+        crossCheckProfile(measured, wrong);
+    ASSERT_TRUE(hasCode(drift, FindingCode::ProfileDrift));
+    EXPECT_TRUE(anyError(drift));
+    EXPECT_NE(drift.front().message.find("block_count"),
+              std::string::npos);
+}
+
+// --- Tree invariants ---------------------------------------------------
+
+TEST(TreeInvariants, AllBuildersAreStructurallySound)
+{
+    const double p = 0.905;
+    for (const SpecTree &tree :
+         {SpecTree::singlePath(p, 15), SpecTree::eager(p, 15),
+          SpecTree::deeGreedy(p, 15), SpecTree::deeStatic(p, 15)}) {
+        EXPECT_TRUE(specTreeViolations(tree).empty());
+    }
+}
+
+TEST(TreeInvariants, GreedyTreeIsOptimalEagerAndSpAreNot)
+{
+    // Theorem 1: greedy keeps every included path at least as likely
+    // as every excluded candidate, at any p.
+    EXPECT_GE(greedyOptimalityGap(SpecTree::deeGreedy(0.9, 15), 0.9),
+              -1e-9);
+    EXPECT_GE(greedyOptimalityGap(SpecTree::deeGreedy(0.7, 15), 0.7),
+              -1e-9);
+    // SP past the crossover depth (p^k < 1-p) keeps p^k paths while
+    // excluding the 1-p side path; EE keeps (1-p)^k paths while
+    // excluding deeper predicted continuations. Both violate the
+    // greedy property. (SP at p=0.9 crosses over near depth 22, so a
+    // 15-deep SP is still optimal there — use p=0.7, crossover ~3.4.)
+    EXPECT_LT(greedyOptimalityGap(SpecTree::singlePath(0.7, 15), 0.7),
+              0.0);
+    EXPECT_LT(greedyOptimalityGap(SpecTree::eager(0.7, 15), 0.7), 0.0);
+    EXPECT_GE(greedyOptimalityGap(SpecTree::singlePath(0.9, 15), 0.9),
+              0.0); // below crossover: SP *is* the optimal shape
+}
+
+// --- Lint driver end to end -------------------------------------------
+
+TEST(Lint, AllWorkloadsCleanAtThreeScales)
+{
+    for (const WorkloadId id : allWorkloads()) {
+        for (const int scale : {1, 4, 16}) {
+            const LintReport report = lintWorkload(id, scale);
+            EXPECT_TRUE(report.clean())
+                << report.subject << ":\n"
+                << report.renderText();
+            EXPECT_TRUE(report.profiled);
+            EXPECT_TRUE(report.findings.empty()) << report.renderText();
+        }
+    }
+}
+
+TEST(Lint, BrokenProgramIsReportedNotProfiled)
+{
+    Program p;
+    BasicBlock blk;
+    blk.instrs.push_back(make(Opcode::Add, 1, 5, 0));
+    blk.instrs.push_back(make(Opcode::Halt));
+    p.addBlock(std::move(blk));
+
+    const LintReport report = lintProgram("broken", p);
+    EXPECT_FALSE(report.clean());
+    EXPECT_FALSE(report.profiled);
+    EXPECT_NE(report.renderText().find("use-before-def"),
+              std::string::npos);
+
+    obs::Json parsed;
+    std::string err;
+    ASSERT_TRUE(obs::Json::parse(report.toJson().dump(), &parsed, &err))
+        << err;
+    EXPECT_FALSE(parsed.find("clean")->asBool());
+}
+
+TEST(Lint, UncheckedAssemblyIsDiagnosedNotFatal)
+{
+    // parseAssembly would dee_fatal on both defects here (branch to a
+    // block that does not exist, fallthrough off the program end); the
+    // unchecked variant hands the broken program to the verifier.
+    const Program p = parseAssemblyUnchecked("B0:\n"
+                                             "    li r1, 5\n"
+                                             "    beq r1, r2, B7\n"
+                                             "B1:\n"
+                                             "    add r3, r4, r1\n");
+    const LintReport report = lintProgram("broken.s", p);
+    EXPECT_FALSE(report.clean());
+    EXPECT_TRUE(hasCode(report.findings, FindingCode::BranchTargetRange));
+    EXPECT_TRUE(hasCode(report.findings, FindingCode::FallthroughOffEnd));
+}
+
+TEST(Lint, StatsRegistryAccumulates)
+{
+    obs::Registry &reg = obs::Registry::global();
+    const std::uint64_t before_programs =
+        reg.contains("lint.programs") ? reg.counter("lint.programs") : 0;
+    const std::uint64_t before_errors =
+        reg.contains("lint.errors") ? reg.counter("lint.errors") : 0;
+
+    Program p;
+    BasicBlock blk;
+    blk.instrs.push_back(make(Opcode::Add, 1, 5, 0));
+    blk.instrs.push_back(make(Opcode::Halt));
+    p.addBlock(std::move(blk));
+    recordLintStats(lintProgram("broken", p));
+
+    EXPECT_EQ(reg.counter("lint.programs"), before_programs + 1);
+    EXPECT_GT(reg.counter("lint.errors"), before_errors);
+    EXPECT_GE(reg.counter("lint.findings.use-before-def"), 1u);
+}
+
+TEST(Findings, RenderAndSeverityContract)
+{
+    Finding f;
+    f.code = FindingCode::UseBeforeDef;
+    f.block = 3;
+    f.instr = 2;
+    f.message = "r5 read before def";
+    EXPECT_EQ(f.severity(), Severity::Error);
+    const std::string r = f.render();
+    EXPECT_NE(r.find("error[use-before-def]"), std::string::npos);
+    EXPECT_NE(r.find("B3/2"), std::string::npos);
+
+    EXPECT_EQ(findingSeverity(FindingCode::UnreachableBlock),
+              Severity::Warning);
+    EXPECT_STREQ(findingCodeName(FindingCode::ProfileDrift),
+                 "profile-drift");
+}
+
+} // namespace
+} // namespace dee::analysis

@@ -532,6 +532,48 @@ TEST(ManifestDiff, MissingWatchedMetricCountsAsRegression)
     EXPECT_TRUE(saw_missing);
 }
 
+TEST(ManifestDiff, FailureLinesNameTheMetricAndBothValues)
+{
+    const LoadedManifest base = loaded(manifestText(30.0, 0.20), "base");
+    const LoadedManifest slower = loaded(manifestText(27.0, 0.20), "c1");
+    const std::vector<WatchSpec> watches{
+        WatchSpec::parse("results.speedup:+"),
+        WatchSpec::parse("accounting.*.waste_fraction:-")};
+
+    const RegressionReport report =
+        checkRegressions(base, slower, watches, 0.05);
+    ASSERT_TRUE(report.anyRegressed());
+    const std::string failures = report.renderFailures(0.05);
+    // The offending metric path and both values, on one FAIL line.
+    EXPECT_NE(failures.find("FAIL results.speedup"), std::string::npos);
+    EXPECT_NE(failures.find("baseline 30"), std::string::npos);
+    EXPECT_NE(failures.find("candidate 27"), std::string::npos);
+    EXPECT_NE(failures.find("-10.00%"), std::string::npos);
+    // Non-regressed watches contribute no lines.
+    EXPECT_EQ(failures.find("waste_fraction"), std::string::npos);
+
+    // A clean gate renders nothing.
+    const LoadedManifest same = loaded(manifestText(30.0, 0.20), "c2");
+    EXPECT_TRUE(checkRegressions(base, same, watches, 0.05)
+                    .renderFailures(0.05)
+                    .empty());
+}
+
+TEST(ManifestDiff, FailureLinesReportMissingMetrics)
+{
+    const LoadedManifest base = loaded(manifestText(30.0, 0.2), "base");
+    const LoadedManifest gone =
+        loaded(manifestText(30.0, 0.2, /*with_extra=*/false), "cand");
+    const std::vector<WatchSpec> watches{
+        WatchSpec::parse("results.*:+")};
+    const std::string failures =
+        checkRegressions(base, gone, watches, 0.05).renderFailures(0.05);
+    EXPECT_NE(failures.find("FAIL results.extra"), std::string::npos);
+    EXPECT_NE(failures.find("missing from candidate"),
+              std::string::npos);
+    EXPECT_NE(failures.find("baseline 7"), std::string::npos);
+}
+
 TEST(ManifestDiff, SideBySideRenderIncludesDeltaForPairs)
 {
     const std::vector<LoadedManifest> pair{

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * dee_lint: static verifier + analysis pass over DEE programs.
+ *
+ * Lints the five workload generators at several scales (default), or
+ * any assembled program (--asm), cross-checking measured static
+ * profiles against each generator's declared ranges, and audits the
+ * speculation-tree builders against Theorem 1's structural invariants.
+ * Exits non-zero when any Error-severity finding (or tree violation)
+ * is present, so CI can gate on it.
+ *
+ * Examples:
+ *   dee_lint                                  # all workloads, scales 1,4,16
+ *   dee_lint --workloads eqntott,xlisp --scales 2
+ *   dee_lint --asm prog.s --json true
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/invariants.hh"
+#include "analysis/lint.hh"
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "core/tree/spec_tree.hh"
+#include "isa/assembler.hh"
+#include "obs/registry.hh"
+
+namespace
+{
+
+using namespace dee;
+using namespace dee::analysis;
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::istringstream iss(csv);
+    std::string item;
+    while (std::getline(iss, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+/** One tree-builder audit: structural violations + optimality gap. */
+struct TreeAudit
+{
+    std::string builder;
+    double p = 0.0;
+    int budget = 0;
+    std::vector<std::string> violations;
+    double gap = 0.0;
+    /** Greedy trees must have a non-negative gap (Theorem 1). */
+    bool gapChecked = false;
+
+    bool failed() const
+    {
+        return !violations.empty() || (gapChecked && gap < -1e-9);
+    }
+};
+
+std::vector<TreeAudit>
+auditTrees()
+{
+    std::vector<TreeAudit> audits;
+    const double ps[] = {0.7, 0.905, 0.95};
+    const int budgets[] = {7, 15, 31};
+    for (const double p : ps) {
+        for (const int e_t : budgets) {
+            struct Builder
+            {
+                const char *name;
+                SpecTree tree;
+                bool greedy;
+            };
+            const Builder builders[] = {
+                {"single_path", SpecTree::singlePath(p, e_t), false},
+                {"eager", SpecTree::eager(p, e_t), false},
+                {"dee_greedy", SpecTree::deeGreedy(p, e_t), true},
+                {"dee_static", SpecTree::deeStatic(p, e_t), false},
+            };
+            for (const Builder &b : builders) {
+                TreeAudit audit;
+                audit.builder = b.name;
+                audit.p = p;
+                audit.budget = e_t;
+                audit.violations = specTreeViolations(b.tree);
+                audit.gap = greedyOptimalityGap(b.tree, p);
+                audit.gapChecked = b.greedy;
+                audits.push_back(std::move(audit));
+            }
+        }
+    }
+    return audits;
+}
+
+obs::Json
+auditToJson(const TreeAudit &a)
+{
+    obs::Json j = obs::Json::object();
+    j["builder"] = a.builder;
+    j["p"] = a.p;
+    j["budget"] = a.budget;
+    j["gap"] = a.gap;
+    j["gap_checked"] = a.gapChecked;
+    j["failed"] = a.failed();
+    obs::Json v = obs::Json::array();
+    for (const std::string &msg : a.violations)
+        v.push(msg);
+    j["violations"] = std::move(v);
+    return j;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("Static verifier and analysis pass for DEE programs.");
+    cli.flag("workloads", "all",
+             "comma list of generators to lint, 'all', or 'none'");
+    cli.flag("scales", "1,4,16", "comma list of workload scales");
+    cli.flag("asm", "", "lint an assembly file instead of generators");
+    cli.flag("json", "false", "emit a single JSON document");
+    cli.flag("check-trees", "true",
+             "audit the speculation-tree builders (Theorem 1)");
+    cli.flag("stats", "false", "dump the lint.* stats registry");
+    cli.parse(argc, argv);
+
+    const bool json = cli.boolean("json");
+
+    std::vector<LintReport> reports;
+    if (!cli.str("asm").empty()) {
+        reports.push_back(lintProgram(cli.str("asm"),
+                                      parseAssemblyFileUnchecked(
+                                          cli.str("asm"))));
+    } else if (cli.str("workloads") != "none") {
+        std::vector<WorkloadId> ids;
+        if (cli.str("workloads") == "all") {
+            ids = allWorkloads();
+        } else {
+            for (const std::string &name : splitList(cli.str("workloads")))
+                ids.push_back(workloadByName(name));
+        }
+        std::vector<int> scales;
+        for (const std::string &s : splitList(cli.str("scales"))) {
+            const int scale = std::atoi(s.c_str());
+            if (scale <= 0)
+                dee_fatal("bad scale '", s, "'");
+            scales.push_back(scale);
+        }
+        for (const WorkloadId id : ids)
+            for (const int scale : scales)
+                reports.push_back(lintWorkload(id, scale));
+    }
+    for (const LintReport &report : reports)
+        recordLintStats(report);
+
+    std::vector<TreeAudit> audits;
+    if (cli.boolean("check-trees"))
+        audits = auditTrees();
+
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    for (const LintReport &report : reports) {
+        errors += countAtSeverity(report.findings, Severity::Error);
+        warnings += countAtSeverity(report.findings, Severity::Warning);
+    }
+    std::size_t tree_failures = 0;
+    for (const TreeAudit &a : audits)
+        tree_failures += a.failed() ? 1 : 0;
+
+    const bool clean = errors == 0 && tree_failures == 0;
+
+    if (json) {
+        obs::Json doc = obs::Json::object();
+        obs::Json subjects = obs::Json::array();
+        for (const LintReport &report : reports)
+            subjects.push(report.toJson());
+        doc["subjects"] = std::move(subjects);
+        obs::Json trees = obs::Json::array();
+        for (const TreeAudit &a : audits)
+            trees.push(auditToJson(a));
+        doc["trees"] = std::move(trees);
+        doc["errors"] = static_cast<std::int64_t>(errors);
+        doc["warnings"] = static_cast<std::int64_t>(warnings);
+        doc["tree_failures"] = static_cast<std::int64_t>(tree_failures);
+        doc["clean"] = clean;
+        std::cout << doc.dump(2) << "\n";
+    } else {
+        for (const LintReport &report : reports)
+            std::cout << report.renderText();
+        if (!audits.empty()) {
+            std::cout << "== tree audit: " << audits.size()
+                      << " builder instances ==\n";
+            for (const TreeAudit &a : audits) {
+                if (!a.failed())
+                    continue;
+                std::cout << "  FAIL " << a.builder << " p=" << a.p
+                          << " e_t=" << a.budget << "\n";
+                for (const std::string &msg : a.violations)
+                    std::cout << "    " << msg << "\n";
+                if (a.gapChecked && a.gap < -1e-9)
+                    std::cout << "    optimality gap " << a.gap
+                              << " < 0\n";
+            }
+            std::cout << "  " << tree_failures << " failure(s)\n";
+        }
+        std::cout << "dee_lint: " << reports.size() << " subject(s), "
+                  << errors << " error(s), " << warnings
+                  << " warning(s)" << (clean ? " -- clean" : " -- DIRTY")
+                  << "\n";
+    }
+
+    if (cli.boolean("stats"))
+        std::cout << obs::Registry::global().renderText();
+
+    return clean ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -163,9 +163,13 @@ main(int argc, char **argv)
             threshold);
         std::fputs(report.render(threshold).c_str(), stdout);
         if (report.anyRegressed()) {
+            std::fputs(report.renderFailures(threshold).c_str(), stdout);
+            std::size_t failed = 0;
+            for (const auto &item : report.items)
+                failed += (item.regressed || item.missing) ? 1 : 0;
             std::fprintf(stdout,
-                         "FAIL: regression vs %s\n",
-                         baseline_path.c_str());
+                         "FAIL: %zu watched metric(s) regressed vs %s\n",
+                         failed, baseline_path.c_str());
             return 1;
         }
         std::fputs("OK: no watched metric regressed\n", stdout);
