@@ -37,26 +37,37 @@ openSession(const std::string &tool, const Cli &cli)
     return obs::Session(tool, cli);
 }
 
-/** Speedup of one model at one resource level on one instance. */
+/** Speedup of one model at one resource level on one instance. Scopes
+ *  any speculation profile under "<instance>.<model>". */
 inline double
 speedupOf(ModelKind kind, const BenchmarkInstance &inst, int e_t,
           const ModelRunOptions &options = {})
 {
     TwoBitPredictor pred(inst.trace.numStatic);
-    return runModel(kind, inst.trace, &inst.cfg, pred, e_t, options)
+    ModelRunOptions scoped = options;
+    if (scoped.profileWorkload.empty())
+        scoped.profileWorkload = inst.name;
+    return runModel(kind, inst.trace, &inst.cfg, pred, e_t, scoped)
         .speedup;
 }
 
-/** Per-model speedup series over resource levels for one instance. */
+/**
+ * Per-model speedup series over resource levels for one instance.
+ * @p heartbeat, when given, ticks once per model run so long sweeps
+ * report progress (see obs/heartbeat.hh).
+ */
 inline std::map<ModelKind, std::vector<double>>
 sweepInstance(const BenchmarkInstance &inst, const std::vector<int> &ets,
-              const ModelRunOptions &options = {})
+              const ModelRunOptions &options = {},
+              obs::Heartbeat *heartbeat = nullptr)
 {
     std::map<ModelKind, std::vector<double>> series;
     for (ModelKind kind : allModels()) {
         auto &row = series[kind];
         for (int e_t : ets) {
             row.push_back(speedupOf(kind, inst, e_t, options));
+            if (heartbeat != nullptr)
+                heartbeat->tick();
             if (kind == ModelKind::Oracle) {
                 row.resize(ets.size(), row.front());
                 break;

@@ -46,9 +46,16 @@ main(int argc, char **argv)
     std::vector<std::map<dee::ModelKind, std::vector<double>>> all;
     const auto suite =
         dee::makeSuite(static_cast<int>(cli.integer("scale")));
+    // 7 constrained models x |ets| runs + 1 Oracle run per benchmark;
+    // progress to stderr unless the run is scripted (--json).
+    dee::obs::Heartbeat heartbeat(
+        "fig5_speedups", session.options().jsonPath.empty());
+    heartbeat.setTotal(suite.size() *
+                       ((dee::allModels().size() - 1) * ets.size() + 1));
     for (std::size_t i = 0; i < suite.size(); ++i) {
         const auto &inst = suite[i];
-        auto series = dee::bench::sweepInstance(inst, ets, options);
+        auto series =
+            dee::bench::sweepInstance(inst, ets, options, &heartbeat);
         std::printf("%s", dee::bench::renderSweep(
                               inst.name + " (paper oracle: " +
                                   dee::Table::fmt(paper_oracle[i], 2) +
@@ -59,6 +66,8 @@ main(int argc, char **argv)
         benchmarks[inst.name] = dee::bench::seriesToJson(series);
         all.push_back(std::move(series));
     }
+
+    heartbeat.finish();
 
     const auto hm = dee::bench::harmonicSeries(all, ets.size());
     session.manifest().results()["harmonic_mean"] =

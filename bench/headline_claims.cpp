@@ -28,10 +28,18 @@ main(int argc, char **argv)
     const auto suite =
         dee::makeSuite(static_cast<int>(cli.integer("scale")));
 
+    // 7 harmonic-mean points + 2 PE-estimate sims per benchmark;
+    // progress to stderr unless the run is scripted (--json).
+    dee::obs::Heartbeat heartbeat(
+        "headline_claims", session.options().jsonPath.empty());
+    heartbeat.setTotal(suite.size() * 9);
+
     auto hm_at = [&](dee::ModelKind kind, int e_t) {
         std::vector<double> xs;
-        for (const auto &inst : suite)
+        for (const auto &inst : suite) {
             xs.push_back(dee::bench::speedupOf(kind, inst, e_t));
+            heartbeat.tick();
+        }
         return dee::harmonicMean(xs);
     };
 
@@ -71,12 +79,19 @@ main(int argc, char **argv)
     for (const auto &inst : suite) {
         dee::TwoBitPredictor pred(inst.trace.numStatic);
         dee::ModelRunOptions options;
+        options.profileWorkload = inst.name;
         dee::SimResult r = dee::runModel(dee::ModelKind::DEE_CD_MF,
                                          inst.trace, &inst.cfg, pred,
                                          100, options);
+        heartbeat.tick();
         dee::SimConfig config;
         config.cd = dee::CdModel::Minimal;
         config.gatherIssueStats = true;
+        // Keep this extra issue-stats sim out of the main model scope
+        // so its profile does not double-count the runModel() pass.
+        config.profileWorkload = inst.name;
+        config.profileModel = "DEE-CD-MF-pe";
+        config.profileScope = inst.name + ".DEE-CD-MF-pe";
         const double p =
             dee::characteristicAccuracy(inst.trace, pred);
         dee::WindowSim sim(inst.trace,
@@ -84,9 +99,11 @@ main(int argc, char **argv)
                            &inst.cfg);
         dee::TwoBitPredictor pred2(inst.trace.numStatic);
         const dee::SimResult stats = sim.run(pred2);
+        heartbeat.tick();
         peak = std::max(peak, stats.peakIssue);
         means.push_back(stats.speedup);
     }
+    heartbeat.finish();
     std::printf("\npeak busy PEs at E_T=100 over the suite: %llu "
                 "(paper estimate: <200); average busy PEs = the HM "
                 "speedup, %.1f (\"much lower\") \n",

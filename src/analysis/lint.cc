@@ -1,10 +1,14 @@
 #include "analysis/lint.hh"
 
+#include <algorithm>
 #include <iomanip>
+#include <numeric>
 #include <sstream>
+#include <unordered_map>
 
 #include "analysis/verifier.hh"
 #include "cfg/cfg.hh"
+#include "common/logging.hh"
 #include "obs/registry.hh"
 #include "workloads/profiles.hh"
 
@@ -88,6 +92,81 @@ lintWorkload(WorkloadId id, int scale)
                                drift.end());
     }
     return report;
+}
+
+std::size_t
+annotateWithProfile(LintReport *report,
+                    const obs::Json &profile_section)
+{
+    dee_assert(report != nullptr, "annotateWithProfile needs a report");
+    if (!profile_section.isObject())
+        return 0;
+
+    // The subject's first token names the workload ("eqntott scale=4"
+    // -> "eqntott"); profile scopes are "<workload>.<model>".
+    const std::string workload =
+        report->subject.substr(0, report->subject.find(' '));
+
+    std::unordered_map<std::int64_t, std::uint64_t> heat;
+    for (const auto &[scope, prof] : profile_section.members()) {
+        if (!prof.isObject())
+            continue;
+        bool matches = scope == workload ||
+                       scope.rfind(workload + ".", 0) == 0;
+        if (const obs::Json *wl = prof.find("workload");
+            !matches && wl != nullptr &&
+            wl->kind() == obs::Json::Kind::String)
+            matches = wl->asString() == workload;
+        if (!matches)
+            continue;
+        const obs::Json *branches = prof.find("branches");
+        if (branches == nullptr || !branches->isObject())
+            continue;
+        for (const auto &[pc, b] : branches->members()) {
+            (void)pc;
+            if (!b.isObject())
+                continue;
+            const obs::Json *block = b.find("block");
+            const obs::Json *slots = b.find("squashed_slots");
+            if (block == nullptr || !block->isNumber() ||
+                slots == nullptr || !slots->isNumber())
+                continue;
+            heat[static_cast<std::int64_t>(block->asDouble())] +=
+                static_cast<std::uint64_t>(slots->asDouble());
+        }
+    }
+    if (heat.empty())
+        return 0;
+
+    std::size_t annotated = 0;
+    std::vector<std::uint64_t> finding_heat(report->findings.size(), 0);
+    for (std::size_t i = 0; i < report->findings.size(); ++i) {
+        Finding &f = report->findings[i];
+        if (f.block == Finding::kNoBlock)
+            continue;
+        const auto it = heat.find(static_cast<std::int64_t>(f.block));
+        if (it == heat.end() || it->second == 0)
+            continue;
+        finding_heat[i] = it->second;
+        f.message += " [profile: " + std::to_string(it->second) +
+                     " squashed slots]";
+        ++annotated;
+    }
+
+    // Hot findings first, hottest leading; ties and cold findings keep
+    // their original relative order.
+    std::vector<std::size_t> order(report->findings.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&finding_heat](std::size_t a, std::size_t b) {
+                         return finding_heat[a] > finding_heat[b];
+                     });
+    std::vector<Finding> ranked;
+    ranked.reserve(report->findings.size());
+    for (const std::size_t i : order)
+        ranked.push_back(std::move(report->findings[i]));
+    report->findings = std::move(ranked);
+    return annotated;
 }
 
 void

@@ -63,6 +63,19 @@ LintReport lintWorkload(WorkloadId id, int scale);
 /** Accumulates a report into the global `lint.*` registry counters. */
 void recordLintStats(const LintReport &report);
 
+/**
+ * Re-ranks @p report's findings by speculation heat. @p profile_section
+ * is the "profile" object of a dee.run.v3 manifest (scopes keyed
+ * "<workload>.<model>"); scopes whose "workload" matches the report's
+ * subject's first token contribute their per-branch squashed slots,
+ * summed by block. Findings anchored to hot blocks move to the front
+ * (hottest first, stable otherwise) and gain a
+ * "[profile: N squashed slots]" message suffix.
+ * @return the number of findings that were annotated.
+ */
+std::size_t annotateWithProfile(LintReport *report,
+                                const obs::Json &profile_section);
+
 } // namespace dee::analysis
 
 #endif // DEE_ANALYSIS_LINT_HH

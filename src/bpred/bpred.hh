@@ -242,6 +242,9 @@ class ConfidenceEstimator
         return sid < seen_.size() ? seen_[sid] : 0;
     }
 
+    /** Static-id table size (the profiler's site-id space). */
+    std::size_t numStatic() const { return seen_.size(); }
+
   private:
     std::vector<std::uint32_t> seen_;
     std::vector<std::uint32_t> right_;

@@ -195,4 +195,21 @@ LoopForest::maxDepth() const
     return deepest;
 }
 
+std::vector<BlockId>
+LoopForest::enclosingHeaders(BlockId b) const
+{
+    std::vector<BlockId> headers;
+    for (const NaturalLoop &loop : loops_) {
+        if (loop.contains(b))
+            headers.push_back(loop.header);
+    }
+    // Containing loops of one block always nest, so their depths are
+    // distinct and sorting by depth yields outermost -> innermost.
+    std::sort(headers.begin(), headers.end(),
+              [this](BlockId a, BlockId c) {
+                  return depth_[a] < depth_[c];
+              });
+    return headers;
+}
+
 } // namespace dee

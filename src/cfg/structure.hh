@@ -86,6 +86,13 @@ class LoopForest
     /** Deepest nesting in the program (0 for loop-free code). */
     int maxDepth() const;
 
+    /**
+     * Headers of every loop containing @p b, ordered outermost first
+     * (empty when b is in no loop). This is the nest "stack" the
+     * speculation profiler folds branch sites under.
+     */
+    std::vector<BlockId> enclosingHeaders(BlockId b) const;
+
   private:
     std::vector<NaturalLoop> loops_;
     std::vector<int> depth_; ///< per block

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -114,6 +115,48 @@ Histogram::add(double x)
     }
 }
 
+void
+Histogram::add(double x, std::uint64_t weight)
+{
+    if (weight == 0)
+        return;
+    total_ += weight - 1; // add(x) below contributes the final unit
+    if (x < lo_) {
+        underflow_ += weight - 1;
+    } else if (x >= hi_) {
+        overflow_ += weight - 1;
+    } else {
+        auto idx = static_cast<std::size_t>((x - lo_) / width_);
+        idx = std::min(idx, counts_.size() - 1);
+        counts_[idx] += weight - 1;
+    }
+    add(x);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    dee_assert(p >= 0.0 && p <= 1.0, "percentile needs p in [0, 1]");
+    if (total_ == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    const double target = p * static_cast<double>(total_);
+    double seen = static_cast<double>(underflow_);
+    if (target <= seen)
+        return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double in_bucket = static_cast<double>(counts_[i]);
+        if (target <= seen + in_bucket && in_bucket > 0.0) {
+            double frac = (target - seen) / in_bucket;
+            frac = std::clamp(frac, 0.0, 1.0);
+            return bucketLo(i) + frac * width_;
+        }
+        seen += in_bucket;
+    }
+    // Residue: the target falls in the overflow mass (or rounding left
+    // us past every bucket) — clamp to the upper bound.
+    return hi_;
+}
+
 double
 Histogram::fraction(std::size_t i) const
 {
@@ -134,9 +177,12 @@ Histogram::render(const std::string &label) const
 {
     Table table({"bucket", "count", "fraction"});
     for (std::size_t i = 0; i < counts_.size(); ++i) {
-        table.addRow({"[" + Table::fmt(bucketLo(i)) + ", " +
-                          Table::fmt(bucketLo(i) + width_) + ")",
-                      std::to_string(counts_[i]),
+        std::string bucket = "[";
+        bucket += Table::fmt(bucketLo(i));
+        bucket += ", ";
+        bucket += Table::fmt(bucketLo(i) + width_);
+        bucket += ")";
+        table.addRow({std::move(bucket), std::to_string(counts_[i]),
                       Table::fmtPercent(fraction(i))});
     }
     if (underflow_ > 0)

@@ -66,6 +66,9 @@ class Histogram
 
     void add(double x);
 
+    /** Adds @p x with multiplicity @p weight (no-op when weight==0). */
+    void add(double x, std::uint64_t weight);
+
     std::size_t numBuckets() const { return counts_.size(); }
     std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
     std::uint64_t underflow() const { return underflow_; }
@@ -77,6 +80,16 @@ class Histogram
 
     /** Lower edge of bucket i. */
     double bucketLo(std::size_t i) const;
+
+    /**
+     * Value below which fraction @p p (in [0, 1]) of the samples fall,
+     * linearly interpolated inside the winning bucket and clamped to
+     * [lo, hi]. Underflow mass reports lo; overflow mass reports hi.
+     * Returns NaN on an empty histogram — the sentinel callers must
+     * test with std::isnan — and never indexes past the bucket array,
+     * including the single-bucket / all-mass-in-one-bucket cases.
+     */
+    double percentile(double p) const;
 
     /** Renders "label: [lo,hi) count (pct%)" lines. */
     std::string render(const std::string &label) const;

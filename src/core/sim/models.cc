@@ -104,6 +104,13 @@ runModel(ModelKind kind, const Trace &trace, const Cfg *cfg,
     config.gatherResolveStats = options.gatherResolveStats;
     config.gatherIssueStats = options.gatherIssueStats;
     config.gatherAccounting = options.gatherAccounting;
+    config.gatherProfile = options.gatherProfile;
+    config.profileModel = modelName(kind);
+    config.profileScope =
+        options.profileWorkload.empty()
+            ? std::string(modelName(kind))
+            : options.profileWorkload + "." + modelName(kind);
+    config.profileWorkload = options.profileWorkload;
     config.peLimit = options.peLimit;
     config.loadLatencies = options.loadLatencies;
 

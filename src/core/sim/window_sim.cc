@@ -7,6 +7,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "cfg/structure.hh"
 #include "common/invariant.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
@@ -206,8 +207,13 @@ WindowSim::run(BranchPredictor &predictor) const
 
     // --- Prediction correctness per branch path (functional update) ----
     // The same pass feeds the per-branch confidence estimator used to
-    // attribute squashed speculative work to accuracy buckets.
-    const bool accounting = config_.gatherAccounting;
+    // attribute squashed speculative work to accuracy buckets, and the
+    // speculation profiler's per-site execution counts (profiling
+    // rides the accounting ledger, so it forces accounting on).
+    const bool profiling =
+        config_.gatherProfile || obs::profilingRequested();
+    const bool accounting = config_.gatherAccounting || profiling;
+    obs::SpeculationProfile profile;
     ConfidenceEstimator confidence_meter(
         accounting ? trace_.numStatic : 0);
     std::vector<std::uint8_t> correct(num_paths, 1);
@@ -221,6 +227,16 @@ WindowSim::run(BranchPredictor &predictor) const
         const bool predicted = predictor.predict(q);
         predictor.update(q, b.taken);
         correct[k] = (predicted == b.taken) ? 1 : 0;
+        if (profiling) {
+            // Online confidence: the bucket the site occupied when
+            // this instance resolved, before its outcome updates the
+            // meter.
+            profile.recordExecution(
+                b.sid, static_cast<std::int64_t>(b.block),
+                correct[k] == 0,
+                obs::confidenceBucket(
+                    confidence_meter.estimate(b.sid)));
+        }
         if (accounting)
             confidence_meter.record(b.sid, correct[k] != 0);
         ++result.branches;
@@ -270,6 +286,13 @@ WindowSim::run(BranchPredictor &predictor) const
     // Mispredicted branch paths crossed via a not-predicted edge on the
     // walk that fetched each path (alternate state held in hardware).
     std::vector<std::vector<std::uint64_t>> bypass(num_paths);
+    // Profiler side data: whether each path's earliest fetch crossed a
+    // not-predicted edge (DEE-slot vs. mainline residency), and the
+    // tree's Theorem-1 assignment ranks for cp/rank attribution.
+    std::vector<std::uint8_t> fetch_side(profiling ? num_paths : 0, 0);
+    const std::vector<int> assignment_ranks =
+        profiling && !use_confidence ? tree_.assignmentRanks()
+                                     : std::vector<int>();
 
     std::array<std::int64_t, kNumRegs> reg_writer;
     reg_writer.fill(kNoDep);
@@ -328,6 +351,9 @@ WindowSim::run(BranchPredictor &predictor) const
                 }
                 if (now < fetch_tree[r + d + 1]) {
                     fetch_tree[r + d + 1] = now;
+                    if (profiling)
+                        fetch_side[r + d + 1] =
+                            crossed_npred.empty() ? 0 : 1;
                     if (!crossed_npred.empty()) {
                         ++result.sidePathFetches;
                         DEE_INVARIANT(crossed_npred.front() >= r &&
@@ -355,6 +381,19 @@ WindowSim::run(BranchPredictor &predictor) const
                     crossed_npred.push_back(r + d);
                 if (now < fetch_tree[r + d + 1]) {
                     fetch_tree[r + d + 1] = now;
+                    if (profiling) {
+                        fetch_side[r + d + 1] =
+                            crossed_npred.empty() ? 0 : 1;
+                        // Theorem-1 attribution at assignment time:
+                        // the covering node's cumulative probability
+                        // and resource-assignment rank, charged to
+                        // the branch the path hangs off.
+                        profile.recordAssignment(
+                            records[paths[r + d].branchIndex()].sid,
+                            tree_.node(node).cp,
+                            assignment_ranks[static_cast<std::size_t>(
+                                node)]);
+                    }
                     if (!crossed_npred.empty()) {
                         ++result.sidePathFetches;
                         DEE_INVARIANT(crossed_npred.front() >= r &&
@@ -573,12 +612,64 @@ WindowSim::run(BranchPredictor &predictor) const
             ledger.mark(obs::SlotClass::SquashedSpec, begin,
                         resolve[m] + penalty,
                         obs::confidenceBucket(
-                            confidence_meter.estimate(b.sid)));
+                            confidence_meter.estimate(b.sid)),
+                        b.sid);
         }
         for (const std::int64_t t : starved_cycles)
             ledger.mark(obs::SlotClass::ResourceStarved, t, t + 1);
+        std::unordered_map<std::uint32_t, std::uint64_t> squash_by_site;
         result.account =
-            ledger.finalize(result.cycles, tracing ? &tracer : nullptr);
+            ledger.finalize(result.cycles, tracing ? &tracer : nullptr,
+                            profiling ? &squash_by_site : nullptr);
+        if (profiling)
+            profile.attributeSquash(squash_by_site);
+    }
+
+    // --- Speculation profile: latency, residency, loops, identity --------
+    if (profiling) {
+        for (std::uint64_t k = 0; k < num_paths; ++k) {
+            if (!paths[k].endsInBranch)
+                continue;
+            const TraceRecord &b = records[paths[k].branchIndex()];
+            const std::int64_t begin = fetch_tree[k] == kNeverFetched
+                                           ? root_time[k]
+                                           : fetch_tree[k];
+            profile.recordResolveLatency(b.sid, resolve[k] - begin);
+            // The successor path's fetched residency hangs off this
+            // branch: DEE-slot cycles when it was held via a
+            // not-predicted edge, mainline cycles otherwise.
+            if (k + 1 < num_paths &&
+                fetch_tree[k + 1] != kNeverFetched) {
+                const std::int64_t span =
+                    resolve[k + 1] - fetch_tree[k + 1];
+                if (span > 0) {
+                    profile.addResidency(
+                        b.sid, static_cast<std::uint64_t>(span),
+                        fetch_side[k + 1] != 0);
+                }
+            }
+        }
+
+        if (cfg_ != nullptr) {
+            const Dominators doms(*cfg_);
+            const LoopForest forest(*cfg_, doms);
+            std::vector<obs::BlockLoopNest> nests(cfg_->numBlocks());
+            for (std::size_t bk = 0; bk < nests.size(); ++bk) {
+                const auto block = static_cast<BlockId>(bk);
+                nests[bk].depth = forest.loopDepth(block);
+                for (const BlockId h : forest.enclosingHeaders(block))
+                    nests[bk].headers.push_back(
+                        static_cast<std::int64_t>(h));
+            }
+            profile.rollUpLoops(nests);
+        } else {
+            profile.rollUpLoops({});
+        }
+
+        std::string why;
+        dee_assert(
+            profile.attributionMatches(result.account, &why),
+            "speculation-profile attribution identity violated: ", why);
     }
 
     // Publish run totals into the global registry: a handful of map
@@ -598,6 +689,18 @@ WindowSim::run(BranchPredictor &predictor) const
     }
     if (result.account.valid())
         result.account.publish(reg, "window");
+    if (profiling && !profile.empty()) {
+        const std::string scope = config_.profileScope.empty()
+                                      ? "window"
+                                      : config_.profileScope;
+        profile.setMeta(config_.profileWorkload,
+                        config_.profileModel.empty()
+                            ? cdModelName(config_.cd)
+                            : config_.profileModel);
+        profile.publish(reg, scope);
+        obs::ProfileStore::global().merge(scope, profile);
+        result.profile = std::move(profile);
+    }
 
     return result;
 }

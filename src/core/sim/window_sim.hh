@@ -58,6 +58,7 @@
 #include "cfg/cfg.hh"
 #include "core/tree/spec_tree.hh"
 #include "obs/accounting.hh"
+#include "obs/profile/profile.hh"
 #include "trace/trace.hh"
 
 namespace dee
@@ -112,6 +113,22 @@ struct SimConfig
      * fatally at end-of-run.
      */
     bool gatherAccounting = true;
+    /**
+     * Collect the per-branch speculation profile (SimResult::profile;
+     * see obs/profile/profile.hh). Also honored — regardless of this
+     * flag — when obs::profilingRequested() is set, which is how the
+     * Session --profile flag reaches every tool. Profiling implies
+     * accounting (the ledger carries the squash attribution), and the
+     * identity sum(per-site squashed) == squashed_spec is checked
+     * fatally at end-of-run.
+     */
+    bool gatherProfile = false;
+    /** ProfileStore scope the profile merges under; empty -> "window".
+     *  Convention: "<workload>.<model>" so runs never conflate. */
+    std::string profileScope;
+    /** Metadata recorded in the profile (manifest grouping keys). */
+    std::string profileWorkload;
+    std::string profileModel;
     /**
      * Maximum instructions issued per cycle (the paper's future-work
      * "explicitly limited PE's"); 0 = unlimited, the paper's default
@@ -192,6 +209,10 @@ struct SimResult
     /** Closed slot-cycle account (valid() iff gatherAccounting was on
      *  and the run fit the ledger); see obs/accounting.hh. */
     obs::CycleAccount account;
+
+    /** Per-branch speculation profile (filled when profiling was on;
+     *  also merged into obs::ProfileStore::global()). */
+    obs::SpeculationProfile profile;
 
     std::string render() const;
 };

@@ -85,6 +85,16 @@ SpecTree::assignmentOrder() const
 }
 
 std::vector<int>
+SpecTree::assignmentRanks() const
+{
+    const std::vector<int> order = assignmentOrder();
+    std::vector<int> rank(nodes_.size(), 0);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        rank[order[i]] = static_cast<int>(i) + 1;
+    return rank;
+}
+
+std::vector<int>
 SpecTree::walk(const std::vector<bool> &correct) const
 {
     std::vector<int> covered(correct.size(), kNoNode);
@@ -101,10 +111,7 @@ SpecTree::walk(const std::vector<bool> &correct) const
 std::string
 SpecTree::render() const
 {
-    const std::vector<int> order = assignmentOrder();
-    std::vector<int> rank(nodes_.size(), 0);
-    for (std::size_t i = 0; i < order.size(); ++i)
-        rank[order[i]] = static_cast<int>(i) + 1;
+    const std::vector<int> rank = assignmentRanks();
 
     std::ostringstream oss;
     oss << std::fixed << std::setprecision(3);

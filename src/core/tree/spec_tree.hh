@@ -86,6 +86,14 @@ class SpecTree
     std::vector<int> assignmentOrder() const;
 
     /**
+     * Per-node assignment rank (Figure 1's circled numbers): element
+     * id is 1 for the first-assigned path, 2 for the next, ...; the
+     * origin stays 0. Inverse of assignmentOrder(), used by render()
+     * and by the speculation profiler's Theorem-1 attribution.
+     */
+    std::vector<int> assignmentRanks() const;
+
+    /**
      * Walks outcome correctness from the origin: element d of the result
      * is the node covering the path at distance d+1 when the branches at
      * distances 0..d resolve as `correct[0..d]`, or kNoNode once the

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cfg/structure.hh"
 #include "common/invariant.hh"
 #include "common/logging.hh"
 #include "obs/registry.hh"
@@ -97,7 +98,12 @@ LevoMachine::run(std::uint64_t max_instrs) const
 
     // Cycle accounting over the machine's n per-row PEs; the cycle
     // count is unknown until the walk ends, so the ledger grows.
-    const bool accounting = config_.gatherAccounting;
+    // Profiling rides the ledger's squash attribution, so it forces
+    // accounting on.
+    const bool profiling =
+        config_.gatherProfile || obs::profilingRequested();
+    const bool accounting = config_.gatherAccounting || profiling;
+    obs::SpeculationProfile profile;
     obs::SlotLedger ledger(static_cast<std::uint64_t>(n));
     ConfidenceEstimator confidence_meter(
         accounting ? static_cast<std::uint32_t>(program_.numInstrs())
@@ -285,6 +291,13 @@ LevoMachine::run(std::uint64_t max_instrs) const
             q.actual = taken;
             const bool predicted = predictor->predict(q);
             predictor->update(q, taken);
+            if (profiling) {
+                profile.recordExecution(
+                    sid, static_cast<std::int64_t>(block),
+                    predicted != taken,
+                    obs::confidenceBucket(
+                        confidence_meter.estimate(sid)));
+            }
             if (accounting)
                 confidence_meter.record(sid, predicted == taken);
 
@@ -302,6 +315,8 @@ LevoMachine::run(std::uint64_t max_instrs) const
             result.peakPendingBranches =
                 std::max(result.peakPendingBranches,
                          static_cast<std::uint64_t>(pending_before) + 1);
+            if (profiling && predicted == taken)
+                profile.recordResolveLatency(sid, resolve_time - start);
 
             if (taken) {
                 next_block = inst.target;
@@ -356,6 +371,18 @@ LevoMachine::run(std::uint64_t max_instrs) const
                                     resolve_time +
                                         config_.mispredictPenalty);
                     }
+                    if (profiling) {
+                        // The DEE path held this branch's alternate
+                        // state through the copy-back window.
+                        profile.recordResolveLatency(
+                            sid, resolve_time +
+                                     config_.mispredictPenalty - start);
+                        profile.addResidency(
+                            sid,
+                            static_cast<std::uint64_t>(
+                                config_.mispredictPenalty),
+                            /*dee_side=*/true);
+                    }
                     cd_stalls.push_back(CdStall{
                         cfg_.ipostdom(block),
                         resolve_time + config_.mispredictPenalty,
@@ -378,12 +405,23 @@ LevoMachine::run(std::uint64_t max_instrs) const
                     if (accounting) {
                         // Slots under an uncovered in-flight mispredict
                         // hold doomed wrong-path state: squashed work,
-                        // charged to the branch's confidence bucket.
+                        // charged to the branch's confidence bucket
+                        // (and, for the profiler, to the branch site).
                         ledger.mark(
                             obs::SlotClass::SquashedSpec, start,
                             resolve_time + config_.mispredictPenalty,
                             obs::confidenceBucket(
-                                confidence_meter.estimate(sid)));
+                                confidence_meter.estimate(sid)),
+                            sid);
+                    }
+                    if (profiling) {
+                        const std::int64_t span =
+                            resolve_time + config_.mispredictPenalty -
+                            start;
+                        profile.recordResolveLatency(sid, span);
+                        profile.addResidency(
+                            sid, static_cast<std::uint64_t>(span),
+                            /*dee_side=*/false);
                     }
                     dee_trace_event_if(
                         tracing, tracer, "levo.uncovered_mispredict", 'i',
@@ -474,8 +512,32 @@ LevoMachine::run(std::uint64_t max_instrs) const
         (static_cast<double>(n) * static_cast<double>(result.cycles));
 
     if (accounting) {
+        std::unordered_map<std::uint32_t, std::uint64_t> squash_by_site;
         result.account =
-            ledger.finalize(result.cycles, tracing ? &tracer : nullptr);
+            ledger.finalize(result.cycles, tracing ? &tracer : nullptr,
+                            profiling ? &squash_by_site : nullptr);
+        if (profiling)
+            profile.attributeSquash(squash_by_site);
+    }
+
+    if (profiling) {
+        // Loop roll-ups from the machine's own CFG.
+        const Dominators doms(cfg_);
+        const LoopForest forest(cfg_, doms);
+        std::vector<obs::BlockLoopNest> nests(cfg_.numBlocks());
+        for (std::size_t bk = 0; bk < nests.size(); ++bk) {
+            const auto blk = static_cast<BlockId>(bk);
+            nests[bk].depth = forest.loopDepth(blk);
+            for (const BlockId h : forest.enclosingHeaders(blk))
+                nests[bk].headers.push_back(
+                    static_cast<std::int64_t>(h));
+        }
+        profile.rollUpLoops(nests);
+
+        std::string why;
+        dee_assert(
+            profile.attributionMatches(result.account, &why),
+            "speculation-profile attribution identity violated: ", why);
     }
 
     obs::Registry &reg = obs::Registry::global();
@@ -491,6 +553,15 @@ LevoMachine::run(std::uint64_t max_instrs) const
     reg.stat("levo.ipc").add(result.ipc);
     if (result.account.valid())
         result.account.publish(reg, "levo");
+    if (profiling && !profile.empty()) {
+        const std::string scope = config_.profileScope.empty()
+                                      ? "levo"
+                                      : config_.profileScope;
+        profile.setMeta(scope, "Levo");
+        profile.publish(reg, scope);
+        obs::ProfileStore::global().merge(scope, profile);
+        result.profile = std::move(profile);
+    }
     return result;
 }
 

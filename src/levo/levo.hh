@@ -43,6 +43,7 @@
 #include "exec/interp.hh"
 #include "isa/isa.hh"
 #include "obs/accounting.hh"
+#include "obs/profile/profile.hh"
 
 namespace dee
 {
@@ -63,6 +64,14 @@ struct LevoConfig
      * and copy_back classes. O(cycles) extra work at end-of-run.
      */
     bool gatherAccounting = true;
+    /**
+     * Collect the per-branch speculation profile (LevoResult::profile,
+     * registry "prof.<scope>.*"); also forced on by the Session
+     * --profile flag. Implies accounting.
+     */
+    bool gatherProfile = false;
+    /** ProfileStore scope for the profile; empty -> "levo". */
+    std::string profileScope;
 
     /**
      * Rough transistor estimate following the paper's Section 4.3
@@ -102,6 +111,10 @@ struct LevoResult
     /** Closed slot-cycle account over iqRows PEs (valid() iff
      *  gatherAccounting was on and the run fit the ledger). */
     obs::CycleAccount account;
+
+    /** Per-branch speculation profile (filled when profiling was on;
+     *  also merged into obs::ProfileStore::global()). */
+    obs::SpeculationProfile profile;
 
     bool halted = false;
     MachineState finalState;   ///< Committed architectural state.

@@ -214,11 +214,12 @@ SlotLedger::SlotLedger(std::uint64_t pes, std::uint64_t cycles_hint)
     const std::uint64_t hint = std::min(cycles_hint, kMaxCycles);
     issued_.reserve(hint);
     marks_.reserve(hint);
+    owner_.reserve(hint);
 }
 
 void
 SlotLedger::mark(SlotClass cls, std::int64_t begin, std::int64_t end,
-                 std::size_t bucket)
+                 std::size_t bucket, std::uint32_t site)
 {
     const unsigned prio = markPriority(cls);
     dee_assert(prio > 0, "unmarkable slot class ", slotClassName(cls));
@@ -233,13 +234,17 @@ SlotLedger::mark(SlotClass cls, std::int64_t begin, std::int64_t end,
         static_cast<std::uint8_t>((prio << 4) | (bucket & 0x0f));
     for (std::int64_t c = begin; c < end; ++c) {
         std::uint8_t &m = marks_[static_cast<std::size_t>(c)];
-        if ((m >> 4) < prio)
+        if ((m >> 4) < prio) {
             m = code;
+            owner_[static_cast<std::size_t>(c)] = site;
+        }
     }
 }
 
 CycleAccount
-SlotLedger::finalize(std::uint64_t cycles, Tracer *tracer)
+SlotLedger::finalize(
+    std::uint64_t cycles, Tracer *tracer,
+    std::unordered_map<std::uint32_t, std::uint64_t> *squash_by_site)
 {
     CycleAccount account;
     if (!active_ || cycles > kMaxCycles) {
@@ -248,6 +253,7 @@ SlotLedger::finalize(std::uint64_t cycles, Tracer *tracer)
     }
     issued_.resize(cycles, 0);
     marks_.resize(cycles, 0);
+    owner_.resize(cycles, kNoSite);
 
     std::uint64_t pes = pes_;
     if (pes == 0) {
@@ -285,10 +291,13 @@ SlotLedger::finalize(std::uint64_t cycles, Tracer *tracer)
         SlotClass cls;
         if (m != 0) {
             cls = classOfPriority(m >> 4);
-            if (cls == SlotClass::SquashedSpec)
+            if (cls == SlotClass::SquashedSpec) {
                 account.addSquashed(spare, m & 0x0f);
-            else
+                if (squash_by_site != nullptr && spare > 0)
+                    (*squash_by_site)[owner_[c]] += spare;
+            } else {
                 account.add(cls, spare);
+            }
         } else if (u == 0) {
             // Whole machine empty with no charged cause: the front
             // end delivered nothing (window movement, serial branch

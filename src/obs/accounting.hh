@@ -50,6 +50,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/json.hh"
@@ -59,6 +60,14 @@ namespace dee::obs
 
 class Registry;
 class Tracer;
+
+/**
+ * Attribution site for a stall mark: the static id of the branch (or
+ * other cause) responsible. kNoSite marks charge their slots to an
+ * "unattributed" pseudo-site so the per-site squash sum still closes
+ * against the SquashedSpec class total.
+ */
+constexpr std::uint32_t kNoSite = 0xffffffffu;
 
 /** The closed issue-slot taxonomy; see file comment. */
 enum class SlotClass : unsigned
@@ -188,7 +197,7 @@ class CycleAccount
 class SlotLedger
 {
   public:
-    /** ~64M cycles; 5 bytes/cycle of ledger state at the limit. */
+    /** ~64M cycles; 9 bytes/cycle of ledger state at the limit. */
     static constexpr std::uint64_t kMaxCycles = 1ull << 26;
 
     /**
@@ -214,10 +223,13 @@ class SlotLedger
     /**
      * Marks [begin, end) as stalled for @p cls (one of SquashedSpec,
      * CopyBack, RefillStall, ResourceStarved); @p bucket attributes
-     * SquashedSpec slots to a confidence bucket.
+     * SquashedSpec slots to a confidence bucket. @p site names the
+     * static branch responsible (for the speculation profiler); it
+     * follows the winning mark exactly, so whichever mark owns a
+     * cycle also owns its attribution.
      */
     void mark(SlotClass cls, std::int64_t begin, std::int64_t end,
-              std::size_t bucket = 0);
+              std::size_t bucket = 0, std::uint32_t site = kNoSite);
 
     /**
      * Classifies every slot of the run's PEs x @p cycles grid.
@@ -225,10 +237,16 @@ class SlotLedger
      * construction — the check guards future edits). When @p tracer
      * is non-null and enabled, also emits "acct.<class>" counter
      * tracks ('C' events) at every cycle where a class's slot count
-     * changes. Call once.
+     * changes. When @p squash_by_site is non-null, the spare slots of
+     * every squash-classified cycle are credited to the site recorded
+     * by the winning mark, so
+     *   sum over sites == account.slots(SquashedSpec)
+     * by construction. Call once.
      */
-    CycleAccount finalize(std::uint64_t cycles,
-                          Tracer *tracer = nullptr);
+    CycleAccount finalize(
+        std::uint64_t cycles, Tracer *tracer = nullptr,
+        std::unordered_map<std::uint32_t, std::uint64_t>
+            *squash_by_site = nullptr);
 
   private:
     bool
@@ -242,6 +260,7 @@ class SlotLedger
         if (c >= issued_.size()) {
             issued_.resize(c + 1, 0);
             marks_.resize(c + 1, 0);
+            owner_.resize(c + 1, kNoSite);
         }
         return true;
     }
@@ -253,6 +272,9 @@ class SlotLedger
      *  no mark. Priorities: squash 4, copy-back 3, refill 2,
      *  starved 1. */
     std::vector<std::uint8_t> marks_;
+    /** Attribution site of the winning mark (kNoSite when unmarked or
+     *  unattributed); kept in lock-step with marks_. */
+    std::vector<std::uint32_t> owner_;
 };
 
 } // namespace dee::obs

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "common/logging.hh"
+#include "obs/profile/profile.hh"
 #include "obs/trace_event.hh"
 
 namespace dee::obs
@@ -17,7 +18,7 @@ Json
 Manifest::toJson(const Registry &registry) const
 {
     Json root = Json::object();
-    root["schema"] = Json("dee.run.v2");
+    root["schema"] = Json("dee.run.v3");
     root["tool"] = Json(tool_);
     root["config"] = config_;
     root["results"] = results_;
@@ -40,6 +41,13 @@ Manifest::toJson(const Registry &registry) const
     trace["dropped"] = Json(tracer.dropped());
     trace["buffered"] = Json(static_cast<std::uint64_t>(tracer.size()));
     root["trace"] = std::move(trace);
+
+    // v3: the speculation profile — per-branch attribution collected by
+    // runs that enabled profiling. Empty object when nothing profiled,
+    // so v2-era consumers that ignore unknown sections keep working.
+    const ProfileStore &profiles = ProfileStore::global();
+    root["profile"] = profiles.empty() ? Json::object()
+                                       : profiles.toJson();
 
     root["stats"] = std::move(stats);
     const auto now = std::chrono::steady_clock::now();

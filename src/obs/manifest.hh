@@ -10,20 +10,22 @@
  * parsers can evolve.
  *
  *     {
- *       "schema": "dee.run.v2",
+ *       "schema": "dee.run.v3",
  *       "tool": "fig5_speedups",
  *       "config": { ... },
  *       "results": { ... },
  *       "accounting": { ... },     // the stats "acct" subtree, surfaced
  *       "trace": { "enabled": ..., "recorded": ..., "dropped": ...,
  *                  "buffered": ... },
+ *       "profile": { ... },        // ProfileStore::toJson(); {} when off
  *       "stats": { ... },          // Registry::toJson()
  *       "wall_clock_ms": 123.4
  *     }
  *
- * v2 adds the "accounting" and "trace" sections on top of v1; readers
- * (obs/manifest_diff.hh) accept both versions — a v1 document simply
- * has no accounting/trace metrics to diff.
+ * v2 added the "accounting" and "trace" sections on top of v1; v3 adds
+ * the "profile" section (per-branch speculation attribution). Readers
+ * (obs/manifest_diff.hh) accept all three versions — an older document
+ * simply has fewer sections to diff.
  */
 
 #ifndef DEE_OBS_MANIFEST_HH

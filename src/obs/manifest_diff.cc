@@ -1,5 +1,6 @@
 #include "obs/manifest_diff.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -80,7 +81,7 @@ parseManifest(const std::string &text, const std::string &path,
         return false;
     }
     const std::string &s = schema->asString();
-    if (s != "dee.run.v1" && s != "dee.run.v2") {
+    if (s != "dee.run.v1" && s != "dee.run.v2" && s != "dee.run.v3") {
         if (err)
             *err = path + ": unsupported schema '" + s + "'";
         return false;
@@ -96,7 +97,7 @@ parseManifest(const std::string &text, const std::string &path,
     // Flatten the sections that carry comparable numbers; "schema",
     // "tool" and "config" are identity, not metrics.
     for (const char *section :
-         {"results", "accounting", "trace", "stats"}) {
+         {"results", "accounting", "trace", "profile", "stats"}) {
         if (const Json *sub = doc.find(section))
             flattenNumeric(*sub, section, &out->metrics);
     }
@@ -261,6 +262,118 @@ checkRegressions(const LoadedManifest &baseline,
         report.items.push_back(std::move(item));
     }
     return report;
+}
+
+namespace
+{
+
+/**
+ * True for "profile.<scope>.branches.<pc>.squashed_slots" paths — the
+ * per-branch attribution metrics the profile gate compares. On match,
+ * *branch receives the "<pc>" token.
+ */
+bool
+isBranchSquashMetric(const std::string &path, std::string *branch)
+{
+    static const std::string kPrefix = "profile.";
+    static const std::string kMark = ".branches.";
+    static const std::string kSuffix = ".squashed_slots";
+    if (path.compare(0, kPrefix.size(), kPrefix) != 0)
+        return false;
+    if (path.size() < kSuffix.size() ||
+        path.compare(path.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) != 0)
+        return false;
+    const std::size_t mark = path.find(kMark);
+    if (mark == std::string::npos)
+        return false;
+    const std::size_t pc_begin = mark + kMark.size();
+    const std::size_t pc_end = path.size() - kSuffix.size();
+    if (pc_end <= pc_begin)
+        return false;
+    // The pc must be the *last* segment before the suffix ("0x12", not
+    // "0x12.resolve_latency") — deeper branch fields have their own
+    // dots and are not squash totals.
+    const std::string pc = path.substr(pc_begin, pc_end - pc_begin);
+    if (pc.find('.') != std::string::npos)
+        return false;
+    if (branch)
+        *branch = pc;
+    return true;
+}
+
+} // namespace
+
+ProfileRegressionReport
+checkProfileRegressions(const LoadedManifest &baseline,
+                        const LoadedManifest &candidate,
+                        double threshold, double minSlots)
+{
+    dee_assert(threshold >= 0.0, "negative profile-diff threshold");
+    dee_assert(minSlots >= 0.0, "negative profile-diff slot floor");
+    ProfileRegressionReport report;
+    for (const auto &[path, cand_value] : candidate.metrics) {
+        std::string branch;
+        if (!isBranchSquashMetric(path, &branch))
+            continue;
+
+        ProfileRegressionItem item;
+        item.metric = path;
+        item.branch = branch;
+        item.candidate = cand_value;
+        if (!baseline.metric(path, &item.baseline)) {
+            item.newSite = true;
+            if (cand_value > minSlots)
+                report.items.push_back(std::move(item));
+            continue;
+        }
+        const double growth = cand_value - item.baseline;
+        if (growth <= minSlots)
+            continue;
+        item.relChange = item.baseline > 0.0
+                             ? growth / item.baseline
+                             : growth;
+        if (item.baseline > 0.0 && item.relChange <= threshold)
+            continue;
+        report.items.push_back(std::move(item));
+    }
+    std::sort(report.items.begin(), report.items.end(),
+              [](const ProfileRegressionItem &a,
+                 const ProfileRegressionItem &b) {
+                  const double ga = a.candidate - a.baseline;
+                  const double gb = b.candidate - b.baseline;
+                  if (ga != gb)
+                      return ga > gb;
+                  return a.metric < b.metric;
+              });
+    return report;
+}
+
+std::string
+ProfileRegressionReport::render(double threshold, double minSlots) const
+{
+    std::ostringstream oss;
+    for (const ProfileRegressionItem &item : items) {
+        oss << "FAIL " << item.metric << ": branch " << item.branch;
+        if (item.newSite) {
+            oss << " is a new speculation hotspot ("
+                << Table::fmt(item.candidate, 0)
+                << " squashed slots, none in baseline)";
+        } else {
+            oss << " squashed slots grew "
+                << Table::fmt(item.baseline, 0) << " -> "
+                << Table::fmt(item.candidate, 0) << " ("
+                << Table::fmtPercent(item.relChange, 2) << ", threshold "
+                << Table::fmtPercent(threshold, 2) << ")";
+        }
+        oss << "\n";
+    }
+    if (!items.empty()) {
+        oss << items.size() << " profile regression(s); gate: relative > "
+            << Table::fmtPercent(threshold, 2) << " and absolute > "
+            << Table::fmt(minSlots, 0) << " slots\n";
+    }
+    return oss.str();
 }
 
 namespace

@@ -2,8 +2,9 @@
  * @file
  * Manifest loading, flattening and cross-run diffing.
  *
- * The testable core of tools/dee_report: load two or more dee.run.v1/v2
- * manifests, flatten every numeric leaf to a dotted metric path
+ * The testable core of tools/dee_report: load two or more
+ * dee.run.v1/v2/v3 manifests, flatten every numeric leaf to a dotted
+ * metric path
  * ("results.DEE-CD-MF.speedup", "accounting.window.waste_fraction"),
  * render an aligned side-by-side diff, and check a watch-list of
  * metrics for regressions beyond a relative threshold.
@@ -32,7 +33,7 @@ namespace dee::obs
 struct LoadedManifest
 {
     std::string path;   ///< where it was read from (label in diffs)
-    std::string schema; ///< "dee.run.v1" or "dee.run.v2"
+    std::string schema; ///< "dee.run.v1", "dee.run.v2" or "dee.run.v3"
     std::string tool;   ///< emitting binary
     Json doc;           ///< the full document
 
@@ -44,8 +45,8 @@ struct LoadedManifest
 };
 
 /**
- * Parses @p text as a manifest document. Accepts schema dee.run.v1 and
- * dee.run.v2 (v1 simply lacks the accounting/trace sections).
+ * Parses @p text as a manifest document. Accepts schema dee.run.v1,
+ * v2 and v3 (older versions simply lack the newer sections).
  * @return true on success; false with *err describing the failure.
  */
 bool parseManifest(const std::string &text, const std::string &path,
@@ -118,6 +119,44 @@ RegressionReport checkRegressions(const LoadedManifest &baseline,
                                   const LoadedManifest &candidate,
                                   const std::vector<WatchSpec> &watches,
                                   double threshold);
+
+/** One per-branch squashed-slot regression between two manifests. */
+struct ProfileRegressionItem
+{
+    std::string metric; ///< full flattened path that tripped the gate
+    std::string branch; ///< the branch PC token, e.g. "0x12"
+    double baseline = 0.0;  ///< baseline squashed slots (0 if new site)
+    double candidate = 0.0; ///< candidate squashed slots
+    /** (candidate - baseline) / baseline; meaningless for a new site. */
+    double relChange = 0.0;
+    bool newSite = false; ///< branch absent from the baseline profile
+};
+
+/** Outcome of a per-branch speculation-profile comparison. */
+struct ProfileRegressionReport
+{
+    std::vector<ProfileRegressionItem> items; ///< worst growth first
+
+    bool anyRegressed() const { return !items.empty(); }
+    /**
+     * One "FAIL ..." line per item, naming the branch PC and both
+     * slot counts — empty when the profile is clean.
+     */
+    std::string render(double threshold, double minSlots) const;
+};
+
+/**
+ * Compares per-branch squashed-slot attribution between two manifests'
+ * "profile" sections. A branch regresses when its squashed slots grow
+ * by more than @p threshold relative to the baseline AND by more than
+ * @p minSlots absolute (the absolute floor keeps tiny branches from
+ * tripping the gate on noise). A branch present only in the candidate
+ * regresses when it alone exceeds @p minSlots. Shrinking or vanishing
+ * branches are improvements, never failures.
+ */
+ProfileRegressionReport checkProfileRegressions(
+    const LoadedManifest &baseline, const LoadedManifest &candidate,
+    double threshold, double minSlots);
 
 /**
  * Side-by-side diff of every metric matching @p filter (empty matches

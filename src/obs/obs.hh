@@ -6,6 +6,9 @@
  *   trace_event.hh   cycle-level ring-buffer tracer (trace_event JSONL)
  *   timer.hh         ScopedTimer wall-clock profiling into the registry
  *   accounting.hh    closed per-slot cycle accounting (acct.*)
+ *   profile/profile.hh per-branch speculation profiler (prof.*)
+ *   profile/report.hh  self-contained HTML profile report (dee_prof)
+ *   heartbeat.hh     rate/ETA progress lines for long bench runs
  *   manifest.hh      machine-readable run manifests
  *   manifest_diff.hh manifest loading/flattening/diffing (dee_report)
  *   session.hh       --json/--trace-out/--stats wiring for binaries
@@ -16,9 +19,12 @@
 #define DEE_OBS_OBS_HH
 
 #include "obs/accounting.hh"
+#include "obs/heartbeat.hh"
 #include "obs/json.hh"
 #include "obs/manifest.hh"
 #include "obs/manifest_diff.hh"
+#include "obs/profile/profile.hh"
+#include "obs/profile/report.hh"
 #include "obs/registry.hh"
 #include "obs/session.hh"
 #include "obs/timer.hh"

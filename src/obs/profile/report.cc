@@ -1,0 +1,291 @@
+#include "obs/profile/report.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+
+namespace dee::obs
+{
+
+namespace
+{
+
+/** HTML body escaping (attribute-safe too: quotes included). */
+std::string
+escapeHtml(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '&': out += "&amp;"; break;
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '"': out += "&quot;"; break;
+          case '\'': out += "&#39;"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+uintField(const Json &obj, const char *key)
+{
+    const Json *v = obj.find(key);
+    if (v == nullptr || !v->isNumber())
+        return 0;
+    const std::int64_t i = v->asInt();
+    return i < 0 ? 0 : static_cast<std::uint64_t>(i);
+}
+
+double
+doubleField(const Json &obj, const char *key)
+{
+    const Json *v = obj.find(key);
+    return v != nullptr && v->isNumber() ? v->asDouble() : 0.0;
+}
+
+std::string
+stringField(const Json &obj, const char *key)
+{
+    const Json *v = obj.find(key);
+    return v != nullptr ? v->asString() : std::string();
+}
+
+/** One branch row lifted out of a manifest's profile section. */
+struct Culprit
+{
+    std::string run;
+    std::string scope;
+    std::string pc;
+    std::int64_t block = -1;
+    std::string loops;
+    std::uint64_t executions = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t squashed = 0;
+    double cpMean = 0.0;
+    double rankMean = 0.0;
+};
+
+/** An inline percentage bar (relative to the table's maximum). */
+std::string
+bar(std::uint64_t value, std::uint64_t max)
+{
+    const double frac =
+        max == 0 ? 0.0
+                 : static_cast<double>(value) /
+                       static_cast<double>(max);
+    const int pct = static_cast<int>(frac * 100.0 + 0.5);
+    std::ostringstream oss;
+    oss << "<div class=\"bar\"><div class=\"fill\" style=\"width:"
+        << pct << "%\"></div></div>";
+    return oss.str();
+}
+
+} // namespace
+
+std::string
+renderProfileHtml(const std::vector<Json> &manifests,
+                  const std::vector<std::string> &names)
+{
+    // ---- lift the profile sections into flat structures -------------
+    std::vector<Culprit> culprits;
+    // workload -> model -> squashed slots, and the model column order
+    // as first encountered (Section-5 ordering comes from the tools).
+    std::map<std::string, std::map<std::string, std::uint64_t>> matrix;
+    std::vector<std::string> model_order;
+    // scope -> hottest mispredicted path suffixes rendered per run.
+    std::ostringstream hot_paths_html;
+
+    for (std::size_t m = 0; m < manifests.size(); ++m) {
+        const std::string run =
+            m < names.size() ? names[m] : "manifest";
+        const Json *profile = manifests[m].find("profile");
+        if (profile == nullptr || !profile->isObject())
+            continue;
+        for (const auto &[scope, prof] : profile->members()) {
+            if (!prof.isObject())
+                continue;
+            std::string workload = stringField(prof, "workload");
+            std::string model = stringField(prof, "model");
+            if (workload.empty())
+                workload = scope;
+            if (model.empty())
+                model = scope;
+            if (std::find(model_order.begin(), model_order.end(),
+                          model) == model_order.end())
+                model_order.push_back(model);
+            matrix[workload][model] +=
+                uintField(prof, "squashed_slots");
+
+            const Json *branches = prof.find("branches");
+            if (branches != nullptr && branches->isObject()) {
+                for (const auto &[pc, b] : branches->members()) {
+                    if (!b.isObject())
+                        continue;
+                    Culprit c;
+                    c.run = run;
+                    c.scope = scope;
+                    c.pc = pc;
+                    const Json *block = b.find("block");
+                    c.block = block != nullptr && block->isNumber()
+                                  ? block->asInt()
+                                  : -1;
+                    const Json *loops = b.find("loops");
+                    if (loops != nullptr && loops->isArray()) {
+                        for (const Json &l : loops->items()) {
+                            if (!c.loops.empty())
+                                c.loops += ">";
+                            c.loops += l.asString();
+                        }
+                    }
+                    c.executions = uintField(b, "executions");
+                    c.mispredicts = uintField(b, "mispredicts");
+                    c.squashed = uintField(b, "squashed_slots");
+                    c.cpMean = doubleField(b, "cp_mean");
+                    c.rankMean = doubleField(b, "rank_mean");
+                    culprits.push_back(std::move(c));
+                }
+            }
+
+            const Json *hot = prof.find("hot_paths");
+            if (hot != nullptr && hot->isArray() &&
+                !hot->items().empty()) {
+                hot_paths_html << "<h3>" << escapeHtml(scope) << " ("
+                               << escapeHtml(run) << ")</h3><ul>\n";
+                std::size_t shown = 0;
+                for (const Json &p : hot->items()) {
+                    if (shown++ >= 5)
+                        break;
+                    std::string path;
+                    const Json *pcs = p.find("pcs");
+                    if (pcs != nullptr && pcs->isArray()) {
+                        for (const Json &pc : pcs->items()) {
+                            if (!path.empty())
+                                path += " &rarr; ";
+                            path += escapeHtml(pc.asString());
+                        }
+                    }
+                    hot_paths_html
+                        << "<li><code>" << path << "</code> &times; "
+                        << uintField(p, "count") << "</li>\n";
+                }
+                hot_paths_html << "</ul>\n";
+            }
+        }
+    }
+
+    std::stable_sort(culprits.begin(), culprits.end(),
+                     [](const Culprit &a, const Culprit &b) {
+                         return a.squashed > b.squashed;
+                     });
+    constexpr std::size_t kTopCulprits = 50;
+    std::uint64_t max_squashed = 0;
+    for (const Culprit &c : culprits)
+        max_squashed = std::max(max_squashed, c.squashed);
+
+    // ---- render -----------------------------------------------------
+    std::ostringstream html;
+    html << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+         << "<meta charset=\"utf-8\">\n"
+         << "<title>DEE speculation profile</title>\n"
+         << "<style>\n"
+         << "body{font:14px/1.5 system-ui,sans-serif;margin:2em;"
+         << "color:#222;max-width:80em}\n"
+         << "table{border-collapse:collapse;margin:1em 0}\n"
+         << "th,td{border:1px solid #ccc;padding:.3em .6em;"
+         << "text-align:right}\n"
+         << "th{background:#f2f2f2}\n"
+         << "td.l,th.l{text-align:left}\n"
+         << "div.bar{width:10em;height:.8em;background:#eee;"
+         << "display:inline-block;vertical-align:middle}\n"
+         << "div.fill{height:100%;background:#c33}\n"
+         << "code{background:#f6f6f6;padding:0 .2em}\n"
+         << "</style>\n</head>\n<body>\n"
+         << "<h1>DEE speculation profile</h1>\n";
+
+    html << "<h2>Runs</h2>\n<ul>\n";
+    for (std::size_t m = 0; m < manifests.size(); ++m) {
+        const std::string run =
+            m < names.size() ? names[m] : "manifest";
+        const std::string tool = stringField(manifests[m], "tool");
+        const std::string schema =
+            stringField(manifests[m], "schema");
+        html << "<li><code>" << escapeHtml(run) << "</code>";
+        if (!tool.empty())
+            html << " &mdash; " << escapeHtml(tool);
+        if (!schema.empty())
+            html << " (" << escapeHtml(schema) << ")";
+        html << "</li>\n";
+    }
+    html << "</ul>\n";
+
+    html << "<h2>Squashed issue-slot-cycles by model</h2>\n";
+    if (matrix.empty()) {
+        html << "<p>No profile sections found.</p>\n";
+    } else {
+        html << "<table>\n<tr><th class=\"l\">workload</th>";
+        for (const std::string &model : model_order)
+            html << "<th>" << escapeHtml(model) << "</th>";
+        html << "</tr>\n";
+        for (const auto &[workload, row] : matrix) {
+            html << "<tr><td class=\"l\">" << escapeHtml(workload)
+                 << "</td>";
+            for (const std::string &model : model_order) {
+                const auto it = row.find(model);
+                if (it == row.end())
+                    html << "<td>&mdash;</td>";
+                else
+                    html << "<td>" << it->second << "</td>";
+            }
+            html << "</tr>\n";
+        }
+        html << "</table>\n";
+    }
+
+    html << "<h2>Top culprit branches</h2>\n";
+    if (culprits.empty()) {
+        html << "<p>No branch sites recorded.</p>\n";
+    } else {
+        html << "<table>\n<tr><th class=\"l\">scope</th>"
+             << "<th class=\"l\">branch</th><th class=\"l\">loops</th>"
+             << "<th>execs</th><th>mispredicts</th>"
+             << "<th>squashed slots</th><th class=\"l\">share</th>"
+             << "<th>cp&#772;</th><th>rank&#772;</th></tr>\n";
+        for (std::size_t i = 0;
+             i < culprits.size() && i < kTopCulprits; ++i) {
+            const Culprit &c = culprits[i];
+            html << "<tr><td class=\"l\">" << escapeHtml(c.scope)
+                 << "</td><td class=\"l\"><code>" << escapeHtml(c.pc);
+            if (c.block >= 0)
+                html << " (B" << c.block << ")";
+            html << "</code></td><td class=\"l\">"
+                 << escapeHtml(c.loops) << "</td><td>" << c.executions
+                 << "</td><td>" << c.mispredicts << "</td><td>"
+                 << c.squashed << "</td><td class=\"l\">"
+                 << bar(c.squashed, max_squashed) << "</td><td>";
+            html.precision(3);
+            html << std::fixed << c.cpMean << "</td><td>" << c.rankMean
+                 << "</td></tr>\n";
+        }
+        html << "</table>\n";
+        if (culprits.size() > kTopCulprits) {
+            html << "<p>" << (culprits.size() - kTopCulprits)
+                 << " further site(s) omitted.</p>\n";
+        }
+    }
+
+    const std::string hot = hot_paths_html.str();
+    html << "<h2>Hot mispredicted path suffixes</h2>\n";
+    if (hot.empty())
+        html << "<p>No mispredicted paths recorded.</p>\n";
+    else
+        html << hot;
+
+    html << "</body>\n</html>\n";
+    return html.str();
+}
+
+} // namespace dee::obs

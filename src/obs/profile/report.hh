@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Self-contained HTML rendering of speculation profiles.
+ *
+ * Consumes the "profile" section of one or more dee.run.v3 manifests
+ * (as parsed Json documents) and renders a single static HTML page:
+ * a per-model side-by-side matrix over the Section-5 machine models,
+ * a top-culprit branch table with inline cycle bars, and the hottest
+ * mispredicted path suffixes. No external assets, scripts, or network
+ * fetches — the page is a build artifact that must render from a CI
+ * artifact store or an email attachment.
+ */
+
+#ifndef DEE_OBS_PROFILE_REPORT_HH
+#define DEE_OBS_PROFILE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace dee::obs
+{
+
+/**
+ * Renders the report. @p manifests are parsed manifest documents (the
+ * whole manifest, not just the profile section); @p names label each
+ * manifest (usually the file path) and must parallel @p manifests.
+ * Manifests without a "profile" section contribute nothing but still
+ * appear in the run list.
+ */
+std::string renderProfileHtml(const std::vector<Json> &manifests,
+                              const std::vector<std::string> &names);
+
+} // namespace dee::obs
+
+#endif // DEE_OBS_PROFILE_REPORT_HH

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/logging.hh"
+#include "obs/profile/profile.hh"
 
 namespace dee::obs
 {
@@ -34,6 +35,12 @@ declareFlags(Cli &cli)
              "JSON-Lines to this path (view in Perfetto)");
     cli.flag("stats", "false",
              "dump the stats registry as text to stderr at exit");
+    cli.flag("profile", "false",
+             "collect the per-branch speculation profile in every "
+             "simulator run (adds the manifest's \"profile\" section)");
+    cli.flag("profile-out", "",
+             "write the collected speculation profile as folded stacks "
+             "to this path (flamegraph input); implies --profile");
 }
 
 SessionOptions
@@ -43,6 +50,9 @@ SessionOptions::fromCli(const Cli &cli)
     options.jsonPath = cli.str("json");
     options.traceOutPath = cli.str("trace-out");
     options.dumpStats = cli.boolean("stats");
+    options.profileOutPath = cli.str("profile-out");
+    options.profile =
+        cli.boolean("profile") || !options.profileOutPath.empty();
     return options;
 }
 
@@ -55,6 +65,10 @@ Session::Session(std::string tool, SessionOptions options)
         checkWritable(options_.traceOutPath, "trace output");
         Tracer::global().enable();
     }
+    if (!options_.profileOutPath.empty())
+        checkWritable(options_.profileOutPath, "profile output");
+    if (options_.profile)
+        requestProfiling(true);
 }
 
 Session::Session(std::string tool, const Cli &cli)
@@ -62,7 +76,8 @@ Session::Session(std::string tool, const Cli &cli)
 {
     for (const auto &[name, value] : cli.values()) {
         // The observability flags themselves are not configuration.
-        if (name == "json" || name == "trace-out" || name == "stats")
+        if (name == "json" || name == "trace-out" || name == "stats" ||
+            name == "profile" || name == "profile-out")
             continue;
         manifest_.setConfig(name, value);
     }
@@ -93,6 +108,21 @@ Session::~Session()
         std::fputs(Registry::global().renderText().c_str(), stderr);
         std::fflush(stderr);
     }
+    if (!options_.profileOutPath.empty()) {
+        const std::string stacks = ProfileStore::global().foldedStacks();
+        std::ofstream out(options_.profileOutPath, std::ios::trunc);
+        if (out)
+            out << stacks;
+        if (!out.good()) {
+            dee_inform("error writing profile output '",
+                       options_.profileOutPath, "'");
+        } else {
+            dee_inform("wrote folded speculation stacks to ",
+                       options_.profileOutPath);
+        }
+    }
+    if (options_.profile)
+        requestProfiling(false);
     if (!options_.jsonPath.empty()) {
         manifest_.write(options_.jsonPath);
         dee_inform("wrote run manifest to ", options_.jsonPath);

@@ -21,6 +21,12 @@
  *   --trace-out PATH  enable the cycle-level tracer and write its ring
  *                     as JSON-Lines trace_event records to PATH
  *   --stats BOOL      dump the stats registry as text to stderr at exit
+ *   --profile BOOL    collect the per-branch speculation profile in
+ *                     every simulator run (lands in the manifest's
+ *                     "profile" section; see obs/profile/profile.hh)
+ *   --profile-out PATH  write the collected profile as folded stacks
+ *                     ("frame;frame count" lines, flamegraph.pl /
+ *                     speedscope compatible) to PATH; implies --profile
  */
 
 #ifndef DEE_OBS_SESSION_HH
@@ -35,7 +41,8 @@
 namespace dee::obs
 {
 
-/** Declares --json, --trace-out and --stats on @p cli. */
+/** Declares --json, --trace-out, --stats, --profile and --profile-out
+ *  on @p cli. */
 void declareFlags(Cli &cli);
 
 /** Parsed values of the standard observability flags. */
@@ -44,6 +51,8 @@ struct SessionOptions
     std::string jsonPath;     ///< empty: no manifest
     std::string traceOutPath; ///< empty: tracer stays off
     bool dumpStats = false;   ///< text registry dump to stderr at exit
+    bool profile = false;     ///< collect speculation profiles
+    std::string profileOutPath; ///< folded-stack output; implies profile
 
     /** Reads the declareFlags() flags back from a parsed Cli. */
     static SessionOptions fromCli(const Cli &cli);

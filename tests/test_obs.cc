@@ -316,7 +316,7 @@ TEST(Manifest, DocumentShapeAndRoundTrip)
     std::string err;
     ASSERT_TRUE(Json::parse(manifest.toJson(reg).dump(2), &back, &err))
         << err;
-    EXPECT_EQ(back.find("schema")->asString(), "dee.run.v2");
+    EXPECT_EQ(back.find("schema")->asString(), "dee.run.v3");
     EXPECT_EQ(back.find("tool")->asString(), "test_tool");
     EXPECT_EQ(back.find("config")->find("scale")->asInt(), 4);
     EXPECT_DOUBLE_EQ(back.find("results")->find("speedup")->asDouble(),
@@ -339,6 +339,11 @@ TEST(Manifest, DocumentShapeAndRoundTrip)
     ASSERT_NE(trace->find("recorded"), nullptr);
     ASSERT_NE(trace->find("dropped"), nullptr);
     ASSERT_NE(trace->find("buffered"), nullptr);
+
+    // v3 section: the speculation profile, {} when nothing profiled.
+    const Json *profile = back.find("profile");
+    ASSERT_NE(profile, nullptr);
+    EXPECT_TRUE(profile->isObject());
 }
 
 TEST(Manifest, AccountingSectionMirrorsRegistrySubtree)

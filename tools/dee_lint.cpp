@@ -9,10 +9,16 @@
  * Exits non-zero when any Error-severity finding (or tree violation)
  * is present, so CI can gate on it.
  *
+ * With --profile-annotate MANIFEST.json, findings anchored to blocks
+ * that a speculation profile (dee.run.v3 "profile" section) shows as
+ * hot are ranked first and annotated with their squashed-slot counts,
+ * so the warnings most worth fixing lead the report.
+ *
  * Examples:
  *   dee_lint                                  # all workloads, scales 1,4,16
  *   dee_lint --workloads eqntott,xlisp --scales 2
  *   dee_lint --asm prog.s --json true
+ *   dee_lint --workloads compress --profile-annotate out.json
  */
 
 #include <cstdlib>
@@ -27,6 +33,7 @@
 #include "common/logging.hh"
 #include "core/tree/spec_tree.hh"
 #include "isa/assembler.hh"
+#include "obs/manifest_diff.hh"
 #include "obs/registry.hh"
 
 namespace
@@ -131,6 +138,9 @@ main(int argc, char **argv)
     cli.flag("check-trees", "true",
              "audit the speculation-tree builders (Theorem 1)");
     cli.flag("stats", "false", "dump the lint.* stats registry");
+    cli.flag("profile-annotate", "",
+             "rank findings by speculation heat using the \"profile\" "
+             "section of this dee.run.v3 manifest");
     cli.parse(argc, argv);
 
     const bool json = cli.boolean("json");
@@ -158,6 +168,25 @@ main(int argc, char **argv)
         for (const WorkloadId id : ids)
             for (const int scale : scales)
                 reports.push_back(lintWorkload(id, scale));
+    }
+    if (!cli.str("profile-annotate").empty()) {
+        obs::LoadedManifest manifest;
+        std::string err;
+        if (!obs::loadManifestFile(cli.str("profile-annotate"),
+                                   &manifest, &err))
+            dee_fatal("--profile-annotate: ", err);
+        const obs::Json *profile = manifest.doc.find("profile");
+        if (profile == nullptr) {
+            dee_inform("--profile-annotate: manifest has no "
+                       "\"profile\" section (run with --profile?); "
+                       "findings keep their static order");
+        } else {
+            std::size_t annotated = 0;
+            for (LintReport &report : reports)
+                annotated += annotateWithProfile(&report, *profile);
+            dee_inform("--profile-annotate: ", annotated,
+                       " finding(s) matched hot branches");
+        }
     }
     for (const LintReport &report : reports)
         recordLintStats(report);

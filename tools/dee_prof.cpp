@@ -1,0 +1,107 @@
+/**
+ * @file
+ * dee_prof: render speculation profiles as a self-contained HTML page.
+ *
+ * Usage:
+ *   dee_prof MANIFEST.json...                 HTML to stdout
+ *   dee_prof --out profile.html MANIFEST...   HTML to a file
+ *
+ * The manifests must be dee.run.v3 documents produced by runs made
+ * with --profile (older schemas load fine but contribute no profile
+ * data). With several manifests the culprit table and the model matrix
+ * show every run side by side, so one page can compare a baseline run
+ * against a candidate.
+ *
+ * Exit status: 0 on success, 2 on usage / load / write errors.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/manifest_diff.hh"
+#include "obs/profile/report.hh"
+
+namespace
+{
+
+void
+usage(std::FILE *to)
+{
+    std::fputs(
+        "usage: dee_prof [--out PATH] MANIFEST.json [MANIFEST.json...]\n"
+        "\n"
+        "Renders the \"profile\" sections of dee.run manifests as one\n"
+        "self-contained HTML page (no scripts, no external assets):\n"
+        "per-model squashed-slot matrix, top-culprit branch table with\n"
+        "cycle bars, and the hottest mispredicted path suffixes.\n"
+        "\n"
+        "options:\n"
+        "  --out PATH   write the page to PATH instead of stdout\n"
+        "  --help       this text\n",
+        to);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (arg == "--out") {
+            if (i + 1 >= argc) {
+                std::fputs("dee_prof: --out needs a value\n", stderr);
+                return 2;
+            }
+            out_path = argv[++i];
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "dee_prof: unknown flag '%s'\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty()) {
+        usage(stderr);
+        return 2;
+    }
+
+    std::vector<dee::obs::Json> docs;
+    docs.reserve(paths.size());
+    for (const std::string &path : paths) {
+        dee::obs::LoadedManifest m;
+        std::string err;
+        if (!dee::obs::loadManifestFile(path, &m, &err)) {
+            std::fprintf(stderr, "dee_prof: %s\n", err.c_str());
+            return 2;
+        }
+        docs.push_back(std::move(m.doc));
+    }
+
+    const std::string html = dee::obs::renderProfileHtml(docs, paths);
+    if (out_path.empty()) {
+        std::fputs(html.c_str(), stdout);
+        return 0;
+    }
+    std::ofstream out(out_path, std::ios::trunc);
+    if (out)
+        out << html;
+    if (!out.good()) {
+        std::fprintf(stderr, "dee_prof: cannot write '%s'\n",
+                     out_path.c_str());
+        return 2;
+    }
+    std::fprintf(stderr, "dee_prof: wrote %s (%zu manifest(s))\n",
+                 out_path.c_str(), paths.size());
+    return 0;
+}

@@ -7,12 +7,20 @@
  *   dee_report --filter 'results.*' A B      restrict rows by glob
  *   dee_report --check --baseline BASE CAND  exit 1 when a watched
  *                                            metric regresses
+ *   dee_report --profile-diff --baseline BASE CAND
+ *                                            exit 1 when any branch's
+ *                                            squashed-slot attribution
+ *                                            regresses
  *
  * Flags:
  *   --filter GLOB     only show metrics matching GLOB in the diff
  *   --check           run regression gating (requires --baseline and
  *                     exactly one candidate manifest)
- *   --baseline PATH   baseline manifest for --check
+ *   --profile-diff    gate per-branch speculation profiles instead of
+ *                     the watch list (requires --baseline and exactly
+ *                     one candidate manifest; manifests need "profile"
+ *                     sections, i.e. runs made with --profile)
+ *   --baseline PATH   baseline manifest for --check / --profile-diff
  *   --watch SPECS     comma-separated watch list, each "pattern[:+|-]"
  *                     (':+' higher is better — default; ':-' lower is
  *                     better); default watches the headline metrics:
@@ -20,9 +28,13 @@
  *                       accounting.*.waste_fraction:-,
  *                       accounting.*.useful_fraction:+
  *   --threshold REL   relative regression tolerance (default 0.05)
+ *   --min-slots N     --profile-diff absolute growth floor: a branch
+ *                     only fails when its squashed slots grow by more
+ *                     than N on top of the relative threshold
+ *                     (default 64)
  *
  * Exit status: 0 clean, 1 regression (or missing watched metric) in
- * --check mode, 2 usage / load errors.
+ * --check / --profile-diff mode, 2 usage / load errors.
  *
  * Manifest paths are positional; the repo's Cli only does --flag pairs,
  * so parsing here is hand-rolled over argv.
@@ -38,9 +50,11 @@
 namespace
 {
 
+using dee::obs::checkProfileRegressions;
 using dee::obs::checkRegressions;
 using dee::obs::LoadedManifest;
 using dee::obs::loadManifestFile;
+using dee::obs::ProfileRegressionReport;
 using dee::obs::RegressionReport;
 using dee::obs::renderManifestDiff;
 using dee::obs::WatchSpec;
@@ -55,18 +69,24 @@ usage(std::FILE *to)
     std::fputs(
         "usage: dee_report [options] MANIFEST.json [MANIFEST.json...]\n"
         "\n"
-        "Diffs dee.run.v1/v2 manifests metric by metric; with --check,\n"
-        "gates on watched-metric regressions against a baseline.\n"
+        "Diffs dee.run.v1/v2/v3 manifests metric by metric; with\n"
+        "--check, gates on watched-metric regressions against a\n"
+        "baseline; with --profile-diff, gates on per-branch\n"
+        "speculation-profile regressions.\n"
         "\n"
         "options:\n"
         "  --filter GLOB     only diff metrics matching GLOB\n"
         "  --check           regression-gate one candidate against\n"
         "                    --baseline (exit 1 on regression)\n"
-        "  --baseline PATH   baseline manifest for --check\n"
+        "  --profile-diff    gate per-branch squashed-slot attribution\n"
+        "                    against --baseline (exit 1 on regression)\n"
+        "  --baseline PATH   baseline manifest for the gating modes\n"
         "  --watch SPECS     comma-separated \"pattern[:+|-]\" watch\n"
         "                    list (+ higher is better, the default;\n"
         "                    - lower is better)\n"
         "  --threshold REL   relative tolerance, default 0.05\n"
+        "  --min-slots N     --profile-diff absolute growth floor,\n"
+        "                    default 64 squashed slots\n"
         "  --help            this text\n",
         to);
 }
@@ -97,7 +117,9 @@ main(int argc, char **argv)
     std::string baseline_path;
     std::string watch_specs = kDefaultWatches;
     double threshold = 0.05;
+    double min_slots = 64.0;
     bool check = false;
+    bool profile_diff = false;
     std::vector<std::string> paths;
 
     for (int i = 1; i < argc; ++i) {
@@ -117,6 +139,8 @@ main(int argc, char **argv)
             filter = value("--filter");
         } else if (arg == "--check") {
             check = true;
+        } else if (arg == "--profile-diff") {
+            profile_diff = true;
         } else if (arg == "--baseline") {
             baseline_path = value("--baseline");
         } else if (arg == "--watch") {
@@ -126,6 +150,14 @@ main(int argc, char **argv)
                                     nullptr);
             if (threshold < 0.0) {
                 std::fputs("dee_report: --threshold must be >= 0\n",
+                           stderr);
+                return 2;
+            }
+        } else if (arg == "--min-slots") {
+            min_slots = std::strtod(value("--min-slots").c_str(),
+                                    nullptr);
+            if (min_slots < 0.0) {
+                std::fputs("dee_report: --min-slots must be >= 0\n",
                            stderr);
                 return 2;
             }
@@ -148,6 +180,30 @@ main(int argc, char **argv)
         }
         return m;
     };
+
+    if (profile_diff) {
+        if (baseline_path.empty() || paths.size() != 1) {
+            std::fputs("dee_report: --profile-diff needs --baseline "
+                       "PATH and exactly one candidate manifest\n",
+                       stderr);
+            return 2;
+        }
+        const LoadedManifest baseline = load(baseline_path);
+        const LoadedManifest candidate = load(paths[0]);
+        const ProfileRegressionReport report = checkProfileRegressions(
+            baseline, candidate, threshold, min_slots);
+        if (report.anyRegressed()) {
+            std::fputs(report.render(threshold, min_slots).c_str(),
+                       stdout);
+            std::fprintf(stdout,
+                         "FAIL: %zu branch(es) regressed vs %s\n",
+                         report.items.size(), baseline_path.c_str());
+            return 1;
+        }
+        std::fputs("OK: no per-branch speculation regression\n",
+                   stdout);
+        return 0;
+    }
 
     if (check) {
         if (baseline_path.empty() || paths.size() != 1) {
