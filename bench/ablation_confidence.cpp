@@ -58,11 +58,13 @@ main(int argc, char **argv)
 {
     dee::Cli cli("Confidence-gated DEE vs the static tree (DEE-CD-MF)");
     cli.flag("scale", "4", "workload scale factor");
+    dee::runner::declareFlags(cli);
     dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
     dee::obs::Session session("ablation_confidence", cli);
-    const auto suite =
-        dee::makeSuite(static_cast<int>(cli.integer("scale")));
+    const dee::runner::SweepOptions sweep = dee::runner::fromCli(cli);
+    const auto suite = dee::bench::makeSuiteParallel(
+        static_cast<int>(cli.integer("scale")), sweep);
 
     const std::vector<int> ets{16, 32, 64, 100};
     dee::Table table({"variant", "ET=16", "ET=32", "ET=64", "ET=100"});
@@ -72,44 +74,46 @@ main(int argc, char **argv)
         ets_json.push(dee::obs::Json(e_t));
     session.manifest().results()["ets"] = std::move(ets_json);
 
+    const auto grid = dee::bench::runGrid(
+        2 * ets.size(), suite, sweep,
+        [&](std::size_t point, const dee::BenchmarkInstance &inst) {
+            const bool gated = point / ets.size() != 0;
+            const int e_t = ets[point % ets.size()];
+            dee::TwoBitPredictor pred(inst.trace.numStatic);
+            const double p =
+                dee::characteristicAccuracy(inst.trace, pred);
+            const dee::TreeGeometry g = dee::computeGeometry(p, e_t);
+
+            dee::SimConfig config;
+            config.cd = dee::CdModel::Minimal;
+
+            std::vector<double> accuracy;
+            dee::SpecTree tree = dee::SpecTree::deeStatic(g);
+            if (gated) {
+                accuracy = dee::profileBranchAccuracy(inst.trace, pred);
+                const int h = std::max(g.deeHeight, 1);
+                const double fraction =
+                    static_cast<double>(h + 1) /
+                    (2.0 * std::max(g.mainLineLength, 1));
+                config.confidence.accuracy = &accuracy;
+                config.confidence.threshold = thresholdForFraction(
+                    inst, accuracy, std::min(fraction, 1.0));
+                config.confidence.sideLen = h;
+                // ML depth for the gated walk = the same l; the
+                // machine's static reach is still E_T resources.
+                config.windowReachOverride = e_t;
+                tree = dee::SpecTree::singlePath(p, g.mainLineLength);
+            }
+            dee::WindowSim sim(inst.trace, tree, config, &inst.cfg);
+            return sim.run(pred).speedup;
+        });
     for (bool gated : {false, true}) {
         std::vector<std::string> row{
             gated ? "confidence-gated side paths" : "static tree"};
         dee::obs::Json series = dee::obs::Json::array();
-        for (int e_t : ets) {
-            std::vector<double> xs;
-            for (const auto &inst : suite) {
-                dee::TwoBitPredictor pred(inst.trace.numStatic);
-                const double p =
-                    dee::characteristicAccuracy(inst.trace, pred);
-                const dee::TreeGeometry g = dee::computeGeometry(p, e_t);
-
-                dee::SimConfig config;
-                config.cd = dee::CdModel::Minimal;
-
-                std::vector<double> accuracy;
-                dee::SpecTree tree = dee::SpecTree::deeStatic(g);
-                if (gated) {
-                    accuracy =
-                        dee::profileBranchAccuracy(inst.trace, pred);
-                    const int h = std::max(g.deeHeight, 1);
-                    const double fraction =
-                        static_cast<double>(h + 1) /
-                        (2.0 * std::max(g.mainLineLength, 1));
-                    config.confidence.accuracy = &accuracy;
-                    config.confidence.threshold = thresholdForFraction(
-                        inst, accuracy, std::min(fraction, 1.0));
-                    config.confidence.sideLen = h;
-                    // ML depth for the gated walk = the same l; the
-                    // machine's static reach is still E_T resources.
-                    config.windowReachOverride = e_t;
-                    tree = dee::SpecTree::singlePath(p,
-                                                     g.mainLineLength);
-                }
-                dee::WindowSim sim(inst.trace, tree, config, &inst.cfg);
-                xs.push_back(sim.run(pred).speedup);
-            }
-            const double hm = dee::harmonicMean(xs);
+        for (std::size_t e = 0; e < ets.size(); ++e) {
+            const double hm = dee::harmonicMean(
+                grid[(gated ? ets.size() : 0) + e]);
             series.push(dee::obs::Json(hm));
             row.push_back(dee::Table::fmt(hm, 2));
         }

@@ -19,31 +19,38 @@ main(int argc, char **argv)
 {
     dee::Cli cli("Non-unit latency study (paper future work)");
     cli.flag("scale", "4", "workload scale factor");
+    dee::runner::declareFlags(cli);
     dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
     dee::obs::Session session("ablation_latency", cli);
-    const auto suite =
-        dee::makeSuite(static_cast<int>(cli.integer("scale")));
+    const dee::runner::SweepOptions sweep = dee::runner::fromCli(cli);
+    const auto suite = dee::bench::makeSuiteParallel(
+        static_cast<int>(cli.integer("scale")), sweep);
 
     dee::Table table({"latency model", "SP", "EE", "DEE", "SP-CD-MF",
                       "DEE-CD-MF", "Oracle"});
+    const std::vector<dee::ModelKind> kinds{
+        dee::ModelKind::SP,       dee::ModelKind::EE,
+        dee::ModelKind::DEE,      dee::ModelKind::SP_CD_MF,
+        dee::ModelKind::DEE_CD_MF, dee::ModelKind::Oracle};
+    const auto grid = dee::bench::runGrid(
+        2 * kinds.size(), suite, sweep,
+        [&](std::size_t p, const dee::BenchmarkInstance &inst) {
+            dee::ModelRunOptions options;
+            options.latency = p / kinds.size() != 0
+                                  ? dee::LatencyModel::realistic()
+                                  : dee::LatencyModel::unit();
+            return dee::bench::speedupOf(kinds[p % kinds.size()], inst,
+                                         100, options);
+        });
     for (bool realistic : {false, true}) {
-        dee::ModelRunOptions options;
-        options.latency = realistic ? dee::LatencyModel::realistic()
-                                    : dee::LatencyModel::unit();
         std::vector<std::string> row{realistic ? "3-cycle loads"
                                                : "unit (paper)"};
         dee::obs::Json point = dee::obs::Json::object();
-        for (dee::ModelKind kind :
-             {dee::ModelKind::SP, dee::ModelKind::EE, dee::ModelKind::DEE,
-              dee::ModelKind::SP_CD_MF, dee::ModelKind::DEE_CD_MF,
-              dee::ModelKind::Oracle}) {
-            std::vector<double> xs;
-            for (const auto &inst : suite)
-                xs.push_back(
-                    dee::bench::speedupOf(kind, inst, 100, options));
-            const double hm = dee::harmonicMean(xs);
-            point[std::string(dee::modelName(kind)) + "_speedup"] =
+        for (std::size_t k = 0; k < kinds.size(); ++k) {
+            const double hm = dee::harmonicMean(
+                grid[(realistic ? kinds.size() : 0) + k]);
+            point[std::string(dee::modelName(kinds[k])) + "_speedup"] =
                 dee::obs::Json(hm);
             row.push_back(dee::Table::fmt(hm, 2));
         }

@@ -10,6 +10,7 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_util.hh"
 #include "common/cli.hh"
@@ -20,11 +21,13 @@ main(int argc, char **argv)
 {
     dee::Cli cli("Cache hierarchy study at E_T = 100");
     cli.flag("scale", "4", "workload scale factor");
+    dee::runner::declareFlags(cli);
     dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
     dee::obs::Session session("ablation_memory", cli);
-    const auto suite =
-        dee::makeSuite(static_cast<int>(cli.integer("scale")));
+    const dee::runner::SweepOptions sweep = dee::runner::fromCli(cli);
+    const auto suite = dee::bench::makeSuiteParallel(
+        static_cast<int>(cli.integer("scale")), sweep);
 
     struct Point
     {
@@ -42,11 +45,20 @@ main(int argc, char **argv)
                                dee::obs::Json::object());
     dee::Table table({"memory", "L1 hit", "mean load lat", "SP",
                       "DEE-CD-MF", "Oracle"});
-    for (const auto &point : points) {
-        std::vector<double> sp, dee_mf, oracle;
-        double l1_hit = 1.0;
-        double mean_lat = 1.0;
-        for (const auto &inst : suite) {
+    // One cell per (memory point, benchmark): the cache replay and the
+    // three sims that consume its latencies belong together.
+    struct CellOut
+    {
+        double sp = 0.0, deeMf = 0.0, oracle = 0.0;
+        double l1Hit = 1.0, meanLat = 1.0;
+    };
+    const std::size_t num_points = std::size(points);
+    std::vector<CellOut> cells(num_points * suite.size());
+    dee::runner::runCells(
+        cells.size(), sweep, [&](std::size_t c) {
+            const Point &point = points[c / suite.size()];
+            const auto &inst = suite[c % suite.size()];
+            CellOut &res = cells[c];
             std::vector<int> latencies;
             dee::ModelRunOptions options;
             if (point.enabled) {
@@ -54,15 +66,30 @@ main(int argc, char **argv)
                     dee::computeMemoryLatencies(inst.trace, point.config,
                                                 &latencies);
                 options.loadLatencies = &latencies;
-                l1_hit = stats.l1HitRate();
-                mean_lat = stats.meanLoadLatency;
+                res.l1Hit = stats.l1HitRate();
+                res.meanLat = stats.meanLoadLatency;
             }
-            sp.push_back(dee::bench::speedupOf(dee::ModelKind::SP, inst,
-                                               100, options));
-            dee_mf.push_back(dee::bench::speedupOf(
-                dee::ModelKind::DEE_CD_MF, inst, 100, options));
-            oracle.push_back(dee::bench::speedupOf(
-                dee::ModelKind::Oracle, inst, 0, options));
+            res.sp = dee::bench::speedupOf(dee::ModelKind::SP, inst,
+                                           100, options);
+            res.deeMf = dee::bench::speedupOf(dee::ModelKind::DEE_CD_MF,
+                                              inst, 100, options);
+            res.oracle = dee::bench::speedupOf(dee::ModelKind::Oracle,
+                                               inst, 0, options);
+        });
+    for (std::size_t pi = 0; pi < num_points; ++pi) {
+        const Point &point = points[pi];
+        std::vector<double> sp, dee_mf, oracle;
+        double l1_hit = 1.0;
+        double mean_lat = 1.0;
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+            const CellOut &res = cells[pi * suite.size() + i];
+            sp.push_back(res.sp);
+            dee_mf.push_back(res.deeMf);
+            oracle.push_back(res.oracle);
+            if (point.enabled) {
+                l1_hit = res.l1Hit;
+                mean_lat = res.meanLat;
+            }
         }
         dee::obs::Json entry = dee::obs::Json::object();
         entry["l1_hit_rate"] = dee::obs::Json(point.enabled ? l1_hit : 1.0);

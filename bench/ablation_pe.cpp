@@ -20,11 +20,13 @@ main(int argc, char **argv)
 {
     dee::Cli cli("Issue-width (PE) limit study at E_T = 100");
     cli.flag("scale", "4", "workload scale factor");
+    dee::runner::declareFlags(cli);
     dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
     dee::obs::Session session("ablation_pe", cli);
-    const auto suite =
-        dee::makeSuite(static_cast<int>(cli.integer("scale")));
+    const dee::runner::SweepOptions sweep = dee::runner::fromCli(cli);
+    const auto suite = dee::bench::makeSuiteParallel(
+        static_cast<int>(cli.integer("scale")), sweep);
 
     const std::vector<int> widths{4, 8, 16, 32, 64, 128, 0};
     std::vector<std::string> headers{"model"};
@@ -39,23 +41,27 @@ main(int argc, char **argv)
     dee::obs::Json &out = (session.manifest().results()["models"] =
                                dee::obs::Json::object());
 
-    for (dee::ModelKind kind :
-         {dee::ModelKind::SP, dee::ModelKind::DEE,
-          dee::ModelKind::SP_CD_MF, dee::ModelKind::DEE_CD_MF}) {
-        std::vector<std::string> row{dee::modelName(kind)};
-        dee::obs::Json series = dee::obs::Json::array();
-        for (int w : widths) {
+    const std::vector<dee::ModelKind> kinds{
+        dee::ModelKind::SP, dee::ModelKind::DEE,
+        dee::ModelKind::SP_CD_MF, dee::ModelKind::DEE_CD_MF};
+    const auto grid = dee::bench::runGrid(
+        kinds.size() * widths.size(), suite, sweep,
+        [&](std::size_t p, const dee::BenchmarkInstance &inst) {
             dee::ModelRunOptions options;
-            options.peLimit = w;
-            std::vector<double> xs;
-            for (const auto &inst : suite)
-                xs.push_back(
-                    dee::bench::speedupOf(kind, inst, 100, options));
-            const double hm = dee::harmonicMean(xs);
+            options.peLimit = widths[p % widths.size()];
+            return dee::bench::speedupOf(kinds[p / widths.size()], inst,
+                                         100, options);
+        });
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+        std::vector<std::string> row{dee::modelName(kinds[k])};
+        dee::obs::Json series = dee::obs::Json::array();
+        for (std::size_t w = 0; w < widths.size(); ++w) {
+            const double hm =
+                dee::harmonicMean(grid[k * widths.size() + w]);
             series.push(dee::obs::Json(hm));
             row.push_back(dee::Table::fmt(hm, 2));
         }
-        out[dee::modelName(kind)] = std::move(series);
+        out[dee::modelName(kinds[k])] = std::move(series);
         table.addRow(std::move(row));
     }
     std::printf("%s\npaper: max busy PEs 'likely less than 200 (for "

@@ -20,34 +20,54 @@ main(int argc, char **argv)
 {
     dee::Cli cli("Predictor choice vs DEE benefit (E_T = 100)");
     cli.flag("scale", "4", "workload scale factor");
+    dee::runner::declareFlags(cli);
     dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
     dee::obs::Session session("ablation_predictor", cli);
-    const auto suite =
-        dee::makeSuite(static_cast<int>(cli.integer("scale")));
+    const dee::runner::SweepOptions sweep = dee::runner::fromCli(cli);
+    const auto suite = dee::bench::makeSuiteParallel(
+        static_cast<int>(cli.integer("scale")), sweep);
 
     dee::obs::Json &out = (session.manifest().results()["predictors"] =
                                dee::obs::Json::object());
     dee::Table table({"predictor", "mean accuracy", "SP-CD-MF",
                       "DEE-CD-MF", "DEE benefit"});
-    for (const char *name :
-         {"taken", "btfnt", "1bit", "2bit", "pap", "gshare", "tournament", "oracle"}) {
+    const std::vector<const char *> names{
+        "taken", "btfnt",  "1bit",       "2bit",
+        "pap",   "gshare", "tournament", "oracle"};
+    // One cell per (predictor, benchmark): the accuracy measurement
+    // and both sims share the instance, predictor-major like the
+    // serial loops.
+    struct CellOut
+    {
+        double acc = 0.0, sp = 0.0, dee = 0.0;
+    };
+    std::vector<CellOut> cells(names.size() * suite.size());
+    dee::runner::runCells(cells.size(), sweep, [&](std::size_t c) {
+        const char *name = names[c / suite.size()];
+        const auto &inst = suite[c % suite.size()];
+        CellOut &res = cells[c];
+        const auto backward = dee::backwardTable(inst.program);
+        auto meter = dee::makePredictor(name, inst.trace.numStatic);
+        res.acc = dee::measureAccuracy(inst.trace, *meter, backward)
+                      .accuracy;
+        for (bool use_dee : {false, true}) {
+            auto pred = dee::makePredictor(name, inst.trace.numStatic);
+            const dee::SimResult r = dee::runModel(
+                use_dee ? dee::ModelKind::DEE_CD_MF
+                        : dee::ModelKind::SP_CD_MF,
+                inst.trace, &inst.cfg, *pred, 100);
+            (use_dee ? res.dee : res.sp) = r.speedup;
+        }
+    });
+    for (std::size_t ni = 0; ni < names.size(); ++ni) {
+        const char *name = names[ni];
         std::vector<double> accs, sp, dee;
-        for (const auto &inst : suite) {
-            const auto backward = dee::backwardTable(inst.program);
-            auto meter = dee::makePredictor(name, inst.trace.numStatic);
-            accs.push_back(
-                dee::measureAccuracy(inst.trace, *meter, backward)
-                    .accuracy);
-            for (bool use_dee : {false, true}) {
-                auto pred =
-                    dee::makePredictor(name, inst.trace.numStatic);
-                const dee::SimResult r = dee::runModel(
-                    use_dee ? dee::ModelKind::DEE_CD_MF
-                            : dee::ModelKind::SP_CD_MF,
-                    inst.trace, &inst.cfg, *pred, 100);
-                (use_dee ? dee : sp).push_back(r.speedup);
-            }
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+            const CellOut &res = cells[ni * suite.size() + i];
+            accs.push_back(res.acc);
+            sp.push_back(res.sp);
+            dee.push_back(res.dee);
         }
         const double sp_hm = dee::harmonicMean(sp);
         const double dee_hm = dee::harmonicMean(dee);

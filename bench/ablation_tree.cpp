@@ -18,26 +18,24 @@
 namespace
 {
 
+/** One DEE-CD-MF sim with an explicit tree shape; the per-instance
+ *  body the grid cells below run. */
 double
-hmWithTree(const std::vector<dee::BenchmarkInstance> &suite,
-           bool greedy, double p_override, int e_t, int penalty)
+speedupWithTree(const dee::BenchmarkInstance &inst, bool greedy,
+                double p_override, int e_t, int penalty)
 {
-    std::vector<double> xs;
-    for (const auto &inst : suite) {
-        dee::TwoBitPredictor pred(inst.trace.numStatic);
-        double p = p_override;
-        if (p <= 0.0)
-            p = dee::characteristicAccuracy(inst.trace, pred);
-        const dee::SpecTree tree =
-            greedy ? dee::SpecTree::deeGreedy(p, e_t)
-                   : dee::SpecTree::deeStatic(p, e_t);
-        dee::SimConfig config;
-        config.cd = dee::CdModel::Minimal;
-        config.mispredictPenalty = penalty;
-        dee::WindowSim sim(inst.trace, tree, config, &inst.cfg);
-        xs.push_back(sim.run(pred).speedup);
-    }
-    return dee::harmonicMean(xs);
+    dee::TwoBitPredictor pred(inst.trace.numStatic);
+    double p = p_override;
+    if (p <= 0.0)
+        p = dee::characteristicAccuracy(inst.trace, pred);
+    const dee::SpecTree tree = greedy
+                                   ? dee::SpecTree::deeGreedy(p, e_t)
+                                   : dee::SpecTree::deeStatic(p, e_t);
+    dee::SimConfig config;
+    config.cd = dee::CdModel::Minimal;
+    config.mispredictPenalty = penalty;
+    dee::WindowSim sim(inst.trace, tree, config, &inst.cfg);
+    return sim.run(pred).speedup;
 }
 
 } // namespace
@@ -47,11 +45,13 @@ main(int argc, char **argv)
 {
     dee::Cli cli("DEE tree-shape ablations (DEE-CD-MF, harmonic mean)");
     cli.flag("scale", "4", "workload scale factor");
+    dee::runner::declareFlags(cli);
     dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
     dee::obs::Session session("ablation_tree", cli);
-    const auto suite =
-        dee::makeSuite(static_cast<int>(cli.integer("scale")));
+    const dee::runner::SweepOptions sweep = dee::runner::fromCli(cli);
+    const auto suite = dee::bench::makeSuiteParallel(
+        static_cast<int>(cli.integer("scale")), sweep);
     const std::vector<int> ets{32, 64, 100, 256};
 
     dee::obs::Json ets_json = dee::obs::Json::array();
@@ -64,12 +64,19 @@ main(int argc, char **argv)
         dee::obs::Json &out = (session.manifest().results()["tree"] =
                                    dee::obs::Json::object());
         dee::Table table({"tree", "ET=32", "ET=64", "ET=100", "ET=256"});
+        const auto grid = dee::bench::runGrid(
+            2 * ets.size(), suite, sweep,
+            [&](std::size_t p, const dee::BenchmarkInstance &inst) {
+                return speedupWithTree(inst, p / ets.size() != 0, -1.0,
+                                       ets[p % ets.size()], 1);
+            });
         for (bool greedy : {false, true}) {
             std::vector<std::string> row{
                 greedy ? "greedy (theory-exact)" : "static heuristic"};
             dee::obs::Json series = dee::obs::Json::array();
-            for (int e_t : ets) {
-                const double hm = hmWithTree(suite, greedy, -1.0, e_t, 1);
+            for (std::size_t e = 0; e < ets.size(); ++e) {
+                const double hm = dee::harmonicMean(
+                    grid[(greedy ? ets.size() : 0) + e]);
                 series.push(dee::obs::Json(hm));
                 row.push_back(dee::Table::fmt(hm, 2));
             }
@@ -87,14 +94,24 @@ main(int argc, char **argv)
                  dee::obs::Json::object());
         dee::Table table({"design p", "ET=32", "ET=64", "ET=100",
                           "ET=256"});
-        for (double p : {0.80, 0.86, 0.9053, 0.95, -1.0}) {
+        const std::vector<double> ps{0.80, 0.86, 0.9053, 0.95, -1.0};
+        const auto grid = dee::bench::runGrid(
+            ps.size() * ets.size(), suite, sweep,
+            [&](std::size_t point, const dee::BenchmarkInstance &inst) {
+                return speedupWithTree(inst, false,
+                                       ps[point / ets.size()],
+                                       ets[point % ets.size()], 1);
+            });
+        for (std::size_t pi = 0; pi < ps.size(); ++pi) {
+            const double p = ps[pi];
             const std::string label =
                 p < 0 ? "measured" : dee::Table::fmt(p, 4);
             std::vector<std::string> row{
                 p < 0 ? "measured per workload" : dee::Table::fmt(p, 4)};
             dee::obs::Json series = dee::obs::Json::array();
-            for (int e_t : ets) {
-                const double hm = hmWithTree(suite, false, p, e_t, 1);
+            for (std::size_t e = 0; e < ets.size(); ++e) {
+                const double hm =
+                    dee::harmonicMean(grid[pi * ets.size() + e]);
                 series.push(dee::obs::Json(hm));
                 row.push_back(dee::Table::fmt(hm, 2));
             }
@@ -111,16 +128,25 @@ main(int argc, char **argv)
                                    dee::obs::Json::object());
         dee::Table table({"penalty", "ET=32", "ET=64", "ET=100",
                           "ET=256"});
-        for (int penalty : {0, 1, 2, 4}) {
-            std::vector<std::string> row{std::to_string(penalty)};
+        const std::vector<int> penalties{0, 1, 2, 4};
+        const auto grid = dee::bench::runGrid(
+            penalties.size() * ets.size(), suite, sweep,
+            [&](std::size_t point, const dee::BenchmarkInstance &inst) {
+                return speedupWithTree(
+                    inst, false, -1.0, ets[point % ets.size()],
+                    penalties[point / ets.size()]);
+            });
+        for (std::size_t pi = 0; pi < penalties.size(); ++pi) {
+            std::vector<std::string> row{
+                std::to_string(penalties[pi])};
             dee::obs::Json series = dee::obs::Json::array();
-            for (int e_t : ets) {
+            for (std::size_t e = 0; e < ets.size(); ++e) {
                 const double hm =
-                    hmWithTree(suite, false, -1.0, e_t, penalty);
+                    dee::harmonicMean(grid[pi * ets.size() + e]);
                 series.push(dee::obs::Json(hm));
                 row.push_back(dee::Table::fmt(hm, 2));
             }
-            out[std::to_string(penalty)] = std::move(series);
+            out[std::to_string(penalties[pi])] = std::move(series);
             table.addRow(std::move(row));
         }
         std::printf("== misprediction penalty (paper: 1 cycle, maybe "

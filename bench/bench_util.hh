@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "common/table.hh"
 #include "core/sim/models.hh"
 #include "obs/obs.hh"
+#include "runner/sweep.hh"
 #include "workloads/suite.hh"
 
 namespace dee::bench
@@ -75,6 +77,124 @@ sweepInstance(const BenchmarkInstance &inst, const std::vector<int> &ets,
         }
     }
     return series;
+}
+
+/** One (model, E_T) point of a model-sweep grid; Oracle contributes a
+ *  single point regardless of |ets| (its speedup is E_T-independent). */
+struct SweepCell
+{
+    ModelKind kind;
+    int et;
+};
+
+/**
+ * The cell list sweepInstance() walks, in its exact serial order
+ * (model-major, E_T-minor, one Oracle point). Parallel drivers run
+ * these through runner::runCells so the deterministic in-order merge
+ * reproduces the serial registry state.
+ */
+inline std::vector<SweepCell>
+sweepCells(const std::vector<int> &ets)
+{
+    std::vector<SweepCell> cells;
+    for (ModelKind kind : allModels()) {
+        if (kind == ModelKind::Oracle) {
+            cells.push_back({kind, ets.front()});
+            continue;
+        }
+        for (int e_t : ets)
+            cells.push_back({kind, e_t});
+    }
+    return cells;
+}
+
+/** Reassembles flat sweepCells() results into the per-model series
+ *  shape sweepInstance() returns. */
+inline std::map<ModelKind, std::vector<double>>
+assembleSeries(const std::vector<int> &ets,
+               const std::vector<double> &flat)
+{
+    std::map<ModelKind, std::vector<double>> series;
+    std::size_t idx = 0;
+    for (ModelKind kind : allModels()) {
+        auto &row = series[kind];
+        if (kind == ModelKind::Oracle) {
+            row.assign(ets.size(), flat.at(idx++));
+            continue;
+        }
+        for (std::size_t i = 0; i < ets.size(); ++i)
+            row.push_back(flat.at(idx++));
+    }
+    return series;
+}
+
+/**
+ * sweepInstance() distributed over runner::runCells: identical output
+ * and (after the runner's in-order merge) identical observability
+ * state, any --jobs value.
+ */
+inline std::map<ModelKind, std::vector<double>>
+sweepInstance(const BenchmarkInstance &inst, const std::vector<int> &ets,
+              const runner::SweepOptions &sweep,
+              const ModelRunOptions &options = {},
+              obs::Heartbeat *heartbeat = nullptr)
+{
+    const std::vector<SweepCell> cells = sweepCells(ets);
+    std::vector<double> flat(cells.size(), 0.0);
+    runner::runCells(cells.size(), sweep, [&](std::size_t i) {
+        flat[i] = speedupOf(cells[i].kind, inst, cells[i].et, options);
+        if (heartbeat != nullptr)
+            heartbeat->tick();
+    });
+    return assembleSeries(ets, flat);
+}
+
+/**
+ * Runs @p eval(point, instance) for every pair of a (points x suite)
+ * grid through runner::runCells — point-major, instance-minor, which
+ * is the order every serial bench loop uses — and returns the results
+ * as [point][instance]. With --jobs 1 this is exactly the serial
+ * double loop; with --jobs N the runner's in-order merge keeps the
+ * observability state identical.
+ */
+template <typename Eval>
+inline std::vector<std::vector<double>>
+runGrid(std::size_t points, const std::vector<BenchmarkInstance> &suite,
+        const runner::SweepOptions &sweep, Eval &&eval,
+        obs::Heartbeat *heartbeat = nullptr)
+{
+    std::vector<std::vector<double>> out(
+        points, std::vector<double>(suite.size(), 0.0));
+    runner::runCells(points * suite.size(), sweep, [&](std::size_t c) {
+        const std::size_t point = c / suite.size();
+        const std::size_t inst = c % suite.size();
+        out[point][inst] = eval(point, suite[inst]);
+        if (heartbeat != nullptr)
+            heartbeat->tick();
+    });
+    return out;
+}
+
+/**
+ * makeSuite() with the instance builds (generate + CFG + trace — the
+ * expensive part of tool startup) distributed over runner::runCells.
+ */
+inline std::vector<BenchmarkInstance>
+makeSuiteParallel(int scale, const runner::SweepOptions &sweep,
+                  std::uint64_t max_instrs = 50'000'000,
+                  std::uint64_t seed = 0)
+{
+    const std::vector<WorkloadId> ids = allWorkloads();
+    std::vector<std::unique_ptr<BenchmarkInstance>> built(ids.size());
+    runner::runCells(ids.size(), sweep, [&](std::size_t i) {
+        built[i] = std::make_unique<BenchmarkInstance>(
+            makeInstance(ids[i], scale, max_instrs, seed));
+    });
+    std::vector<BenchmarkInstance> suite;
+    suite.reserve(built.size());
+    for (auto &instance : built)
+        suite.push_back(std::move(*instance));
+    return suite;
 }
 
 /** Renders a model x E_T speedup table, Figure-5 style. */

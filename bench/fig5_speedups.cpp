@@ -9,7 +9,8 @@
  * {8, 16, 32, 64, 128, 256}, exactly the series the paper plots.
  *
  * Flags: --scale N (trace size), --penalty P (mispredict penalty),
- * plus the standard observability flags (--json/--trace-out/--stats).
+ * --jobs N (parallel cells; results identical to --jobs 1), plus the
+ * standard observability flags (--json/--trace-out/--stats).
  */
 
 #include <cstdio>
@@ -23,9 +24,11 @@ main(int argc, char **argv)
     dee::Cli cli("Figure 5 reproduction: model speedups vs resources");
     cli.flag("scale", "4", "workload scale factor");
     cli.flag("penalty", "1", "misprediction penalty (cycles)");
+    dee::runner::declareFlags(cli);
     dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
     dee::obs::Session session("fig5_speedups", cli);
+    const dee::runner::SweepOptions sweep = dee::runner::fromCli(cli);
 
     const std::vector<int> ets{8, 16, 32, 64, 128, 256};
     dee::ModelRunOptions options;
@@ -43,19 +46,38 @@ main(int argc, char **argv)
         (session.manifest().results()["benchmarks"] =
              dee::obs::Json::object());
 
-    std::vector<std::map<dee::ModelKind, std::vector<double>>> all;
-    const auto suite =
-        dee::makeSuite(static_cast<int>(cli.integer("scale")));
+    const auto suite = dee::bench::makeSuiteParallel(
+        static_cast<int>(cli.integer("scale")), sweep);
+    // One global cell list (benchmark-major, then model-major) rather
+    // than a per-benchmark sweep, so every (benchmark, model, E_T)
+    // point is a schedulable cell and --jobs N keeps all workers busy
+    // across benchmark boundaries. The list order IS the serial
+    // publish order, so the runner's in-order merge reproduces the
+    // --jobs 1 observability state exactly.
+    const std::vector<dee::bench::SweepCell> per_inst =
+        dee::bench::sweepCells(ets);
+    const std::size_t stride = per_inst.size();
     // 7 constrained models x |ets| runs + 1 Oracle run per benchmark;
     // progress to stderr unless the run is scripted (--json).
     dee::obs::Heartbeat heartbeat(
         "fig5_speedups", session.options().jsonPath.empty());
-    heartbeat.setTotal(suite.size() *
-                       ((dee::allModels().size() - 1) * ets.size() + 1));
+    heartbeat.setTotal(suite.size() * stride);
+    std::vector<double> flat(suite.size() * stride, 0.0);
+    dee::runner::runCells(flat.size(), sweep, [&](std::size_t c) {
+        const auto &inst = suite[c / stride];
+        const dee::bench::SweepCell &cell = per_inst[c % stride];
+        flat[c] = dee::bench::speedupOf(cell.kind, inst, cell.et,
+                                        options);
+        heartbeat.tick();
+    });
+
+    std::vector<std::map<dee::ModelKind, std::vector<double>>> all;
     for (std::size_t i = 0; i < suite.size(); ++i) {
         const auto &inst = suite[i];
-        auto series =
-            dee::bench::sweepInstance(inst, ets, options, &heartbeat);
+        auto series = dee::bench::assembleSeries(
+            ets, {flat.begin() + static_cast<std::ptrdiff_t>(i * stride),
+                  flat.begin() +
+                      static_cast<std::ptrdiff_t>((i + 1) * stride)});
         std::printf("%s", dee::bench::renderSweep(
                               inst.name + " (paper oracle: " +
                                   dee::Table::fmt(paper_oracle[i], 2) +

@@ -21,12 +21,14 @@ main(int argc, char **argv)
 {
     dee::Cli cli("Section 5.3 headline claims at E_T = 100");
     cli.flag("scale", "4", "workload scale factor");
+    dee::runner::declareFlags(cli);
     dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
     dee::obs::Session session("headline_claims", cli);
+    const dee::runner::SweepOptions sweep = dee::runner::fromCli(cli);
 
-    const auto suite =
-        dee::makeSuite(static_cast<int>(cli.integer("scale")));
+    const auto suite = dee::bench::makeSuiteParallel(
+        static_cast<int>(cli.integer("scale")), sweep);
 
     // 7 harmonic-mean points + 2 PE-estimate sims per benchmark;
     // progress to stderr unless the run is scripted (--json).
@@ -34,22 +36,29 @@ main(int argc, char **argv)
         "headline_claims", session.options().jsonPath.empty());
     heartbeat.setTotal(suite.size() * 9);
 
-    auto hm_at = [&](dee::ModelKind kind, int e_t) {
-        std::vector<double> xs;
-        for (const auto &inst : suite) {
-            xs.push_back(dee::bench::speedupOf(kind, inst, e_t));
-            heartbeat.tick();
-        }
-        return dee::harmonicMean(xs);
-    };
+    const std::vector<std::pair<dee::ModelKind, int>> points{
+        {dee::ModelKind::DEE_CD_MF, 100},
+        {dee::ModelKind::DEE_CD_MF, 32},
+        {dee::ModelKind::DEE_CD_MF, 8},
+        {dee::ModelKind::SP, 100},
+        {dee::ModelKind::EE, 100},
+        {dee::ModelKind::EE, 256},
+        {dee::ModelKind::Oracle, 0}};
+    const auto grid = dee::bench::runGrid(
+        points.size(), suite, sweep,
+        [&](std::size_t p, const dee::BenchmarkInstance &inst) {
+            return dee::bench::speedupOf(points[p].first, inst,
+                                         points[p].second);
+        },
+        &heartbeat);
 
-    const double dee100 = hm_at(dee::ModelKind::DEE_CD_MF, 100);
-    const double dee32 = hm_at(dee::ModelKind::DEE_CD_MF, 32);
-    const double dee8 = hm_at(dee::ModelKind::DEE_CD_MF, 8);
-    const double sp100 = hm_at(dee::ModelKind::SP, 100);
-    const double ee100 = hm_at(dee::ModelKind::EE, 100);
-    const double ee256 = hm_at(dee::ModelKind::EE, 256);
-    const double oracle = hm_at(dee::ModelKind::Oracle, 0);
+    const double dee100 = dee::harmonicMean(grid[0]);
+    const double dee32 = dee::harmonicMean(grid[1]);
+    const double dee8 = dee::harmonicMean(grid[2]);
+    const double sp100 = dee::harmonicMean(grid[3]);
+    const double ee100 = dee::harmonicMean(grid[4]);
+    const double ee256 = dee::harmonicMean(grid[5]);
+    const double oracle = dee::harmonicMean(grid[6]);
 
     dee::Table table({"claim", "measured", "paper", "ratio"});
     dee::obs::Json &claims = (session.manifest().results()["claims"] =
@@ -74,9 +83,12 @@ main(int argc, char **argv)
     // Section 5.1's PE estimate: "the maximum number of PE's used at
     // any time ... is likely to be less than 200 (for 100 branch
     // paths), with the average being much lower."
-    std::uint64_t peak = 0;
-    std::vector<double> means;
-    for (const auto &inst : suite) {
+    std::vector<std::uint64_t> peaks(suite.size(), 0);
+    std::vector<double> means(suite.size(), 0.0);
+    // Both sims of a benchmark stay in one cell: the issue-stats sim
+    // derives its accuracy from the predictor the first sim trained.
+    dee::runner::runCells(suite.size(), sweep, [&](std::size_t i) {
+        const auto &inst = suite[i];
         dee::TwoBitPredictor pred(inst.trace.numStatic);
         dee::ModelRunOptions options;
         options.profileWorkload = inst.name;
@@ -100,10 +112,13 @@ main(int argc, char **argv)
         dee::TwoBitPredictor pred2(inst.trace.numStatic);
         const dee::SimResult stats = sim.run(pred2);
         heartbeat.tick();
-        peak = std::max(peak, stats.peakIssue);
-        means.push_back(stats.speedup);
-    }
+        peaks[i] = stats.peakIssue;
+        means[i] = stats.speedup;
+    });
     heartbeat.finish();
+    std::uint64_t peak = 0;
+    for (std::uint64_t p : peaks)
+        peak = std::max(peak, p);
     std::printf("\npeak busy PEs at E_T=100 over the suite: %llu "
                 "(paper estimate: <200); average busy PEs = the HM "
                 "speedup, %.1f (\"much lower\") \n",

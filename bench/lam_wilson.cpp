@@ -22,37 +22,61 @@ main(int argc, char **argv)
 {
     dee::Cli cli("Lam-Wilson unlimited vs constrained models");
     cli.flag("scale", "4", "workload scale factor");
+    dee::runner::declareFlags(cli);
     dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
     dee::obs::Session session("lam_wilson", cli);
-    const auto suite =
-        dee::makeSuite(static_cast<int>(cli.integer("scale")));
+    const dee::runner::SweepOptions sweep = dee::runner::fromCli(cli);
+    const auto suite = dee::bench::makeSuiteParallel(
+        static_cast<int>(cli.integer("scale")), sweep);
 
     dee::Table table({"workload", "LW-SP", "SP@256", "LW-SP-CD",
                       "SP-CD@256", "LW-SP-CD-MF", "SP-CD-MF@256",
                       "DEE-CD-MF@256", "Oracle"});
-    std::vector<std::vector<double>> cols(8);
-    for (const auto &inst : suite) {
-        std::vector<std::string> row{inst.name};
-        std::size_t c = 0;
-        auto push = [&](double v) {
-            cols[c++].push_back(v);
-            row.push_back(dee::Table::fmt(v, 2));
-        };
+    // 8 sims per benchmark, each its own cell (benchmark-major, the
+    // serial column order).
+    constexpr std::size_t kCols = 8;
+    std::vector<double> flat(suite.size() * kCols, 0.0);
+    dee::runner::runCells(flat.size(), sweep, [&](std::size_t c) {
+        const auto &inst = suite[c / kCols];
         auto lw = [&](dee::LwModel model) {
             dee::TwoBitPredictor pred(inst.trace.numStatic);
             return dee::lamWilsonStudy(inst.trace, inst.cfg, model, pred)
                 .speedup;
         };
-        push(lw(dee::LwModel::SP));
-        push(dee::bench::speedupOf(dee::ModelKind::SP, inst, 256));
-        push(lw(dee::LwModel::SP_CD));
-        push(dee::bench::speedupOf(dee::ModelKind::SP_CD, inst, 256));
-        push(lw(dee::LwModel::SP_CD_MF));
-        push(dee::bench::speedupOf(dee::ModelKind::SP_CD_MF, inst, 256));
-        push(dee::bench::speedupOf(dee::ModelKind::DEE_CD_MF, inst,
-                                   256));
-        push(dee::bench::speedupOf(dee::ModelKind::Oracle, inst, 0));
+        double v = 0.0;
+        switch (c % kCols) {
+          case 0: v = lw(dee::LwModel::SP); break;
+          case 1:
+            v = dee::bench::speedupOf(dee::ModelKind::SP, inst, 256);
+            break;
+          case 2: v = lw(dee::LwModel::SP_CD); break;
+          case 3:
+            v = dee::bench::speedupOf(dee::ModelKind::SP_CD, inst, 256);
+            break;
+          case 4: v = lw(dee::LwModel::SP_CD_MF); break;
+          case 5:
+            v = dee::bench::speedupOf(dee::ModelKind::SP_CD_MF, inst,
+                                      256);
+            break;
+          case 6:
+            v = dee::bench::speedupOf(dee::ModelKind::DEE_CD_MF, inst,
+                                      256);
+            break;
+          default:
+            v = dee::bench::speedupOf(dee::ModelKind::Oracle, inst, 0);
+            break;
+        }
+        flat[c] = v;
+    });
+    std::vector<std::vector<double>> cols(kCols);
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        std::vector<std::string> row{suite[i].name};
+        for (std::size_t c = 0; c < kCols; ++c) {
+            const double v = flat[i * kCols + c];
+            cols[c].push_back(v);
+            row.push_back(dee::Table::fmt(v, 2));
+        }
         table.addRow(std::move(row));
     }
     const char *col_names[] = {"lw_sp",       "sp_256",

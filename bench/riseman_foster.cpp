@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "common/cli.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -24,11 +25,13 @@ main(int argc, char **argv)
 {
     dee::Cli cli("Riseman-Foster bounded-branch limit study");
     cli.flag("scale", "4", "workload scale factor");
+    dee::runner::declareFlags(cli);
     dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
     dee::obs::Session session("riseman_foster", cli);
-    const auto suite =
-        dee::makeSuite(static_cast<int>(cli.integer("scale")));
+    const dee::runner::SweepOptions sweep = dee::runner::fromCli(cli);
+    const auto suite = dee::bench::makeSuiteParallel(
+        static_cast<int>(cli.integer("scale")), sweep);
 
     const std::vector<std::optional<int>> points{
         0, 1, 2, 4, 8, 16, 32, 128, std::nullopt};
@@ -38,14 +41,21 @@ main(int argc, char **argv)
         headers.push_back(j ? "j=" + std::to_string(*j) : "j=inf");
     dee::Table table(headers);
 
+    // One cell per (benchmark, bypass point), benchmark-major like the
+    // serial loops.
+    std::vector<double> flat(suite.size() * points.size(), 0.0);
+    dee::runner::runCells(flat.size(), sweep, [&](std::size_t c) {
+        flat[c] = dee::limitStudy(suite[c / points.size()].trace,
+                                  points[c % points.size()])
+                      .speedup;
+    });
     std::vector<std::vector<double>> columns(points.size());
-    for (const auto &inst : suite) {
-        std::vector<std::string> row{inst.name};
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        std::vector<std::string> row{suite[i].name};
         for (std::size_t c = 0; c < points.size(); ++c) {
-            const dee::LimitResult r =
-                dee::limitStudy(inst.trace, points[c]);
-            columns[c].push_back(r.speedup);
-            row.push_back(dee::Table::fmt(r.speedup, 2));
+            const double speedup = flat[i * points.size() + c];
+            columns[c].push_back(speedup);
+            row.push_back(dee::Table::fmt(speedup, 2));
         }
         table.addRow(std::move(row));
     }

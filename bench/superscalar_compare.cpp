@@ -23,11 +23,13 @@ main(int argc, char **argv)
 {
     dee::Cli cli("Superscalar vs Levo vs DEE");
     cli.flag("scale", "2", "workload scale factor");
+    dee::runner::declareFlags(cli);
     dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
     dee::obs::Session session("superscalar_compare", cli);
-    const auto suite =
-        dee::makeSuite(static_cast<int>(cli.integer("scale")));
+    const dee::runner::SweepOptions sweep = dee::runner::fromCli(cli);
+    const auto suite = dee::bench::makeSuiteParallel(
+        static_cast<int>(cli.integer("scale")), sweep);
 
     dee::SuperscalarConfig four_wide;
     dee::SuperscalarConfig six_wide;
@@ -38,31 +40,49 @@ main(int argc, char **argv)
 
     dee::Table table({"workload", "4-wide OoO", "6-wide OoO",
                       "Levo 64x8", "DEE-CD-MF@100", "Oracle"});
+    // One cell per (benchmark, engine): 5 engines per benchmark,
+    // benchmark-major like the serial loop.
+    constexpr std::size_t kEngines = 5;
+    std::vector<double> flat(suite.size() * kEngines, 0.0);
+    dee::runner::runCells(flat.size(), sweep, [&](std::size_t c) {
+        const auto &inst = suite[c / kEngines];
+        switch (c % kEngines) {
+          case 0:
+            flat[c] = dee::superscalarSim(inst.trace, four_wide).ipc;
+            break;
+          case 1:
+            flat[c] = dee::superscalarSim(inst.trace, six_wide).ipc;
+            break;
+          case 2: {
+            dee::LevoConfig levo_config;
+            levo_config.iqRows = 64;
+            dee::LevoMachine levo(inst.program, inst.cfg, levo_config);
+            flat[c] = levo.run(3'000'000).ipc;
+            break;
+          }
+          case 3:
+            flat[c] = dee::bench::speedupOf(dee::ModelKind::DEE_CD_MF,
+                                            inst, 100);
+            break;
+          default:
+            flat[c] = dee::bench::speedupOf(dee::ModelKind::Oracle,
+                                            inst, 0);
+            break;
+        }
+    });
     std::vector<double> c4, c6, clevo, cdee, cor;
-    for (const auto &inst : suite) {
-        const auto r4 = dee::superscalarSim(inst.trace, four_wide);
-        const auto r6 = dee::superscalarSim(inst.trace, six_wide);
-
-        dee::LevoConfig levo_config;
-        levo_config.iqRows = 64;
-        dee::LevoMachine levo(inst.program, inst.cfg, levo_config);
-        const auto rl = levo.run(3'000'000);
-
-        const double dee_mf =
-            dee::bench::speedupOf(dee::ModelKind::DEE_CD_MF, inst, 100);
-        const double oracle =
-            dee::bench::speedupOf(dee::ModelKind::Oracle, inst, 0);
-
-        c4.push_back(r4.ipc);
-        c6.push_back(r6.ipc);
-        clevo.push_back(rl.ipc);
-        cdee.push_back(dee_mf);
-        cor.push_back(oracle);
-        table.addRow({inst.name, dee::Table::fmt(r4.ipc, 2),
-                      dee::Table::fmt(r6.ipc, 2),
-                      dee::Table::fmt(rl.ipc, 2),
-                      dee::Table::fmt(dee_mf, 2),
-                      dee::Table::fmt(oracle, 2)});
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const double *vals = &flat[i * kEngines];
+        c4.push_back(vals[0]);
+        c6.push_back(vals[1]);
+        clevo.push_back(vals[2]);
+        cdee.push_back(vals[3]);
+        cor.push_back(vals[4]);
+        table.addRow({suite[i].name, dee::Table::fmt(vals[0], 2),
+                      dee::Table::fmt(vals[1], 2),
+                      dee::Table::fmt(vals[2], 2),
+                      dee::Table::fmt(vals[3], 2),
+                      dee::Table::fmt(vals[4], 2)});
     }
     dee::obs::Json &out = (session.manifest().results()["harmonic_mean"] =
                                dee::obs::Json::object());

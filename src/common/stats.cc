@@ -25,6 +25,44 @@ RunningStat::add(double x)
     const double delta = x - mean_;
     mean_ += delta / static_cast<double>(count_);
     m2_ += delta * (x - mean_);
+    if (logging_)
+        samples_.push_back(x);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (const std::vector<double> *log = other.sampleLog()) {
+        dee_assert(log->size() == other.count_,
+                   "RunningStat sample log out of sync: ", log->size(),
+                   " samples for count ", other.count_);
+        for (const double x : *log)
+            add(x);
+        return;
+    }
+    // Moment combination (Chan et al.); exact for count/sum/min/max,
+    // mathematically correct but not replay-bit-identical for
+    // mean/variance.
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    mean_ += delta * nb / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (logging_)
+        dee_fatal("cannot moment-merge into a sample-logging "
+                  "RunningStat (the log would go stale)");
 }
 
 double
@@ -131,6 +169,21 @@ Histogram::add(double x, std::uint64_t weight)
         counts_[idx] += weight - 1;
     }
     add(x);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    dee_assert(lo_ == other.lo_ && hi_ == other.hi_ &&
+                   counts_.size() == other.counts_.size(),
+               "Histogram::merge geometry mismatch: [", lo_, ",", hi_,
+               ")x", counts_.size(), " vs [", other.lo_, ",", other.hi_,
+               ")x", other.counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    total_ += other.total_;
 }
 
 double

@@ -34,6 +34,31 @@ class RunningStat
     double stddev() const;
     double sum() const { return sum_; }
 
+    /**
+     * Keeps every future add()'ed sample in an ordered log, so this
+     * stat can later be merge()d into another *bit-exactly* — the
+     * target replays the log through add(), which is indistinguishable
+     * from having received the samples directly. Used by the parallel
+     * runner's per-cell registries (obs/isolate.hh); cells see a
+     * handful of samples each, so the log stays tiny.
+     */
+    void enableSampleLog() { logging_ = true; }
+
+    /** The replay log, or null when enableSampleLog() was never on. */
+    const std::vector<double> *sampleLog() const
+    {
+        return logging_ ? &samples_ : nullptr;
+    }
+
+    /**
+     * Folds @p other into this stat. When @p other carries a sample
+     * log the merge is an exact replay (bit-identical to sequential
+     * add()s in log order); otherwise the moments are combined with
+     * the parallel Welford formulas, which is mathematically right but
+     * not bit-identical to a sequential accumulation.
+     */
+    void merge(const RunningStat &other);
+
   private:
     std::uint64_t count_ = 0;
     double mean_ = 0.0;
@@ -41,6 +66,8 @@ class RunningStat
     double min_ = 0.0;
     double max_ = 0.0;
     double sum_ = 0.0;
+    bool logging_ = false;
+    std::vector<double> samples_;
 };
 
 /** Arithmetic mean of a sample vector; 0 for an empty vector. */
@@ -81,6 +108,10 @@ class Histogram
     /** Lower edge of bucket i. */
     double bucketLo(std::size_t i) const;
 
+    /** The construction-time bounds (geometry identity for merge()). */
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
     /**
      * Value below which fraction @p p (in [0, 1]) of the samples fall,
      * linearly interpolated inside the winning bucket and clamped to
@@ -93,6 +124,14 @@ class Histogram
 
     /** Renders "label: [lo,hi) count (pct%)" lines. */
     std::string render(const std::string &label) const;
+
+    /**
+     * Adds @p other's bucket/underflow/overflow counts to this
+     * histogram. Counts are integers, so the merge is exact: merging
+     * per-run histograms gives the same result as accumulating every
+     * sample into one. Fatal when the geometries differ.
+     */
+    void merge(const Histogram &other);
 
   private:
     double lo_;

@@ -329,7 +329,7 @@ WindowSim::run(BranchPredictor &predictor) const
             std::vector<std::uint64_t> crossed_npred;
             std::int64_t limit = ml_depth;
             for (std::uint64_t d = 0;
-                 r + d < num_paths &&
+                 r + d + 1 < num_paths &&
                  static_cast<std::int64_t>(d) < limit;
                  ++d) {
                 if (!paths[r + d].endsInBranch)
@@ -371,7 +371,10 @@ WindowSim::run(BranchPredictor &predictor) const
         } else {
             int node = SpecTree::kOrigin;
             std::vector<std::uint64_t> crossed_npred;
-            for (std::uint64_t d = 0; r + d < num_paths; ++d) {
+            // The walk relaxes fetch times of paths r+d+1, so it must
+            // stop at the last path: a cap-truncated trace can end in
+            // a branch, making even the final path endsInBranch.
+            for (std::uint64_t d = 0; r + d + 1 < num_paths; ++d) {
                 if (!paths[r + d].endsInBranch)
                     break;
                 node = tree_.child(node, correct[r + d] != 0);

@@ -158,6 +158,35 @@ CycleAccount::publish(Registry &registry, const std::string &prefix) const
                          static_cast<double>(denom);
 }
 
+void
+refreshAccountingScalars(Registry &registry)
+{
+    const std::string suffix = ".pe_slot_cycles";
+    for (const std::string &path : registry.paths()) {
+        if (path.compare(0, 5, "acct.") != 0 ||
+            path.size() <= suffix.size() ||
+            path.compare(path.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+            continue;
+        const std::string base =
+            path.substr(0, path.size() - suffix.size() + 1);
+        const std::uint64_t useful =
+            registry.counter(base + slotClassName(SlotClass::Useful));
+        const std::uint64_t squashed = registry.counter(
+            base + slotClassName(SlotClass::SquashedSpec));
+        const std::uint64_t denom = registry.counter(path);
+        registry.scalar(base + "waste_fraction") =
+            useful + squashed == 0
+                ? 0.0
+                : static_cast<double>(squashed) /
+                      static_cast<double>(useful + squashed);
+        registry.scalar(base + "useful_fraction") =
+            denom == 0 ? 0.0
+                       : static_cast<double>(useful) /
+                             static_cast<double>(denom);
+    }
+}
+
 Json
 CycleAccount::toJson() const
 {

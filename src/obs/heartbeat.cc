@@ -17,6 +17,7 @@ Heartbeat::Heartbeat(std::string label, bool enabled,
 void
 Heartbeat::tick(std::uint64_t units)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     done_ += units;
     if (!enabled_)
         return;
@@ -26,19 +27,27 @@ Heartbeat::tick(std::uint64_t units)
     if (since_emit < minIntervalS_)
         return;
     lastEmit_ = now;
-    std::fprintf(stderr, "%s\n", statusLine().c_str());
+    std::fprintf(stderr, "%s\n", statusLineLocked().c_str());
 }
 
 void
 Heartbeat::finish()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (!enabled_)
         return;
-    std::fprintf(stderr, "%s (done)\n", statusLine().c_str());
+    std::fprintf(stderr, "%s (done)\n", statusLineLocked().c_str());
 }
 
 std::string
 Heartbeat::statusLine() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return statusLineLocked();
+}
+
+std::string
+Heartbeat::statusLineLocked() const
 {
     const double elapsed =
         std::chrono::duration<double>(

@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 namespace dee::obs
@@ -22,7 +23,9 @@ namespace dee::obs
 
 /** Rate/ETA progress line, emitted to stderr at most every few
  *  seconds. Unit-agnostic: callers tick() whatever they count
- *  (instances, models, million cycles). */
+ *  (instances, models, million cycles). Thread-safe: one Heartbeat
+ *  can aggregate progress from every worker of a parallel sweep
+ *  (src/runner), ticks serialized by an internal mutex. */
 class Heartbeat
 {
   public:
@@ -43,13 +46,21 @@ class Heartbeat
     /** Emits a final summary line regardless of rate limiting. */
     void finish();
 
-    std::uint64_t done() const { return done_; }
+    std::uint64_t
+    done() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return done_;
+    }
 
     /** The line tick() would print now (without the trailing newline);
      *  exposed so tests need not capture stderr. */
     std::string statusLine() const;
 
   private:
+    /** statusLine() body; caller holds mutex_. */
+    std::string statusLineLocked() const;
+
     std::string label_;
     bool enabled_;
     double minIntervalS_;
@@ -57,6 +68,7 @@ class Heartbeat
     std::uint64_t done_ = 0;
     std::chrono::steady_clock::time_point start_;
     std::chrono::steady_clock::time_point lastEmit_;
+    mutable std::mutex mutex_;
 };
 
 } // namespace dee::obs

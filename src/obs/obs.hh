@@ -9,6 +9,7 @@
  *   profile/profile.hh per-branch speculation profiler (prof.*)
  *   profile/report.hh  self-contained HTML profile report (dee_prof)
  *   heartbeat.hh     rate/ETA progress lines for long bench runs
+ *   isolate.hh       per-cell obs isolation for parallel sweeps
  *   manifest.hh      machine-readable run manifests
  *   manifest_diff.hh manifest loading/flattening/diffing (dee_report)
  *   session.hh       --json/--trace-out/--stats wiring for binaries
@@ -20,6 +21,7 @@
 
 #include "obs/accounting.hh"
 #include "obs/heartbeat.hh"
+#include "obs/isolate.hh"
 #include "obs/json.hh"
 #include "obs/manifest.hh"
 #include "obs/manifest_diff.hh"

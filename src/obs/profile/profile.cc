@@ -508,11 +508,32 @@ SpeculationProfile::appendFoldedStacks(const std::string &scope,
     }
 }
 
+namespace
+{
+
+thread_local ProfileStore *current_store = nullptr;
+
+} // namespace
+
 ProfileStore &
 ProfileStore::global()
 {
+    return current_store != nullptr ? *current_store : process();
+}
+
+ProfileStore &
+ProfileStore::process()
+{
     static ProfileStore store;
     return store;
+}
+
+ProfileStore *
+ProfileStore::setCurrent(ProfileStore *store)
+{
+    ProfileStore *previous = current_store;
+    current_store = store;
+    return previous;
 }
 
 void
@@ -520,6 +541,31 @@ ProfileStore::merge(const std::string &scope,
                     const SpeculationProfile &profile)
 {
     scopes_[scope].merge(profile);
+}
+
+void
+ProfileStore::mergeFrom(const ProfileStore &other)
+{
+    for (const auto &[scope, profile] : other.scopes_)
+        scopes_[scope].merge(profile);
+}
+
+void
+refreshProfileScalars(Registry &registry)
+{
+    const std::string suffix = ".resolve_latency";
+    for (const std::string &path : registry.paths()) {
+        if (path.compare(0, 5, "prof.") != 0 ||
+            path.size() <= suffix.size() ||
+            path.compare(path.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+            continue;
+        const Histogram *latency = registry.findHistogram(path);
+        if (latency == nullptr || latency->total() == 0)
+            continue;
+        registry.scalar(path + "_p50") = latency->percentile(0.50);
+        registry.scalar(path + "_p90") = latency->percentile(0.90);
+    }
 }
 
 void

@@ -231,10 +231,26 @@ class SpeculationProfile
 class ProfileStore
 {
   public:
+    /** The calling thread's store: the thread-local override when a
+     *  parallel-runner cell installed one (setCurrent()), else the
+     *  process-wide instance. */
     static ProfileStore &global();
+
+    /** The process-wide instance, ignoring thread-local overrides. */
+    static ProfileStore &process();
+
+    /** Installs @p store (null to clear) as the calling thread's
+     *  global() override; returns the previous override. Prefer the
+     *  RAII obs::IsolationScope. */
+    static ProfileStore *setCurrent(ProfileStore *store);
 
     void merge(const std::string &scope,
                const SpeculationProfile &profile);
+
+    /** Folds every scope of @p other into this store. Profiles are
+     *  integer accumulations, so the merge is exact and, with scopes
+     *  keyed in a sorted map, order-independent. */
+    void mergeFrom(const ProfileStore &other);
     void clear();
     bool empty() const;
     const SpeculationProfile *find(const std::string &scope) const;
@@ -252,6 +268,15 @@ class ProfileStore
   private:
     std::map<std::string, SpeculationProfile> scopes_;
 };
+
+/**
+ * Recomputes every "prof.<scope>.resolve_latency_p50/_p90" scalar in
+ * @p registry from its (merged) resolve-latency histogram, exactly as
+ * the last SpeculationProfile::publish() of each scope would have.
+ * Counterpart of refreshAccountingScalars() for the profiler family;
+ * called by the parallel runner after cell registries merge.
+ */
+void refreshProfileScalars(Registry &registry);
 
 } // namespace dee::obs
 

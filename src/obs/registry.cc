@@ -41,11 +41,33 @@ validPath(const std::string &path)
 
 } // namespace
 
+namespace
+{
+
+/** Per-thread override installed by parallel-runner cells. */
+thread_local Registry *current_registry = nullptr;
+
+} // namespace
+
 Registry &
 Registry::global()
 {
+    return current_registry != nullptr ? *current_registry : process();
+}
+
+Registry &
+Registry::process()
+{
     static Registry instance;
     return instance;
+}
+
+Registry *
+Registry::setCurrent(Registry *registry)
+{
+    Registry *previous = current_registry;
+    current_registry = registry;
+    return previous;
 }
 
 const char *
@@ -101,6 +123,78 @@ Registry::resolve(const std::string &path, Entry::Kind kind)
     return entries_.emplace(path, std::move(entry)).first->second;
 }
 
+const Registry::Entry *
+Registry::findEntry(const std::string &path, Entry::Kind kind) const
+{
+    const auto it = entries_.find(path);
+    if (it == entries_.end() || it->second.kind != kind)
+        return nullptr;
+    return &it->second;
+}
+
+std::vector<std::string>
+Registry::paths() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &[path, entry] : entries_)
+        out.push_back(path);
+    return out;
+}
+
+const std::uint64_t *
+Registry::findCounter(const std::string &path) const
+{
+    const Entry *e = findEntry(path, Entry::Kind::Counter);
+    return e != nullptr ? &e->counter : nullptr;
+}
+
+const double *
+Registry::findScalar(const std::string &path) const
+{
+    const Entry *e = findEntry(path, Entry::Kind::Scalar);
+    return e != nullptr ? &e->scalar : nullptr;
+}
+
+const RunningStat *
+Registry::findStat(const std::string &path) const
+{
+    const Entry *e = findEntry(path, Entry::Kind::Stat);
+    return e != nullptr ? &e->stat : nullptr;
+}
+
+const Histogram *
+Registry::findHistogram(const std::string &path) const
+{
+    const Entry *e = findEntry(path, Entry::Kind::Hist);
+    return e != nullptr && e->hist ? e->hist.get() : nullptr;
+}
+
+void
+Registry::merge(const Registry &other)
+{
+    for (const auto &[path, entry] : other.entries_) {
+        switch (entry.kind) {
+          case Entry::Kind::Counter:
+            counter(path) += entry.counter;
+            break;
+          case Entry::Kind::Scalar:
+            scalar(path) = entry.scalar;
+            break;
+          case Entry::Kind::Stat:
+            stat(path).merge(entry.stat);
+            break;
+          case Entry::Kind::Hist:
+            if (entry.hist) {
+                histogram(path, entry.hist->lo(), entry.hist->hi(),
+                          entry.hist->numBuckets())
+                    .merge(*entry.hist);
+            }
+            break;
+        }
+    }
+}
+
 std::uint64_t &
 Registry::counter(const std::string &path)
 {
@@ -116,7 +210,11 @@ Registry::scalar(const std::string &path)
 RunningStat &
 Registry::stat(const std::string &path)
 {
-    return resolve(path, Entry::Kind::Stat).stat;
+    const bool fresh = entries_.find(path) == entries_.end();
+    RunningStat &s = resolve(path, Entry::Kind::Stat).stat;
+    if (fresh && logStatSamples_)
+        s.enableSampleLog();
+    return s;
 }
 
 Histogram &

@@ -18,8 +18,12 @@
  * path that is a dotted prefix of an existing leaf (or vice versa), is
  * a fatal naming error — the hierarchy must stay a tree.
  *
- * The registry is intentionally single-threaded, like the simulators
- * that feed it.
+ * Each registry instance is intentionally single-threaded, like the
+ * simulators that feed it. Parallel sweeps (src/runner) give every
+ * worker its own private Registry by redirecting global() through a
+ * thread-local override (see setCurrent()/obs/isolate.hh) and merge
+ * the per-cell registries back into the process instance in a
+ * deterministic grid order once the cells have finished.
  */
 
 #ifndef DEE_OBS_REGISTRY_HH
@@ -40,8 +44,25 @@ namespace dee::obs
 class Registry
 {
   public:
-    /** Process-wide instance used by the simulators. */
+    /**
+     * The registry the calling thread should publish into: the
+     * thread-local override installed by setCurrent() when one is
+     * active (a parallel-runner cell), else the process-wide
+     * instance. Simulators always publish through here, so they need
+     * no knowledge of whether they run serially or as a cell.
+     */
     static Registry &global();
+
+    /** The process-wide instance, ignoring any thread-local override
+     *  (merge target; what Sessions snapshot at exit). */
+    static Registry &process();
+
+    /**
+     * Installs @p registry (may be null to clear) as the calling
+     * thread's global() override and returns the previous override.
+     * Prefer the RAII obs::IsolationScope over calling this directly.
+     */
+    static Registry *setCurrent(Registry *registry);
 
     /** Returns the counter at @p path, creating it at zero. */
     std::uint64_t &counter(const std::string &path);
@@ -65,6 +86,35 @@ class Registry
 
     /** Drops every entry (references become dangling). */
     void clear() { entries_.clear(); }
+
+    /**
+     * Every stat created after this call keeps a per-sample replay log
+     * (RunningStat::enableSampleLog()), making merge() of this
+     * registry into another bit-exact. Cell registries turn this on;
+     * the process registry never does.
+     */
+    void logStatSamples() { logStatSamples_ = true; }
+
+    /**
+     * Folds @p other into this registry: counters add, stats merge
+     * (exact replay when @p other logs samples), histograms add their
+     * bucket counts, and plain scalars are overwritten by @p other's
+     * value. Derived scalars (acct.* fractions, prof.* percentiles)
+     * therefore hold the *last merged cell's* snapshot afterwards —
+     * callers must refresh them from the merged counters
+     * (refreshAccountingScalars() / refreshProfileScalars()) once all
+     * merging is done. Kind or tree-shape conflicts are fatal.
+     */
+    void merge(const Registry &other);
+
+    /** All leaf paths in sorted order (iteration for merge/refresh). */
+    std::vector<std::string> paths() const;
+
+    /** Read-only typed lookups; null when absent or of another kind. */
+    const std::uint64_t *findCounter(const std::string &path) const;
+    const double *findScalar(const std::string &path) const;
+    const RunningStat *findStat(const std::string &path) const;
+    const Histogram *findHistogram(const std::string &path) const;
 
     /** Aligned "path  value" table, histograms appended below. */
     std::string renderText() const;
@@ -97,7 +147,11 @@ class Registry
      *  returns the (possibly new) entry. */
     Entry &resolve(const std::string &path, Entry::Kind kind);
 
+    const Entry *findEntry(const std::string &path,
+                           Entry::Kind kind) const;
+
     std::map<std::string, Entry> entries_;
+    bool logStatSamples_ = false;
 };
 
 } // namespace dee::obs

@@ -8,11 +8,47 @@
 namespace dee::obs
 {
 
+namespace
+{
+
+thread_local Tracer *current_tracer = nullptr;
+
+} // namespace
+
 Tracer &
 Tracer::global()
 {
+    return current_tracer != nullptr ? *current_tracer : process();
+}
+
+Tracer &
+Tracer::process()
+{
     static Tracer instance;
     return instance;
+}
+
+Tracer *
+Tracer::setCurrent(Tracer *tracer)
+{
+    Tracer *previous = current_tracer;
+    current_tracer = tracer;
+    return previous;
+}
+
+void
+Tracer::mergeFrom(const Tracer &other)
+{
+    for (std::size_t i = 0; i < other.size(); ++i) {
+        const TraceEvent &e = other.event(i);
+        record(e.name, e.phase, e.ts, e.arg1Name, e.arg1, e.arg2Name,
+               e.arg2, e.tid, e.dur);
+    }
+    // The replay above re-counted the buffered events; fold in the
+    // ones @p other had already pushed out, so recorded()/dropped()
+    // match a single shared ring.
+    recorded_ += other.dropped();
+    dropped_ += other.dropped();
 }
 
 Tracer::Tracer(std::size_t capacity) : capacity_(capacity)

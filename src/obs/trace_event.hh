@@ -55,7 +55,19 @@ class Tracer
   public:
     static constexpr std::size_t kDefaultCapacity = 1u << 16;
 
+    /** The calling thread's tracer: the thread-local override when a
+     *  parallel-runner cell installed one (setCurrent()), else the
+     *  process-wide instance. */
     static Tracer &global();
+
+    /** The process-wide instance, ignoring thread-local overrides
+     *  (what Session writes at exit; the cell-merge target). */
+    static Tracer &process();
+
+    /** Installs @p tracer (null to clear) as the calling thread's
+     *  global() override; returns the previous override. Prefer the
+     *  RAII obs::IsolationScope. */
+    static Tracer *setCurrent(Tracer *tracer);
 
     explicit Tracer(std::size_t capacity = kDefaultCapacity);
 
@@ -106,6 +118,18 @@ class Tracer
 
     /** Forgets buffered events (capacity and enablement unchanged). */
     void clear();
+
+    /**
+     * Stitches @p other's ring onto this one: replays @p other's
+     * buffered events oldest-first (they are already in timestamp
+     * order within a run — simulators emit monotonically), then folds
+     * its drop count in, so recorded()/dropped() equal what one shared
+     * ring would have seen. Merging per-cell rings in grid order is
+     * therefore byte-equivalent to the serial single-ring run, as long
+     * as per-cell capacity >= this capacity (each ring then still
+     * holds a long-enough suffix of its own stream).
+     */
+    void mergeFrom(const Tracer &other);
 
     /** One JSON object per line, oldest first. */
     void writeJsonLines(std::ostream &os) const;

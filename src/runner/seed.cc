@@ -1,0 +1,43 @@
+#include "runner/seed.hh"
+
+#include "common/random.hh"
+
+namespace dee::runner
+{
+
+std::uint64_t
+hashCombine(std::uint64_t state, std::string_view text)
+{
+    // Length first so ("ab","c") and ("a","bc") cannot collide when
+    // chained.
+    state = hashCombine(state, static_cast<std::uint64_t>(text.size()));
+    for (const char c : text) {
+        state ^= static_cast<std::uint64_t>(
+            static_cast<unsigned char>(c));
+        splitMix64(state);
+    }
+    return state;
+}
+
+std::uint64_t
+hashCombine(std::uint64_t state, std::uint64_t value)
+{
+    state ^= value;
+    splitMix64(state);
+    return state;
+}
+
+std::uint64_t
+cellSeed(std::uint64_t master, std::string_view workload,
+         std::string_view model, std::uint64_t scale)
+{
+    std::uint64_t state = hashCombine(master, workload);
+    state = hashCombine(state, model);
+    state = hashCombine(state, scale);
+    // One final avalanche; splitMix64 advances state and returns the
+    // mixed output, which is what we hand out.
+    const std::uint64_t seed = splitMix64(state);
+    return seed == 0 ? 0x9e3779b97f4a7c15ull : seed;
+}
+
+} // namespace dee::runner

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Per-cell seed derivation for deterministic parallel sweeps.
+ *
+ * Every grid cell (workload x model x scale) gets its own PRNG seed,
+ * derived by hashing the cell's coordinates into the master seed with
+ * SplitMix64. Two properties matter:
+ *
+ *  - the seed is a pure function of the coordinates, never of thread
+ *    count or execution order, so parallel and serial runs agree;
+ *  - distinct cells get decorrelated streams (no block-splitting of a
+ *    single stream, which would make one cell's draw count perturb its
+ *    neighbour's results).
+ */
+
+#ifndef DEE_RUNNER_SEED_HH
+#define DEE_RUNNER_SEED_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace dee::runner
+{
+
+/** Folds @p text into @p state one byte at a time via SplitMix64. */
+std::uint64_t hashCombine(std::uint64_t state, std::string_view text);
+
+/** Folds @p value into @p state via SplitMix64. */
+std::uint64_t hashCombine(std::uint64_t state, std::uint64_t value);
+
+/**
+ * Seed for the (workload, model, scale) cell of a sweep run with
+ * @p master. Never returns 0 (0 is the "unperturbed template" seed in
+ * dee::workloads).
+ */
+std::uint64_t cellSeed(std::uint64_t master, std::string_view workload,
+                       std::string_view model, std::uint64_t scale);
+
+} // namespace dee::runner
+
+#endif // DEE_RUNNER_SEED_HH

@@ -1,0 +1,149 @@
+#include "runner/thread_pool.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dee::runner
+{
+
+namespace
+{
+
+/** Worker identity of the calling thread (pool + queue index). */
+struct WorkerId
+{
+    const ThreadPool *pool = nullptr;
+    unsigned index = 0;
+};
+
+thread_local WorkerId current_worker;
+
+} // namespace
+
+unsigned
+ThreadPool::hardwareConcurrency()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = hardwareConcurrency();
+    queues_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        queues_.push_back(std::make_unique<Queue>());
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> fn)
+{
+    dee_assert(static_cast<bool>(fn), "ThreadPool::submit(null)");
+    std::packaged_task<void()> task(std::move(fn));
+    std::future<void> future = task.get_future();
+
+    // A worker submits to its own deque (front, LIFO: nested work runs
+    // soonest and stays cache-warm); external threads round-robin.
+    unsigned target;
+    if (current_worker.pool == this) {
+        target = current_worker.index;
+    } else {
+        target = nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+                 static_cast<unsigned>(queues_.size());
+    }
+    {
+        std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+        if (current_worker.pool == this)
+            queues_[target]->tasks.push_front(std::move(task));
+        else
+            queues_[target]->tasks.push_back(std::move(task));
+    }
+    pending_.fetch_add(1, std::memory_order_release);
+    wake_.notify_one();
+    return future;
+}
+
+bool
+ThreadPool::popTask(std::packaged_task<void()> &task)
+{
+    const auto n = static_cast<unsigned>(queues_.size());
+    // Own queue first (front), then steal from siblings' backs.
+    const unsigned self =
+        current_worker.pool == this ? current_worker.index : 0;
+    for (unsigned k = 0; k < n; ++k) {
+        const unsigned q = (self + k) % n;
+        std::lock_guard<std::mutex> lock(queues_[q]->mutex);
+        if (queues_[q]->tasks.empty())
+            continue;
+        if (k == 0 && current_worker.pool == this) {
+            task = std::move(queues_[q]->tasks.front());
+            queues_[q]->tasks.pop_front();
+        } else {
+            task = std::move(queues_[q]->tasks.back());
+            queues_[q]->tasks.pop_back();
+        }
+        pending_.fetch_sub(1, std::memory_order_acquire);
+        return true;
+    }
+    return false;
+}
+
+bool
+ThreadPool::runPendingTask()
+{
+    std::packaged_task<void()> task;
+    if (!popTask(task))
+        return false;
+    task(); // exceptions land in the task's future
+    return true;
+}
+
+void
+ThreadPool::workerLoop(unsigned index)
+{
+    current_worker = WorkerId{this, index};
+    while (true) {
+        if (runPendingTask())
+            continue;
+        std::unique_lock<std::mutex> lock(wakeMutex_);
+        if (stopping_ && pending_.load(std::memory_order_acquire) == 0)
+            return;
+        wake_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+            return stopping_ ||
+                   pending_.load(std::memory_order_acquire) > 0;
+        });
+    }
+    current_worker = WorkerId{};
+}
+
+void
+ThreadPool::wait(std::future<void> &future)
+{
+    dee_assert(future.valid(), "ThreadPool::wait on an empty future");
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+        // Helping keeps a worker that waits on pool-run work from
+        // deadlocking the pool; external threads help too rather than
+        // busy-sleeping.
+        if (!runPendingTask())
+            future.wait_for(std::chrono::microseconds(200));
+    }
+    future.get();
+}
+
+} // namespace dee::runner

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Work-stealing thread pool for the deterministic parallel runner.
+ *
+ * N workers each own a deque of tasks. submit() pushes to the calling
+ * worker's own deque (LIFO, cache-warm) when called from inside the
+ * pool, else round-robins across workers; an idle worker pops from
+ * the front of its own deque and, when empty, steals from the back of
+ * a sibling's. Determinism is never scheduling-dependent: the sweep
+ * layer (sweep.hh) makes results a pure function of the cell, so the
+ * pool is free to run cells in any order on any thread.
+ *
+ * Waiting discipline: a worker that blocks on a future would deadlock
+ * a pool whose every thread waits on work only the pool can run, so
+ * wait() *helps* — while the future is not ready and the caller is a
+ * worker thread, it pops and runs pending tasks (the nested-submit
+ * deadlock guard; see tests/test_runner.cc NestedSubmitDoesNotDeadlock).
+ *
+ * Shutdown: the destructor drains — every task submitted before
+ * destruction runs to completion before the threads join, so futures
+ * obtained from submit() are always eventually satisfied.
+ */
+
+#ifndef DEE_RUNNER_THREAD_POOL_HH
+#define DEE_RUNNER_THREAD_POOL_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dee::runner
+{
+
+/** Work-stealing pool; see file comment for the discipline. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 means hardwareConcurrency(). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains every pending task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** std::thread::hardware_concurrency() clamped to >= 1. */
+    static unsigned hardwareConcurrency();
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Enqueues @p fn and returns a future for its completion. An
+     * exception thrown by @p fn is captured and rethrown from the
+     * future's get() (and from wait()).
+     */
+    std::future<void> submit(std::function<void()> fn);
+
+    /**
+     * Blocks until @p future is ready, running pending pool tasks
+     * while waiting when called from a worker thread (never deadlocks
+     * on tasks the pool itself must run). Rethrows the task's
+     * exception, if any.
+     */
+    void wait(std::future<void> &future);
+
+    /**
+     * Runs one pending task on the calling thread if one is
+     * available. @return true when a task ran. Public so external
+     * threads can also lend a hand while polling.
+     */
+    bool runPendingTask();
+
+  private:
+    struct Queue
+    {
+        std::mutex mutex;
+        std::deque<std::packaged_task<void()>> tasks;
+    };
+
+    void workerLoop(unsigned index);
+    bool popTask(std::packaged_task<void()> &task);
+
+    std::vector<std::unique_ptr<Queue>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex wakeMutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+    /** Round-robin cursor for external submits. */
+    std::atomic<unsigned> nextQueue_{0};
+    /** Tasks submitted but not yet finished (sleep gate). */
+    std::atomic<std::size_t> pending_{0};
+};
+
+} // namespace dee::runner
+
+#endif // DEE_RUNNER_THREAD_POOL_HH

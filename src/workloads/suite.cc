@@ -7,9 +7,16 @@ namespace dee
 {
 
 BenchmarkInstance
-makeInstance(WorkloadId id, int scale, std::uint64_t max_instrs)
+makeInstance(WorkloadId id, int scale, std::uint64_t max_instrs,
+             std::uint64_t seed)
 {
-    Program program = makeWorkload(id, scale);
+    Program program = makeWorkload(id, scale, seed);
+    // Force the program's lazy static-id index now, while the instance
+    // is still private to one thread: parallel sweeps hand const
+    // references to many simulator threads, and a first-touch rebuild
+    // through the mutable cache would race.
+    if (program.numInstrs() > 0)
+        (void)program.staticId(0, 0);
     Cfg cfg(program);
     Interpreter interp(program);
     ExecResult run = interp.run(max_instrs, true);
@@ -21,12 +28,12 @@ makeInstance(WorkloadId id, int scale, std::uint64_t max_instrs)
 }
 
 std::vector<BenchmarkInstance>
-makeSuite(int scale, std::uint64_t max_instrs)
+makeSuite(int scale, std::uint64_t max_instrs, std::uint64_t seed)
 {
     std::vector<BenchmarkInstance> suite;
     suite.reserve(5);
     for (WorkloadId id : allWorkloads())
-        suite.push_back(makeInstance(id, scale, max_instrs));
+        suite.push_back(makeInstance(id, scale, max_instrs, seed));
     return suite;
 }
 

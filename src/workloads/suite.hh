@@ -37,14 +37,19 @@ struct BenchmarkInstance
  * @param scale workload scale (see makeWorkload)
  * @param max_instrs interpreter step cap — the analogue of the paper's
  *        "up to 100 million instructions" truncation rule
+ * @param seed workload seed (see makeWorkload; 0 = the calibrated
+ *        template)
  */
 BenchmarkInstance makeInstance(WorkloadId id, int scale,
-                               std::uint64_t max_instrs = 50'000'000);
+                               std::uint64_t max_instrs = 50'000'000,
+                               std::uint64_t seed = 0);
 
-/** All five instances at the same scale. */
+/** All five instances at the same scale (and the same seed — per-cell
+ *  seeds are the sweep driver's job, see runner::cellSeed). */
 std::vector<BenchmarkInstance> makeSuite(int scale,
                                          std::uint64_t max_instrs =
-                                             50'000'000);
+                                             50'000'000,
+                                         std::uint64_t seed = 0);
 
 } // namespace dee
 

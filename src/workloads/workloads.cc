@@ -1,6 +1,7 @@
 #include "workloads/workloads.hh"
 
 #include "common/logging.hh"
+#include "common/random.hh"
 #include "isa/builder.hh"
 
 namespace dee
@@ -32,6 +33,31 @@ constexpr RegId KREG = 31;  // golden-ratio multiplier constant
 constexpr std::int64_t kGolden = 0x9e3779b97f4a7c15ll;
 
 /**
+ * Per-generator perturbation derived from a workload seed. Seed 0 is
+ * the identity — every template constant stays exactly as calibrated,
+ * so committed baselines (under tools/baselines/) stay bit-identical.
+ * Nonzero seeds draw a fresh salt offset and initial serial state from
+ * their own SplitMix64-seeded stream; previously all generators shared
+ * one set of hard-coded constants, so sweeps that wanted randomized
+ * cells silently reused the same data stream in every cell.
+ */
+struct SeedPerturb
+{
+    SeedPerturb(std::uint64_t seed, std::int64_t state_default)
+        : state0(state_default)
+    {
+        if (seed == 0)
+            return;
+        Rng rng(seed);
+        saltBase = static_cast<int>(rng.below(1 << 10));
+        state0 = static_cast<std::int64_t>(rng.below(1ll << 20));
+    }
+
+    int saltBase = 0;
+    std::int64_t state0;
+};
+
+/**
  * Emits a 6-instruction hash mix: dst = mix(a, b, salt), well-scrambled
  * bits with no dependence other than on a and b (clobbers T1). This is
  * how workloads obtain per-iteration "input data" without a serial
@@ -60,8 +86,9 @@ emitMix(ProgramBuilder &pb, RegId dst, RegId a, RegId b, int salt)
  * dataflow height ~ the iteration count.
  */
 Program
-makeCc1Like(int scale)
+makeCc1Like(int scale, std::uint64_t seed)
 {
+    const SeedPerturb pert(seed, 0x1234);
     const std::int64_t iters = 900ll * scale;
     constexpr std::int64_t kNodeTab = 1 << 20;
     constexpr std::int64_t kOutTab = 1 << 21;
@@ -81,7 +108,7 @@ makeCc1Like(int scale)
     // bInit: constants, then the node-table init loop (64 entries).
     pb.switchTo(blk[bInit]);
     pb.loadImm(KREG, kGolden);
-    pb.loadImm(STATE, 0x1234);
+    pb.loadImm(STATE, pert.state0);
     pb.loadImm(OCTR, 0);
     pb.loadImm(OLIM, iters);
     pb.loadImm(ICTR, 0);
@@ -102,7 +129,7 @@ makeCc1Like(int scale)
     // read STATE: the serial chain is STATE's own updates only, keeping
     // the dataflow height ~1.8 ops/iteration (cc1's oracle ~23x).
     pb.switchTo(blk[bHead]);
-    emitMix(pb, M0, OCTR, OCTR, 11);
+    emitMix(pb, M0, OCTR, OCTR, 11 + pert.saltBase);
     pb.aluImm(Opcode::AndI, M1, M0, 15);     // switch selector 0..15
     pb.aluImm(Opcode::ShrI, M2, M0, 5);      // operand bits
     // Serial semantic-state chain: one op per iteration.
@@ -134,7 +161,7 @@ makeCc1Like(int scale)
 
     // bJoin: two weakly biased ifs on independent data bits.
     pb.switchTo(blk[bJoin]);
-    emitMix(pb, M5, M2, OCTR, 23);
+    emitMix(pb, M5, M2, OCTR, 23 + pert.saltBase);
     pb.aluImm(Opcode::AndI, M6, M5, 31);
     pb.aluImm(Opcode::SltI, M6, M6, 27);     // 27/32 = 84%
     pb.branch(Opcode::BranchNe, M6, kZeroReg, blk[bElse1]);
@@ -187,8 +214,9 @@ makeCc1Like(int scale)
  * bits. Low oracle ILP, mid-80s predictability.
  */
 Program
-makeCompressLike(int scale)
+makeCompressLike(int scale, std::uint64_t seed)
 {
+    const SeedPerturb pert(seed, 0x2545);
     const std::int64_t iters = 3200ll * scale;
     constexpr std::int64_t kHashTab = 1 << 20;
     constexpr std::int64_t kOutTab = 1 << 21;
@@ -205,13 +233,13 @@ makeCompressLike(int scale)
 
     pb.switchTo(blk[bInit]);
     pb.loadImm(KREG, kGolden);
-    pb.loadImm(STATE, 0x2545);
+    pb.loadImm(STATE, pert.state0);
     pb.loadImm(OCTR, 0);
     pb.loadImm(OLIM, iters);
 
     // bHead: next input symbol (independent), hash-chain update, lookup.
     pb.switchTo(blk[bHead]);
-    emitMix(pb, M0, OCTR, OCTR, 5);
+    emitMix(pb, M0, OCTR, OCTR, 5 + pert.saltBase);
     pb.aluImm(Opcode::AndI, M0, M0, 255);      // symbol
     pb.alu(Opcode::Add, STATE, STATE, M0);     // serial chain (1 op/iter)
     pb.aluImm(Opcode::AndI, M1, STATE, 4095);  // hash index (off-chain)
@@ -265,8 +293,9 @@ makeCompressLike(int scale)
  * test plus short-loop latches — high overall predictability.
  */
 Program
-makeEqnottLike(int scale)
+makeEqnottLike(int scale, std::uint64_t seed)
 {
+    const SeedPerturb pert(seed, 0);
     const std::int64_t outer = 3ll * scale;
     constexpr std::int64_t kOutTab = 1 << 21;
 
@@ -298,7 +327,7 @@ makeEqnottLike(int scale)
     pb.loadImm(MLIM, 60);                     // vectors per term pair
 
     pb.switchTo(blk[bMidHead]);
-    emitMix(pb, M0, OCTR, MCTR, 3);
+    emitMix(pb, M0, OCTR, MCTR, 3 + pert.saltBase);
     pb.aluImm(Opcode::AndI, M0, M0, 3);
     pb.aluImm(Opcode::AddI, ILIM, M0, 11);    // words per vector: 11..14
     pb.loadImm(ICTR, 0);
@@ -308,7 +337,7 @@ makeEqnottLike(int scale)
                                       ? blk[bWork0 + 2 * (lane + 1)]
                                       : blk[bInnerLatch];
         pb.switchTo(blk[bWork0 + 2 * lane]);
-        emitMix(pb, M1, MCTR, ICTR, 17 + lane * 7);
+        emitMix(pb, M1, MCTR, ICTR, 17 + lane * 7 + pert.saltBase);
         pb.aluImm(Opcode::AndI, M2, M1, 255);     // word a
         pb.aluImm(Opcode::ShrI, M3, M1, 8);
         pb.aluImm(Opcode::AndI, M3, M3, 255);     // word b
@@ -354,8 +383,9 @@ makeEqnottLike(int scale)
  * paper's espresso.
  */
 Program
-makeEspressoLike(int scale)
+makeEspressoLike(int scale, std::uint64_t seed)
 {
+    const SeedPerturb pert(seed, 0);
     const std::int64_t outer = 4ll * scale;
     constexpr std::int64_t kOutTab = 1 << 21;
 
@@ -381,14 +411,14 @@ makeEspressoLike(int scale)
     pb.loadImm(MLIM, 55);                     // cube pairs per pass
 
     pb.switchTo(blk[bMidHead]);
-    emitMix(pb, M0, OCTR, MCTR, 7);
+    emitMix(pb, M0, OCTR, MCTR, 7 + pert.saltBase);
     pb.aluImm(Opcode::AndI, M0, M0, 3);
     pb.aluImm(Opcode::AddI, ILIM, M0, 10);    // words per cube: 10..13
     pb.loadImm(ICTR, 0);
 
     pb.switchTo(blk[bInnerBody]);
     // First word pair of the cube operation.
-    emitMix(pb, M1, MCTR, ICTR, 29);
+    emitMix(pb, M1, MCTR, ICTR, 29 + pert.saltBase);
     pb.aluImm(Opcode::ShrI, M2, M1, 7);       // mask a
     pb.alu(Opcode::And, M3, M1, M2);          // intersection
     pb.alu(Opcode::Or, M4, M1, M2);           // union
@@ -398,13 +428,13 @@ makeEspressoLike(int scale)
     pb.store(M5, M6, kOutTab);
     // Second and third word pairs (unrolled lanes — wide independent
     // work per counter-chain step, as compiled set-operation code is).
-    emitMix(pb, M1, ICTR, MCTR, 47);
+    emitMix(pb, M1, ICTR, MCTR, 47 + pert.saltBase);
     pb.aluImm(Opcode::ShrI, M2, M1, 5);
     pb.alu(Opcode::And, M3, M1, M2);
     pb.alu(Opcode::Or, M4, M1, M2);
     pb.alu(Opcode::Xor, M7, M3, M4);
     pb.store(M7, M6, kOutTab + (1 << 17));
-    emitMix(pb, M2, MCTR, ICTR, 61);
+    emitMix(pb, M2, MCTR, ICTR, 61 + pert.saltBase);
     pb.aluImm(Opcode::ShrI, M3, M2, 11);
     pb.alu(Opcode::And, M4, M2, M3);
     pb.alu(Opcode::Or, M7, M2, M3);
@@ -434,7 +464,7 @@ makeEspressoLike(int scale)
     // Cost accounting on ~1/4 of cube pairs: the only serial chain
     // spanning the whole run (sets the oracle ceiling).
     pb.switchTo(blk[bMidTail]);
-    emitMix(pb, M7, MCTR, OCTR, 41);
+    emitMix(pb, M7, MCTR, OCTR, 41 + pert.saltBase);
     pb.aluImm(Opcode::AndI, M7, M7, 3);
     pb.branch(Opcode::BranchNe, M7, kZeroReg, blk[bMidLatch]); // 3/4
 
@@ -463,8 +493,9 @@ makeEspressoLike(int scale)
  * predictability.
  */
 Program
-makeXlispLike(int scale)
+makeXlispLike(int scale, std::uint64_t seed)
 {
+    const SeedPerturb pert(seed, 0);
     const std::int64_t iters = 850ll * scale;
     constexpr std::int64_t kHeap = 1 << 20;
 
@@ -485,7 +516,7 @@ makeXlispLike(int scale)
     pb.loadImm(OLIM, iters);
 
     pb.switchTo(blk[bHead]);
-    emitMix(pb, M0, OCTR, OCTR, 13);
+    emitMix(pb, M0, OCTR, OCTR, 13 + pert.saltBase);
     pb.aluImm(Opcode::AndI, M1, M0, 7);
     pb.aluImm(Opcode::AddI, ILIM, M1, 12);    // eval depth 12..19
     pb.loadImm(ICTR, 0);
@@ -494,7 +525,7 @@ makeXlispLike(int scale)
     pb.switchTo(blk[bEval]);
     // Wide per-step work: cell fetches and tag tests, independent of
     // the eval chain...
-    emitMix(pb, M3, ICTR, OCTR, 31);
+    emitMix(pb, M3, ICTR, OCTR, 31 + pert.saltBase);
     pb.aluImm(Opcode::ShrI, M5, M3, 9);       // cdr field
     pb.aluImm(Opcode::AndI, M5, M5, 1023);
     pb.aluImm(Opcode::XorI, M6, M3, 0x2a);    // tag check
@@ -553,8 +584,9 @@ makeXlispLike(int scale)
  * rest of the suite, which is exactly why the paper dropped it.
  */
 Program
-makeScLike(int scale)
+makeScLike(int scale, std::uint64_t seed)
 {
+    const SeedPerturb pert(seed, 0);
     const std::int64_t rows = 25ll * scale;
     constexpr std::int64_t kSheet = 1 << 20;
 
@@ -578,7 +610,7 @@ makeScLike(int scale)
     pb.loadImm(ILIM, 64);                     // constant columns/row
 
     pb.switchTo(blk[bCellBody]);
-    emitMix(pb, M1, OCTR, ICTR, 53);
+    emitMix(pb, M1, OCTR, ICTR, 53 + pert.saltBase);
     pb.aluImm(Opcode::ShlI, M2, OCTR, 8);
     pb.alu(Opcode::Add, M2, M2, ICTR);        // cell address
     pb.load(M3, M2, kSheet);
@@ -607,10 +639,10 @@ makeScLike(int scale)
 } // namespace
 
 Program
-makeExcludedScLike(int scale)
+makeExcludedScLike(int scale, std::uint64_t seed)
 {
     dee_assert(scale >= 1, "workload scale must be >= 1");
-    return makeScLike(scale);
+    return makeScLike(scale, seed);
 }
 
 const char *
@@ -644,15 +676,15 @@ workloadByName(const std::string &name)
 }
 
 Program
-makeWorkload(WorkloadId id, int scale)
+makeWorkload(WorkloadId id, int scale, std::uint64_t seed)
 {
     dee_assert(scale >= 1, "workload scale must be >= 1");
     switch (id) {
-      case WorkloadId::Cc1: return makeCc1Like(scale);
-      case WorkloadId::Compress: return makeCompressLike(scale);
-      case WorkloadId::Eqntott: return makeEqnottLike(scale);
-      case WorkloadId::Espresso: return makeEspressoLike(scale);
-      case WorkloadId::Xlisp: return makeXlispLike(scale);
+      case WorkloadId::Cc1: return makeCc1Like(scale, seed);
+      case WorkloadId::Compress: return makeCompressLike(scale, seed);
+      case WorkloadId::Eqntott: return makeEqnottLike(scale, seed);
+      case WorkloadId::Espresso: return makeEspressoLike(scale, seed);
+      case WorkloadId::Xlisp: return makeXlispLike(scale, seed);
     }
     dee_panic("unhandled workload id");
 }

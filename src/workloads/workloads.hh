@@ -30,12 +30,19 @@
  *              evaluation chains and a GC-counter carried dependence —
  *              middling ILP and predictability.
  *
- * All generators are deterministic for a given (workload, scale).
+ * All generators are deterministic for a given (workload, scale, seed).
+ * Seed 0 is the calibrated template exactly as the committed baselines
+ * expect; a nonzero seed re-derives the generators' data constants
+ * (initial serial state, hash-mix salts) from its own SplitMix64
+ * stream, so distinct cells of a randomized sweep get decorrelated
+ * programs instead of silently reusing one stream (see
+ * runner::cellSeed for how sweeps derive per-cell seeds).
  */
 
 #ifndef DEE_WORKLOADS_WORKLOADS_HH
 #define DEE_WORKLOADS_WORKLOADS_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -69,8 +76,12 @@ WorkloadId workloadByName(const std::string &name);
  * @param scale linear work multiplier; scale 1 traces are roughly
  *        60-120k dynamic instructions, and trace length grows about
  *        linearly with scale.
+ * @param seed 0 = the calibrated template; nonzero perturbs the
+ *        generator's data constants deterministically (see file
+ *        comment).
  */
-Program makeWorkload(WorkloadId id, int scale = 1);
+Program makeWorkload(WorkloadId id, int scale = 1,
+                     std::uint64_t seed = 0);
 
 /**
  * The sixth SPECint92 program, sc (spreadsheet), which the paper
@@ -79,7 +90,7 @@ Program makeWorkload(WorkloadId id, int scale = 1);
  * exclusion can be demonstrated (see bench/sc_exclusion); not part of
  * allWorkloads()/makeSuite().
  */
-Program makeExcludedScLike(int scale = 1);
+Program makeExcludedScLike(int scale = 1, std::uint64_t seed = 0);
 
 } // namespace dee
 
