@@ -40,7 +40,8 @@ openSession(const std::string &tool, const Cli &cli)
 }
 
 /** Speedup of one model at one resource level on one instance. Scopes
- *  any speculation profile under "<instance>.<model>". */
+ *  any speculation profile — and the host-throughput meter inside
+ *  runModel (obs/perf/perf.hh) — under "<instance>.<model>". */
 inline double
 speedupOf(ModelKind kind, const BenchmarkInstance &inst, int e_t,
           const ModelRunOptions &options = {})
@@ -69,7 +70,7 @@ sweepInstance(const BenchmarkInstance &inst, const std::vector<int> &ets,
         for (int e_t : ets) {
             row.push_back(speedupOf(kind, inst, e_t, options));
             if (heartbeat != nullptr)
-                heartbeat->tick();
+                heartbeat->tick(1, inst.trace.size());
             if (kind == ModelKind::Oracle) {
                 row.resize(ets.size(), row.front());
                 break;
@@ -144,7 +145,7 @@ sweepInstance(const BenchmarkInstance &inst, const std::vector<int> &ets,
     runner::runCells(cells.size(), sweep, [&](std::size_t i) {
         flat[i] = speedupOf(cells[i].kind, inst, cells[i].et, options);
         if (heartbeat != nullptr)
-            heartbeat->tick();
+            heartbeat->tick(1, inst.trace.size());
     });
     return assembleSeries(ets, flat);
 }

@@ -68,7 +68,7 @@ main(int argc, char **argv)
         const dee::bench::SweepCell &cell = per_inst[c % stride];
         flat[c] = dee::bench::speedupOf(cell.kind, inst, cell.et,
                                         options);
-        heartbeat.tick();
+        heartbeat.tick(1, inst.trace.size());
     });
 
     std::vector<std::map<dee::ModelKind, std::vector<double>>> all;

@@ -95,7 +95,7 @@ main(int argc, char **argv)
         dee::SimResult r = dee::runModel(dee::ModelKind::DEE_CD_MF,
                                          inst.trace, &inst.cfg, pred,
                                          100, options);
-        heartbeat.tick();
+        heartbeat.tick(1, r.instructions);
         dee::SimConfig config;
         config.cd = dee::CdModel::Minimal;
         config.gatherIssueStats = true;
@@ -111,7 +111,7 @@ main(int argc, char **argv)
                            &inst.cfg);
         dee::TwoBitPredictor pred2(inst.trace.numStatic);
         const dee::SimResult stats = sim.run(pred2);
-        heartbeat.tick();
+        heartbeat.tick(1, stats.instructions);
         peaks[i] = stats.peakIssue;
         means[i] = stats.speedup;
     });

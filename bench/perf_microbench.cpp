@@ -8,6 +8,12 @@
  * Accepts the standard observability flags (--json/--trace-out/
  * --stats) in addition to the google-benchmark ones; they are
  * stripped from argv before benchmark::Initialize sees them.
+ *
+ * Timing/attribution rides the shared obs::perf::ThroughputMeter
+ * (scoped "microbench.<name>"), so items_per_second here and the
+ * perf.* registry stats in the --json manifest agree on what an
+ * "item" is: one simulated (or interpreted) instruction actually
+ * executed, not an iterations x trace-size estimate.
  */
 
 #include <benchmark/benchmark.h>
@@ -39,13 +45,14 @@ BM_Interpreter(benchmark::State &state)
 {
     const auto &inst = compressInstance();
     dee::Interpreter interp(inst.program);
+    dee::obs::perf::ThroughputMeter meter("microbench.interpreter");
     for (auto _ : state) {
         auto r = interp.run(10'000'000, false);
         benchmark::DoNotOptimize(r.steps);
+        meter.addInstructions(r.steps);
     }
     state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(inst.trace.size()));
+        static_cast<std::int64_t>(meter.instructions()));
 }
 BENCHMARK(BM_Interpreter);
 
@@ -53,13 +60,15 @@ void
 BM_OracleSim(benchmark::State &state)
 {
     const auto &inst = compressInstance();
+    dee::obs::perf::ThroughputMeter meter("microbench.oracle");
     for (auto _ : state) {
         auto r = dee::oracleSim(inst.trace);
         benchmark::DoNotOptimize(r.cycles);
+        meter.addInstructions(r.instructions);
+        meter.addCycles(r.cycles);
     }
     state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(inst.trace.size()));
+        static_cast<std::int64_t>(meter.instructions()));
 }
 BENCHMARK(BM_OracleSim);
 
@@ -69,13 +78,16 @@ BM_WindowSim(benchmark::State &state)
     const auto &inst = compressInstance();
     const auto kind = static_cast<dee::ModelKind>(state.range(0));
     dee::TwoBitPredictor pred(inst.trace.numStatic);
+    dee::obs::perf::ThroughputMeter meter(
+        std::string("microbench.window.") + dee::modelName(kind));
     for (auto _ : state) {
         auto r = dee::runModel(kind, inst.trace, &inst.cfg, pred, 256);
         benchmark::DoNotOptimize(r.cycles);
+        meter.addInstructions(r.instructions);
+        meter.addCycles(r.cycles);
     }
     state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(inst.trace.size()));
+        static_cast<std::int64_t>(meter.instructions()));
 }
 BENCHMARK(BM_WindowSim)
     ->Arg(static_cast<int>(dee::ModelKind::SP))
@@ -88,13 +100,15 @@ BM_LevoMachine(benchmark::State &state)
 {
     const auto &inst = compressInstance();
     dee::LevoMachine machine(inst.program, inst.cfg, dee::LevoConfig{});
+    dee::obs::perf::ThroughputMeter meter("microbench.levo");
     for (auto _ : state) {
         auto r = machine.run(10'000'000);
         benchmark::DoNotOptimize(r.cycles);
+        meter.addInstructions(r.instructions);
+        meter.addCycles(r.cycles);
     }
     state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(inst.trace.size()));
+        static_cast<std::int64_t>(meter.instructions()));
 }
 BENCHMARK(BM_LevoMachine);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/perf/perf.hh"
 
 namespace dee
 {
@@ -86,9 +87,22 @@ runModel(ModelKind kind, const Trace &trace, const Cfg *cfg,
          BranchPredictor &predictor, int e_t,
          const ModelRunOptions &options)
 {
+    // Every model run — Oracle included — is metered under the same
+    // "<workload>.<model>" scope the profiler uses, so perf.* lines up
+    // with prof.* in reports.
+    const std::string scope =
+        options.profileWorkload.empty()
+            ? std::string(modelName(kind))
+            : options.profileWorkload + "." + modelName(kind);
+    obs::perf::ThroughputMeter meter(scope);
+
     if (kind == ModelKind::Oracle) {
-        return oracleSim(trace, options.latency, options.loadLatencies,
-                         options.gatherAccounting);
+        SimResult result =
+            oracleSim(trace, options.latency, options.loadLatencies,
+                      options.gatherAccounting);
+        meter.addInstructions(result.instructions);
+        meter.addCycles(result.cycles);
+        return result;
     }
 
     double p = options.characteristicP;
@@ -106,16 +120,16 @@ runModel(ModelKind kind, const Trace &trace, const Cfg *cfg,
     config.gatherAccounting = options.gatherAccounting;
     config.gatherProfile = options.gatherProfile;
     config.profileModel = modelName(kind);
-    config.profileScope =
-        options.profileWorkload.empty()
-            ? std::string(modelName(kind))
-            : options.profileWorkload + "." + modelName(kind);
+    config.profileScope = scope;
     config.profileWorkload = options.profileWorkload;
     config.peLimit = options.peLimit;
     config.loadLatencies = options.loadLatencies;
 
     WindowSim sim(trace, tree, config, cfg);
-    return sim.run(predictor);
+    SimResult result = sim.run(predictor);
+    meter.addInstructions(result.instructions);
+    meter.addCycles(result.cycles);
+    return result;
 }
 
 } // namespace dee

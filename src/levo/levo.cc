@@ -10,6 +10,7 @@
 #include "cfg/structure.hh"
 #include "common/invariant.hh"
 #include "common/logging.hh"
+#include "obs/perf/perf.hh"
 #include "obs/registry.hh"
 #include "obs/timer.hh"
 #include "obs/trace_event.hh"
@@ -74,6 +75,10 @@ LevoResult
 LevoMachine::run(std::uint64_t max_instrs) const
 {
     obs::ScopedTimer run_timer("levo.run_ms");
+    // Host-throughput metering under the profiler's scope convention
+    // ("<workload>.Levo" when configured, bare "Levo" otherwise).
+    obs::perf::ThroughputMeter perf_meter(
+        config_.profileScope.empty() ? "Levo" : config_.profileScope);
     obs::Tracer &tracer = obs::Tracer::global();
     const bool tracing =
         DEE_OBS_TRACE_ENABLED != 0 && tracer.enabled();
@@ -539,6 +544,9 @@ LevoMachine::run(std::uint64_t max_instrs) const
             profile.attributionMatches(result.account, &why),
             "speculation-profile attribution identity violated: ", why);
     }
+
+    perf_meter.addInstructions(result.instructions);
+    perf_meter.addCycles(result.cycles);
 
     obs::Registry &reg = obs::Registry::global();
     ++reg.counter("levo.runs");

@@ -17,8 +17,15 @@ Heartbeat::Heartbeat(std::string label, bool enabled,
 void
 Heartbeat::tick(std::uint64_t units)
 {
+    tick(units, 0);
+}
+
+void
+Heartbeat::tick(std::uint64_t units, std::uint64_t instructions)
+{
     std::lock_guard<std::mutex> lock(mutex_);
     done_ += units;
+    instructions_ += instructions;
     if (!enabled_)
         return;
     const auto now = std::chrono::steady_clock::now();
@@ -63,6 +70,11 @@ Heartbeat::statusLineLocked() const
     oss << " units, " << std::fixed;
     oss.precision(1);
     oss << rate << "/s";
+    if (instructions_ > 0 && elapsed > 0.0) {
+        const double kips =
+            static_cast<double>(instructions_) / elapsed / 1e3;
+        oss << ", " << kips << " KIPS";
+    }
     if (total_ > 0 && rate > 0.0 && done_ < total_) {
         const double eta =
             static_cast<double>(total_ - done_) / rate;

@@ -43,6 +43,13 @@ class Heartbeat
     /** Advances progress; emits a line when due. */
     void tick(std::uint64_t units = 1);
 
+    /**
+     * tick(units) that also accounts @p instructions simulated
+     * instructions, so the status line carries current simulated-KIPS
+     * (thousand instructions per wall second) next to the unit rate.
+     */
+    void tick(std::uint64_t units, std::uint64_t instructions);
+
     /** Emits a final summary line regardless of rate limiting. */
     void finish();
 
@@ -66,6 +73,7 @@ class Heartbeat
     double minIntervalS_;
     std::uint64_t total_ = 0;
     std::uint64_t done_ = 0;
+    std::uint64_t instructions_ = 0;
     std::chrono::steady_clock::time_point start_;
     std::chrono::steady_clock::time_point lastEmit_;
     mutable std::mutex mutex_;

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "common/logging.hh"
+#include "obs/perf/perf.hh"
 #include "obs/profile/profile.hh"
 #include "obs/trace_event.hh"
 
@@ -18,7 +19,7 @@ Json
 Manifest::toJson(const Registry &registry) const
 {
     Json root = Json::object();
-    root["schema"] = Json("dee.run.v3");
+    root["schema"] = Json("dee.run.v4");
     root["tool"] = Json(tool_);
     root["config"] = config_;
     root["results"] = results_;
@@ -48,6 +49,18 @@ Manifest::toJson(const Registry &registry) const
     const ProfileStore &profiles = ProfileStore::global();
     root["profile"] = profiles.empty() ? Json::object()
                                        : profiles.toJson();
+
+    // v4: host-performance observability — whether real hardware
+    // counters backed the perf.* numbers (containers often forbid
+    // perf_event_open, leaving timing-only metering), and the perf
+    // subtree itself surfaced as a section for trajectory tooling.
+    Json host_perf = Json::object();
+    host_perf["hw_counters"] = Json(perf::HwCounters::available());
+    if (const Json *perf_stats = stats.find("perf"))
+        host_perf["scopes"] = *perf_stats;
+    else
+        host_perf["scopes"] = Json::object();
+    root["host_perf"] = std::move(host_perf);
 
     root["stats"] = std::move(stats);
     const auto now = std::chrono::steady_clock::now();

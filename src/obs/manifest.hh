@@ -10,7 +10,7 @@
  * parsers can evolve.
  *
  *     {
- *       "schema": "dee.run.v3",
+ *       "schema": "dee.run.v4",
  *       "tool": "fig5_speedups",
  *       "config": { ... },
  *       "results": { ... },
@@ -18,13 +18,17 @@
  *       "trace": { "enabled": ..., "recorded": ..., "dropped": ...,
  *                  "buffered": ... },
  *       "profile": { ... },        // ProfileStore::toJson(); {} when off
+ *       "host_perf": { "hw_counters": ..., "scopes": { ... } },
  *       "stats": { ... },          // Registry::toJson()
  *       "wall_clock_ms": 123.4
  *     }
  *
  * v2 added the "accounting" and "trace" sections on top of v1; v3 adds
- * the "profile" section (per-branch speculation attribution). Readers
- * (obs/manifest_diff.hh) accept all three versions — an older document
+ * the "profile" section (per-branch speculation attribution); v4 adds
+ * "host_perf" — whether hardware counters were live, and the perf.*
+ * stats subtree (simulated-KIPS / host-IPC per <workload>.<model>
+ * scope, see obs/perf/perf.hh) surfaced as a section. Readers
+ * (obs/manifest_diff.hh) accept all four versions — an older document
  * simply has fewer sections to diff.
  */
 

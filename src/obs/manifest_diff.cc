@@ -81,7 +81,8 @@ parseManifest(const std::string &text, const std::string &path,
         return false;
     }
     const std::string &s = schema->asString();
-    if (s != "dee.run.v1" && s != "dee.run.v2" && s != "dee.run.v3") {
+    if (s != "dee.run.v1" && s != "dee.run.v2" && s != "dee.run.v3" &&
+        s != "dee.run.v4") {
         if (err)
             *err = path + ": unsupported schema '" + s + "'";
         return false;
@@ -96,8 +97,8 @@ parseManifest(const std::string &text, const std::string &path,
     out->metrics.clear();
     // Flatten the sections that carry comparable numbers; "schema",
     // "tool" and "config" are identity, not metrics.
-    for (const char *section :
-         {"results", "accounting", "trace", "profile", "stats"}) {
+    for (const char *section : {"results", "accounting", "trace",
+                                "profile", "host_perf", "stats"}) {
         if (const Json *sub = doc.find(section))
             flattenNumeric(*sub, section, &out->metrics);
     }

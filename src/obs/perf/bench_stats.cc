@@ -1,0 +1,65 @@
+#include "obs/perf/bench_stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dee::obs::perf
+{
+
+double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    const std::size_t mid = xs.size() / 2;
+    std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+    const double upper = xs[mid];
+    if (xs.size() % 2 != 0)
+        return upper;
+    // Even size: the lower middle is the max of the left partition.
+    const double lower = *std::max_element(xs.begin(), xs.begin() + mid);
+    return (lower + upper) / 2.0;
+}
+
+double
+madAbout(const std::vector<double> &xs, double center)
+{
+    if (xs.empty())
+        return 0.0;
+    std::vector<double> deviations;
+    deviations.reserve(xs.size());
+    for (double x : xs)
+        deviations.push_back(std::fabs(x - center));
+    return median(std::move(deviations));
+}
+
+SampleSummary
+summarize(const std::vector<double> &samples, double outlier_k)
+{
+    SampleSummary summary;
+    if (samples.empty())
+        return summary;
+
+    const double raw_median = median(samples);
+    const double raw_mad = madAbout(samples, raw_median);
+
+    std::vector<double> kept;
+    kept.reserve(samples.size());
+    if (outlier_k <= 0.0 || raw_mad == 0.0) {
+        kept = samples;
+    } else {
+        const double cutoff = outlier_k * raw_mad;
+        for (double x : samples) {
+            if (std::fabs(x - raw_median) <= cutoff)
+                kept.push_back(x);
+        }
+    }
+
+    summary.kept = kept.size();
+    summary.dropped = samples.size() - kept.size();
+    summary.median = median(kept);
+    summary.mad = madAbout(kept, summary.median);
+    return summary;
+}
+
+} // namespace dee::obs::perf

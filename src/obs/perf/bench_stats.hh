@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Robust summary statistics for benchmark repetitions.
+ *
+ * Host-side throughput measurements are noisy: one repetition can be
+ * perturbed by a page-cache miss, a scheduler migration, or a turbo
+ * transition, and a mean would let that single outlier move the
+ * reported number. dee_bench therefore reports the median with the
+ * median absolute deviation (MAD) as its spread estimate, after
+ * rejecting outliers more than k MADs from the raw median — the
+ * standard robust pipeline (median/MAD have a 50% breakdown point,
+ * versus 0% for mean/stddev). The MAD also feeds dee_report
+ * --perf-diff's noise floor: a regression gate that knows the
+ * measurement's own jitter cannot flake on CI noise.
+ */
+
+#ifndef DEE_OBS_PERF_BENCH_STATS_HH
+#define DEE_OBS_PERF_BENCH_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace dee::obs::perf
+{
+
+/** Median of @p xs; 0 for an empty vector. Even sizes average the two
+ *  middle order statistics. */
+double median(std::vector<double> xs);
+
+/** Median absolute deviation of @p xs about @p center; 0 when empty. */
+double madAbout(const std::vector<double> &xs, double center);
+
+/** summarize() output: robust location/spread plus what was kept. */
+struct SampleSummary
+{
+    double median = 0.0;
+    double mad = 0.0;          ///< MAD of the kept samples
+    std::size_t kept = 0;      ///< samples surviving outlier rejection
+    std::size_t dropped = 0;   ///< samples rejected as outliers
+};
+
+/**
+ * Robust summary of @p samples: compute the raw median and MAD,
+ * reject every sample farther than @p outlier_k raw MADs from the raw
+ * median, then report median/MAD of the survivors. A zero raw MAD
+ * (at least half the samples identical) rejects nothing — there is no
+ * scale to judge outliers against, and the median is already exact.
+ * @p outlier_k <= 0 disables rejection entirely.
+ */
+SampleSummary summarize(const std::vector<double> &samples,
+                        double outlier_k = 3.5);
+
+} // namespace dee::obs::perf
+
+#endif // DEE_OBS_PERF_BENCH_STATS_HH

@@ -1,0 +1,241 @@
+#include "obs/perf/perf_diff.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace dee::obs::perf
+{
+
+const BenchTarget *
+BenchArtifact::find(const std::string &name) const
+{
+    for (const BenchTarget &target : targets) {
+        if (target.name == name)
+            return &target;
+    }
+    return nullptr;
+}
+
+Json
+benchArtifactToJson(const BenchArtifact &artifact)
+{
+    Json root = Json::object();
+    root["schema"] = Json("dee.bench.v1");
+    root["tool"] = Json("dee_bench");
+    root["cells"] = Json(artifact.cells);
+    root["scale"] = Json(artifact.scale);
+    root["reps"] = Json(artifact.reps);
+    root["warmup"] = Json(artifact.warmup);
+    root["hw_counters"] = Json(artifact.hwCounters);
+    Json targets = Json::object();
+    for (const BenchTarget &t : artifact.targets) {
+        Json node = Json::object();
+        node["kips"] = Json(t.kips);
+        node["kips_mad"] = Json(t.kipsMad);
+        node["wall_ms"] = Json(t.wallMs);
+        node["wall_ms_mad"] = Json(t.wallMsMad);
+        node["host_ipc"] = Json(t.hostIpc);
+        node["sim_instructions"] = Json(t.simInstructions);
+        node["reps_kept"] = Json(t.repsKept);
+        node["reps_dropped"] = Json(t.repsDropped);
+        targets[t.name] = std::move(node);
+    }
+    root["targets"] = std::move(targets);
+    return root;
+}
+
+namespace
+{
+
+double
+numberOr(const Json &node, const char *key, double fallback)
+{
+    const Json *value = node.find(key);
+    return value != nullptr && value->isNumber() ? value->asDouble()
+                                                 : fallback;
+}
+
+std::uint64_t
+countOr(const Json &node, const char *key, std::uint64_t fallback)
+{
+    const Json *value = node.find(key);
+    if (value == nullptr || value->kind() != Json::Kind::Int)
+        return fallback;
+    const std::int64_t v = value->asInt();
+    return v < 0 ? fallback : static_cast<std::uint64_t>(v);
+}
+
+} // namespace
+
+bool
+parseBenchArtifact(const std::string &text, const std::string &path,
+                   BenchArtifact *out, std::string *err)
+{
+    Json doc;
+    std::string parse_err;
+    if (!Json::parse(text, &doc, &parse_err)) {
+        if (err)
+            *err = path + ": " + parse_err;
+        return false;
+    }
+    if (!doc.isObject()) {
+        if (err)
+            *err = path + ": artifact root is not an object";
+        return false;
+    }
+    const Json *schema = doc.find("schema");
+    if (schema == nullptr || schema->kind() != Json::Kind::String ||
+        schema->asString() != "dee.bench.v1") {
+        if (err)
+            *err = path + ": not a dee.bench.v1 artifact";
+        return false;
+    }
+    const Json *targets = doc.find("targets");
+    if (targets == nullptr || !targets->isObject()) {
+        if (err)
+            *err = path + ": missing \"targets\" object";
+        return false;
+    }
+
+    out->path = path;
+    const Json *cells = doc.find("cells");
+    out->cells = cells != nullptr &&
+                         cells->kind() == Json::Kind::String
+                     ? cells->asString()
+                     : "?";
+    out->scale = static_cast<int>(numberOr(doc, "scale", 0));
+    out->reps = countOr(doc, "reps", 0);
+    out->warmup = countOr(doc, "warmup", 0);
+    const Json *hw = doc.find("hw_counters");
+    out->hwCounters =
+        hw != nullptr && hw->kind() == Json::Kind::Bool && hw->asBool();
+    out->targets.clear();
+    for (const auto &[name, node] : targets->members()) {
+        if (!node.isObject()) {
+            if (err)
+                *err = path + ": target '" + name + "' is not an object";
+            return false;
+        }
+        BenchTarget target;
+        target.name = name;
+        target.kips = numberOr(node, "kips", 0.0);
+        target.kipsMad = numberOr(node, "kips_mad", 0.0);
+        target.wallMs = numberOr(node, "wall_ms", 0.0);
+        target.wallMsMad = numberOr(node, "wall_ms_mad", 0.0);
+        target.hostIpc = numberOr(node, "host_ipc", 0.0);
+        target.simInstructions = countOr(node, "sim_instructions", 0);
+        target.repsKept = countOr(node, "reps_kept", 0);
+        target.repsDropped = countOr(node, "reps_dropped", 0);
+        out->targets.push_back(std::move(target));
+    }
+    return true;
+}
+
+bool
+loadBenchArtifact(const std::string &path, BenchArtifact *out,
+                  std::string *err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (err)
+            *err = path + ": cannot open";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseBenchArtifact(buf.str(), path, out, err);
+}
+
+bool
+PerfRegressionReport::anyRegressed() const
+{
+    for (const PerfRegressionItem &item : items) {
+        if (item.regressed)
+            return true;
+    }
+    return false;
+}
+
+PerfRegressionReport
+checkPerfRegressions(const BenchArtifact &baseline,
+                     const BenchArtifact &candidate, double threshold,
+                     double noise_mult)
+{
+    PerfRegressionReport report;
+    for (const BenchTarget &base : baseline.targets) {
+        if (base.kips <= 0.0)
+            continue;
+        PerfRegressionItem item;
+        item.target = base.name;
+        item.baselineKips = base.kips;
+        const BenchTarget *cand = candidate.find(base.name);
+        if (cand == nullptr) {
+            item.missing = true;
+            item.regressed = true;
+            report.items.push_back(std::move(item));
+            continue;
+        }
+        item.candidateKips = cand->kips;
+        item.relChange = (cand->kips - base.kips) / base.kips;
+        item.noiseFloor =
+            noise_mult * (base.kipsMad + cand->kipsMad) / base.kips;
+        const double tolerance = threshold + item.noiseFloor;
+        item.regressed = -item.relChange > tolerance;
+        report.items.push_back(std::move(item));
+    }
+    return report;
+}
+
+std::string
+PerfRegressionReport::render(double threshold) const
+{
+    Table table({"target", "baseline KIPS", "candidate KIPS", "delta",
+                 "noise floor", "status"});
+    for (const PerfRegressionItem &item : items) {
+        std::string status = "ok";
+        if (item.missing)
+            status = "MISSING";
+        else if (item.regressed)
+            status = "REGRESSED";
+        table.addRow(
+            {item.target, Table::fmt(item.baselineKips, 1),
+             item.missing ? "-" : Table::fmt(item.candidateKips, 1),
+             item.missing ? "-" : Table::fmtPercent(item.relChange, 2),
+             item.missing ? "-" : Table::fmtPercent(item.noiseFloor, 2),
+             status});
+    }
+    std::ostringstream oss;
+    oss << table.render();
+    oss << "threshold: " << Table::fmtPercent(threshold, 2)
+        << " relative + per-target noise floor; " << items.size()
+        << " target(s)\n";
+    return oss.str();
+}
+
+std::string
+PerfRegressionReport::renderFailures(double threshold,
+                                     bool warn_only) const
+{
+    const char *tag = warn_only ? "WARN" : "FAIL";
+    std::ostringstream oss;
+    for (const PerfRegressionItem &item : items) {
+        if (item.missing) {
+            oss << tag << " " << item.target
+                << ": target missing from candidate (baseline "
+                << Table::fmt(item.baselineKips, 1) << " KIPS)\n";
+        } else if (item.regressed) {
+            oss << tag << " " << item.target << ": throughput "
+                << Table::fmt(item.baselineKips, 1) << " -> "
+                << Table::fmt(item.candidateKips, 1) << " KIPS ("
+                << Table::fmtPercent(item.relChange, 2) << ", tolerance "
+                << Table::fmtPercent(threshold + item.noiseFloor, 2)
+                << ")\n";
+        }
+    }
+    return oss.str();
+}
+
+} // namespace dee::obs::perf

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Throughput-trajectory artifacts and host-perf regression gating.
+ *
+ * dee_bench emits one BENCH_throughput.json per run (schema
+ * dee.bench.v1): per-target median KIPS (simulated kilo-instructions
+ * per host second), the MAD of those repetitions, wall ms and host
+ * IPC. This module is the testable core of dee_report --perf-diff: it
+ * loads two artifacts and flags every target whose throughput dropped
+ * by more than a relative threshold — widened per target by a noise
+ * floor derived from the measurements' own MADs, so CI jitter cannot
+ * trip the gate:
+ *
+ *     floor  = noise_mult * (base.mad + cand.mad) / base.kips
+ *     FAIL when (base.kips - cand.kips) / base.kips
+ *                  > threshold + floor
+ *
+ * The floor is *added* to the threshold rather than max()ed with it:
+ * within-run repetition MADs measure scheduling jitter inside one
+ * process but systematically underestimate run-to-run variance (cache
+ * and ASLR layout, frequency scaling), so the threshold must carry
+ * that baseline wobble on its own — which is also why dee_report's
+ * --perf-diff default threshold (10%) is looser than --check's 5%.
+ *
+ * Rising throughput and targets only the candidate has are never
+ * failures; a baseline target missing from the candidate is (the
+ * benchmark silently losing coverage must not read as "no
+ * regression").
+ */
+
+#ifndef DEE_OBS_PERF_PERF_DIFF_HH
+#define DEE_OBS_PERF_PERF_DIFF_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace dee::obs::perf
+{
+
+/** One benchmark target's robust summary inside an artifact. */
+struct BenchTarget
+{
+    std::string name;          ///< e.g. "DEE-CD-MF" or "Interpreter"
+    double kips = 0.0;         ///< median simulated kilo-instr / host s
+    double kipsMad = 0.0;      ///< MAD of the per-repetition KIPS
+    double wallMs = 0.0;       ///< median wall ms per repetition
+    double wallMsMad = 0.0;
+    double hostIpc = 0.0;      ///< median host IPC; 0 without counters
+    std::uint64_t simInstructions = 0; ///< instructions per repetition
+    std::uint64_t repsKept = 0;
+    std::uint64_t repsDropped = 0;
+};
+
+/** One parsed BENCH_throughput.json document. */
+struct BenchArtifact
+{
+    std::string path;    ///< where it was read from (label in reports)
+    std::string cells;   ///< the named cell set ("fig5", ...)
+    int scale = 0;
+    std::uint64_t reps = 0;
+    std::uint64_t warmup = 0;
+    bool hwCounters = false; ///< host counters were live for the run
+    std::vector<BenchTarget> targets; ///< document order
+
+    const BenchTarget *find(const std::string &name) const;
+};
+
+/** The artifact's JSON document (schema dee.bench.v1), target order
+ *  preserved. */
+Json benchArtifactToJson(const BenchArtifact &artifact);
+
+/** Parses @p text as a dee.bench.v1 artifact.
+ *  @return true on success; false with *err describing the failure. */
+bool parseBenchArtifact(const std::string &text, const std::string &path,
+                        BenchArtifact *out, std::string *err);
+
+/** parseBenchArtifact() over a file's contents. */
+bool loadBenchArtifact(const std::string &path, BenchArtifact *out,
+                       std::string *err);
+
+/** Outcome of gating one target across two artifacts. */
+struct PerfRegressionItem
+{
+    std::string target;
+    double baselineKips = 0.0;
+    double candidateKips = 0.0;
+    /** Signed relative change; negative = slower. */
+    double relChange = 0.0;
+    /** The per-target noise floor (relative) the gate applied. */
+    double noiseFloor = 0.0;
+    bool regressed = false;
+    bool missing = false; ///< target absent from the candidate
+};
+
+/** All per-target outcomes for a baseline/candidate artifact pair. */
+struct PerfRegressionReport
+{
+    std::vector<PerfRegressionItem> items; ///< baseline target order
+
+    bool anyRegressed() const;
+
+    /** Aligned per-target table (every target, not just failures). */
+    std::string render(double threshold) const;
+
+    /**
+     * One "FAIL <target>: ..." (or "WARN" under @p warn_only) line per
+     * regressed or missing target, naming both KIPS values and the
+     * effective tolerance. All failures render — the gate never stops
+     * at the first — so a CI log shows the full damage at once. Empty
+     * when clean.
+     */
+    std::string renderFailures(double threshold,
+                               bool warn_only = false) const;
+};
+
+/**
+ * Gates @p candidate against @p baseline target by target (see file
+ * comment for the noise-floor formula). Baseline targets with
+ * non-positive KIPS are skipped — there is no meaningful relative
+ * change against them.
+ */
+PerfRegressionReport checkPerfRegressions(const BenchArtifact &baseline,
+                                          const BenchArtifact &candidate,
+                                          double threshold,
+                                          double noise_mult);
+
+} // namespace dee::obs::perf
+
+#endif // DEE_OBS_PERF_PERF_DIFF_HH

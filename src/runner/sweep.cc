@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "obs/accounting.hh"
 #include "obs/isolate.hh"
+#include "obs/perf/perf.hh"
 #include "obs/profile/profile.hh"
 #include "obs/registry.hh"
 #include "obs/trace_event.hh"
@@ -81,9 +82,14 @@ runCells(std::size_t cells, const SweepOptions &options,
     obs::Registry &registry = obs::Registry::process();
     obs::Tracer &tracer = obs::Tracer::process();
     obs::ProfileStore &profiles = obs::ProfileStore::process();
+    double merge_ms = 0.0;
     for (std::size_t i = 0; i < cells; ++i) {
         pool.wait(futures[i]);
+        const auto merge_start = clock::now();
         sinks[i]->mergeInto(registry, tracer, profiles);
+        merge_ms += std::chrono::duration<double, std::milli>(
+                        clock::now() - merge_start)
+                        .count();
         registry.stat("runner.cell_wall_ms").add(cell_ms[i]);
         sinks[i].reset();
     }
@@ -92,6 +98,21 @@ runCells(std::size_t cells, const SweepOptions &options,
     // they match what a serial run would have left behind.
     obs::refreshAccountingScalars(registry);
     obs::refreshProfileScalars(registry);
+    obs::perf::refreshPerfScalars(registry);
+
+    // Per-worker execution observability: what each worker actually
+    // did, how much it stole, how long it sat idle. Snapshotted while
+    // the pool is still alive.
+    const std::vector<WorkerStats> worker_stats = pool.workerStats();
+    for (std::size_t w = 0; w < worker_stats.size(); ++w) {
+        const std::string prefix =
+            "runner.worker." + std::to_string(w) + ".";
+        registry.counter(prefix + "tasks") += worker_stats[w].tasks;
+        registry.counter(prefix + "steals") += worker_stats[w].steals;
+        registry.stat(prefix + "idle_ms").add(worker_stats[w].idleMs);
+    }
+    registry.counter("runner.external_tasks") += pool.externalTasks();
+    registry.stat("runner.merge_ms").add(merge_ms);
 
     registry.counter("runner.cells") += cells;
     registry.scalar("runner.jobs") = static_cast<double>(jobs);

@@ -32,8 +32,11 @@ ThreadPool::ThreadPool(unsigned threads)
     if (threads == 0)
         threads = hardwareConcurrency();
     queues_.reserve(threads);
-    for (unsigned i = 0; i < threads; ++i)
+    tallies_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
         queues_.push_back(std::make_unique<Queue>());
+        tallies_.push_back(std::make_unique<WorkerTally>());
+    }
     workers_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i)
         workers_.emplace_back([this, i] { workerLoop(i); });
@@ -83,14 +86,14 @@ ThreadPool::popTask(std::packaged_task<void()> &task)
 {
     const auto n = static_cast<unsigned>(queues_.size());
     // Own queue first (front), then steal from siblings' backs.
-    const unsigned self =
-        current_worker.pool == this ? current_worker.index : 0;
+    const bool is_worker = current_worker.pool == this;
+    const unsigned self = is_worker ? current_worker.index : 0;
     for (unsigned k = 0; k < n; ++k) {
         const unsigned q = (self + k) % n;
         std::lock_guard<std::mutex> lock(queues_[q]->mutex);
         if (queues_[q]->tasks.empty())
             continue;
-        if (k == 0 && current_worker.pool == this) {
+        if (k == 0 && is_worker) {
             task = std::move(queues_[q]->tasks.front());
             queues_[q]->tasks.pop_front();
         } else {
@@ -98,9 +101,34 @@ ThreadPool::popTask(std::packaged_task<void()> &task)
             queues_[q]->tasks.pop_back();
         }
         pending_.fetch_sub(1, std::memory_order_acquire);
+        if (is_worker) {
+            WorkerTally &tally = *tallies_[self];
+            tally.tasks.fetch_add(1, std::memory_order_relaxed);
+            if (k != 0)
+                tally.steals.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            externalTasks_.fetch_add(1, std::memory_order_relaxed);
+        }
         return true;
     }
     return false;
+}
+
+std::vector<WorkerStats>
+ThreadPool::workerStats() const
+{
+    std::vector<WorkerStats> stats;
+    stats.reserve(tallies_.size());
+    for (const auto &tally : tallies_) {
+        WorkerStats s;
+        s.tasks = tally->tasks.load(std::memory_order_relaxed);
+        s.steals = tally->steals.load(std::memory_order_relaxed);
+        s.idleMs = static_cast<double>(tally->idleNs.load(
+                       std::memory_order_relaxed)) /
+                   1e6;
+        stats.push_back(s);
+    }
+    return stats;
 }
 
 bool
@@ -117,9 +145,11 @@ void
 ThreadPool::workerLoop(unsigned index)
 {
     current_worker = WorkerId{this, index};
+    WorkerTally &tally = *tallies_[index];
     while (true) {
         if (runPendingTask())
             continue;
+        const auto park_start = std::chrono::steady_clock::now();
         std::unique_lock<std::mutex> lock(wakeMutex_);
         if (stopping_ && pending_.load(std::memory_order_acquire) == 0)
             return;
@@ -127,6 +157,14 @@ ThreadPool::workerLoop(unsigned index)
             return stopping_ ||
                    pending_.load(std::memory_order_acquire) > 0;
         });
+        lock.unlock();
+        const auto parked = std::chrono::steady_clock::now() - park_start;
+        tally.idleNs.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    parked)
+                    .count()),
+            std::memory_order_relaxed);
     }
     current_worker = WorkerId{};
 }

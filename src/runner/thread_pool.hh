@@ -24,8 +24,10 @@
 #ifndef DEE_RUNNER_THREAD_POOL_HH
 #define DEE_RUNNER_THREAD_POOL_HH
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -35,6 +37,19 @@
 
 namespace dee::runner
 {
+
+/**
+ * Per-worker execution observability, snapshotted by workerStats().
+ * "Steals" are tasks a worker popped from a sibling's deque (or that
+ * an external helper popped from any deque); idle time is how long the
+ * worker sat in its wait loop with nothing runnable.
+ */
+struct WorkerStats
+{
+    std::uint64_t tasks = 0;  ///< Tasks this worker executed.
+    std::uint64_t steals = 0; ///< ... of which were stolen.
+    double idleMs = 0.0;      ///< Wall ms spent parked, waiting.
+};
 
 /** Work-stealing pool; see file comment for the discipline. */
 class ThreadPool
@@ -79,6 +94,20 @@ class ThreadPool
      */
     bool runPendingTask();
 
+    /**
+     * Per-worker counters accumulated so far (index == worker index).
+     * Safe to call at any time; totals are exact once the work being
+     * measured has completed (e.g. after wait() returned).
+     */
+    std::vector<WorkerStats> workerStats() const;
+
+    /** Tasks run by non-worker threads helping via runPendingTask()
+     *  or wait() (they have no worker slot of their own). */
+    std::uint64_t externalTasks() const
+    {
+        return externalTasks_.load(std::memory_order_relaxed);
+    }
+
   private:
     struct Queue
     {
@@ -86,10 +115,21 @@ class ThreadPool
         std::deque<std::packaged_task<void()>> tasks;
     };
 
+    /** Cache-line-padded per-worker tallies (hot-path increments). */
+    struct WorkerTally
+    {
+        std::atomic<std::uint64_t> tasks{0};
+        std::atomic<std::uint64_t> steals{0};
+        std::atomic<std::uint64_t> idleNs{0};
+        char pad[64 - 3 * sizeof(std::atomic<std::uint64_t>)];
+    };
+
     void workerLoop(unsigned index);
     bool popTask(std::packaged_task<void()> &task);
 
     std::vector<std::unique_ptr<Queue>> queues_;
+    std::vector<std::unique_ptr<WorkerTally>> tallies_;
+    std::atomic<std::uint64_t> externalTasks_{0};
     std::vector<std::thread> workers_;
 
     std::mutex wakeMutex_;

@@ -316,7 +316,7 @@ TEST(Manifest, DocumentShapeAndRoundTrip)
     std::string err;
     ASSERT_TRUE(Json::parse(manifest.toJson(reg).dump(2), &back, &err))
         << err;
-    EXPECT_EQ(back.find("schema")->asString(), "dee.run.v3");
+    EXPECT_EQ(back.find("schema")->asString(), "dee.run.v4");
     EXPECT_EQ(back.find("tool")->asString(), "test_tool");
     EXPECT_EQ(back.find("config")->find("scale")->asInt(), 4);
     EXPECT_DOUBLE_EQ(back.find("results")->find("speedup")->asDouble(),
@@ -562,6 +562,32 @@ TEST(ManifestDiff, FailureLinesNameTheMetricAndBothValues)
     EXPECT_TRUE(checkRegressions(base, same, watches, 0.05)
                     .renderFailures(0.05)
                     .empty());
+}
+
+TEST(ManifestDiff, EveryRegressedMetricGetsItsOwnFailureLine)
+{
+    // Two watched metrics regress at once (speedup down, waste up):
+    // both FAIL lines must render — the gate never stops at the first
+    // failure, so a CI log shows the full damage in one run.
+    const LoadedManifest base = loaded(manifestText(30.0, 0.20), "base");
+    const LoadedManifest worse = loaded(manifestText(20.0, 0.40), "c1");
+    const std::vector<WatchSpec> watches{
+        WatchSpec::parse("results.speedup:+"),
+        WatchSpec::parse("accounting.*.waste_fraction:-")};
+
+    const std::string failures =
+        checkRegressions(base, worse, watches, 0.05).renderFailures(0.05);
+    EXPECT_NE(failures.find("FAIL results.speedup"), std::string::npos)
+        << failures;
+    EXPECT_NE(failures.find("FAIL accounting.window.waste_fraction"),
+              std::string::npos)
+        << failures;
+    std::size_t fails = 0, pos = 0;
+    while ((pos = failures.find("FAIL ", pos)) != std::string::npos) {
+        ++fails;
+        pos += 5;
+    }
+    EXPECT_EQ(fails, 2u) << failures;
 }
 
 TEST(ManifestDiff, FailureLinesReportMissingMetrics)

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * dee_bench: host-throughput benchmark harness.
+ *
+ * Measures how fast the simulator itself runs — simulated instructions
+ * per host second (KIPS) per "<workload>.<model>" target — and emits a
+ * machine-readable dee.bench.v1 artifact (BENCH_throughput.json) that
+ * dee_report --perf-diff gates against a committed baseline. This is
+ * the trajectory side of the perf story: simulated *results* are
+ * pinned bit-exact by dee_report --check, while this artifact tracks
+ * whether the simulator got slower producing them.
+ *
+ * Method: per target, @p --warmup untimed runs (cache/branch-predictor
+ * warm-up), then @p --reps timed repetitions. Each repetition's KIPS
+ * sample is summarized with the median/MAD estimator of
+ * obs/perf/bench_stats.hh: repetitions more than --outlier-k MADs from
+ * the median (a CPU-migration hiccup, a cron job) are dropped and the
+ * summary recomputed from the survivors. Host IPC is read from the
+ * perf_event_open counters when the kernel allows them (see
+ * obs/perf/perf.hh; 0 in containers / under DEE_PERF_HW=0).
+ *
+ * Measurement is deliberately serial — timing runs compete for nothing
+ * — so there is no --jobs flag here.
+ *
+ * Flags:
+ *   --cells SET     named target set: "fig5" (every workload x every
+ *                   model at E_T=256 — the headline sweep's shape),
+ *                   "models" (compress x every model), "quick" (two
+ *                   workloads x three models; the CI smoke set)
+ *   --scale N       workload scale factor (default 1)
+ *   --reps N        timed repetitions per target (default 5)
+ *   --warmup N      untimed warm-up runs per target (default 1)
+ *   --outlier-k K   MAD multiple beyond which a repetition is rejected
+ *                   (default 3.5; 0 disables rejection)
+ *   --quick BOOL    shorthand for --cells quick --reps 3 (CI smoke)
+ *   --out PATH      artifact path (default BENCH_throughput.json;
+ *                   empty suppresses the artifact)
+ * plus the standard observability flags (--json/--trace-out/--stats).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bpred/bpred.hh"
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/sim/models.hh"
+#include "obs/obs.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+using dee::obs::perf::BenchArtifact;
+using dee::obs::perf::BenchTarget;
+using dee::obs::perf::HwCounters;
+using dee::obs::perf::HwSample;
+using dee::obs::perf::SampleSummary;
+using dee::obs::perf::summarize;
+
+/** One thing to time: a workload/model pair at one resource level. */
+struct BenchCell
+{
+    dee::WorkloadId workload;
+    dee::ModelKind kind;
+    int et;
+};
+
+std::vector<BenchCell>
+cellSet(const std::string &name)
+{
+    std::vector<BenchCell> cells;
+    if (name == "fig5") {
+        for (dee::WorkloadId w : dee::allWorkloads())
+            for (dee::ModelKind kind : dee::allModels())
+                cells.push_back({w, kind, 256});
+        return cells;
+    }
+    if (name == "models") {
+        for (dee::ModelKind kind : dee::allModels())
+            cells.push_back({dee::WorkloadId::Compress, kind, 256});
+        return cells;
+    }
+    if (name == "quick") {
+        const dee::WorkloadId ws[] = {dee::WorkloadId::Compress,
+                                      dee::WorkloadId::Espresso};
+        const dee::ModelKind models[] = {dee::ModelKind::SP,
+                                         dee::ModelKind::DEE_CD_MF,
+                                         dee::ModelKind::Oracle};
+        for (dee::WorkloadId w : ws)
+            for (dee::ModelKind kind : models)
+                cells.push_back({w, kind, 256});
+        return cells;
+    }
+    dee_fatal("unknown --cells set '", name,
+              "' (expected fig5, models or quick)");
+    return cells;
+}
+
+/** One timed repetition's samples. */
+struct RepSample
+{
+    double kips = 0.0;
+    double wallMs = 0.0;
+    double hostIpc = 0.0; ///< 0 when hw counters are unavailable
+    std::uint64_t instructions = 0;
+};
+
+RepSample
+timeOneRun(const dee::BenchmarkInstance &inst, const BenchCell &cell)
+{
+    dee::TwoBitPredictor pred(inst.trace.numStatic);
+    dee::ModelRunOptions options;
+    options.profileWorkload = inst.name;
+
+    const HwCounters &hw = HwCounters::threadLocal();
+    const HwSample hw_begin = hw.read();
+    const auto begin = std::chrono::steady_clock::now();
+    const dee::SimResult result = dee::runModel(
+        cell.kind, inst.trace, &inst.cfg, pred, cell.et, options);
+    const auto end = std::chrono::steady_clock::now();
+    const HwSample hw_delta = hw.read().deltaFrom(hw_begin);
+
+    RepSample sample;
+    sample.wallMs =
+        std::chrono::duration<double, std::milli>(end - begin).count();
+    sample.instructions = result.instructions;
+    if (sample.wallMs > 0.0)
+        sample.kips =
+            static_cast<double>(result.instructions) / sample.wallMs;
+    if (hw_delta.valid && hw_delta.cycles > 0)
+        sample.hostIpc = static_cast<double>(hw_delta.instructions) /
+                         static_cast<double>(hw_delta.cycles);
+    return sample;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    dee::Cli cli("host-throughput benchmark harness (KIPS per "
+                 "workload.model target)");
+    cli.flag("cells", "fig5", "target set: fig5 | models | quick");
+    cli.flag("scale", "1", "workload scale factor");
+    cli.flag("reps", "5", "timed repetitions per target");
+    cli.flag("warmup", "1", "untimed warm-up runs per target");
+    cli.flag("outlier-k", "3.5",
+             "MAD multiple for repetition outlier rejection "
+             "(0 disables)");
+    cli.flag("quick", "false",
+             "CI smoke shorthand: --cells quick --reps 3");
+    cli.flag("out", "BENCH_throughput.json",
+             "dee.bench.v1 artifact path (empty: no artifact)");
+    dee::obs::declareFlags(cli);
+    cli.parse(argc, argv);
+    dee::obs::Session session("dee_bench", cli);
+
+    std::string set_name = cli.str("cells");
+    int reps = static_cast<int>(cli.integer("reps"));
+    const int warmup = static_cast<int>(cli.integer("warmup"));
+    const int scale = static_cast<int>(cli.integer("scale"));
+    const double outlier_k = cli.real("outlier-k");
+    if (cli.boolean("quick")) {
+        if (!cli.provided("cells"))
+            set_name = "quick";
+        if (!cli.provided("reps"))
+            reps = 3;
+    }
+    if (reps < 1)
+        dee_fatal("--reps must be >= 1");
+    if (warmup < 0)
+        dee_fatal("--warmup must be >= 0");
+
+    const std::vector<BenchCell> cells = cellSet(set_name);
+
+    // Build each referenced workload once, shared by all its cells.
+    std::vector<dee::BenchmarkInstance> instances;
+    for (const BenchCell &cell : cells) {
+        bool built = false;
+        for (const auto &inst : instances)
+            built = built || inst.id == cell.workload;
+        if (!built)
+            instances.push_back(dee::makeInstance(cell.workload, scale));
+    }
+    auto instanceOf =
+        [&](dee::WorkloadId id) -> const dee::BenchmarkInstance & {
+        for (const auto &inst : instances)
+            if (inst.id == id)
+                return inst;
+        dee_fatal("no instance for workload id");
+        return instances.front();
+    };
+
+    const bool progress = session.options().jsonPath.empty();
+    dee::obs::Heartbeat heartbeat("dee_bench", progress);
+    heartbeat.setTotal(cells.size() *
+                       static_cast<std::uint64_t>(warmup + reps));
+
+    BenchArtifact artifact;
+    artifact.cells = set_name;
+    artifact.scale = scale;
+    artifact.reps = static_cast<std::uint64_t>(reps);
+    artifact.warmup = static_cast<std::uint64_t>(warmup);
+    artifact.hwCounters = HwCounters::available();
+
+    dee::Table table({"target", "KIPS (median)", "+/- MAD", "wall ms",
+                      "host IPC", "reps kept"});
+
+    for (const BenchCell &cell : cells) {
+        const dee::BenchmarkInstance &inst = instanceOf(cell.workload);
+        const std::string target =
+            inst.name + "." + dee::modelName(cell.kind);
+
+        for (int i = 0; i < warmup; ++i) {
+            (void)timeOneRun(inst, cell);
+            heartbeat.tick(1, inst.trace.size());
+        }
+        std::vector<double> kips, wall, ipc;
+        std::uint64_t instructions = 0;
+        for (int i = 0; i < reps; ++i) {
+            const RepSample sample = timeOneRun(inst, cell);
+            kips.push_back(sample.kips);
+            wall.push_back(sample.wallMs);
+            ipc.push_back(sample.hostIpc);
+            instructions = sample.instructions;
+            heartbeat.tick(1, sample.instructions);
+        }
+
+        const SampleSummary kips_sum = summarize(kips, outlier_k);
+        const SampleSummary wall_sum = summarize(wall, outlier_k);
+        const SampleSummary ipc_sum = summarize(ipc, outlier_k);
+
+        BenchTarget out;
+        out.name = target;
+        out.kips = kips_sum.median;
+        out.kipsMad = kips_sum.mad;
+        out.wallMs = wall_sum.median;
+        out.wallMsMad = wall_sum.mad;
+        out.hostIpc = ipc_sum.median;
+        out.simInstructions = instructions;
+        out.repsKept = kips_sum.kept;
+        out.repsDropped = kips_sum.dropped;
+        artifact.targets.push_back(out);
+
+        table.addRow({target, dee::Table::fmt(out.kips, 1),
+                      dee::Table::fmt(out.kipsMad, 1),
+                      dee::Table::fmt(out.wallMs, 2),
+                      artifact.hwCounters
+                          ? dee::Table::fmt(out.hostIpc, 2)
+                          : std::string("-"),
+                      std::to_string(out.repsKept) + "/" +
+                          std::to_string(out.repsKept +
+                                         out.repsDropped)});
+    }
+    heartbeat.finish();
+
+    std::fputs(table.render().c_str(), stdout);
+    std::fprintf(stdout,
+                 "%zu target(s), %d rep(s) + %d warmup at scale %d; "
+                 "hw counters %s\n",
+                 cells.size(), reps, warmup, scale,
+                 artifact.hwCounters ? "live" : "unavailable "
+                                               "(timing only)");
+
+    const std::string out_path = cli.str("out");
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out)
+            dee_fatal("cannot open artifact file '", out_path, "'");
+        out << benchArtifactToJson(artifact).dump(2) << "\n";
+        if (!out.good())
+            dee_fatal("error writing artifact file '", out_path, "'");
+        std::fprintf(stdout, "wrote %s\n", out_path.c_str());
+    }
+
+    // Mirror the headline numbers into the run manifest for --json
+    // consumers (the full per-target detail lives in the artifact).
+    dee::obs::Json targets = dee::obs::Json::object();
+    for (const BenchTarget &t : artifact.targets) {
+        dee::obs::Json node = dee::obs::Json::object();
+        node["kips"] = dee::obs::Json(t.kips);
+        node["wall_ms"] = dee::obs::Json(t.wallMs);
+        targets[t.name] = std::move(node);
+    }
+    session.manifest().results()["targets"] = std::move(targets);
+    session.manifest().results()["hw_counters"] =
+        dee::obs::Json(artifact.hwCounters);
+    return 0;
+}

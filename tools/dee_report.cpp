@@ -11,6 +11,17 @@
  *                                            exit 1 when any branch's
  *                                            squashed-slot attribution
  *                                            regresses
+ *   dee_report --perf-diff --baseline BASE.json CAND.json
+ *                                            exit 1 when any bench
+ *                                            target's throughput drops
+ *                                            beyond threshold + noise
+ *
+ * Gating modes compose: pass --check and --profile-diff together and
+ * both gates run against the same baseline/candidate pair, every
+ * failure line from every gate prints, and the exit status is 1 when
+ * any gate failed. (--perf-diff reads dee.bench.v1 artifacts from
+ * tools/dee_bench rather than run manifests, so it is usually its own
+ * invocation.)
  *
  * Flags:
  *   --filter GLOB     only show metrics matching GLOB in the diff
@@ -20,21 +31,33 @@
  *                     the watch list (requires --baseline and exactly
  *                     one candidate manifest; manifests need "profile"
  *                     sections, i.e. runs made with --profile)
- *   --baseline PATH   baseline manifest for --check / --profile-diff
+ *   --perf-diff       gate per-target host throughput (KIPS) between
+ *                     two BENCH_throughput.json artifacts
+ *   --baseline PATH   baseline manifest/artifact for the gating modes
  *   --watch SPECS     comma-separated watch list, each "pattern[:+|-]"
  *                     (':+' higher is better — default; ':-' lower is
  *                     better); default watches the headline metrics:
  *                       results.*speedup*:+, results.*ipc*:+,
  *                       accounting.*.waste_fraction:-,
  *                       accounting.*.useful_fraction:+
- *   --threshold REL   relative regression tolerance (default 0.05)
+ *   --threshold REL   relative regression tolerance (default 0.05;
+ *                     --perf-diff defaults to 0.10 instead — host
+ *                     timing carries run-to-run wobble that bit-exact
+ *                     simulated metrics do not)
  *   --min-slots N     --profile-diff absolute growth floor: a branch
  *                     only fails when its squashed slots grow by more
  *                     than N on top of the relative threshold
  *                     (default 64)
+ *   --noise-mult K    --perf-diff noise floor: per-target tolerance is
+ *                     max(threshold, K * (baseline MAD + candidate
+ *                     MAD) / baseline KIPS), so repetition jitter
+ *                     measured by dee_bench widens the gate instead of
+ *                     tripping it (default 4.0)
+ *   --warn-only       --perf-diff regressions print WARN lines and do
+ *                     not affect the exit status (CI smoke mode)
  *
  * Exit status: 0 clean, 1 regression (or missing watched metric) in
- * --check / --profile-diff mode, 2 usage / load errors.
+ * any gating mode, 2 usage / load errors.
  *
  * Manifest paths are positional; the repo's Cli only does --flag pairs,
  * so parsing here is hand-rolled over argv.
@@ -46,6 +69,7 @@
 #include <vector>
 
 #include "obs/manifest_diff.hh"
+#include "obs/perf/perf_diff.hh"
 
 namespace
 {
@@ -58,6 +82,10 @@ using dee::obs::ProfileRegressionReport;
 using dee::obs::RegressionReport;
 using dee::obs::renderManifestDiff;
 using dee::obs::WatchSpec;
+using dee::obs::perf::BenchArtifact;
+using dee::obs::perf::checkPerfRegressions;
+using dee::obs::perf::loadBenchArtifact;
+using dee::obs::perf::PerfRegressionReport;
 
 constexpr const char *kDefaultWatches =
     "results.*speedup*:+,results.*ipc*:+,"
@@ -69,10 +97,13 @@ usage(std::FILE *to)
     std::fputs(
         "usage: dee_report [options] MANIFEST.json [MANIFEST.json...]\n"
         "\n"
-        "Diffs dee.run.v1/v2/v3 manifests metric by metric; with\n"
+        "Diffs dee.run.v1..v4 manifests metric by metric; with\n"
         "--check, gates on watched-metric regressions against a\n"
         "baseline; with --profile-diff, gates on per-branch\n"
-        "speculation-profile regressions.\n"
+        "speculation-profile regressions; with --perf-diff, gates on\n"
+        "per-target throughput between dee_bench artifacts. Gating\n"
+        "modes compose: every requested gate runs and every failure\n"
+        "prints before the (combined) exit status.\n"
         "\n"
         "options:\n"
         "  --filter GLOB     only diff metrics matching GLOB\n"
@@ -80,6 +111,8 @@ usage(std::FILE *to)
         "                    --baseline (exit 1 on regression)\n"
         "  --profile-diff    gate per-branch squashed-slot attribution\n"
         "                    against --baseline (exit 1 on regression)\n"
+        "  --perf-diff       gate per-target KIPS between two\n"
+        "                    BENCH_throughput.json artifacts\n"
         "  --baseline PATH   baseline manifest for the gating modes\n"
         "  --watch SPECS     comma-separated \"pattern[:+|-]\" watch\n"
         "                    list (+ higher is better, the default;\n"
@@ -87,6 +120,10 @@ usage(std::FILE *to)
         "  --threshold REL   relative tolerance, default 0.05\n"
         "  --min-slots N     --profile-diff absolute growth floor,\n"
         "                    default 64 squashed slots\n"
+        "  --noise-mult K    --perf-diff noise-floor multiplier over\n"
+        "                    the repetition MADs, default 4.0\n"
+        "  --warn-only       --perf-diff regressions warn instead of\n"
+        "                    failing the exit status\n"
         "  --help            this text\n",
         to);
 }
@@ -117,9 +154,13 @@ main(int argc, char **argv)
     std::string baseline_path;
     std::string watch_specs = kDefaultWatches;
     double threshold = 0.05;
+    bool threshold_set = false;
     double min_slots = 64.0;
+    double noise_mult = 4.0;
     bool check = false;
     bool profile_diff = false;
+    bool perf_diff = false;
+    bool warn_only = false;
     std::vector<std::string> paths;
 
     for (int i = 1; i < argc; ++i) {
@@ -141,6 +182,10 @@ main(int argc, char **argv)
             check = true;
         } else if (arg == "--profile-diff") {
             profile_diff = true;
+        } else if (arg == "--perf-diff") {
+            perf_diff = true;
+        } else if (arg == "--warn-only") {
+            warn_only = true;
         } else if (arg == "--baseline") {
             baseline_path = value("--baseline");
         } else if (arg == "--watch") {
@@ -148,6 +193,7 @@ main(int argc, char **argv)
         } else if (arg == "--threshold") {
             threshold = std::strtod(value("--threshold").c_str(),
                                     nullptr);
+            threshold_set = true;
             if (threshold < 0.0) {
                 std::fputs("dee_report: --threshold must be >= 0\n",
                            stderr);
@@ -158,6 +204,14 @@ main(int argc, char **argv)
                                     nullptr);
             if (min_slots < 0.0) {
                 std::fputs("dee_report: --min-slots must be >= 0\n",
+                           stderr);
+                return 2;
+            }
+        } else if (arg == "--noise-mult") {
+            noise_mult = std::strtod(value("--noise-mult").c_str(),
+                                     nullptr);
+            if (noise_mult < 0.0) {
+                std::fputs("dee_report: --noise-mult must be >= 0\n",
                            stderr);
                 return 2;
             }
@@ -181,55 +235,100 @@ main(int argc, char **argv)
         return m;
     };
 
-    if (profile_diff) {
+    if (profile_diff || check || perf_diff) {
         if (baseline_path.empty() || paths.size() != 1) {
-            std::fputs("dee_report: --profile-diff needs --baseline "
-                       "PATH and exactly one candidate manifest\n",
+            std::fputs("dee_report: gating modes need --baseline PATH "
+                       "and exactly one candidate file\n",
                        stderr);
             return 2;
         }
-        const LoadedManifest baseline = load(baseline_path);
-        const LoadedManifest candidate = load(paths[0]);
-        const ProfileRegressionReport report = checkProfileRegressions(
-            baseline, candidate, threshold, min_slots);
-        if (report.anyRegressed()) {
-            std::fputs(report.render(threshold, min_slots).c_str(),
-                       stdout);
-            std::fprintf(stdout,
-                         "FAIL: %zu branch(es) regressed vs %s\n",
-                         report.items.size(), baseline_path.c_str());
-            return 1;
-        }
-        std::fputs("OK: no per-branch speculation regression\n",
-                   stdout);
-        return 0;
-    }
+        // Every requested gate runs, every failure line prints; the
+        // exit status is combined at the end — a profile regression
+        // must not hide the watch-list FAIL lines (or vice versa).
+        bool failed = false;
 
-    if (check) {
-        if (baseline_path.empty() || paths.size() != 1) {
-            std::fputs("dee_report: --check needs --baseline PATH and "
-                       "exactly one candidate manifest\n",
-                       stderr);
-            return 2;
+        if (profile_diff || check) {
+            const LoadedManifest baseline = load(baseline_path);
+            const LoadedManifest candidate = load(paths[0]);
+
+            if (profile_diff) {
+                const ProfileRegressionReport report =
+                    checkProfileRegressions(baseline, candidate,
+                                            threshold, min_slots);
+                if (report.anyRegressed()) {
+                    std::fputs(
+                        report.render(threshold, min_slots).c_str(),
+                        stdout);
+                    std::fprintf(
+                        stdout,
+                        "FAIL: %zu branch(es) regressed vs %s\n",
+                        report.items.size(), baseline_path.c_str());
+                    failed = true;
+                } else {
+                    std::fputs(
+                        "OK: no per-branch speculation regression\n",
+                        stdout);
+                }
+            }
+
+            if (check) {
+                const RegressionReport report = checkRegressions(
+                    baseline, candidate, parseWatchList(watch_specs),
+                    threshold);
+                std::fputs(report.render(threshold).c_str(), stdout);
+                if (report.anyRegressed()) {
+                    std::fputs(report.renderFailures(threshold).c_str(),
+                               stdout);
+                    std::size_t n = 0;
+                    for (const auto &item : report.items)
+                        n += (item.regressed || item.missing) ? 1 : 0;
+                    std::fprintf(
+                        stdout,
+                        "FAIL: %zu watched metric(s) regressed vs %s\n",
+                        n, baseline_path.c_str());
+                    failed = true;
+                } else {
+                    std::fputs("OK: no watched metric regressed\n",
+                               stdout);
+                }
+            }
         }
-        const LoadedManifest baseline = load(baseline_path);
-        const LoadedManifest candidate = load(paths[0]);
-        const RegressionReport report = checkRegressions(
-            baseline, candidate, parseWatchList(watch_specs),
-            threshold);
-        std::fputs(report.render(threshold).c_str(), stdout);
-        if (report.anyRegressed()) {
-            std::fputs(report.renderFailures(threshold).c_str(), stdout);
-            std::size_t failed = 0;
-            for (const auto &item : report.items)
-                failed += (item.regressed || item.missing) ? 1 : 0;
-            std::fprintf(stdout,
-                         "FAIL: %zu watched metric(s) regressed vs %s\n",
-                         failed, baseline_path.c_str());
-            return 1;
+
+        if (perf_diff) {
+            // Host timing wobbles run to run even on a quiet machine;
+            // the default gate is looser than the bit-exact metrics'.
+            const double perf_threshold =
+                threshold_set ? threshold : 0.10;
+            BenchArtifact baseline, candidate;
+            std::string err;
+            if (!loadBenchArtifact(baseline_path, &baseline, &err) ||
+                !loadBenchArtifact(paths[0], &candidate, &err)) {
+                std::fprintf(stderr, "dee_report: %s\n", err.c_str());
+                return 2;
+            }
+            const PerfRegressionReport report = checkPerfRegressions(
+                baseline, candidate, perf_threshold, noise_mult);
+            std::fputs(report.render(perf_threshold).c_str(), stdout);
+            if (report.anyRegressed()) {
+                std::fputs(report.renderFailures(perf_threshold,
+                                                 warn_only)
+                               .c_str(),
+                           stdout);
+                std::size_t n = 0;
+                for (const auto &item : report.items)
+                    n += item.regressed ? 1 : 0;
+                std::fprintf(stdout,
+                             "%s: %zu bench target(s) regressed vs %s\n",
+                             warn_only ? "WARN" : "FAIL", n,
+                             baseline_path.c_str());
+                if (!warn_only)
+                    failed = true;
+            } else {
+                std::fputs("OK: no bench target regressed\n", stdout);
+            }
         }
-        std::fputs("OK: no watched metric regressed\n", stdout);
-        return 0;
+
+        return failed ? 1 : 0;
     }
 
     if (paths.empty()) {
