@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/registry.hh"
+#include "obs/telemetry/telemetry.hh"
+
 namespace dee::obs
 {
 
@@ -12,6 +15,18 @@ Heartbeat::Heartbeat(std::string label, bool enabled,
       minIntervalS_(min_interval_s),
       start_(std::chrono::steady_clock::now()), lastEmit_(start_)
 {
+    // Ride the sampler clock when it is running: the sampler fires
+    // maybeEmit() every tick, so progress lines and telemetry samples
+    // are readings of the same counters on the same clock.
+    telemetry::Hub &hub = telemetry::Hub::process();
+    if (hub.active())
+        emitterId_ = hub.addEmitter([this] { maybeEmit(); });
+}
+
+Heartbeat::~Heartbeat()
+{
+    if (emitterId_ != 0)
+        telemetry::Hub::process().removeEmitter(emitterId_);
 }
 
 void
@@ -23,11 +38,28 @@ Heartbeat::tick(std::uint64_t units)
 void
 Heartbeat::tick(std::uint64_t units, std::uint64_t instructions)
 {
+    if (instructions > 0)
+        telemetry::Hub::process().addInstructions(instructions);
     std::lock_guard<std::mutex> lock(mutex_);
     done_ += units;
     instructions_ += instructions;
+    if (!enabled_ || emitterId_ != 0)
+        return;
+    maybeEmitLocked();
+}
+
+void
+Heartbeat::maybeEmit()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
     if (!enabled_)
         return;
+    maybeEmitLocked();
+}
+
+void
+Heartbeat::maybeEmitLocked()
+{
     const auto now = std::chrono::steady_clock::now();
     const double since_emit =
         std::chrono::duration<double>(now - lastEmit_).count();
@@ -41,6 +73,26 @@ void
 Heartbeat::finish()
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Final progress totals, surfaced in stats dumps and manifests
+    // under heartbeat.<label>.* (wall_ms is wall-clock and therefore
+    // nondeterministic — manifest normalizers drop the subtree, like
+    // runner.* and perf.*). Serialized against the telemetry sampler's
+    // registry walks when one is running.
+    {
+        telemetry::Hub &hub = telemetry::Hub::process();
+        std::unique_lock<std::mutex> reg_lock(hub.registryMutex(),
+                                              std::defer_lock);
+        if (hub.active())
+            reg_lock.lock();
+        Registry &registry = Registry::global();
+        const std::string prefix = "heartbeat." + label_ + ".";
+        registry.counter(prefix + "units") = done_;
+        registry.counter(prefix + "instructions") = instructions_;
+        registry.scalar(prefix + "wall_ms") =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+    }
     if (!enabled_)
         return;
     std::fprintf(stderr, "%s (done)\n", statusLineLocked().c_str());

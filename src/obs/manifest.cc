@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "obs/perf/perf.hh"
 #include "obs/profile/profile.hh"
+#include "obs/telemetry/telemetry.hh"
 #include "obs/trace_event.hh"
 
 namespace dee::obs
@@ -19,7 +20,7 @@ Json
 Manifest::toJson(const Registry &registry) const
 {
     Json root = Json::object();
-    root["schema"] = Json("dee.run.v4");
+    root["schema"] = Json("dee.run.v5");
     root["tool"] = Json(tool_);
     root["config"] = config_;
     root["results"] = results_;
@@ -56,11 +57,24 @@ Manifest::toJson(const Registry &registry) const
     // subtree itself surfaced as a section for trajectory tooling.
     Json host_perf = Json::object();
     host_perf["hw_counters"] = Json(perf::HwCounters::available());
+    // v5: host memory pressure — peak RSS and page-fault totals for the
+    // whole process (getrusage), the numbers a "did this sweep start
+    // swapping?" triage reaches for first.
+    const perf::HostResources host_res = perf::readHostResources();
+    if (host_res.valid) {
+        host_perf["peak_rss_kb"] = Json(host_res.peakRssKb);
+        host_perf["major_faults"] = Json(host_res.majorFaults);
+        host_perf["minor_faults"] = Json(host_res.minorFaults);
+    }
     if (const Json *perf_stats = stats.find("perf"))
         host_perf["scopes"] = *perf_stats;
     else
         host_perf["scopes"] = Json::object();
     root["host_perf"] = std::move(host_perf);
+
+    // v5: the live sampler's summary — per-series sample counts and
+    // min/max/last, {"enabled": false} when telemetry never ran.
+    root["telemetry"] = telemetry::Hub::process().summaryJson();
 
     root["stats"] = std::move(stats);
     const auto now = std::chrono::steady_clock::now();

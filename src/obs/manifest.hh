@@ -10,7 +10,7 @@
  * parsers can evolve.
  *
  *     {
- *       "schema": "dee.run.v4",
+ *       "schema": "dee.run.v5",
  *       "tool": "fig5_speedups",
  *       "config": { ... },
  *       "results": { ... },
@@ -18,7 +18,11 @@
  *       "trace": { "enabled": ..., "recorded": ..., "dropped": ...,
  *                  "buffered": ... },
  *       "profile": { ... },        // ProfileStore::toJson(); {} when off
- *       "host_perf": { "hw_counters": ..., "scopes": { ... } },
+ *       "host_perf": { "hw_counters": ..., "peak_rss_kb": ...,
+ *                      "major_faults": ..., "minor_faults": ...,
+ *                      "scopes": { ... } },
+ *       "telemetry": { "enabled": ..., "interval_ms": ...,
+ *                      "samples": ..., "series": { ... } },
  *       "stats": { ... },          // Registry::toJson()
  *       "wall_clock_ms": 123.4
  *     }
@@ -27,9 +31,12 @@
  * the "profile" section (per-branch speculation attribution); v4 adds
  * "host_perf" — whether hardware counters were live, and the perf.*
  * stats subtree (simulated-KIPS / host-IPC per <workload>.<model>
- * scope, see obs/perf/perf.hh) surfaced as a section. Readers
- * (obs/manifest_diff.hh) accept all four versions — an older document
- * simply has fewer sections to diff.
+ * scope, see obs/perf/perf.hh) surfaced as a section; v5 adds host
+ * memory pressure to "host_perf" (getrusage peak RSS and page-fault
+ * totals) and the "telemetry" section — the live sampler's per-series
+ * sample counts and min/max/last summaries ({"enabled": false} when
+ * telemetry was off). Readers (obs/manifest_diff.hh) accept all five
+ * versions — an older document simply has fewer sections to diff.
  */
 
 #ifndef DEE_OBS_MANIFEST_HH
@@ -50,6 +57,9 @@ class Manifest
   public:
     /** @param tool the emitting binary's name. */
     explicit Manifest(std::string tool);
+
+    /** The emitting binary's name, as passed at construction. */
+    const std::string &tool() const { return tool_; }
 
     /** Mutable "config" object: flag values, workload scale, ... */
     Json &config() { return config_; }

@@ -82,7 +82,7 @@ parseManifest(const std::string &text, const std::string &path,
     }
     const std::string &s = schema->asString();
     if (s != "dee.run.v1" && s != "dee.run.v2" && s != "dee.run.v3" &&
-        s != "dee.run.v4") {
+        s != "dee.run.v4" && s != "dee.run.v5") {
         if (err)
             *err = path + ": unsupported schema '" + s + "'";
         return false;

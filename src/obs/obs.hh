@@ -13,6 +13,8 @@
  *   profile/report.hh  self-contained HTML profile report (dee_prof)
  *   heartbeat.hh     rate/ETA progress lines for long bench runs
  *   isolate.hh       per-cell obs isolation for parallel sweeps
+ *   telemetry/telemetry.hh  live sampler + time series (dee_top feed)
+ *   telemetry/stats_server.hh  unix-socket live-stats endpoint
  *   manifest.hh      machine-readable run manifests
  *   manifest_diff.hh manifest loading/flattening/diffing (dee_report)
  *   session.hh       --json/--trace-out/--stats wiring for binaries
@@ -35,6 +37,8 @@
 #include "obs/profile/report.hh"
 #include "obs/registry.hh"
 #include "obs/session.hh"
+#include "obs/telemetry/stats_server.hh"
+#include "obs/telemetry/telemetry.hh"
 #include "obs/timer.hh"
 #include "obs/trace_event.hh"
 

@@ -12,6 +12,13 @@
 #define DEE_PERF_HAVE_PERF_EVENT 0
 #endif
 
+#if __has_include(<sys/resource.h>)
+#define DEE_PERF_HAVE_GETRUSAGE 1
+#include <sys/resource.h>
+#else
+#define DEE_PERF_HAVE_GETRUSAGE 0
+#endif
+
 namespace dee::obs::perf
 {
 
@@ -243,6 +250,39 @@ ThroughputMeter::publish()
             hw.cacheMisses;
     }
     deriveScopeScalars(registry_, prefix);
+}
+
+HostResources
+readHostResources()
+{
+    HostResources res;
+#if DEE_PERF_HAVE_GETRUSAGE
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return res;
+    res.valid = true;
+    // ru_maxrss is KiB on Linux; macOS reports bytes, normalized here
+    // so perf.host.peak_rss_kb means the same thing everywhere.
+#if defined(__APPLE__)
+    res.peakRssKb = static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;
+#else
+    res.peakRssKb = static_cast<std::uint64_t>(usage.ru_maxrss);
+#endif
+    res.majorFaults = static_cast<std::uint64_t>(usage.ru_majflt);
+    res.minorFaults = static_cast<std::uint64_t>(usage.ru_minflt);
+#endif // DEE_PERF_HAVE_GETRUSAGE
+    return res;
+}
+
+void
+publishHostResources(Registry &registry)
+{
+    const HostResources res = readHostResources();
+    if (!res.valid)
+        return;
+    registry.counter("perf.host.peak_rss_kb") = res.peakRssKb;
+    registry.counter("perf.host.major_faults") = res.majorFaults;
+    registry.counter("perf.host.minor_faults") = res.minorFaults;
 }
 
 void

@@ -166,6 +166,31 @@ class ThroughputMeter
 };
 
 /**
+ * Process-lifetime host resource usage, read from getrusage(2):
+ * peak resident set and page-fault totals. This is the memory-pressure
+ * side of the host-perf story — a hot-path rewrite that wins KIPS by
+ * ballooning its working set shows up here.
+ */
+struct HostResources
+{
+    bool valid = false;
+    std::uint64_t peakRssKb = 0;    ///< ru_maxrss (KiB on Linux)
+    std::uint64_t majorFaults = 0;  ///< ru_majflt (paged in from disk)
+    std::uint64_t minorFaults = 0;  ///< ru_minflt
+};
+
+/** Current process totals; !valid where getrusage is unavailable. */
+HostResources readHostResources();
+
+/**
+ * Publishes readHostResources() under perf.host.* (peak_rss_kb,
+ * major_faults, minor_faults) in @p registry — counters are *set* to
+ * the process totals, not accumulated, so repeated publishes (Session
+ * exit after several sweeps) stay idempotent. No-op when !valid.
+ */
+void publishHostResources(Registry &registry);
+
+/**
  * Recomputes every perf.<scope>.kips / .mcps / .host_ipc scalar in
  * @p registry from the accumulated counters and run_ms stats, exactly
  * as the last ThroughputMeter publish of each scope would have.

@@ -4,7 +4,9 @@
 #include <fstream>
 
 #include "common/logging.hh"
+#include "obs/perf/perf.hh"
 #include "obs/profile/profile.hh"
+#include "obs/telemetry/telemetry.hh"
 
 namespace dee::obs
 {
@@ -41,6 +43,17 @@ declareFlags(Cli &cli)
     cli.flag("profile-out", "",
              "write the collected speculation profile as folded stacks "
              "to this path (flamegraph input); implies --profile");
+    cli.flag("telemetry", "false",
+             "start the live telemetry sampler (adds the manifest's "
+             "\"telemetry\" section)");
+    cli.flag("telemetry-out", "",
+             "stream telemetry samples as JSON-Lines (schema "
+             "dee.telemetry.v1) to this path; implies --telemetry");
+    cli.flag("telemetry-socket", "",
+             "serve live telemetry snapshots on a unix domain socket "
+             "at this path (attach with dee_top); implies --telemetry");
+    cli.flag("telemetry-interval", "250",
+             "telemetry sampler period in milliseconds");
 }
 
 SessionOptions
@@ -53,6 +66,12 @@ SessionOptions::fromCli(const Cli &cli)
     options.profileOutPath = cli.str("profile-out");
     options.profile =
         cli.boolean("profile") || !options.profileOutPath.empty();
+    options.telemetryOutPath = cli.str("telemetry-out");
+    options.telemetrySocketPath = cli.str("telemetry-socket");
+    options.telemetry = cli.boolean("telemetry") ||
+                        !options.telemetryOutPath.empty() ||
+                        !options.telemetrySocketPath.empty();
+    options.telemetryIntervalMs = cli.real("telemetry-interval");
     return options;
 }
 
@@ -69,6 +88,16 @@ Session::Session(std::string tool, SessionOptions options)
         checkWritable(options_.profileOutPath, "profile output");
     if (options_.profile)
         requestProfiling(true);
+    if (options_.telemetry && telemetry::compiledIn()) {
+        if (!options_.telemetryOutPath.empty())
+            checkWritable(options_.telemetryOutPath, "telemetry output");
+        telemetry::Options topts;
+        topts.intervalMs = options_.telemetryIntervalMs;
+        topts.jsonlPath = options_.telemetryOutPath;
+        topts.socketPath = options_.telemetrySocketPath;
+        topts.tool = manifest_.tool();
+        telemetry::Hub::process().start(topts);
+    }
 }
 
 Session::Session(std::string tool, const Cli &cli)
@@ -77,7 +106,9 @@ Session::Session(std::string tool, const Cli &cli)
     for (const auto &[name, value] : cli.values()) {
         // The observability flags themselves are not configuration.
         if (name == "json" || name == "trace-out" || name == "stats" ||
-            name == "profile" || name == "profile-out")
+            name == "profile" || name == "profile-out" ||
+            name == "telemetry" || name == "telemetry-out" ||
+            name == "telemetry-socket" || name == "telemetry-interval")
             continue;
         manifest_.setConfig(name, value);
     }
@@ -85,6 +116,14 @@ Session::Session(std::string tool, const Cli &cli)
 
 Session::~Session()
 {
+    // Stop the telemetry sampler first: its final tick walks the
+    // registry, and the dumps below must see the settled state (the
+    // manifest's "telemetry" section reads the stopped hub's summary).
+    telemetry::Hub::process().stop();
+    // Host memory pressure (peak RSS, page faults) is a whole-process
+    // reading — take it once, at exit, into perf.host.* so manifests
+    // and stats dumps carry it.
+    perf::publishHostResources(Registry::global());
     // Surface tracer health in the registry before any dump below
     // snapshots it: a wrapped ring (dropped > 0) silently truncates the
     // trace, which must be visible in stats and manifests.

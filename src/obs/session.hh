@@ -27,6 +27,16 @@
  *   --profile-out PATH  write the collected profile as folded stacks
  *                     ("frame;frame count" lines, flamegraph.pl /
  *                     speedscope compatible) to PATH; implies --profile
+ *   --telemetry BOOL  start the live telemetry sampler (time series in
+ *                     the manifest's "telemetry" section; see
+ *                     obs/telemetry/telemetry.hh)
+ *   --telemetry-out PATH  stream telemetry samples as JSON-Lines
+ *                     (schema dee.telemetry.v1) to PATH; implies
+ *                     --telemetry
+ *   --telemetry-socket PATH  serve live snapshots on a unix domain
+ *                     socket at PATH (attach with tools/dee_top);
+ *                     implies --telemetry
+ *   --telemetry-interval MS  sampler period in milliseconds
  */
 
 #ifndef DEE_OBS_SESSION_HH
@@ -41,8 +51,8 @@
 namespace dee::obs
 {
 
-/** Declares --json, --trace-out, --stats, --profile and --profile-out
- *  on @p cli. */
+/** Declares --json, --trace-out, --stats, --profile, --profile-out and
+ *  the --telemetry* flags on @p cli. */
 void declareFlags(Cli &cli);
 
 /** Parsed values of the standard observability flags. */
@@ -53,6 +63,10 @@ struct SessionOptions
     bool dumpStats = false;   ///< text registry dump to stderr at exit
     bool profile = false;     ///< collect speculation profiles
     std::string profileOutPath; ///< folded-stack output; implies profile
+    bool telemetry = false;   ///< start the live telemetry sampler
+    std::string telemetryOutPath;    ///< JSONL stream; implies telemetry
+    std::string telemetrySocketPath; ///< unix socket; implies telemetry
+    double telemetryIntervalMs = 250.0; ///< sampler period
 
     /** Reads the declareFlags() flags back from a parsed Cli. */
     static SessionOptions fromCli(const Cli &cli);

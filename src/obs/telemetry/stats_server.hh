@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unix-domain-socket live-stats endpoint for the telemetry Hub.
+ *
+ * A tiny line-oriented request/response server: clients connect to the
+ * --telemetry-socket path and send one command per line; the server
+ * answers each with one JSON line (schema dee.telemetry.v1):
+ *
+ *   snapshot            full Hub::snapshotJson() — progress, series
+ *                       summaries, top squashed-slot branch sites
+ *   tail <series> <n>   {"name","t_ms":[...],"v":[...]} — the last n
+ *                       ring samples of one series
+ *   ping                {"ok":true} — liveness probe
+ *
+ * One poll(2) loop multiplexes the listening socket and every
+ * connected client, so concurrent clients (a dee_top, a CI probe, a
+ * future dee_serve health check) are served without a thread per
+ * connection. Replies are built from the Hub's own locked series
+ * state, never from the live Registry, so a slow client can only ever
+ * delay other readers — it cannot perturb the sweep being observed.
+ *
+ * The endpoint is Linux/POSIX-only by nature (AF_UNIX); on platforms
+ * without it, start() warns and reports failure, and everything else
+ * about telemetry keeps working.
+ */
+
+#ifndef DEE_OBS_TELEMETRY_STATS_SERVER_HH
+#define DEE_OBS_TELEMETRY_STATS_SERVER_HH
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace dee::obs::telemetry
+{
+
+class Hub;
+
+/** The socket endpoint; owned and started/stopped by the Hub. */
+class StatsServer
+{
+  public:
+    /** @param hub the hub snapshots are served from. */
+    explicit StatsServer(Hub &hub);
+    ~StatsServer();
+
+    StatsServer(const StatsServer &) = delete;
+    StatsServer &operator=(const StatsServer &) = delete;
+
+    /**
+     * Binds @p path (unlinking any stale socket file), starts the
+     * serving thread. False with a warning when the socket cannot be
+     * created — telemetry continues without the endpoint.
+     */
+    bool start(const std::string &path);
+
+    /** Stops the loop, joins the thread, unlinks the socket file. */
+    void stop();
+
+    bool running() const { return running_; }
+    const std::string &path() const { return path_; }
+
+    /** Handles one request line; exposed for direct unit testing. */
+    std::string handleRequest(const std::string &line) const;
+
+  private:
+    void serveLoop();
+
+    Hub &hub_;
+    std::string path_;
+    int listenFd_ = -1;
+    bool running_ = false;
+    std::atomic<bool> stopRequested_{false};
+    std::thread thread_;
+};
+
+} // namespace dee::obs::telemetry
+
+#endif // DEE_OBS_TELEMETRY_STATS_SERVER_HH

@@ -316,7 +316,7 @@ TEST(Manifest, DocumentShapeAndRoundTrip)
     std::string err;
     ASSERT_TRUE(Json::parse(manifest.toJson(reg).dump(2), &back, &err))
         << err;
-    EXPECT_EQ(back.find("schema")->asString(), "dee.run.v4");
+    EXPECT_EQ(back.find("schema")->asString(), "dee.run.v5");
     EXPECT_EQ(back.find("tool")->asString(), "test_tool");
     EXPECT_EQ(back.find("config")->find("scale")->asInt(), 4);
     EXPECT_DOUBLE_EQ(back.find("results")->find("speedup")->asDouble(),
@@ -344,6 +344,12 @@ TEST(Manifest, DocumentShapeAndRoundTrip)
     const Json *profile = back.find("profile");
     ASSERT_NE(profile, nullptr);
     EXPECT_TRUE(profile->isObject());
+
+    // v5 section: telemetry summary, {"enabled": false} when the
+    // sampler never ran (as in this process).
+    const Json *telemetry = back.find("telemetry");
+    ASSERT_NE(telemetry, nullptr);
+    ASSERT_NE(telemetry->find("enabled"), nullptr);
 }
 
 TEST(Manifest, AccountingSectionMirrorsRegistrySubtree)
