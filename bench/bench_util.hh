@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/absint/bounds.hh"
 #include "bpred/bpred.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -187,6 +188,11 @@ runGrid(std::size_t points, const std::vector<BenchmarkInstance> &suite,
 /**
  * makeSuite() with the instance builds (generate + CFG + trace — the
  * expensive part of tool startup) distributed over runner::runCells.
+ *
+ * Also publishes the abstract interpreter's static bounds for the
+ * suite (serially, after the parallel build — the publish mutates
+ * process-wide observability state), so every grid tool's manifest
+ * carries the "static_bounds" section that dee_lint --xcheck gates on.
  */
 inline std::vector<BenchmarkInstance>
 makeSuiteParallel(int scale, const runner::SweepOptions &sweep,
@@ -203,6 +209,7 @@ makeSuiteParallel(int scale, const runner::SweepOptions &sweep,
     suite.reserve(built.size());
     for (auto &instance : built)
         suite.push_back(std::move(*instance));
+    analysis::absint::publishStaticBounds(ids, scale, seed);
     return suite;
 }
 

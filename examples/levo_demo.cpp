@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "analysis/absint/bounds.hh"
 #include "common/cli.hh"
 #include "exec/interp.hh"
 #include "isa/builder.hh"
@@ -87,6 +88,15 @@ main(int argc, char **argv)
     config.iqRows = static_cast<int>(cli.integer("rows"));
     config.columns = static_cast<int>(cli.integer("cols"));
     config.deePaths = static_cast<int>(cli.integer("dee"));
+    if (!cli.str("workload").empty()) {
+        // Scope the perf meter as "<workload>.Levo" and publish the
+        // static bounds, so dee_lint --xcheck can hold this run's
+        // manifest against the critical-path lower bound.
+        const dee::WorkloadId id =
+            dee::workloadByName(cli.str("workload"));
+        config.profileScope = cli.str("workload") + ".Levo";
+        dee::analysis::absint::publishStaticBounds({id}, 1, 0);
+    }
 
     // Golden model.
     dee::Interpreter interp(program);

@@ -1,0 +1,1178 @@
+#include "analysis/absint/absint.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+
+namespace dee::analysis::absint
+{
+
+namespace
+{
+
+/** r0 always reads zero, whatever the state says; absent operands
+ *  (kNoReg, e.g. LoadImm's rs1) read top — the value is never used,
+ *  but indexing regs[] with it would be out of bounds. */
+Interval
+regOf(const RegState &s, RegId r)
+{
+    if (r == kZeroReg)
+        return Interval::val(0);
+    if (r >= kNumRegs)
+        return Interval::top();
+    return s.regs[r];
+}
+
+/** The comparison a branch decides, normalized per edge outcome. */
+enum class Rel : std::uint8_t
+{
+    Lt, ///< rs1 <  rs2 on this edge
+    Ge, ///< rs1 >= rs2 on this edge
+    Eq, ///< rs1 == rs2 on this edge
+    Ne, ///< rs1 != rs2 on this edge
+};
+
+bool
+effectiveRel(Opcode op, bool taken, Rel *out)
+{
+    switch (op) {
+      case Opcode::BranchLt: *out = taken ? Rel::Lt : Rel::Ge; return true;
+      case Opcode::BranchGe: *out = taken ? Rel::Ge : Rel::Lt; return true;
+      case Opcode::BranchEq: *out = taken ? Rel::Eq : Rel::Ne; return true;
+      case Opcode::BranchNe: *out = taken ? Rel::Ne : Rel::Eq; return true;
+      default: return false;
+    }
+}
+
+/** Narrows @p s with "reg a REL reg b"; infeasible meets mark the
+ *  state unreachable (the edge cannot be taken). */
+void
+refineRel(RegState *s, Rel rel, RegId a, RegId b)
+{
+    Interval va = regOf(*s, a);
+    Interval vb = regOf(*s, b);
+    std::int64_t t = 0;
+    switch (rel) {
+      case Rel::Lt:
+        if (exactSub(vb.hi, 1, &t))
+            va = meet(va, Interval::range(kNegInf, t));
+        if (exactAdd(regOf(*s, a).lo, 1, &t))
+            vb = meet(vb, Interval::range(t, kPosInf));
+        break;
+      case Rel::Ge:
+        va = meet(va, Interval::range(vb.lo, kPosInf));
+        vb = meet(vb, Interval::range(kNegInf, regOf(*s, a).hi));
+        break;
+      case Rel::Eq: {
+        const Interval m = meet(va, vb);
+        va = m;
+        vb = m;
+        break;
+      }
+      case Rel::Ne:
+        if (vb.isConst() && !va.isBottom()) {
+            if (va.lo == vb.constant() && exactAdd(va.lo, 1, &t))
+                va = meet(va, Interval::range(t, kPosInf));
+            else if (va.hi == vb.constant() && exactSub(va.hi, 1, &t))
+                va = meet(va, Interval::range(kNegInf, t));
+        }
+        if (va.isConst() && !vb.isBottom()) {
+            if (vb.lo == va.constant() && exactAdd(vb.lo, 1, &t))
+                vb = meet(vb, Interval::range(t, kPosInf));
+            else if (vb.hi == va.constant() && exactSub(vb.hi, 1, &t))
+                vb = meet(vb, Interval::range(kNegInf, t));
+        }
+        break;
+    }
+    if (va.isBottom() || vb.isBottom()) {
+        s->reachable = false;
+        return;
+    }
+    if (a < kNumRegs)
+        s->regs[a] = va;
+    if (b < kNumRegs)
+        s->regs[b] = vb;
+}
+
+void
+refineEdge(RegState *s, const Instruction &term, bool taken)
+{
+    Rel rel;
+    if (!effectiveRel(term.op, taken, &rel))
+        return;
+    refineRel(s, rel, term.rs1, term.rs2);
+}
+
+/** Pushes @p state through every instruction of block @p b. */
+RegState
+transferBlock(const Program &program, BlockId b, RegState state)
+{
+    for (const Instruction &inst : program.block(b).instrs)
+        applyInstr(inst, &state);
+    return state;
+}
+
+/**
+ * Calls fn(successor, edge_state) for every real-block out-edge of
+ * @p b, with the terminator's refinement applied per edge. Unreachable
+ * edge states (infeasible branch outcomes) are still reported; callers
+ * skip them via RegState::reachable.
+ */
+template <typename Fn>
+void
+forEachOutEdge(const Program &program, const Cfg &cfg, BlockId b,
+               const RegState &in, Fn &&fn)
+{
+    if (!in.reachable)
+        return;
+    const RegState out = transferBlock(program, b, in);
+    if (!out.reachable)
+        return;
+    const std::size_t num_blocks = cfg.numBlocks();
+    const BasicBlock &bb = program.block(b);
+    const Instruction *term =
+        bb.instrs.empty() ? nullptr : &bb.instrs.back();
+
+    if (term != nullptr && isCondBranch(term->op)) {
+        const BlockId t = term->target;
+        const BlockId f = b + 1;
+        RegState taken = out;
+        refineEdge(&taken, *term, true);
+        RegState fall = out;
+        refineEdge(&fall, *term, false);
+        if (t == f) {
+            taken.join(fall);
+            fn(t, taken);
+            return;
+        }
+        fn(t, taken);
+        if (f < num_blocks)
+            fn(f, fall);
+        return;
+    }
+    if (term != nullptr && term->op == Opcode::Jump) {
+        fn(term->target, out);
+        return;
+    }
+    if (term != nullptr && term->op == Opcode::Halt)
+        return;
+    if (b + 1 < num_blocks)
+        fn(static_cast<BlockId>(b + 1), out);
+}
+
+/** Reverse postorder over the forward CFG (unreachable blocks last). */
+std::vector<BlockId>
+reversePostorder(const Cfg &cfg)
+{
+    const std::size_t n = cfg.numBlocks();
+    std::vector<bool> seen(n, false);
+    std::vector<BlockId> post;
+    post.reserve(n);
+    // Iterative DFS with an explicit (block, next-successor) stack.
+    std::vector<std::pair<BlockId, std::size_t>> stack;
+    if (n > 0) {
+        stack.push_back({0, 0});
+        seen[0] = true;
+    }
+    while (!stack.empty()) {
+        auto &[b, i] = stack.back();
+        const auto &succs = cfg.successors(b);
+        bool descended = false;
+        while (i < succs.size()) {
+            const BlockId s = succs[i++];
+            if (s >= n || seen[s])
+                continue;
+            seen[s] = true;
+            stack.push_back({s, 0});
+            descended = true;
+            break;
+        }
+        if (!descended && !stack.empty() && stack.back().first == b &&
+            i >= succs.size()) {
+            post.push_back(b);
+            stack.pop_back();
+        }
+    }
+    std::vector<BlockId> order(post.rbegin(), post.rend());
+    for (BlockId b = 0; b < n; ++b) {
+        if (!seen[b])
+            order.push_back(b);
+    }
+    return order;
+}
+
+RegState
+widenState(const RegState &prev, const RegState &next)
+{
+    if (!prev.reachable)
+        return next;
+    RegState w = prev;
+    for (RegId r = 0; r < kNumRegs; ++r)
+        w.regs[r] = widen(prev.regs[r], next.regs[r]);
+    return w;
+}
+
+} // namespace
+
+void
+RegState::join(const RegState &other)
+{
+    if (!other.reachable)
+        return;
+    if (!reachable) {
+        *this = other;
+        return;
+    }
+    for (RegId r = 0; r < kNumRegs; ++r)
+        regs[r] = absint::join(regs[r], other.regs[r]);
+}
+
+bool
+RegState::operator==(const RegState &other) const
+{
+    if (reachable != other.reachable)
+        return false;
+    if (!reachable)
+        return true;
+    return regs == other.regs;
+}
+
+void
+applyInstr(const Instruction &inst, RegState *state)
+{
+    const RegId rd = inst.dest();
+    if (rd == kNoReg)
+        return;
+    Interval v;
+    // Mirror the interpreter's operand selection (exec/interp.cc): a
+    // present rs2 means the register form, else the immediate form.
+    const Interval a = regOf(*state, inst.rs1);
+    const Interval b = inst.rs2 != kNoReg ? regOf(*state, inst.rs2)
+                                          : Interval::val(inst.imm);
+    switch (inst.op) {
+      case Opcode::LoadImm: v = Interval::val(inst.imm); break;
+      case Opcode::Add:
+      case Opcode::AddI: v = iAdd(a, b); break;
+      case Opcode::Sub: v = iSub(a, b); break;
+      case Opcode::Mul: v = iMul(a, b); break;
+      case Opcode::Div: v = iDiv(a, b); break;
+      case Opcode::And:
+      case Opcode::AndI: v = iAnd(a, b); break;
+      case Opcode::Or:
+      case Opcode::OrI: v = iOrXor(a, b, true); break;
+      case Opcode::Xor:
+      case Opcode::XorI: v = iOrXor(a, b, false); break;
+      case Opcode::Sll:
+      case Opcode::ShlI: v = iShl(a, b); break;
+      case Opcode::Srl:
+      case Opcode::ShrI: v = iShr(a, b); break;
+      case Opcode::Slt:
+      case Opcode::SltI: v = iSlt(a, b); break;
+      case Opcode::Load: v = Interval::top(); break;
+      default: v = Interval::top(); break;
+    }
+    if (rd != kZeroReg)
+        state->regs[rd] = v;
+}
+
+IntervalResult
+solveIntervals(const Program &program, const Cfg &cfg,
+               const LoopForest &loops)
+{
+    const std::size_t n = cfg.numBlocks();
+    IntervalResult result;
+    result.in.assign(n, RegState{});
+    if (n == 0)
+        return result;
+
+    RegState entry;
+    entry.reachable = true;
+    entry.regs.fill(Interval::top());
+    entry.regs[kZeroReg] = Interval::val(0);
+    result.in[0] = entry;
+
+    std::vector<bool> is_header(n, false);
+    for (const NaturalLoop &loop : loops.loops())
+        is_header[loop.header] = true;
+
+    const std::vector<BlockId> order = reversePostorder(cfg);
+    std::vector<std::size_t> rpo_index(n, 0);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        rpo_index[order[i]] = i;
+
+    // Worklist keyed by RPO position so loop bodies settle before
+    // their headers re-fire.
+    std::set<std::pair<std::size_t, BlockId>> worklist;
+    std::vector<std::uint32_t> updates(n, 0);
+    worklist.insert({rpo_index[0], 0});
+
+    constexpr std::uint32_t kWidenDelay = 2;
+    const std::uint64_t cap = 512 * static_cast<std::uint64_t>(n + 1);
+
+    while (!worklist.empty()) {
+        const BlockId b = worklist.begin()->second;
+        worklist.erase(worklist.begin());
+        if (++result.visits > cap) {
+            result.converged = false;
+            break;
+        }
+        forEachOutEdge(program, cfg, b, result.in[b],
+                       [&](BlockId s, const RegState &edge) {
+                           if (!edge.reachable || s >= n)
+                               return;
+                           RegState merged = result.in[s];
+                           merged.join(edge);
+                           if (is_header[s] &&
+                               updates[s] >= kWidenDelay)
+                               merged =
+                                   widenState(result.in[s], merged);
+                           if (merged == result.in[s])
+                               return;
+                           result.in[s] = merged;
+                           ++updates[s];
+                           worklist.insert({rpo_index[s], s});
+                       });
+    }
+
+    // Narrowing: bounded decreasing sweeps without widening. Each full
+    // sweep applies the (monotone) system function to a state known to
+    // be above the least fixpoint, so any fixed number of sweeps stays
+    // sound while clawing back precision the widening threw away.
+    constexpr int kNarrowPasses = 2;
+    for (int pass = 0; pass < kNarrowPasses; ++pass) {
+        std::vector<RegState> next(n, RegState{});
+        next[0] = entry;
+        for (const BlockId b : order) {
+            forEachOutEdge(program, cfg, b, result.in[b],
+                           [&](BlockId s, const RegState &edge) {
+                               if (edge.reachable && s < n)
+                                   next[s].join(edge);
+                           });
+        }
+        result.in = std::move(next);
+    }
+    return result;
+}
+
+RegState
+edgeState(const IntervalResult &fix, const Program &program,
+          const Cfg &cfg, BlockId from, BlockId to)
+{
+    RegState result;
+    forEachOutEdge(program, cfg, from, fix.in[from],
+                   [&](BlockId s, const RegState &st) {
+                       if (s == to && st.reachable)
+                           result.join(st);
+                   });
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Counted loops
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** All in-loop def sites of @p reg, as (block, index) pairs. */
+std::vector<std::pair<BlockId, std::size_t>>
+defsInLoop(const Program &program, const NaturalLoop &loop, RegId reg)
+{
+    std::vector<std::pair<BlockId, std::size_t>> defs;
+    for (const BlockId b : loop.blocks) {
+        const auto &instrs = program.block(b).instrs;
+        for (std::size_t i = 0; i < instrs.size(); ++i) {
+            if (instrs[i].dest() == reg)
+                defs.push_back({b, i});
+        }
+    }
+    return defs;
+}
+
+/** The relation a CFG edge (from -> to) implies, when its source
+ *  terminator is a conditional branch that decides the edge. */
+bool
+edgeRelation(const Program &program, BlockId from, BlockId to,
+             Rel *rel, RegId *r1, RegId *r2)
+{
+    const auto &instrs = program.block(from).instrs;
+    if (instrs.empty())
+        return false;
+    const Instruction &term = instrs.back();
+    if (!isCondBranch(term.op))
+        return false;
+    const BlockId taken = term.target;
+    const BlockId fall = from + 1;
+    if (taken == fall)
+        return false; // both outcomes land here: nothing decided
+    bool is_taken;
+    if (to == taken)
+        is_taken = true;
+    else if (to == fall)
+        is_taken = false;
+    else
+        return false;
+    if (!effectiveRel(term.op, is_taken, rel))
+        return false;
+    *r1 = term.rs1;
+    *r2 = term.rs2;
+    return true;
+}
+
+/** True when the edge proves counter >= limit. */
+bool
+provesExit(Rel rel, RegId r1, RegId r2, RegId ctr, RegId lim)
+{
+    if (rel == Rel::Ge && r1 == ctr && r2 == lim)
+        return true;
+    if (rel == Rel::Lt && r1 == lim && r2 == ctr)
+        return true; // lim < ctr is even stronger
+    return false;
+}
+
+/** True when the edge proves counter < limit (strictly). */
+bool
+provesContinue(Rel rel, RegId r1, RegId r2, RegId ctr, RegId lim)
+{
+    return rel == Rel::Lt && r1 == ctr && r2 == lim;
+}
+
+/** ceil(a / b) for b > 0. */
+std::int64_t
+ceilDivPos(std::int64_t a, std::int64_t b)
+{
+    const std::int64_t q = a / b;
+    return q * b < a ? q + 1 : q;
+}
+
+/** Tries every (counter, limit) candidate of one loop; returns the
+ *  recognition with the strongest proven minimum trip count. */
+bool
+recognizeCountedLoop(const Program &program, const Cfg &cfg,
+                     const IntervalResult &fix, const NaturalLoop &loop,
+                     std::size_t loop_index, CountedLoop *out)
+{
+    const std::size_t n = cfg.numBlocks();
+
+    // Exit edges (u in loop -> v outside). An edge into the virtual
+    // exit node (halt) can never carry an exit proof.
+    std::vector<std::pair<BlockId, BlockId>> exit_edges;
+    bool halt_exit = false;
+    for (const BlockId u : loop.blocks) {
+        for (const BlockId v : cfg.successors(u)) {
+            if (v >= n) {
+                halt_exit = true;
+                continue;
+            }
+            if (!loop.contains(v))
+                exit_edges.push_back({u, v});
+        }
+    }
+    if (halt_exit || exit_edges.empty())
+        return false;
+
+    // Candidate counters: registers whose every in-loop def is a
+    // positive constant self-increment.
+    std::vector<RegId> candidates;
+    for (RegId reg = 1; reg < kNumRegs; ++reg) {
+        const auto defs = defsInLoop(program, loop, reg);
+        if (defs.empty())
+            continue;
+        bool ok = true;
+        for (const auto &[b, i] : defs) {
+            const Instruction &inst = program.block(b).instrs[i];
+            if (inst.op != Opcode::AddI || inst.rs1 != reg ||
+                inst.imm <= 0) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            candidates.push_back(reg);
+    }
+
+    bool found = false;
+    CountedLoop best;
+    for (const RegId ctr : candidates) {
+        std::int64_t min_step = kPosInf;
+        std::int64_t max_step = 0;
+        for (const auto &[b, i] : defsInLoop(program, loop, ctr)) {
+            const std::int64_t step = program.block(b).instrs[i].imm;
+            min_step = std::min(min_step, step);
+            max_step = std::max(max_step, step);
+        }
+
+        // Every exit edge must prove ctr >= lim against one shared,
+        // loop-invariant limit register.
+        RegId lim = kNoReg;
+        bool proven = true;
+        for (const auto &[u, v] : exit_edges) {
+            Rel rel;
+            RegId r1, r2;
+            if (!edgeRelation(program, u, v, &rel, &r1, &r2)) {
+                proven = false;
+                break;
+            }
+            const RegId other = r1 == ctr ? r2 : r1;
+            if (!provesExit(rel, r1, r2, ctr, other) ||
+                (lim != kNoReg && other != lim)) {
+                proven = false;
+                break;
+            }
+            lim = other;
+        }
+        if (!proven || lim == kNoReg || lim == ctr ||
+            !defsInLoop(program, loop, lim).empty())
+            continue;
+
+        CountedLoop cl;
+        cl.loopIndex = loop_index;
+        cl.header = loop.header;
+        cl.counter = ctr;
+        cl.limit = lim;
+        cl.minStep = min_step;
+        cl.maxStep = max_step;
+        cl.bodyInstrs = 0;
+        for (const BlockId b : loop.blocks)
+            cl.bodyInstrs += program.block(b).instrs.size();
+        cl.mandatory = cfg.postdominates(loop.header, 0);
+
+        // Counter/limit values joined over the loop-entry edges.
+        cl.init = Interval::bottom();
+        cl.limitAtEntry = Interval::bottom();
+        bool any_entry = false;
+        for (const BlockId p : cfg.predecessors(loop.header)) {
+            if (p >= n || loop.contains(p))
+                continue;
+            const RegState st =
+                edgeState(fix, program, cfg, p, loop.header);
+            if (!st.reachable)
+                continue;
+            any_entry = true;
+            cl.init = join(cl.init, regOf(st, ctr));
+            cl.limitAtEntry = join(cl.limitAtEntry, regOf(st, lim));
+        }
+        if (loop.header == 0) {
+            // The program entry itself enters this loop; its values
+            // are unconstrained.
+            cl.init = Interval::top();
+            cl.limitAtEntry =
+                lim == kZeroReg ? Interval::val(0) : Interval::top();
+            any_entry = true;
+        }
+        if (!any_entry) {
+            cl.init = Interval::top();
+            cl.limitAtEntry = Interval::top();
+        }
+
+        // minTrip: the counter must advance from at most init.hi to at
+        // least limit.lo, in steps of at most maxStep.
+        std::int64_t d = 0;
+        if (cl.init.boundedAbove() && cl.limitAtEntry.boundedBelow() &&
+            exactSub(cl.limitAtEntry.lo, cl.init.hi, &d) && d > 0)
+            cl.minTrip = ceilDivPos(d, max_step);
+
+        // maxTrip needs a strict ctr < lim proof on every continue
+        // path: either all back edges, or the header's in-loop edge
+        // (the header dominates every iteration).
+        bool continues_proven = !loop.latches.empty();
+        for (const BlockId latch : loop.latches) {
+            Rel rel;
+            RegId r1, r2;
+            if (!edgeRelation(program, latch, loop.header, &rel, &r1,
+                              &r2) ||
+                !provesContinue(rel, r1, r2, ctr, lim)) {
+                continues_proven = false;
+                break;
+            }
+        }
+        if (!continues_proven) {
+            for (const BlockId s : cfg.successors(loop.header)) {
+                Rel rel;
+                RegId r1, r2;
+                if (s < n && loop.contains(s) &&
+                    edgeRelation(program, loop.header, s, &rel, &r1,
+                                 &r2) &&
+                    provesContinue(rel, r1, r2, ctr, lim)) {
+                    continues_proven = true;
+                    break;
+                }
+            }
+        }
+        std::int64_t d2 = 0;
+        if (continues_proven && cl.init.boundedBelow() &&
+            cl.limitAtEntry.boundedAbove() &&
+            exactSub(cl.limitAtEntry.hi, cl.init.lo, &d2)) {
+            // Increments 1..K-1 each followed by a passed ctr < lim
+            // test; one generous extra step of slack keeps this a safe
+            // upper bound for every test placement.
+            cl.maxTrip = d2 <= 0 ? 1 : (d2 - 1) / min_step + 2;
+        }
+
+        for (const BlockId b : loop.blocks) {
+            const auto &instrs = program.block(b).instrs;
+            for (std::size_t i = 0; i < instrs.size(); ++i) {
+                const Instruction &inst = instrs[i];
+                if (isCondBranch(inst.op) &&
+                    ((inst.rs1 == ctr && inst.rs2 == lim) ||
+                     (inst.rs1 == lim && inst.rs2 == ctr)))
+                    cl.testBranches.push_back(
+                        program.staticId(b, i));
+            }
+        }
+
+        if (!found || cl.minTrip > best.minTrip) {
+            best = cl;
+            found = true;
+        }
+    }
+    if (found)
+        *out = best;
+    return found;
+}
+
+} // namespace
+
+std::vector<CountedLoop>
+findCountedLoops(const Program &program, const Cfg &cfg,
+                 const LoopForest &loops, const IntervalResult &fix)
+{
+    std::vector<CountedLoop> counted;
+    const auto &all = loops.loops();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        CountedLoop cl;
+        if (recognizeCountedLoop(program, cfg, fix, all[i], i, &cl))
+            counted.push_back(cl);
+    }
+    return counted;
+}
+
+// ---------------------------------------------------------------------
+// Value locality
+// ---------------------------------------------------------------------
+
+double
+LocalitySummary::predictableFraction() const
+{
+    if (defs == 0)
+        return 0.0;
+    return static_cast<double>(constants + strides + lastValues) /
+           static_cast<double>(defs);
+}
+
+LocalitySummary
+classifyValueLocality(const Program &program, const LoopForest &loops,
+                      const IntervalResult &fix)
+{
+    LocalitySummary sum;
+
+    // Per-loop def-register sets, for the last-value test.
+    const auto &forest = loops.loops();
+    std::vector<std::set<RegId>> loop_defs(forest.size());
+    std::map<BlockId, std::size_t> loop_of_header;
+    for (std::size_t li = 0; li < forest.size(); ++li) {
+        loop_of_header[forest[li].header] = li;
+        for (const BlockId b : forest[li].blocks) {
+            for (const Instruction &inst : program.block(b).instrs) {
+                if (inst.dest() != kNoReg)
+                    loop_defs[li].insert(inst.dest());
+            }
+        }
+    }
+
+    for (BlockId b = 0; b < program.numBlocks(); ++b) {
+        if (b >= fix.in.size() || !fix.in[b].reachable)
+            continue;
+        // Innermost enclosing loop, if any.
+        const std::vector<BlockId> headers = loops.enclosingHeaders(b);
+        const std::set<RegId> *inner_defs = nullptr;
+        if (!headers.empty())
+            inner_defs = &loop_defs[loop_of_header.at(headers.back())];
+
+        RegState state = fix.in[b];
+        for (const Instruction &inst : program.block(b).instrs) {
+            applyInstr(inst, &state);
+            const RegId rd = inst.dest();
+            if (rd == kNoReg || rd == kZeroReg)
+                continue;
+            ++sum.defs;
+            if (state.reachable && state.regs[rd].isConst()) {
+                ++sum.constants;
+            } else if (inst.op == Opcode::AddI && inst.rs1 == rd &&
+                       inst.imm != 0) {
+                ++sum.strides;
+            } else if (inner_defs != nullptr &&
+                       inst.op != Opcode::Load) {
+                bool invariant = true;
+                for (const RegId src : inst.sources()) {
+                    if (src != kZeroReg &&
+                        inner_defs->count(src) != 0) {
+                        invariant = false;
+                        break;
+                    }
+                }
+                if (invariant)
+                    ++sum.lastValues;
+                else
+                    ++sum.varying;
+            } else {
+                ++sum.varying;
+            }
+        }
+    }
+    return sum;
+}
+
+// ---------------------------------------------------------------------
+// Symbolic memory dependence
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Affine form over the counted loops' counters:
+ *  c0 + sum(coeff_i * counter_of_loop_i). */
+struct Affine
+{
+    enum class K : std::uint8_t
+    {
+        Bot, ///< join identity (unreached)
+        Val, ///< a concrete affine form
+        Unk, ///< absorbing top
+    };
+    K k = K::Bot;
+    std::int64_t c0 = 0;
+    /** Sorted sparse (counted-loop index, coefficient) terms. */
+    std::vector<std::pair<std::uint32_t, std::int64_t>> terms;
+
+    static Affine unknown() { return Affine{K::Unk, 0, {}}; }
+    static Affine constant(std::int64_t c) { return Affine{K::Val, c, {}}; }
+
+    static Affine
+    root(std::uint32_t idx)
+    {
+        return Affine{K::Val, 0, {{idx, 1}}};
+    }
+
+    bool
+    operator==(const Affine &o) const
+    {
+        if (k != o.k)
+            return false;
+        if (k != K::Val)
+            return true;
+        return c0 == o.c0 && terms == o.terms;
+    }
+
+    std::int64_t
+    coeff(std::uint32_t idx) const
+    {
+        for (const auto &[i, c] : terms) {
+            if (i == idx)
+                return c;
+        }
+        return 0;
+    }
+};
+
+Affine
+affJoin(const Affine &a, const Affine &b)
+{
+    if (a.k == Affine::K::Bot)
+        return b;
+    if (b.k == Affine::K::Bot)
+        return a;
+    if (a == b)
+        return a;
+    return Affine::unknown();
+}
+
+/** a + s*b with overflow checking (wrapping machine => unknown). */
+Affine
+affCombine(const Affine &a, const Affine &b, std::int64_t s)
+{
+    if (a.k != Affine::K::Val || b.k != Affine::K::Val)
+        return Affine::unknown();
+    Affine r;
+    r.k = Affine::K::Val;
+    std::int64_t scaled = 0;
+    if (!exactMul(b.c0, s, &scaled) || !exactAdd(a.c0, scaled, &r.c0))
+        return Affine::unknown();
+    std::map<std::uint32_t, std::int64_t> sum;
+    for (const auto &[i, c] : a.terms)
+        sum[i] = c;
+    for (const auto &[i, c] : b.terms) {
+        std::int64_t sc = 0;
+        std::int64_t tot = 0;
+        if (!exactMul(c, s, &sc) || !exactAdd(sum[i], sc, &tot))
+            return Affine::unknown();
+        sum[i] = tot;
+    }
+    for (const auto &[i, c] : sum) {
+        if (c != 0)
+            r.terms.push_back({i, c});
+    }
+    return r;
+}
+
+Affine
+affScale(const Affine &a, std::int64_t s)
+{
+    return affCombine(Affine::constant(0), a, s);
+}
+
+struct AffState
+{
+    bool reachable = false;
+    std::array<Affine, kNumRegs> regs{};
+
+    Affine
+    reg(RegId r) const
+    {
+        if (r == kZeroReg)
+            return Affine::constant(0);
+        if (r >= kNumRegs)
+            return Affine::unknown();
+        return regs[r];
+    }
+
+    void
+    join(const AffState &other)
+    {
+        if (!other.reachable)
+            return;
+        if (!reachable) {
+            *this = other;
+            return;
+        }
+        for (RegId r = 0; r < kNumRegs; ++r)
+            regs[r] = affJoin(regs[r], other.regs[r]);
+    }
+
+    bool
+    operator==(const AffState &o) const
+    {
+        if (reachable != o.reachable)
+            return false;
+        if (!reachable)
+            return true;
+        return regs == o.regs;
+    }
+};
+
+void
+affApply(const Instruction &inst, AffState *state)
+{
+    const RegId rd = inst.dest();
+    if (rd == kNoReg)
+        return;
+    Affine v = Affine::unknown();
+    const Affine a = state->reg(inst.rs1);
+    const bool imm_form = inst.rs2 == kNoReg;
+    const Affine b =
+        imm_form ? Affine::constant(inst.imm) : state->reg(inst.rs2);
+    switch (inst.op) {
+      case Opcode::LoadImm: v = Affine::constant(inst.imm); break;
+      case Opcode::Add:
+      case Opcode::AddI: v = affCombine(a, b, 1); break;
+      case Opcode::Sub: v = affCombine(a, b, -1); break;
+      case Opcode::Mul:
+        if (a.k == Affine::K::Val && a.terms.empty())
+            v = affScale(b, a.c0);
+        else if (b.k == Affine::K::Val && b.terms.empty())
+            v = affScale(a, b.c0);
+        break;
+      case Opcode::ShlI:
+        if (imm_form && (inst.imm & 63) <= 62)
+            v = affScale(a, std::int64_t{1} << (inst.imm & 63));
+        break;
+      default: break;
+    }
+    if (rd != kZeroReg)
+        state->regs[rd] = v;
+}
+
+/** One memory access inside a loop: its symbolic address. */
+struct Access
+{
+    bool isStore = false;
+    Affine addr;
+};
+
+std::int64_t
+floorDiv(std::int64_t a, std::int64_t b)
+{
+    std::int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0)))
+        --q;
+    return q;
+}
+
+std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    std::int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) == (b < 0)))
+        ++q;
+    return q;
+}
+
+/** Value range of a counted loop's counter at any in-loop point. */
+Interval
+counterRange(const CountedLoop &cl)
+{
+    std::int64_t hi = kPosInf;
+    // The counter overshoots the limit by less than one maximum step.
+    if (cl.limitAtEntry.boundedAbove()) {
+        std::int64_t t = 0;
+        if (exactAdd(cl.limitAtEntry.hi, cl.maxStep, &t))
+            hi = t;
+    }
+    const std::int64_t lo =
+        cl.init.boundedBelow() ? cl.init.lo : kNegInf;
+    return Interval::range(std::min(lo, hi), hi);
+}
+
+/**
+ * Minimum carried distance at which accesses @p a (iteration j) and
+ * @p b (iteration j+k) of loop @p li can touch the same address, or 0
+ * when they provably never can. Returns false when the affine forms
+ * leave the question undecidable.
+ */
+bool
+conflictDistance(const Access &a, const Access &b,
+                 const CountedLoop &li, const NaturalLoop &loop,
+                 const Program &program,
+                 const std::vector<CountedLoop> &counted,
+                 std::int64_t *min_k)
+{
+    if (a.addr.k != Affine::K::Val || b.addr.k != Affine::K::Val)
+        return false;
+    const auto self = static_cast<std::uint32_t>(li.loopIndex);
+    const std::int64_t ca = a.addr.coeff(self);
+    const std::int64_t cb = b.addr.coeff(self);
+    if (ca != cb)
+        return false; // mismatched counter coefficients: undecidable
+
+    // D = (b.c0 - a.c0) + contributions of every *other* root.
+    std::int64_t dc = 0;
+    if (!exactSub(b.addr.c0, a.addr.c0, &dc))
+        return false;
+    Interval d = Interval::val(dc);
+    std::set<std::uint32_t> roots;
+    for (const auto &[i, c] : a.addr.terms)
+        roots.insert(i);
+    for (const auto &[i, c] : b.addr.terms)
+        roots.insert(i);
+    for (const std::uint32_t r : roots) {
+        if (r == self)
+            continue;
+        const std::int64_t ar = a.addr.coeff(r);
+        const std::int64_t br = b.addr.coeff(r);
+        const CountedLoop &rl = counted[r];
+        const bool varies =
+            !defsInLoop(program, loop, rl.counter).empty();
+        if (!varies && ar == br)
+            continue; // loop-invariant during this entry: cancels
+        const Interval range = counterRange(rl);
+        if (!range.boundedBelow() || !range.boundedAbove())
+            return false;
+        const Interval contrib = varies || ar != br
+                                     ? iSub(iMul(Interval::val(br), range),
+                                            iMul(Interval::val(ar), range))
+                                     : Interval::val(0);
+        if (!contrib.boundedBelow() || !contrib.boundedAbove())
+            return false;
+        d = iAdd(d, contrib);
+        if (!d.boundedBelow() || !d.boundedAbove())
+            return false;
+    }
+
+    // Conflict at distance k iff c*delta_k + D can be zero, where
+    // delta_k (the counter advance over k iterations) lies in
+    // [k*minStep, k*maxStep]. Target interval for c*delta_k:
+    const Interval t = Interval::range(-d.hi, -d.lo);
+    if (ca == 0) {
+        if (t.containsZero()) {
+            *min_k = 1;
+            return true;
+        }
+        *min_k = 0;
+        return true;
+    }
+    const std::int64_t k_cap =
+        li.maxTrip > 0 ? li.maxTrip - 1 : kPosInf;
+    if (k_cap <= 0) {
+        *min_k = 0; // at most one iteration: nothing carried
+        return true;
+    }
+    if (li.minStep == li.maxStep) {
+        // Exact arithmetic progression: c*s*k in t.
+        std::int64_t p = 0;
+        if (!exactMul(ca, li.minStep, &p) || p == 0)
+            return false;
+        std::int64_t klo = p > 0 ? ceilDiv(t.lo, p) : ceilDiv(t.hi, p);
+        std::int64_t khi =
+            p > 0 ? floorDiv(t.hi, p) : floorDiv(t.lo, p);
+        klo = std::max<std::int64_t>(klo, 1);
+        if (k_cap != kPosInf)
+            khi = std::min(khi, k_cap);
+        *min_k = klo <= khi ? klo : 0;
+        return true;
+    }
+    if (k_cap == kPosInf || k_cap > (1 << 20))
+        return false; // variable step and huge range: undecidable
+    for (std::int64_t k = 1; k <= k_cap; ++k) {
+        std::int64_t lo = 0;
+        std::int64_t hi = 0;
+        if (!exactMul(k, li.minStep, &lo) ||
+            !exactMul(k, li.maxStep, &hi))
+            return false;
+        const Interval delta = iMul(Interval::val(ca),
+                                    Interval::range(lo, hi));
+        if (!(meet(delta, t).isBottom())) {
+            *min_k = k;
+            return true;
+        }
+    }
+    *min_k = 0;
+    return true;
+}
+
+} // namespace
+
+std::vector<MemDep>
+analyzeLoopMemDeps(const Program &program, const Cfg &cfg,
+                   const LoopForest &loops,
+                   const std::vector<CountedLoop> &counted)
+{
+    const std::size_t n = cfg.numBlocks();
+    const auto &forest = loops.loops();
+    std::vector<MemDep> result(forest.size());
+
+    // Header -> counted-loop index, for root forcing.
+    std::map<BlockId, std::uint32_t> counted_of_header;
+    for (std::size_t i = 0; i < counted.size(); ++i)
+        counted_of_header[counted[i].header] =
+            static_cast<std::uint32_t>(i);
+
+    // Affine fixpoint (finite lattice per register: Bot < Val < Unk,
+    // so the worklist terminates without widening).
+    std::vector<AffState> in(n);
+    if (n == 0)
+        return result;
+    AffState entry;
+    entry.reachable = true;
+    entry.regs.fill(Affine::unknown());
+    entry.regs[kZeroReg] = Affine::constant(0);
+    in[0] = entry;
+
+    auto force_roots = [&](BlockId b, AffState *st) {
+        const auto it = counted_of_header.find(b);
+        if (it != counted_of_header.end()) {
+            const RegId ctr = counted[it->second].counter;
+            if (ctr != kZeroReg)
+                st->regs[ctr] = Affine::root(it->second);
+        }
+    };
+    force_roots(0, &in[0]);
+
+    std::set<BlockId> worklist{0};
+    std::uint64_t visits = 0;
+    const std::uint64_t cap = 512 * static_cast<std::uint64_t>(n + 1);
+    while (!worklist.empty() && visits++ < cap) {
+        const BlockId b = *worklist.begin();
+        worklist.erase(worklist.begin());
+        if (!in[b].reachable)
+            continue;
+        AffState out = in[b];
+        for (const Instruction &inst : program.block(b).instrs)
+            affApply(inst, &out);
+        for (const BlockId s : cfg.successors(b)) {
+            if (s >= n)
+                continue;
+            AffState merged = in[s];
+            merged.join(out);
+            force_roots(s, &merged);
+            if (!(merged == in[s])) {
+                in[s] = merged;
+                worklist.insert(s);
+            }
+        }
+    }
+
+    for (std::size_t li = 0; li < forest.size(); ++li) {
+        const NaturalLoop &loop = forest[li];
+        // Only counted loops have a root to phrase distances in.
+        const CountedLoop *cl = nullptr;
+        for (const CountedLoop &c : counted) {
+            if (c.loopIndex == li) {
+                cl = &c;
+                break;
+            }
+        }
+
+        std::vector<Access> accesses;
+        bool all_known = true;
+        bool any_store = false;
+        for (const BlockId b : loop.blocks) {
+            if (!in[b].reachable)
+                continue;
+            AffState st = in[b];
+            force_roots(b, &st);
+            for (const Instruction &inst : program.block(b).instrs) {
+                const OpClass cls = opClass(inst.op);
+                if (cls == OpClass::Load || cls == OpClass::Store) {
+                    Access acc;
+                    acc.isStore = cls == OpClass::Store;
+                    any_store |= acc.isStore;
+                    acc.addr = affCombine(st.reg(inst.rs1),
+                                          Affine::constant(inst.imm), 1);
+                    if (acc.addr.k != Affine::K::Val)
+                        all_known = false;
+                    accesses.push_back(acc);
+                }
+                affApply(inst, &st);
+            }
+        }
+
+        if (!any_store) {
+            result[li] = MemDep{MemDepKind::Independent, 0};
+            continue;
+        }
+        if (cl == nullptr || !all_known) {
+            result[li] = MemDep{MemDepKind::Unknown, 0};
+            continue;
+        }
+
+        std::int64_t best = 0;
+        bool carried = false;
+        bool unknown = false;
+        for (std::size_t i = 0; i < accesses.size() && !unknown; ++i) {
+            for (std::size_t j = 0; j < accesses.size(); ++j) {
+                if (!accesses[i].isStore && !accesses[j].isStore)
+                    continue;
+                std::int64_t k = 0;
+                if (!conflictDistance(accesses[i], accesses[j], *cl,
+                                      loop, program, counted, &k)) {
+                    unknown = true;
+                    break;
+                }
+                if (k > 0 && (!carried || k < best)) {
+                    carried = true;
+                    best = k;
+                }
+            }
+        }
+        if (unknown)
+            result[li] = MemDep{MemDepKind::Unknown, 0};
+        else if (carried)
+            result[li] = MemDep{MemDepKind::Carried, best};
+        else
+            result[li] = MemDep{MemDepKind::Independent, 0};
+    }
+    return result;
+}
+
+} // namespace dee::analysis::absint

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Lattice domains for the abstract-interpretation pass.
+ *
+ * The base domain is the classic integer interval lattice over the
+ * machine's int64 values, with two sentinels marking "unbounded":
+ * kNegInf / kPosInf. Because the interpreter's ALU (exec/interp.cc)
+ * computes Add/Sub/Mul with *wrapping* two's-complement semantics, the
+ * transfer functions here return an exact interval only when every
+ * endpoint combination provably fits in int64; any possible overflow
+ * degrades to top. That keeps the domain sound against the real
+ * machine rather than against idealized integers.
+ *
+ * Constants are the singleton intervals, so no separate constant
+ * lattice is needed: Interval::isConst() is the constant domain.
+ */
+
+#ifndef DEE_ANALYSIS_ABSINT_DOMAIN_HH
+#define DEE_ANALYSIS_ABSINT_DOMAIN_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace dee::analysis::absint
+{
+
+/** "Unbounded below" endpoint sentinel. */
+constexpr std::int64_t kNegInf = std::numeric_limits<std::int64_t>::min();
+/** "Unbounded above" endpoint sentinel. */
+constexpr std::int64_t kPosInf = std::numeric_limits<std::int64_t>::max();
+
+/** True when @p v is one of the unbounded sentinels. */
+inline bool
+isInf(std::int64_t v)
+{
+    return v == kNegInf || v == kPosInf;
+}
+
+/**
+ * Exact endpoint sum: false when either side is unbounded or the sum
+ * overflows int64 (callers degrade to top — the interpreter wraps).
+ */
+inline bool
+exactAdd(std::int64_t a, std::int64_t b, std::int64_t *out)
+{
+    if (isInf(a) || isInf(b))
+        return false;
+    return !__builtin_add_overflow(a, b, out);
+}
+
+/** Exact endpoint difference; same contract as exactAdd(). */
+inline bool
+exactSub(std::int64_t a, std::int64_t b, std::int64_t *out)
+{
+    if (isInf(a) || isInf(b))
+        return false;
+    return !__builtin_sub_overflow(a, b, out);
+}
+
+/** Exact endpoint product; same contract as exactAdd(). */
+inline bool
+exactMul(std::int64_t a, std::int64_t b, std::int64_t *out)
+{
+    if (isInf(a) || isInf(b))
+        return false;
+    return !__builtin_mul_overflow(a, b, out);
+}
+
+/**
+ * One element of the interval lattice: bottom (no value), or the set
+ * of int64 values in [lo, hi] with sentinel endpoints for unbounded
+ * sides. Top is [kNegInf, kPosInf] — every representable value.
+ */
+struct Interval
+{
+    std::int64_t lo = kNegInf;
+    std::int64_t hi = kPosInf;
+    bool bot = false;
+
+    static Interval top() { return Interval{}; }
+    static Interval bottom() { return Interval{0, 0, true}; }
+    static Interval val(std::int64_t v) { return Interval{v, v, false}; }
+
+    /** [lo, hi]; an inverted pair collapses to bottom. */
+    static Interval
+    range(std::int64_t l, std::int64_t h)
+    {
+        if (l > h)
+            return bottom();
+        return Interval{l, h, false};
+    }
+
+    bool isBottom() const { return bot; }
+    bool isTop() const { return !bot && lo == kNegInf && hi == kPosInf; }
+    bool isConst() const { return !bot && lo == hi; }
+    std::int64_t constant() const { return lo; }
+    bool boundedBelow() const { return !bot && lo != kNegInf; }
+    bool boundedAbove() const { return !bot && hi != kPosInf; }
+
+    bool
+    contains(std::int64_t v) const
+    {
+        return !bot && lo <= v && v <= hi;
+    }
+
+    bool containsZero() const { return contains(0); }
+
+    bool
+    operator==(const Interval &o) const
+    {
+        if (bot || o.bot)
+            return bot == o.bot;
+        return lo == o.lo && hi == o.hi;
+    }
+};
+
+/** Least upper bound. */
+inline Interval
+join(const Interval &a, const Interval &b)
+{
+    if (a.isBottom())
+        return b;
+    if (b.isBottom())
+        return a;
+    return Interval::range(std::min(a.lo, b.lo), std::max(a.hi, b.hi));
+}
+
+/** Greatest lower bound (may be bottom). */
+inline Interval
+meet(const Interval &a, const Interval &b)
+{
+    if (a.isBottom() || b.isBottom())
+        return Interval::bottom();
+    return Interval::range(std::max(a.lo, b.lo), std::min(a.hi, b.hi));
+}
+
+/**
+ * Standard interval widening: any endpoint that moved since @p prev
+ * jumps straight to its sentinel, so every chain of widened joins
+ * stabilizes after at most two steps per register.
+ */
+inline Interval
+widen(const Interval &prev, const Interval &next)
+{
+    if (prev.isBottom())
+        return next;
+    if (next.isBottom())
+        return prev;
+    Interval w;
+    w.lo = next.lo < prev.lo ? kNegInf : prev.lo;
+    w.hi = next.hi > prev.hi ? kPosInf : prev.hi;
+    w.bot = false;
+    return w;
+}
+
+/** Abstract wrapping addition (exact or top, see file comment). */
+inline Interval
+iAdd(const Interval &a, const Interval &b)
+{
+    if (a.isBottom() || b.isBottom())
+        return Interval::bottom();
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    if (!exactAdd(a.lo, b.lo, &lo) || !exactAdd(a.hi, b.hi, &hi))
+        return Interval::top();
+    return Interval::range(lo, hi);
+}
+
+/** Abstract wrapping subtraction. */
+inline Interval
+iSub(const Interval &a, const Interval &b)
+{
+    if (a.isBottom() || b.isBottom())
+        return Interval::bottom();
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    if (!exactSub(a.lo, b.hi, &lo) || !exactSub(a.hi, b.lo, &hi))
+        return Interval::top();
+    return Interval::range(lo, hi);
+}
+
+/** Abstract wrapping multiplication (min/max of endpoint products). */
+inline Interval
+iMul(const Interval &a, const Interval &b)
+{
+    if (a.isBottom() || b.isBottom())
+        return Interval::bottom();
+    std::int64_t p[4];
+    if (!exactMul(a.lo, b.lo, &p[0]) || !exactMul(a.lo, b.hi, &p[1]) ||
+        !exactMul(a.hi, b.lo, &p[2]) || !exactMul(a.hi, b.hi, &p[3]))
+        return Interval::top();
+    return Interval::range(*std::min_element(p, p + 4),
+                           *std::max_element(p, p + 4));
+}
+
+/** Abstract division; the machine defines x/0 == 0 (interp.cc). */
+inline Interval
+iDiv(const Interval &a, const Interval &b)
+{
+    if (a.isBottom() || b.isBottom())
+        return Interval::bottom();
+    // Only the easy sound case: constant nonzero divisor, bounded
+    // dividend. Truncating division is monotone in the dividend for a
+    // fixed divisor, so the endpoint quotients bound the result.
+    if (b.isConst() && b.constant() != 0 && a.boundedBelow() &&
+        a.boundedAbove() && !(b.constant() == -1 && a.lo == kNegInf)) {
+        const std::int64_t q1 = a.lo / b.constant();
+        const std::int64_t q2 = a.hi / b.constant();
+        Interval r = Interval::range(std::min(q1, q2), std::max(q1, q2));
+        if (b.containsZero())
+            r = join(r, Interval::val(0));
+        return r;
+    }
+    return Interval::top();
+}
+
+/** Abstract And with a known-nonnegative side: bits are a subset of
+ *  that side's bits, so the result lies in [0, side.hi]. */
+inline Interval
+iAnd(const Interval &a, const Interval &b)
+{
+    if (a.isBottom() || b.isBottom())
+        return Interval::bottom();
+    std::int64_t hi = kPosInf;
+    if (a.lo >= 0 && a.boundedAbove())
+        hi = std::min(hi, a.hi);
+    if (b.lo >= 0 && b.boundedAbove())
+        hi = std::min(hi, b.hi);
+    if (hi == kPosInf)
+        return Interval::top();
+    return Interval::range(0, hi);
+}
+
+/** Abstract Or/Xor: for nonnegative operands, a|b <= a+b and
+ *  a^b <= a+b, and Or is at least each operand. */
+inline Interval
+iOrXor(const Interval &a, const Interval &b, bool is_or)
+{
+    if (a.isBottom() || b.isBottom())
+        return Interval::bottom();
+    if (a.lo < 0 || b.lo < 0)
+        return Interval::top();
+    std::int64_t hi = 0;
+    if (!exactAdd(a.hi, b.hi, &hi))
+        return Interval::top();
+    const std::int64_t lo = is_or ? std::max(a.lo, b.lo) : 0;
+    return Interval::range(lo, hi);
+}
+
+/** Abstract Slt/SltI result, refined when the comparison is decided. */
+inline Interval
+iSlt(const Interval &a, const Interval &b)
+{
+    if (a.isBottom() || b.isBottom())
+        return Interval::bottom();
+    if (!isInf(a.hi) && !isInf(b.lo) && a.hi < b.lo)
+        return Interval::val(1);
+    if (!isInf(a.lo) && !isInf(b.hi) && a.lo >= b.hi)
+        return Interval::val(0);
+    return Interval::range(0, 1);
+}
+
+/** Abstract left shift (the machine masks the amount to 6 bits and
+ *  shifts the unsigned pattern; only nonnegative exact cases stay
+ *  precise). */
+inline Interval
+iShl(const Interval &a, const Interval &s)
+{
+    if (a.isBottom() || s.isBottom())
+        return Interval::bottom();
+    if (!s.isConst() || a.lo < 0 || !a.boundedAbove())
+        return Interval::top();
+    const std::int64_t amount = s.constant() & 63;
+    std::int64_t scale = 1;
+    if (!exactMul(std::int64_t{1} << std::min<std::int64_t>(amount, 62),
+                  amount > 62 ? 2 : 1, &scale))
+        return Interval::top();
+    return iMul(a, Interval::val(scale));
+}
+
+/** Abstract logical right shift; precise for nonnegative values. */
+inline Interval
+iShr(const Interval &a, const Interval &s)
+{
+    if (a.isBottom() || s.isBottom())
+        return Interval::bottom();
+    if (!s.isConst() || a.lo < 0 || !a.boundedAbove())
+        return Interval::top();
+    const std::int64_t amount = s.constant() & 63;
+    return Interval::range(a.lo >> amount, a.hi >> amount);
+}
+
+} // namespace dee::analysis::absint
+
+#endif // DEE_ANALYSIS_ABSINT_DOMAIN_HH

@@ -1,6 +1,8 @@
 #include "analysis/findings.hh"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
 namespace dee::analysis
 {
@@ -20,6 +22,12 @@ findingCodeName(FindingCode code)
       case FindingCode::WriteToZeroReg: return "write-to-zero-reg";
       case FindingCode::EmptyBlock: return "empty-block";
       case FindingCode::ProfileDrift: return "profile-drift";
+      case FindingCode::IntervalDivByZero: return "interval-div-by-zero";
+      case FindingCode::ShiftRangeExceeded: return "shift-range-exceeded";
+      case FindingCode::BranchAlwaysSame: return "branch-always-same";
+      case FindingCode::LoopBoundUnknown: return "loop-bound-unknown";
+      case FindingCode::AbsintNoConvergence:
+        return "absint-no-convergence";
     }
     return "???";
 }
@@ -40,7 +48,13 @@ findingSeverity(FindingCode code)
       case FindingCode::NoHalt:
       case FindingCode::WriteToZeroReg:
       case FindingCode::EmptyBlock:
+      case FindingCode::IntervalDivByZero:
+      case FindingCode::ShiftRangeExceeded:
+      case FindingCode::BranchAlwaysSame:
+      case FindingCode::AbsintNoConvergence:
         return Severity::Warning;
+      case FindingCode::LoopBoundUnknown:
+        return Severity::Info;
     }
     return Severity::Info;
 }
@@ -104,6 +118,30 @@ countAtSeverity(const std::vector<Finding> &findings, Severity severity)
             ++count;
     }
     return count;
+}
+
+void
+normalizeFindings(std::vector<Finding> *findings)
+{
+    // Errors first, then program order, then code/message for a total
+    // deterministic order. kNoBlock (0xffffffff) sorts whole-program
+    // findings after every anchored one within a severity band.
+    const auto key = [](const Finding &f) {
+        return std::make_tuple(
+            -static_cast<int>(f.severity()), f.block, f.instr,
+            static_cast<int>(f.code), std::cref(f.message));
+    };
+    std::stable_sort(findings->begin(), findings->end(),
+                     [&key](const Finding &a, const Finding &b) {
+                         return key(a) < key(b);
+                     });
+    const auto last = std::unique(
+        findings->begin(), findings->end(),
+        [](const Finding &a, const Finding &b) {
+            return a.code == b.code && a.block == b.block &&
+                   a.instr == b.instr && a.message == b.message;
+        });
+    findings->erase(last, findings->end());
 }
 
 bool

@@ -52,6 +52,12 @@ enum class FindingCode : std::uint8_t
     EmptyBlock,         ///< block with no instructions (pure fallthrough)
     // --- Profile cross-checker ----------------------------------------
     ProfileDrift,       ///< measured property outside the declared range
+    // --- Abstract interpretation (analysis/absint) --------------------
+    IntervalDivByZero,  ///< divisor is provably the constant zero
+    ShiftRangeExceeded, ///< constant shift amount outside [0, 63]
+    BranchAlwaysSame,   ///< one branch outcome is statically infeasible
+    LoopBoundUnknown,   ///< natural loop with no provable trip bound
+    AbsintNoConvergence, ///< interval solver hit its iteration cap
 };
 
 /** Stable identifier, e.g. "use-before-def". */
@@ -95,6 +101,14 @@ std::size_t countAtSeverity(const std::vector<Finding> &findings,
 
 /** True if some finding carries the given code. */
 bool hasCode(const std::vector<Finding> &findings, FindingCode code);
+
+/**
+ * Canonicalizes a finding list for stable diffing: stable-sorts by
+ * (severity, errors first; then block, instruction, code, message) and
+ * drops exact duplicates. Every producer-facing report runs through
+ * this so lint baselines compare byte-for-byte across runs.
+ */
+void normalizeFindings(std::vector<Finding> *findings);
 
 } // namespace dee::analysis
 

@@ -43,6 +43,13 @@ LintReport::renderText() const
             << " serialized_ilp=" << profile.serializedIlpBound
             << "\n";
     }
+    if (boundsComputed) {
+        oss << "  bounds: cp_lower=" << bounds.cpLowerBound
+            << " spec_cp_max=" << bounds.specCpMax
+            << " predictable_defs="
+            << bounds.locality.predictableFraction()
+            << " converged=" << (bounds.converged ? 1 : 0) << "\n";
+    }
     return oss.str();
 }
 
@@ -58,6 +65,8 @@ LintReport::toJson() const
     j["findings"] = std::move(arr);
     if (profiled)
         j["profile"] = profile.toJson();
+    if (boundsComputed)
+        j["bounds"] = bounds.toJson();
     return j;
 }
 
@@ -75,22 +84,51 @@ lintProgram(const std::string &subject, const Program &program)
         const Cfg cfg(program);
         report.profile = measureStaticProfile(program, cfg);
         report.profiled = true;
+        absint::AbsintResult absres = absint::analyzeProgram(program, cfg);
+        report.bounds = std::move(absres.bounds);
+        report.boundsComputed = true;
+        report.findings.insert(report.findings.end(),
+                               absres.findings.begin(),
+                               absres.findings.end());
     }
+    normalizeFindings(&report.findings);
     return report;
 }
 
 LintReport
-lintWorkload(WorkloadId id, int scale)
+lintWorkload(WorkloadId id, int scale, std::uint64_t seed)
 {
     std::ostringstream subject;
     subject << workloadName(id) << " scale=" << scale;
-    LintReport report = lintProgram(subject.str(), makeWorkload(id, scale));
+    if (seed != 0)
+        subject << " seed=" << seed;
+    LintReport report =
+        lintProgram(subject.str(), makeWorkload(id, scale, seed));
     if (report.profiled) {
         const std::vector<Finding> drift = crossCheckProfile(
             report.profile, declaredStaticProfile(id));
         report.findings.insert(report.findings.end(), drift.begin(),
                                drift.end());
     }
+    // The critical-path lower bound is a function of the loop-limit
+    // immediates, so it is only declared at the calibrated template
+    // (scale 1, seed 0).
+    if (report.boundsComputed && scale == 1 && seed == 0) {
+        const PropertyRange declared =
+            declaredStaticProfile(id).cpLowerScale1;
+        const double measured =
+            static_cast<double>(report.bounds.cpLowerBound);
+        if (!declared.contains(measured)) {
+            std::ostringstream msg;
+            msg << "cp_lower_bound measured " << measured
+                << " outside declared range [" << declared.lo << ", "
+                << declared.hi << "]";
+            report.findings.push_back(
+                {FindingCode::ProfileDrift, Finding::kNoBlock,
+                 Finding::kNoInstr, msg.str()});
+        }
+    }
+    normalizeFindings(&report.findings);
     return report;
 }
 
@@ -178,6 +216,8 @@ recordLintStats(const LintReport &report)
         countAtSeverity(report.findings, Severity::Error);
     reg.counter("lint.warnings") +=
         countAtSeverity(report.findings, Severity::Warning);
+    reg.counter("lint.info") +=
+        countAtSeverity(report.findings, Severity::Info);
     for (const Finding &f : report.findings) {
         ++reg.counter(std::string("lint.findings.") +
                       findingCodeName(f.code));

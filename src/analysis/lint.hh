@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/absint/bounds.hh"
 #include "analysis/findings.hh"
 #include "analysis/profile.hh"
 #include "isa/isa.hh"
@@ -36,6 +37,10 @@ struct LintReport
     /** True when the program was sound enough to profile. */
     bool profiled = false;
     StaticProfile profile;
+    /** True when the abstract-interpretation bounds were computed
+     *  (same precondition as profiled). */
+    bool boundsComputed = false;
+    absint::StaticBounds bounds;
 
     /** No Error-severity findings (warnings allowed). */
     bool clean() const { return !anyError(findings); }
@@ -43,7 +48,8 @@ struct LintReport
     /** Human-readable report: header, findings, profile table. */
     std::string renderText() const;
 
-    /** {"subject", "clean", "findings": [...], "profile": {...}}. */
+    /** {"subject", "clean", "findings": [...], "profile": {...},
+     *  "bounds": {...}}. */
     obs::Json toJson() const;
 };
 
@@ -55,10 +61,14 @@ struct LintReport
 LintReport lintProgram(const std::string &subject, const Program &program);
 
 /**
- * Lints makeWorkload(id, scale) and cross-checks the measured profile
- * against the generator's declared ranges; drift is an Error finding.
+ * Lints makeWorkload(id, scale, seed) and cross-checks the measured
+ * profile against the generator's declared ranges; drift is an Error
+ * finding. At scale 1 with the calibrated seed 0, the computed
+ * critical-path lower bound is additionally checked against the
+ * generator's declared cpLowerScale1 range.
  */
-LintReport lintWorkload(WorkloadId id, int scale);
+LintReport lintWorkload(WorkloadId id, int scale,
+                        std::uint64_t seed = 0);
 
 /** Accumulates a report into the global `lint.*` registry counters. */
 void recordLintStats(const LintReport &report);

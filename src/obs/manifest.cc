@@ -1,6 +1,7 @@
 #include "obs/manifest.hh"
 
 #include <fstream>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "obs/perf/perf.hh"
@@ -11,6 +12,31 @@
 namespace dee::obs
 {
 
+namespace
+{
+
+/* The "static_bounds" section is computed by src/analysis (which this
+ * layer must not depend on) and installed process-wide so every
+ * manifest emitted afterwards carries it. */
+std::mutex g_static_bounds_mutex;
+Json g_static_bounds = Json::object();
+
+} // namespace
+
+void
+setStaticBoundsSection(Json section)
+{
+    const std::lock_guard<std::mutex> lock(g_static_bounds_mutex);
+    g_static_bounds = std::move(section);
+}
+
+Json
+staticBoundsSectionCopy()
+{
+    const std::lock_guard<std::mutex> lock(g_static_bounds_mutex);
+    return g_static_bounds;
+}
+
 Manifest::Manifest(std::string tool)
     : tool_(std::move(tool)), start_(std::chrono::steady_clock::now())
 {
@@ -20,7 +46,7 @@ Json
 Manifest::toJson(const Registry &registry) const
 {
     Json root = Json::object();
-    root["schema"] = Json("dee.run.v5");
+    root["schema"] = Json("dee.run.v6");
     root["tool"] = Json(tool_);
     root["config"] = config_;
     root["results"] = results_;
@@ -75,6 +101,11 @@ Manifest::toJson(const Registry &registry) const
     // v5: the live sampler's summary — per-series sample counts and
     // min/max/last, {"enabled": false} when telemetry never ran.
     root["telemetry"] = telemetry::Hub::process().summaryJson();
+
+    // v6: the abstract interpreter's static bounds, installed by
+    // analysis::absint::publishStaticBounds(); empty object when the
+    // tool published none, so older consumers keep working.
+    root["static_bounds"] = staticBoundsSectionCopy();
 
     root["stats"] = std::move(stats);
     const auto now = std::chrono::steady_clock::now();

@@ -10,7 +10,7 @@
  * parsers can evolve.
  *
  *     {
- *       "schema": "dee.run.v5",
+ *       "schema": "dee.run.v6",
  *       "tool": "fig5_speedups",
  *       "config": { ... },
  *       "results": { ... },
@@ -23,6 +23,8 @@
  *                      "scopes": { ... } },
  *       "telemetry": { "enabled": ..., "interval_ms": ...,
  *                      "samples": ..., "series": { ... } },
+ *       "static_bounds": { ... },  // analysis/absint section; {} when
+ *                                  // the tool published none
  *       "stats": { ... },          // Registry::toJson()
  *       "wall_clock_ms": 123.4
  *     }
@@ -35,7 +37,11 @@
  * memory pressure to "host_perf" (getrusage peak RSS and page-fault
  * totals) and the "telemetry" section — the live sampler's per-series
  * sample counts and min/max/last summaries ({"enabled": false} when
- * telemetry was off). Readers (obs/manifest_diff.hh) accept all five
+ * telemetry was off); v6 adds "static_bounds" — the abstract
+ * interpreter's per-workload bounds (analysis/absint/bounds.hh),
+ * installed via setStaticBoundsSection() by tools that call
+ * analysis::absint::publishStaticBounds(), and the static side of
+ * dee_lint --xcheck. Readers (obs/manifest_diff.hh) accept all six
  * versions — an older document simply has fewer sections to diff.
  */
 
@@ -91,6 +97,19 @@ class Manifest
     Json results_ = Json::object();
     std::chrono::steady_clock::time_point start_;
 };
+
+/**
+ * Installs the process-wide "static_bounds" manifest section (v6).
+ *
+ * The obs layer cannot depend on src/analysis, so the section arrives
+ * as an opaque Json: analysis::absint::publishStaticBounds() builds it
+ * and calls this. Every Manifest::toJson() after the call embeds a
+ * copy; before any call the section is an empty object. Thread-safe.
+ */
+void setStaticBoundsSection(Json section);
+
+/** A copy of the installed section (empty object when none). */
+Json staticBoundsSectionCopy();
 
 } // namespace dee::obs
 

@@ -82,7 +82,7 @@ parseManifest(const std::string &text, const std::string &path,
     }
     const std::string &s = schema->asString();
     if (s != "dee.run.v1" && s != "dee.run.v2" && s != "dee.run.v3" &&
-        s != "dee.run.v4" && s != "dee.run.v5") {
+        s != "dee.run.v4" && s != "dee.run.v5" && s != "dee.run.v6") {
         if (err)
             *err = path + ": unsupported schema '" + s + "'";
         return false;
@@ -98,7 +98,8 @@ parseManifest(const std::string &text, const std::string &path,
     // Flatten the sections that carry comparable numbers; "schema",
     // "tool" and "config" are identity, not metrics.
     for (const char *section : {"results", "accounting", "trace",
-                                "profile", "host_perf", "stats"}) {
+                                "profile", "host_perf",
+                                "static_bounds", "stats"}) {
         if (const Json *sub = doc.find(section))
             flattenNumeric(*sub, section, &out->metrics);
     }

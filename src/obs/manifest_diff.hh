@@ -3,7 +3,7 @@
  * Manifest loading, flattening and cross-run diffing.
  *
  * The testable core of tools/dee_report: load two or more
- * dee.run.v1..v5 manifests, flatten every numeric leaf to a dotted
+ * dee.run.v1..v6 manifests, flatten every numeric leaf to a dotted
  * metric path
  * ("results.DEE-CD-MF.speedup", "accounting.window.waste_fraction"),
  * render an aligned side-by-side diff, and check a watch-list of
@@ -33,7 +33,7 @@ namespace dee::obs
 struct LoadedManifest
 {
     std::string path;   ///< where it was read from (label in diffs)
-    std::string schema; ///< "dee.run.v1" through "dee.run.v5"
+    std::string schema; ///< "dee.run.v1" through "dee.run.v6"
     std::string tool;   ///< emitting binary
     Json doc;           ///< the full document
 
@@ -46,7 +46,7 @@ struct LoadedManifest
 
 /**
  * Parses @p text as a manifest document. Accepts schema dee.run.v1
- * through v5 (older versions simply lack the newer sections).
+ * through v6 (older versions simply lack the newer sections).
  * @return true on success; false with *err describing the failure.
  */
 bool parseManifest(const std::string &text, const std::string &path,

@@ -29,6 +29,7 @@ declaredStaticProfile(WorkloadId id)
         p.minLoopNest = 1;
         p.maxLoopNest = 1;
         p.blockCount = {12, 18};
+        p.cpLowerScale1 = {700, 1100};
         break;
       case WorkloadId::Compress:
         // One long symbol loop carrying a serial hash chain, hit/miss
@@ -40,6 +41,7 @@ declaredStaticProfile(WorkloadId id)
         p.minLoopNest = 1;
         p.maxLoopNest = 1;
         p.blockCount = {6, 10};
+        p.cpLowerScale1 = {2800, 3600};
         break;
       case WorkloadId::Eqntott:
         // Three-level nest whose inner body is four independent
@@ -51,6 +53,7 @@ declaredStaticProfile(WorkloadId id)
         p.minLoopNest = 3;
         p.maxLoopNest = 3;
         p.blockCount = {12, 18};
+        p.cpLowerScale1 = {40, 80};
         break;
       case WorkloadId::Espresso:
         // Three-level nest over wide independent mask arithmetic: the
@@ -62,6 +65,7 @@ declaredStaticProfile(WorkloadId id)
         p.minLoopNest = 3;
         p.maxLoopNest = 3;
         p.blockCount = {10, 16};
+        p.cpLowerScale1 = {35, 75};
         break;
       case WorkloadId::Xlisp:
         // Interpreter loop with a nested eval loop, middling on every
@@ -73,6 +77,7 @@ declaredStaticProfile(WorkloadId id)
         p.minLoopNest = 2;
         p.maxLoopNest = 2;
         p.blockCount = {9, 14};
+        p.cpLowerScale1 = {650, 1050};
         break;
     }
     dee_assert(p.blockCount.hi > 0.0, "unhandled workload id");

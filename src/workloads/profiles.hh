@@ -49,6 +49,14 @@ struct DeclaredStaticProfile
     int maxLoopNest = 1;
     /** Static basic-block count. */
     PropertyRange blockCount;
+    /**
+     * The abstract interpreter's critical-path lower bound (serial
+     * counter-chain cycles, analysis/absint/bounds.hh) at scale 1 with
+     * the calibrated seed 0. Unlike the ranges above this one is
+     * scale-dependent, so it is only declared — and only checked — at
+     * the calibrated template.
+     */
+    PropertyRange cpLowerScale1;
 };
 
 /** The declared profile of a workload generator. */

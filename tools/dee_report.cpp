@@ -97,7 +97,7 @@ usage(std::FILE *to)
     std::fputs(
         "usage: dee_report [options] MANIFEST.json [MANIFEST.json...]\n"
         "\n"
-        "Diffs dee.run.v1..v4 manifests metric by metric; with\n"
+        "Diffs dee.run.v1..v6 manifests metric by metric; with\n"
         "--check, gates on watched-metric regressions against a\n"
         "baseline; with --profile-diff, gates on per-branch\n"
         "speculation-profile regressions; with --perf-diff, gates on\n"
