@@ -14,10 +14,16 @@
  * perf.* registry stats in the --json manifest agree on what an
  * "item" is: one simulated (or interpreted) instruction actually
  * executed, not an iterations x trace-size estimate.
+ *
+ * With --hotspots each kernel's timed loop also runs under a
+ * HotspotPhase marker (scope "bench"), the engines' own nested phase
+ * markers attribute the samples, and the per-phase share table is
+ * printed after the google-benchmark report.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -26,6 +32,7 @@
 #include "core/tree/spec_tree.hh"
 #include "exec/interp.hh"
 #include "levo/levo.hh"
+#include "obs/hotspot/hotspot.hh"
 #include "obs/obs.hh"
 #include "workloads/suite.hh"
 
@@ -47,6 +54,8 @@ BM_Interpreter(benchmark::State &state)
     dee::Interpreter interp(inst.program);
     dee::obs::perf::ThroughputMeter meter("microbench.interpreter");
     for (auto _ : state) {
+        const dee::obs::hotspot::HotspotPhase hot(
+            "bench", dee::obs::hotspot::Phase::Issue);
         auto r = interp.run(10'000'000, false);
         benchmark::DoNotOptimize(r.steps);
         meter.addInstructions(r.steps);
@@ -62,6 +71,8 @@ BM_OracleSim(benchmark::State &state)
     const auto &inst = compressInstance();
     dee::obs::perf::ThroughputMeter meter("microbench.oracle");
     for (auto _ : state) {
+        const dee::obs::hotspot::HotspotPhase hot(
+            "bench", dee::obs::hotspot::Phase::Issue);
         auto r = dee::oracleSim(inst.trace);
         benchmark::DoNotOptimize(r.cycles);
         meter.addInstructions(r.instructions);
@@ -81,6 +92,8 @@ BM_WindowSim(benchmark::State &state)
     dee::obs::perf::ThroughputMeter meter(
         std::string("microbench.window.") + dee::modelName(kind));
     for (auto _ : state) {
+        const dee::obs::hotspot::HotspotPhase hot(
+            "bench", dee::obs::hotspot::Phase::Issue);
         auto r = dee::runModel(kind, inst.trace, &inst.cfg, pred, 256);
         benchmark::DoNotOptimize(r.cycles);
         meter.addInstructions(r.instructions);
@@ -102,6 +115,8 @@ BM_LevoMachine(benchmark::State &state)
     dee::LevoMachine machine(inst.program, inst.cfg, dee::LevoConfig{});
     dee::obs::perf::ThroughputMeter meter("microbench.levo");
     for (auto _ : state) {
+        const dee::obs::hotspot::HotspotPhase hot(
+            "bench", dee::obs::hotspot::Phase::Issue);
         auto r = machine.run(10'000'000);
         benchmark::DoNotOptimize(r.cycles);
         meter.addInstructions(r.instructions);
@@ -117,6 +132,8 @@ BM_TreeConstruction(benchmark::State &state)
 {
     const int e_t = static_cast<int>(state.range(0));
     for (auto _ : state) {
+        const dee::obs::hotspot::HotspotPhase hot(
+            "bench", dee::obs::hotspot::Phase::TreeMove);
         auto tree = dee::SpecTree::deeGreedy(0.9053, e_t);
         benchmark::DoNotOptimize(tree.numPaths());
     }
@@ -150,12 +167,19 @@ extractObsFlags(int &argc, char **argv)
     std::vector<char *> kept;
     kept.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
+        std::string interval;
         if (match(i, "--json", options.jsonPath) ||
-            match(i, "--trace-out", options.traceOutPath)) {
+            match(i, "--trace-out", options.traceOutPath) ||
+            match(i, "--hotspot-out", options.hotspotOutPath)) {
             continue;
         }
-        // "--stats" is a bare switch here (or "--stats=BOOL"): taking a
-        // separate value argument would swallow benchmark flags.
+        if (match(i, "--hotspot-interval", interval)) {
+            options.hotspotIntervalMs = std::stod(interval);
+            continue;
+        }
+        // "--stats" and "--hotspots" are bare switches here (or
+        // "--flag=BOOL"): taking a separate value argument would
+        // swallow benchmark flags.
         const std::string arg = argv[i];
         if (arg == "--stats" || arg.rfind("--stats=", 0) == 0) {
             const std::string v =
@@ -163,8 +187,15 @@ extractObsFlags(int &argc, char **argv)
             options.dumpStats = v == "true" || v == "1";
             continue;
         }
+        if (arg == "--hotspots" || arg.rfind("--hotspots=", 0) == 0) {
+            const std::string v =
+                arg == "--hotspots" ? "true" : arg.substr(11);
+            options.hotspots = v == "true" || v == "1";
+            continue;
+        }
         kept.push_back(argv[i]);
     }
+    options.hotspots = options.hotspots || !options.hotspotOutPath.empty();
     argc = static_cast<int>(kept.size());
     for (int i = 0; i < argc; ++i)
         argv[i] = kept[i];
@@ -184,5 +215,14 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+
+    // With --hotspots: fold the samples now and show where the host
+    // cycles went, phase by phase, under the benchmark report.
+    dee::obs::hotspot::Sampler &sampler =
+        dee::obs::hotspot::Sampler::process();
+    if (sampler.everStarted()) {
+        sampler.stop();
+        std::fputs(sampler.report().renderTable().c_str(), stdout);
+    }
     return 0;
 }

@@ -21,7 +21,7 @@
  *    inputs).
  *
  * staticBoundsSection() packages the bounds for every workload of a
- * run into the manifest's "static_bounds" section (schema dee.run.v6);
+ * run into the manifest's "static_bounds" section (since schema dee.run.v6);
  * publishStaticBounds() additionally publishes bounds.* registry
  * scalars and feeds lint.* counters so every grid tool's manifest
  * carries the summary, not just dee_lint.

@@ -11,6 +11,7 @@
 #include "common/invariant.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "obs/hotspot/hotspot.hh"
 #include "obs/registry.hh"
 #include "obs/timer.hh"
 #include "obs/trace_event.hh"
@@ -179,6 +180,12 @@ WindowSim::run(BranchPredictor &predictor) const
     obs::Tracer &tracer = obs::Tracer::global();
     const bool tracing =
         DEE_OBS_TRACE_ENABLED != 0 && tracer.enabled();
+    // Host hot-path attribution: one hoisted flag (the tracing idiom)
+    // guards every per-path marker below; the outer catch-all makes
+    // run() glue land on window.other instead of unattributed.
+    const bool hot = obs::hotspot::Sampler::process().active();
+    const obs::hotspot::HotspotPhase hot_run(
+        hot, "window", obs::hotspot::Phase::Other);
 
     predictor.reset();
 
@@ -217,31 +224,36 @@ WindowSim::run(BranchPredictor &predictor) const
     ConfidenceEstimator confidence_meter(
         accounting ? trace_.numStatic : 0);
     std::vector<std::uint8_t> correct(num_paths, 1);
-    for (std::uint64_t k = 0; k < num_paths; ++k) {
-        if (!paths[k].endsInBranch)
-            continue;
-        const TraceRecord &b = records[paths[k].branchIndex()];
-        BranchQuery q;
-        q.sid = b.sid;
-        q.actual = b.taken;
-        const bool predicted = predictor.predict(q);
-        predictor.update(q, b.taken);
-        correct[k] = (predicted == b.taken) ? 1 : 0;
-        if (profiling) {
-            // Online confidence: the bucket the site occupied when
-            // this instance resolved, before its outcome updates the
-            // meter.
-            profile.recordExecution(
-                b.sid, static_cast<std::int64_t>(b.block),
-                correct[k] == 0,
-                obs::confidenceBucket(
-                    confidence_meter.estimate(b.sid)));
+    {
+        // The predictor pass steers fetch, so it samples as fetch.
+        const obs::hotspot::HotspotPhase hot_predict(
+            hot, "window", obs::hotspot::Phase::Fetch);
+        for (std::uint64_t k = 0; k < num_paths; ++k) {
+            if (!paths[k].endsInBranch)
+                continue;
+            const TraceRecord &b = records[paths[k].branchIndex()];
+            BranchQuery q;
+            q.sid = b.sid;
+            q.actual = b.taken;
+            const bool predicted = predictor.predict(q);
+            predictor.update(q, b.taken);
+            correct[k] = (predicted == b.taken) ? 1 : 0;
+            if (profiling) {
+                // Online confidence: the bucket the site occupied
+                // when this instance resolved, before its outcome
+                // updates the meter.
+                profile.recordExecution(
+                    b.sid, static_cast<std::int64_t>(b.block),
+                    correct[k] == 0,
+                    obs::confidenceBucket(
+                        confidence_meter.estimate(b.sid)));
+            }
+            if (accounting)
+                confidence_meter.record(b.sid, correct[k] != 0);
+            ++result.branches;
+            if (!correct[k])
+                ++result.mispredicted;
         }
-        if (accounting)
-            confidence_meter.record(b.sid, correct[k] != 0);
-        ++result.branches;
-        if (!correct[k])
-            ++result.mispredicted;
     }
     if (result.branches > 0) {
         result.predictionAccuracy =
@@ -322,6 +334,8 @@ WindowSim::run(BranchPredictor &predictor) const
         if (now < fetch_tree[r])
             fetch_tree[r] = now; // distance 0: always covered
         if (use_confidence) {
+            const obs::hotspot::HotspotPhase hot_fetch(
+                hot, "window", obs::hotspot::Phase::Fetch);
             // Confidence-gated coverage: follow correct predictions to
             // the ML depth; one low-confidence mispredict may be
             // crossed, extending coverage by sideLen paths.
@@ -369,6 +383,8 @@ WindowSim::run(BranchPredictor &predictor) const
                 }
             }
         } else {
+            const obs::hotspot::HotspotPhase hot_fetch(
+                hot, "window", obs::hotspot::Phase::Fetch);
             int node = SpecTree::kOrigin;
             std::vector<std::uint64_t> crossed_npred;
             // The walk relaxes fetch times of paths r+d+1, so it must
@@ -436,71 +452,80 @@ WindowSim::run(BranchPredictor &predictor) const
                           ? r - window_reach
                           : 0];
         std::int64_t done = now;
-        for (DynIndex i = paths[r].begin; i < paths[r].end; ++i) {
-            const TraceRecord &rec = records[i];
+        {
+            const obs::hotspot::HotspotPhase hot_issue(
+                hot, "window", obs::hotspot::Phase::Issue);
+            for (DynIndex i = paths[r].begin; i < paths[r].end; ++i) {
+                const TraceRecord &rec = records[i];
 
-            std::int64_t data_ready = 0;
-            auto add_dep = [&](std::int64_t dep) {
-                if (dep == kNoDep)
-                    return;
-                const std::int64_t avail =
-                    exec[dep] + lat_of(static_cast<DynIndex>(dep));
-                data_ready = std::max(data_ready, avail);
-            };
-            if (rec.rs1 != kNoReg && rec.rs1 != kZeroReg)
-                add_dep(reg_writer[rec.rs1]);
-            if (rec.rs2 != kNoReg && rec.rs2 != kZeroReg)
-                add_dep(reg_writer[rec.rs2]);
-            const OpClass cls = opClass(rec.op);
-            if (cls == OpClass::Load || cls == OpClass::Store) {
-                auto it = mem_writer.find(rec.memAddr);
-                if (it != mem_writer.end())
-                    add_dep(it->second);
-            }
-
-            // Route A: speculation-tree coverage.
-            std::int64_t t = std::max(fetch_a, data_ready);
-
-            // Route B: reconvergent-window CD execution. Stall on a
-            // mispredicted branch if this instruction is inside its
-            // dynamic control scope (decided by the branch) or the
-            // branch diverges (loop latch: actual-path code was never
-            // fetched) — unless an EE/DEE alternate path holds the code.
-            if (use_cd) {
-                std::int64_t stall = 0;
-                for (const auto &m : window_mispredicts) {
-                    if (i >= m.joinIdx && !m.divergent)
-                        continue;
-                    if (m.resolveTime + penalty <= stall)
-                        continue;
-                    const auto &byp = bypass[r];
-                    if (std::find(byp.begin(), byp.end(), m.pathIdx) !=
-                        byp.end()) {
-                        continue; // held by a side path / EE subtree
-                    }
-                    stall = m.resolveTime + penalty;
+                std::int64_t data_ready = 0;
+                auto add_dep = [&](std::int64_t dep) {
+                    if (dep == kNoDep)
+                        return;
+                    const std::int64_t avail =
+                        exec[dep] + lat_of(static_cast<DynIndex>(dep));
+                    data_ready = std::max(data_ready, avail);
+                };
+                if (rec.rs1 != kNoReg && rec.rs1 != kZeroReg)
+                    add_dep(reg_writer[rec.rs1]);
+                if (rec.rs2 != kNoReg && rec.rs2 != kZeroReg)
+                    add_dep(reg_writer[rec.rs2]);
+                const OpClass cls = opClass(rec.op);
+                if (cls == OpClass::Load || cls == OpClass::Store) {
+                    auto it = mem_writer.find(rec.memAddr);
+                    if (it != mem_writer.end())
+                        add_dep(it->second);
                 }
-                const std::int64_t t_b =
-                    std::max({fetch_b, data_ready, stall});
-                t = std::min(t, t_b);
+
+                // Route A: speculation-tree coverage.
+                std::int64_t t = std::max(fetch_a, data_ready);
+
+                // Route B: reconvergent-window CD execution. Stall on
+                // a mispredicted branch if this instruction is inside
+                // its dynamic control scope (decided by the branch) or
+                // the branch diverges (loop latch: actual-path code
+                // was never fetched) — unless an EE/DEE alternate path
+                // holds the code.
+                if (use_cd) {
+                    std::int64_t stall = 0;
+                    for (const auto &m : window_mispredicts) {
+                        if (i >= m.joinIdx && !m.divergent)
+                            continue;
+                        if (m.resolveTime + penalty <= stall)
+                            continue;
+                        const auto &byp = bypass[r];
+                        if (std::find(byp.begin(), byp.end(),
+                                      m.pathIdx) != byp.end()) {
+                            continue; // held by a side path / EE subtree
+                        }
+                        stall = m.resolveTime + penalty;
+                    }
+                    const std::int64_t t_b =
+                        std::max({fetch_b, data_ready, stall});
+                    t = std::min(t, t_b);
+                }
+
+                t = slots.claim(t);
+                exec[i] = t;
+                done = std::max(done, t + lat_of(i));
+
+                // Update renaming tables (flow-only for registers;
+                // loads depend on the last store, stores on the last
+                // store — "somewhat more restrictive" memory deps, as
+                // in CONDEL-2).
+                if (rec.rd != kNoReg && rec.rd != kZeroReg)
+                    reg_writer[rec.rd] = static_cast<std::int64_t>(i);
+                if (cls == OpClass::Store)
+                    mem_writer[rec.memAddr] =
+                        static_cast<std::int64_t>(i);
             }
-
-            t = slots.claim(t);
-            exec[i] = t;
-            done = std::max(done, t + lat_of(i));
-
-            // Update renaming tables (flow-only for registers; loads
-            // depend on the last store, stores on the last store —
-            // "somewhat more restrictive" memory deps, as in CONDEL-2).
-            if (rec.rd != kNoReg && rec.rd != kZeroReg)
-                reg_writer[rec.rd] = static_cast<std::int64_t>(i);
-            if (cls == OpClass::Store)
-                mem_writer[rec.memAddr] = static_cast<std::int64_t>(i);
         }
 
         // Branch resolution (serialized except under MF).
         std::int64_t res = done;
         if (paths[r].endsInBranch) {
+            const obs::hotspot::HotspotPhase hot_resolve(
+                hot, "window", obs::hotspot::Phase::Resolve);
             const DynIndex b = paths[r].branchIndex();
             res = exec[b] + config_.latency.of(OpClass::CondBranch);
             if (serial_branches)
@@ -516,6 +541,8 @@ WindowSim::run(BranchPredictor &predictor) const
 
         // Tree movement: root leaves this path once the path has fully
         // executed and its branch has resolved (+ penalty on mispredict).
+        const obs::hotspot::HotspotPhase hot_move(
+            hot, "window", obs::hotspot::Phase::TreeMove);
         const std::int64_t move =
             std::max({root_time[r], done,
                       res + (correct[r] ? 0 : penalty)});

@@ -9,6 +9,7 @@
 
 #include "common/invariant.hh"
 #include "common/logging.hh"
+#include "obs/hotspot/hotspot.hh"
 
 namespace dee
 {
@@ -188,6 +189,10 @@ SpecTree::deeGreedy(double p, int e_t)
 {
     dee_assert(p >= 0.5 && p < 1.0, "deeGreedy needs p in [0.5, 1)");
     dee_assert(e_t >= 0, "negative path budget");
+
+    // Tree allocation is the DEE tree-movement cost on the host side.
+    const obs::hotspot::HotspotPhase hot_alloc(
+        "tree", obs::hotspot::Phase::TreeMove);
 
     SpecTree tree;
 

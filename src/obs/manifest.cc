@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "common/logging.hh"
+#include "obs/hotspot/hotspot.hh"
 #include "obs/perf/perf.hh"
 #include "obs/profile/profile.hh"
 #include "obs/telemetry/telemetry.hh"
@@ -46,7 +47,7 @@ Json
 Manifest::toJson(const Registry &registry) const
 {
     Json root = Json::object();
-    root["schema"] = Json("dee.run.v6");
+    root["schema"] = Json("dee.run.v7");
     root["tool"] = Json(tool_);
     root["config"] = config_;
     root["results"] = results_;
@@ -106,6 +107,11 @@ Manifest::toJson(const Registry &registry) const
     // analysis::absint::publishStaticBounds(); empty object when the
     // tool published none, so older consumers keep working.
     root["static_bounds"] = staticBoundsSectionCopy();
+
+    // v7: the host hotspot sampler's per-phase CPU attribution —
+    // {"enabled": false} when the sampler never ran, the stopped
+    // report (phases, shares, top folded host stacks) otherwise.
+    root["hotspots"] = hotspot::Sampler::process().sectionJson();
 
     root["stats"] = std::move(stats);
     const auto now = std::chrono::steady_clock::now();

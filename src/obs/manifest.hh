@@ -10,7 +10,7 @@
  * parsers can evolve.
  *
  *     {
- *       "schema": "dee.run.v6",
+ *       "schema": "dee.run.v7",
  *       "tool": "fig5_speedups",
  *       "config": { ... },
  *       "results": { ... },
@@ -25,6 +25,10 @@
  *                      "samples": ..., "series": { ... } },
  *       "static_bounds": { ... },  // analysis/absint section; {} when
  *                                  // the tool published none
+ *       "hotspots": { "enabled": ..., "interval_ms": ...,
+ *                     "samples": ..., "attributed": ...,
+ *                     "attributed_pct": ..., "phases": { ... },
+ *                     "top_stacks": [ ... ] },
  *       "stats": { ... },          // Registry::toJson()
  *       "wall_clock_ms": 123.4
  *     }
@@ -41,8 +45,11 @@
  * interpreter's per-workload bounds (analysis/absint/bounds.hh),
  * installed via setStaticBoundsSection() by tools that call
  * analysis::absint::publishStaticBounds(), and the static side of
- * dee_lint --xcheck. Readers (obs/manifest_diff.hh) accept all six
- * versions — an older document simply has fewer sections to diff.
+ * dee_lint --xcheck; v7 adds "hotspots" — the host hot-path sampler's
+ * per-phase CPU attribution and top folded host stacks
+ * (obs/hotspot/hotspot.hh), {"enabled": false} when the sampler never
+ * ran. Readers (obs/manifest_diff.hh) accept all seven versions — an
+ * older document simply has fewer sections to diff.
  */
 
 #ifndef DEE_OBS_MANIFEST_HH

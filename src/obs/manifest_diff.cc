@@ -82,7 +82,8 @@ parseManifest(const std::string &text, const std::string &path,
     }
     const std::string &s = schema->asString();
     if (s != "dee.run.v1" && s != "dee.run.v2" && s != "dee.run.v3" &&
-        s != "dee.run.v4" && s != "dee.run.v5" && s != "dee.run.v6") {
+        s != "dee.run.v4" && s != "dee.run.v5" && s != "dee.run.v6" &&
+        s != "dee.run.v7") {
         if (err)
             *err = path + ": unsupported schema '" + s + "'";
         return false;
@@ -99,7 +100,8 @@ parseManifest(const std::string &text, const std::string &path,
     // "tool" and "config" are identity, not metrics.
     for (const char *section : {"results", "accounting", "trace",
                                 "profile", "host_perf",
-                                "static_bounds", "stats"}) {
+                                "static_bounds", "hotspots",
+                                "stats"}) {
         if (const Json *sub = doc.find(section))
             flattenNumeric(*sub, section, &out->metrics);
     }
@@ -374,6 +376,152 @@ ProfileRegressionReport::render(double threshold, double minSlots) const
         oss << items.size() << " profile regression(s); gate: relative > "
             << Table::fmtPercent(threshold, 2) << " and absolute > "
             << Table::fmt(minSlots, 0) << " slots\n";
+    }
+    return oss.str();
+}
+
+namespace
+{
+
+/** The "hotspots" phases object of @p manifest, or null with *err
+ *  set when the section is absent, disabled or pre-v7. */
+const Json *
+hotspotPhases(const LoadedManifest &manifest, std::string *err)
+{
+    const Json *section = manifest.doc.find("hotspots");
+    if (section == nullptr || !section->isObject()) {
+        *err = manifest.path +
+               ": no \"hotspots\" section (schema " + manifest.schema +
+               "; --hotspot-diff needs runs made with --hotspots)";
+        return nullptr;
+    }
+    const Json *enabled = section->find("enabled");
+    if (enabled == nullptr || !enabled->asBool()) {
+        *err = manifest.path +
+               ": hotspot sampler was off (run with --hotspots)";
+        return nullptr;
+    }
+    const Json *phases = section->find("phases");
+    if (phases == nullptr || !phases->isObject()) {
+        *err = manifest.path + ": hotspots section has no phases";
+        return nullptr;
+    }
+    return phases;
+}
+
+/** Reads a numeric member of a phase entry (0 when absent). */
+double
+phaseNumber(const Json &entry, const char *key)
+{
+    const Json *value = entry.find(key);
+    return value != nullptr && value->isNumber() ? value->asDouble()
+                                                 : 0.0;
+}
+
+} // namespace
+
+HotspotRegressionReport
+checkHotspotRegressions(const LoadedManifest &baseline,
+                        const LoadedManifest &candidate,
+                        double threshold, double minSamples)
+{
+    dee_assert(threshold >= 0.0, "negative hotspot-diff threshold");
+    dee_assert(minSamples >= 0.0, "negative hotspot-diff floor");
+    HotspotRegressionReport report;
+    const Json *base_phases = hotspotPhases(baseline, &report.error);
+    if (base_phases == nullptr)
+        return report;
+    const Json *cand_phases = hotspotPhases(candidate, &report.error);
+    if (cand_phases == nullptr)
+        return report;
+
+    for (const auto &[phase, entry] : cand_phases->members()) {
+        if (!entry.isObject())
+            continue;
+        HotspotRegressionItem item;
+        item.phase = phase;
+        item.candidatePct = phaseNumber(entry, "self_pct");
+        item.candidateSamples = phaseNumber(entry, "self");
+        if (item.candidateSamples < minSamples)
+            continue; /* too few samples to call it a shift */
+
+        const Json *base_entry = base_phases->find(phase);
+        if (base_entry == nullptr || !base_entry->isObject()) {
+            item.newPhase = true;
+            item.relChange = item.candidatePct / 100.0;
+            item.noiseFloor =
+                3.0 / std::sqrt(item.candidateSamples);
+            if (item.relChange > threshold + item.noiseFloor)
+                report.items.push_back(std::move(item));
+            continue;
+        }
+        item.baselinePct = phaseNumber(*base_entry, "self_pct");
+        const double growth = item.candidatePct - item.baselinePct;
+        if (growth <= 0.0)
+            continue; /* shrinking phases are improvements */
+        item.relChange = item.baselinePct > 0.0
+                             ? growth / item.baselinePct
+                             : growth / 100.0;
+        /* Both shares are Poisson count estimates; their combined
+         * 3-sigma relative error widens the gate, so a 60-sample
+         * phase needs a much bigger jump than a 600-sample one. The
+         * floor is added to the threshold, not max()ed with it: the
+         * threshold alone must carry systematic run-to-run drift
+         * (scheduling, frequency), which counting error ignores. */
+        const double base_self =
+            std::max(phaseNumber(*base_entry, "self"), 1.0);
+        item.noiseFloor =
+            3.0 * std::sqrt(1.0 / base_self +
+                            1.0 / item.candidateSamples);
+        if (item.relChange <= threshold + item.noiseFloor)
+            continue;
+        report.items.push_back(std::move(item));
+    }
+    std::sort(report.items.begin(), report.items.end(),
+              [](const HotspotRegressionItem &a,
+                 const HotspotRegressionItem &b) {
+                  const double ga = a.candidatePct - a.baselinePct;
+                  const double gb = b.candidatePct - b.baselinePct;
+                  if (ga != gb)
+                      return ga > gb;
+                  return a.phase < b.phase;
+              });
+    return report;
+}
+
+std::string
+HotspotRegressionReport::render(double threshold,
+                                double minSamples) const
+{
+    std::ostringstream oss;
+    for (const HotspotRegressionItem &item : items) {
+        oss << "FAIL hotspots.phases." << item.phase << ": phase "
+            << item.phase;
+        if (item.newPhase) {
+            oss << " is a new host hotspot ("
+                << Table::fmt(item.candidatePct, 2)
+                << "% self share over "
+                << Table::fmt(item.candidateSamples, 0)
+                << " samples, none in baseline)";
+        } else {
+            oss << " host self share grew "
+                << Table::fmt(item.baselinePct, 2) << "% -> "
+                << Table::fmt(item.candidatePct, 2) << "% ("
+                << Table::fmtPercent(item.relChange, 2)
+                << ", tolerance "
+                << Table::fmtPercent(threshold + item.noiseFloor, 2)
+                << " = " << Table::fmtPercent(threshold, 2)
+                << " + 3-sigma "
+                << Table::fmtPercent(item.noiseFloor, 2) << ")";
+        }
+        oss << "\n";
+    }
+    if (!items.empty()) {
+        oss << items.size()
+            << " host hotspot regression(s); gate: relative > "
+            << Table::fmtPercent(threshold, 2)
+            << " + 3-sigma counting error, over phases with >= "
+            << Table::fmt(minSamples, 0) << " self samples\n";
     }
     return oss.str();
 }

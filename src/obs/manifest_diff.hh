@@ -3,7 +3,7 @@
  * Manifest loading, flattening and cross-run diffing.
  *
  * The testable core of tools/dee_report: load two or more
- * dee.run.v1..v6 manifests, flatten every numeric leaf to a dotted
+ * dee.run.v1..v7 manifests, flatten every numeric leaf to a dotted
  * metric path
  * ("results.DEE-CD-MF.speedup", "accounting.window.waste_fraction"),
  * render an aligned side-by-side diff, and check a watch-list of
@@ -33,7 +33,7 @@ namespace dee::obs
 struct LoadedManifest
 {
     std::string path;   ///< where it was read from (label in diffs)
-    std::string schema; ///< "dee.run.v1" through "dee.run.v6"
+    std::string schema; ///< "dee.run.v1" through "dee.run.v7"
     std::string tool;   ///< emitting binary
     Json doc;           ///< the full document
 
@@ -46,7 +46,7 @@ struct LoadedManifest
 
 /**
  * Parses @p text as a manifest document. Accepts schema dee.run.v1
- * through v6 (older versions simply lack the newer sections).
+ * through v7 (older versions simply lack the newer sections).
  * @return true on success; false with *err describing the failure.
  */
 bool parseManifest(const std::string &text, const std::string &path,
@@ -157,6 +157,56 @@ struct ProfileRegressionReport
 ProfileRegressionReport checkProfileRegressions(
     const LoadedManifest &baseline, const LoadedManifest &candidate,
     double threshold, double minSlots);
+
+/** One host-phase CPU-share regression between two manifests. */
+struct HotspotRegressionItem
+{
+    std::string phase;      ///< "scope.phase" key that tripped the gate
+    double baselinePct = 0.0;  ///< baseline self share (% of samples)
+    double candidatePct = 0.0; ///< candidate self share
+    /** (candidate - baseline) / baseline share; share fraction itself
+     *  for a new phase or a zero baseline. */
+    double relChange = 0.0;
+    double candidateSamples = 0.0; ///< candidate self samples
+    /** 3-sigma relative Poisson counting error of the comparison,
+     *  3 * sqrt(1/baseline_self + 1/candidate_self) — added to the
+     *  threshold, so shares estimated from few samples get a wider
+     *  gate automatically. */
+    double noiseFloor = 0.0;
+    bool newPhase = false; ///< phase absent from the baseline section
+};
+
+/** Outcome of a per-phase host-hotspot comparison. */
+struct HotspotRegressionReport
+{
+    std::vector<HotspotRegressionItem> items; ///< worst growth first
+    /** Non-empty when either manifest carries no usable "hotspots"
+     *  section (run without --hotspots, or pre-v7) — a usage error,
+     *  not a pass. */
+    std::string error;
+
+    bool anyRegressed() const { return !items.empty(); }
+    /** One "FAIL ..." line per item, naming the phase and both
+     *  shares — empty when the host profile is clean. */
+    std::string render(double threshold, double minSamples) const;
+};
+
+/**
+ * Compares per-phase host-CPU self shares between two manifests'
+ * "hotspots" sections (schema v7). A phase regresses when its self
+ * share of the captured samples grows by more than @p threshold plus
+ * its 3-sigma Poisson counting error (shares are sampling estimates:
+ * a 60-sample phase carries ~40% relative 3-sigma wobble, and the
+ * widened gate absorbs it instead of flaking — the --perf-diff MAD
+ * noise floor, applied to counting statistics) AND its candidate
+ * self-sample count is at least @p minSamples (the floor keeps
+ * barely-sampled phases out entirely). A phase present only in the
+ * candidate regresses when it alone clears every bar. Shrinking or
+ * vanishing phases are improvements, never failures.
+ */
+HotspotRegressionReport checkHotspotRegressions(
+    const LoadedManifest &baseline, const LoadedManifest &candidate,
+    double threshold, double minSamples);
 
 /**
  * Side-by-side diff of every metric matching @p filter (empty matches

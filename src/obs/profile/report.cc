@@ -84,6 +84,41 @@ bar(std::uint64_t value, std::uint64_t max)
     return oss.str();
 }
 
+/** Trie over folded host stacks; counts are inclusive per node. */
+struct FlameNode
+{
+    std::uint64_t count = 0;
+    std::map<std::string, FlameNode> children;
+};
+
+/**
+ * Renders one flamegraph level as a flex row of boxes, each child
+ * sized by its share of the parent and holding its own children —
+ * a script-free flamegraph out of nested divs.
+ */
+void
+renderFlameChildren(std::ostringstream &html, const FlameNode &node,
+                    int depth)
+{
+    if (node.children.empty())
+        return;
+    html << "<div class=\"frow\">";
+    for (const auto &[name, child] : node.children) {
+        const double share =
+            node.count == 0 ? 0.0
+                            : static_cast<double>(child.count) /
+                                  static_cast<double>(node.count);
+        html << "<div class=\"fnode d" << depth % 3
+             << "\" style=\"width:" << share * 100.0
+             << "%\" title=\"" << escapeHtml(name) << " ("
+             << child.count << ")\"><span>" << escapeHtml(name)
+             << "</span>";
+        renderFlameChildren(html, child, depth + 1);
+        html << "</div>";
+    }
+    html << "</div>\n";
+}
+
 } // namespace
 
 std::string
@@ -203,6 +238,15 @@ renderProfileHtml(const std::vector<Json> &manifests,
          << "display:inline-block;vertical-align:middle}\n"
          << "div.fill{height:100%;background:#c33}\n"
          << "code{background:#f6f6f6;padding:0 .2em}\n"
+         << "div.frow{display:flex;width:100%}\n"
+         << "div.fnode{overflow:hidden;white-space:nowrap;"
+         << "box-sizing:border-box;border:1px solid #fff;"
+         << "font-size:10px;min-width:0}\n"
+         << "div.fnode>span{padding:0 .2em}\n"
+         << "div.fnode.d0{background:#fb6}\n"
+         << "div.fnode.d1{background:#fc8}\n"
+         << "div.fnode.d2{background:#fda}\n"
+         << "div.flame{margin:1em 0}\n"
          << "</style>\n</head>\n<body>\n"
          << "<h1>DEE speculation profile</h1>\n";
 
@@ -283,6 +327,97 @@ renderProfileHtml(const std::vector<Json> &manifests,
         html << "<p>No mispredicted paths recorded.</p>\n";
     else
         html << hot;
+
+    // ---- host-CPU flamegraph (v7 "hotspots" section) ----------------
+    // The speculation sections above attribute *simulated* cost; this
+    // one attributes the *host* cycles that produced it, from the
+    // sampling profiler's folded stacks — phase markers first, then
+    // symbols, so the two flamegraphs read side by side.
+    html << "<h2>Host CPU hotspots</h2>\n";
+    bool any_hotspots = false;
+    for (std::size_t m = 0; m < manifests.size(); ++m) {
+        const std::string run =
+            m < names.size() ? names[m] : "manifest";
+        const Json *hotspots = manifests[m].find("hotspots");
+        if (hotspots == nullptr || !hotspots->isObject())
+            continue;
+        const Json *enabled = hotspots->find("enabled");
+        if (enabled == nullptr || !enabled->asBool())
+            continue;
+        any_hotspots = true;
+
+        html << "<h3>" << escapeHtml(run) << "</h3>\n";
+        html << "<p>" << uintField(*hotspots, "samples")
+             << " samples, ";
+        html.precision(1);
+        html << std::fixed
+             << doubleField(*hotspots, "attributed_pct")
+             << "% phase-attributed, "
+             << uintField(*hotspots, "dropped") << " dropped, "
+             << doubleField(*hotspots, "interval_ms")
+             << " ms CPU-time interval</p>\n";
+
+        const Json *phases = hotspots->find("phases");
+        if (phases != nullptr && phases->isObject()) {
+            std::uint64_t max_self = 0;
+            for (const auto &[name, stat] : phases->members())
+                max_self =
+                    std::max(max_self, uintField(stat, "self"));
+            html << "<table>\n<tr><th class=\"l\">phase</th>"
+                 << "<th>self</th><th>self %</th><th>total %</th>"
+                 << "<th class=\"l\">share</th></tr>\n";
+            for (const auto &[name, stat] : phases->members()) {
+                html << "<tr><td class=\"l\"><code>"
+                     << escapeHtml(name) << "</code></td><td>"
+                     << uintField(stat, "self") << "</td><td>"
+                     << doubleField(stat, "self_pct") << "</td><td>"
+                     << doubleField(stat, "pct") << "</td>"
+                     << "<td class=\"l\">"
+                     << bar(uintField(stat, "self"), max_self)
+                     << "</td></tr>\n";
+            }
+            html << "</table>\n";
+        }
+
+        const Json *stacks = hotspots->find("top_stacks");
+        if (stacks != nullptr && stacks->isArray() &&
+            !stacks->items().empty()) {
+            FlameNode root;
+            for (const Json &entry : stacks->items()) {
+                const std::string stack =
+                    stringField(entry, "stack");
+                const std::uint64_t count =
+                    uintField(entry, "count");
+                FlameNode *node = &root;
+                root.count += count;
+                std::size_t begin = 0;
+                while (begin <= stack.size()) {
+                    const std::size_t sep = stack.find(';', begin);
+                    const std::string frame = stack.substr(
+                        begin, sep == std::string::npos
+                                   ? std::string::npos
+                                   : sep - begin);
+                    if (!frame.empty()) {
+                        node = &node->children[frame];
+                        node->count += count;
+                    }
+                    if (sep == std::string::npos)
+                        break;
+                    begin = sep + 1;
+                }
+            }
+            html << "<div class=\"flame\">";
+            renderFlameChildren(html, root, 0);
+            html << "</div>\n"
+                 << "<p>Built from the manifest's top "
+                 << stacks->items().size()
+                 << " folded host stacks (hover for counts); the "
+                 << "full fold is the --hotspot-out file.</p>\n";
+        }
+    }
+    if (!any_hotspots)
+        html << "<p>No host samples recorded (run with "
+                "--hotspots).</p>\n";
 
     html << "</body>\n</html>\n";
     return html.str();

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/logging.hh"
+#include "obs/hotspot/hotspot.hh"
 #include "obs/perf/perf.hh"
 #include "obs/profile/profile.hh"
 #include "obs/telemetry/telemetry.hh"
@@ -54,6 +55,15 @@ declareFlags(Cli &cli)
              "at this path (attach with dee_top); implies --telemetry");
     cli.flag("telemetry-interval", "250",
              "telemetry sampler period in milliseconds");
+    cli.flag("hotspots", "false",
+             "start the host hot-path sampling profiler (adds the "
+             "manifest's \"hotspots\" section and hot.* stats)");
+    cli.flag("hotspot-out", "",
+             "write host samples as folded stacks to this path "
+             "(flamegraph input); implies --hotspots");
+    cli.flag("hotspot-interval", "2",
+             "hotspot sampler per-thread CPU-time period in "
+             "milliseconds");
 }
 
 SessionOptions
@@ -72,6 +82,10 @@ SessionOptions::fromCli(const Cli &cli)
                         !options.telemetryOutPath.empty() ||
                         !options.telemetrySocketPath.empty();
     options.telemetryIntervalMs = cli.real("telemetry-interval");
+    options.hotspotOutPath = cli.str("hotspot-out");
+    options.hotspots =
+        cli.boolean("hotspots") || !options.hotspotOutPath.empty();
+    options.hotspotIntervalMs = cli.real("hotspot-interval");
     return options;
 }
 
@@ -98,6 +112,13 @@ Session::Session(std::string tool, SessionOptions options)
         topts.tool = manifest_.tool();
         telemetry::Hub::process().start(topts);
     }
+    if (options_.hotspots && hotspot::compiledIn()) {
+        if (!options_.hotspotOutPath.empty())
+            checkWritable(options_.hotspotOutPath, "hotspot output");
+        hotspot::Options hopts;
+        hopts.intervalMs = options_.hotspotIntervalMs;
+        hotspot::Sampler::process().start(hopts);
+    }
 }
 
 Session::Session(std::string tool, const Cli &cli)
@@ -108,7 +129,9 @@ Session::Session(std::string tool, const Cli &cli)
         if (name == "json" || name == "trace-out" || name == "stats" ||
             name == "profile" || name == "profile-out" ||
             name == "telemetry" || name == "telemetry-out" ||
-            name == "telemetry-socket" || name == "telemetry-interval")
+            name == "telemetry-socket" ||
+            name == "telemetry-interval" || name == "hotspots" ||
+            name == "hotspot-out" || name == "hotspot-interval")
             continue;
         manifest_.setConfig(name, value);
     }
@@ -120,6 +143,15 @@ Session::~Session()
     // registry, and the dumps below must see the settled state (the
     // manifest's "telemetry" section reads the stopped hub's summary).
     telemetry::Hub::process().stop();
+    // Then the hotspot sampler (the telemetry tick above still saw
+    // live hot.* counts): stop folds every thread's samples into the
+    // report the manifest's "hotspots" section and the hot.* stats
+    // published below both read.
+    if (options_.hotspots && hotspot::compiledIn()) {
+        hotspot::Sampler &sampler = hotspot::Sampler::process();
+        sampler.stop();
+        sampler.publish(Registry::global());
+    }
     // Host memory pressure (peak RSS, page faults) is a whole-process
     // reading — take it once, at exit, into perf.host.* so manifests
     // and stats dumps carry it.
@@ -162,6 +194,20 @@ Session::~Session()
     }
     if (options_.profile)
         requestProfiling(false);
+    if (!options_.hotspotOutPath.empty() && hotspot::compiledIn()) {
+        const std::string stacks =
+            hotspot::Sampler::process().report().foldedStacks();
+        std::ofstream out(options_.hotspotOutPath, std::ios::trunc);
+        if (out)
+            out << stacks;
+        if (!out.good()) {
+            dee_inform("error writing hotspot output '",
+                       options_.hotspotOutPath, "'");
+        } else {
+            dee_inform("wrote folded host hotspot stacks to ",
+                       options_.hotspotOutPath);
+        }
+    }
     if (!options_.jsonPath.empty()) {
         manifest_.write(options_.jsonPath);
         dee_inform("wrote run manifest to ", options_.jsonPath);

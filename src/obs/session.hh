@@ -37,6 +37,14 @@
  *                     socket at PATH (attach with tools/dee_top);
  *                     implies --telemetry
  *   --telemetry-interval MS  sampler period in milliseconds
+ *   --hotspots BOOL   start the host hot-path sampling profiler
+ *                     (per-phase CPU attribution in the manifest's
+ *                     "hotspots" section; see obs/hotspot/hotspot.hh)
+ *   --hotspot-out PATH  write the host samples as folded stacks
+ *                     ("host;scope.phase;sym;..;sym count" lines,
+ *                     flamegraph.pl / dee_prof compatible) to PATH;
+ *                     implies --hotspots
+ *   --hotspot-interval MS  per-thread CPU-time sampling period
  */
 
 #ifndef DEE_OBS_SESSION_HH
@@ -51,8 +59,8 @@
 namespace dee::obs
 {
 
-/** Declares --json, --trace-out, --stats, --profile, --profile-out and
- *  the --telemetry* flags on @p cli. */
+/** Declares --json, --trace-out, --stats, --profile, --profile-out,
+ *  the --telemetry* flags and the --hotspot* flags on @p cli. */
 void declareFlags(Cli &cli);
 
 /** Parsed values of the standard observability flags. */
@@ -67,6 +75,9 @@ struct SessionOptions
     std::string telemetryOutPath;    ///< JSONL stream; implies telemetry
     std::string telemetrySocketPath; ///< unix socket; implies telemetry
     double telemetryIntervalMs = 250.0; ///< sampler period
+    bool hotspots = false;    ///< start the host hotspot sampler
+    std::string hotspotOutPath; ///< folded stacks; implies hotspots
+    double hotspotIntervalMs = 2.0; ///< CPU-time sampling period
 
     /** Reads the declareFlags() flags back from a parsed Cli. */
     static SessionOptions fromCli(const Cli &cli);

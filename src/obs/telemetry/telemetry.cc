@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "obs/hotspot/hotspot.hh"
 #include "obs/profile/profile.hh"
 #include "obs/registry.hh"
 #include "obs/telemetry/stats_server.hh"
@@ -363,6 +364,26 @@ Hub::tick(bool final)
     }
     if (const std::uint64_t rss = currentRssKb(); rss > 0)
         vals["host.rss_kb"] = static_cast<double>(rss);
+
+    // Host hot-phase self shares from the sampler's lock-free live
+    // table — no registry lock needed, and skipped entirely (no empty
+    // series) while the sampler is off.
+    if (hotspot::Sampler::process().active()) {
+        const auto hot_counts = hotspot::liveSelfCounts();
+        double hot_total = 0.0;
+        for (const auto &[key, self] : hot_counts)
+            hot_total += static_cast<double>(self);
+        vals["hot.samples"] = static_cast<double>(
+            hotspot::Sampler::process().liveSamples());
+        if (hot_total > 0.0) {
+            for (const auto &[key, self] : hot_counts) {
+                if (self > 0) {
+                    vals["hot." + key] =
+                        static_cast<double>(self) / hot_total * 100.0;
+                }
+            }
+        }
+    }
 
     // Registered sources (per-worker pool tallies while a sweep runs).
     {

@@ -10,6 +10,7 @@
 
 #include "common/logging.hh"
 #include "obs/accounting.hh"
+#include "obs/hotspot/hotspot.hh"
 #include "obs/isolate.hh"
 #include "obs/perf/perf.hh"
 #include "obs/profile/profile.hh"
@@ -153,6 +154,10 @@ runCells(std::size_t cells, const SweepOptions &options,
         pool.wait(futures[i]);
         const auto merge_start = clock::now();
         {
+            // Merge only — pool.wait() above may help run cells, whose
+            // own sim markers must not nest under runner.merge.
+            const obs::hotspot::HotspotPhase hot_merge(
+                "runner", obs::hotspot::Phase::Merge);
             std::unique_lock<std::mutex> reg_lock(hub.registryMutex(),
                                                   std::defer_lock);
             if (live)

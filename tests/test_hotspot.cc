@@ -1,0 +1,509 @@
+/**
+ * @file
+ * Tests for the host hot-path sampling profiler (obs/hotspot): the
+ * pure buildReport() fold (per-phase self/total shares, attribution
+ * identity, folded-stack golden), phase nesting invariants, the
+ * dee.run.v7 manifest section with v6 compatibility, the
+ * --hotspot-diff regression gate (self-diff passes; an injected 2x
+ * phase-share skew fails naming the phase), live sampling during a
+ * --jobs 4 parallel sweep (the ASan/TSan signal-safety smoke), ring
+ * overflow drop accounting, and the determinism gate: manifests stay
+ * byte-identical across --jobs after DROP normalization even with the
+ * sampler running.
+ *
+ * Sanitizer note: TSan intercepts signal delivery and defers async
+ * signals to interception points, so a TSan build may capture only a
+ * handful of samples per thread. Tests therefore never assert minimum
+ * sample counts under TSan — the point of running them there is the
+ * race/safety check itself, not the sample yield.
+ *
+ * Ordering note: Sampler::process() is a process singleton and
+ * everStarted() stays true after the first start(); the never-started
+ * assertions run in the first test below (gtest executes tests in
+ * declaration order).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/hotspot/hotspot.hh"
+#include "obs/manifest.hh"
+#include "obs/manifest_diff.hh"
+#include "obs/registry.hh"
+#include "runner/sweep.hh"
+
+#if defined(__SANITIZE_THREAD__)
+#define DEE_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DEE_TEST_TSAN 1
+#endif
+#endif
+#ifndef DEE_TEST_TSAN
+#define DEE_TEST_TSAN 0
+#endif
+
+namespace dee::obs::hotspot
+{
+namespace
+{
+
+/** Spins real CPU work so the CPU-time timers actually fire. */
+volatile std::uint64_t g_spin_sink = 0;
+
+void
+spinFor(std::chrono::milliseconds wall)
+{
+    const auto until = std::chrono::steady_clock::now() + wall;
+    std::uint64_t x = 1;
+    while (std::chrono::steady_clock::now() < until) {
+        for (int i = 0; i < 4096; ++i)
+            x = x * 2862933555777941757ull + 3037000493ull;
+        g_spin_sink = x;
+    }
+}
+
+// --------------------------------------------- never-started state
+
+TEST(HotspotSampler, NeverStartedSectionSaysDisabled)
+{
+    Sampler &sampler = Sampler::process();
+    ASSERT_FALSE(sampler.everStarted());
+    ASSERT_FALSE(sampler.active());
+    const Json section = sampler.sectionJson();
+    ASSERT_NE(section.find("enabled"), nullptr);
+    EXPECT_FALSE(section.find("enabled")->asBool());
+    // No phases, no samples: v1-v6 era consumers see only an unknown
+    // disabled section.
+    EXPECT_EQ(section.find("phases"), nullptr);
+}
+
+// ------------------------------------------------- pure fold logic
+
+/** Synthetic 3-phase workload: a scope with fetch-only samples,
+ *  fetch>issue nested samples, and one unattributed sample. */
+std::vector<RawSample>
+syntheticSamples(std::uint8_t scope_idx)
+{
+    std::vector<RawSample> samples;
+    for (int i = 0; i < 3; ++i) {
+        RawSample s;
+        s.depth = 1;
+        s.phaseStack[0] = packEntry(scope_idx, Phase::Fetch);
+        samples.push_back(s);
+    }
+    for (int i = 0; i < 2; ++i) {
+        RawSample s;
+        s.depth = 2;
+        s.phaseStack[0] = packEntry(scope_idx, Phase::Fetch);
+        s.phaseStack[1] = packEntry(scope_idx, Phase::Issue);
+        samples.push_back(s);
+    }
+    samples.emplace_back(); // depth 0: unattributed
+    return samples;
+}
+
+TEST(HotspotReport, SyntheticThreePhaseGolden)
+{
+    const std::uint8_t scope = internScope("tw");
+    ASSERT_STREQ(scopeName(scope), "tw");
+
+    const Report report = buildReport(syntheticSamples(scope),
+                                      /*dropped=*/7, /*threads=*/2,
+                                      /*intervalMs=*/2.0,
+                                      /*symbolize=*/false);
+    EXPECT_EQ(report.totalSamples, 6u);
+    EXPECT_EQ(report.attributed, 5u);
+    EXPECT_EQ(report.dropped, 7u);
+    EXPECT_EQ(report.threads, 2u);
+    EXPECT_NEAR(report.attributedPct(), 100.0 * 5 / 6, 1e-9);
+
+    ASSERT_EQ(report.phases.size(), 2u);
+    const PhaseStat &fetch = report.phases.at("tw.fetch");
+    EXPECT_EQ(fetch.self, 3u);  // innermost in 3 samples
+    EXPECT_EQ(fetch.total, 5u); // open in all 5 attributed samples
+    EXPECT_NEAR(fetch.selfPct, 50.0, 1e-9);
+    EXPECT_NEAR(fetch.pct, 100.0 * 5 / 6, 1e-9);
+    const PhaseStat &issue = report.phases.at("tw.issue");
+    EXPECT_EQ(issue.self, 2u);
+    EXPECT_EQ(issue.total, 2u);
+
+    // Folded-stack golden (no frames captured: phase roots only).
+    const std::string folded = report.foldedStacks();
+    EXPECT_NE(folded.find("host;tw.fetch 3"), std::string::npos)
+        << folded;
+    EXPECT_NE(folded.find("host;tw.issue 2"), std::string::npos)
+        << folded;
+    EXPECT_NE(folded.find("host;unattributed 1"), std::string::npos)
+        << folded;
+
+    // The share table names every phase.
+    const std::string table = report.renderTable();
+    EXPECT_NE(table.find("tw.fetch"), std::string::npos) << table;
+    EXPECT_NE(table.find("tw.issue"), std::string::npos) << table;
+}
+
+TEST(HotspotReport, AttributionAndNestingIdentities)
+{
+    const std::uint8_t scope = internScope("tw");
+    const Report report = buildReport(syntheticSamples(scope), 0, 1,
+                                      2.0, /*symbolize=*/false);
+
+    // sum(self) + unattributed == totalSamples.
+    std::uint64_t self_sum = 0;
+    for (const auto &[key, stat] : report.phases)
+        self_sum += stat.self;
+    EXPECT_EQ(self_sum, report.attributed);
+    EXPECT_EQ(self_sum + (report.totalSamples - report.attributed),
+              report.totalSamples);
+
+    // Nested child self never exceeds the parent's total: tw.issue
+    // only ever opens under tw.fetch here.
+    EXPECT_LE(report.phases.at("tw.issue").self,
+              report.phases.at("tw.fetch").total);
+}
+
+TEST(HotspotReport, RepeatedPhaseEntryCountsTotalOnce)
+{
+    const std::uint8_t scope = internScope("tw");
+    RawSample s;
+    s.depth = 3;
+    s.phaseStack[0] = packEntry(scope, Phase::Issue);
+    s.phaseStack[1] = packEntry(scope, Phase::Fetch);
+    s.phaseStack[2] = packEntry(scope, Phase::Issue); // re-entered
+    const Report report =
+        buildReport({s}, 0, 1, 2.0, /*symbolize=*/false);
+    EXPECT_EQ(report.phases.at("tw.issue").total, 1u);
+    EXPECT_EQ(report.phases.at("tw.issue").self, 1u);
+    EXPECT_EQ(report.phases.at("tw.fetch").total, 1u);
+    EXPECT_EQ(report.phases.at("tw.fetch").self, 0u);
+}
+
+// ------------------------------------------- manifest v7 and diffs
+
+/** A minimal v7 manifest with one hotspots phase entry per (key,
+ *  self, self_pct) triple. */
+std::string
+manifestWithPhases(
+    const std::vector<std::tuple<std::string, double, double>> &phases)
+{
+    Json doc = Json::object();
+    doc["schema"] = Json("dee.run.v7");
+    doc["tool"] = Json("test_hotspot");
+    doc["config"] = Json::object();
+    doc["results"] = Json::object();
+    Json section = Json::object();
+    section["enabled"] = Json(true);
+    section["samples"] = Json(std::int64_t{1000});
+    Json section_phases = Json::object();
+    for (const auto &[key, self, self_pct] : phases) {
+        Json p = Json::object();
+        p["self"] = Json(self);
+        p["self_pct"] = Json(self_pct);
+        p["total"] = Json(self);
+        p["pct"] = Json(self_pct);
+        section_phases[key] = std::move(p);
+    }
+    section["phases"] = std::move(section_phases);
+    doc["hotspots"] = std::move(section);
+    return doc.dump(2);
+}
+
+TEST(HotspotManifest, V7SectionRoundTrip)
+{
+    Registry reg;
+    const Manifest manifest("test_hotspot");
+    Json back;
+    std::string err;
+    ASSERT_TRUE(Json::parse(manifest.toJson(reg).dump(2), &back, &err))
+        << err;
+    EXPECT_EQ(back.find("schema")->asString(), "dee.run.v7");
+    ASSERT_NE(back.find("hotspots"), nullptr);
+    ASSERT_NE(back.find("hotspots")->find("enabled"), nullptr);
+
+    LoadedManifest loaded;
+    ASSERT_TRUE(parseManifest(manifest.toJson(reg).dump(2), "mem",
+                              &loaded, &err))
+        << err;
+    EXPECT_EQ(loaded.schema, "dee.run.v7");
+}
+
+TEST(HotspotManifest, V6DocumentsStillParseButDiffReportsError)
+{
+    // A v6-era document: no hotspots section at all.
+    const std::string v6 = R"({
+      "schema": "dee.run.v6",
+      "tool": "old_tool",
+      "config": {},
+      "results": {"speedup": 3.0}
+    })";
+    LoadedManifest old_doc;
+    std::string err;
+    ASSERT_TRUE(parseManifest(v6, "old.json", &old_doc, &err)) << err;
+    EXPECT_EQ(old_doc.schema, "dee.run.v6");
+
+    LoadedManifest new_doc;
+    ASSERT_TRUE(parseManifest(
+        manifestWithPhases({{"window.issue", 400.0, 40.0}}),
+        "new.json", &new_doc, &err))
+        << err;
+
+    // Gating a v6 baseline is a usage error, not a silent pass.
+    const HotspotRegressionReport report =
+        checkHotspotRegressions(old_doc, new_doc, 0.25, 50.0);
+    EXPECT_FALSE(report.error.empty());
+    EXPECT_FALSE(report.anyRegressed());
+}
+
+TEST(HotspotDiff, SelfDiffPassesAndInjectedSkewFailsNamingPhase)
+{
+    const std::string base_text = manifestWithPhases(
+        {{"window.issue", 400.0, 40.0}, {"window.fetch", 200.0, 20.0}});
+    LoadedManifest baseline, self, skewed;
+    std::string err;
+    ASSERT_TRUE(
+        parseManifest(base_text, "base.json", &baseline, &err));
+    ASSERT_TRUE(parseManifest(base_text, "self.json", &self, &err));
+
+    // Self-diff: identical shares never regress.
+    const HotspotRegressionReport clean =
+        checkHotspotRegressions(baseline, self, 0.25, 50.0);
+    EXPECT_TRUE(clean.error.empty()) << clean.error;
+    EXPECT_FALSE(clean.anyRegressed());
+
+    // Injected 2x skew on window.issue: fails, naming the phase.
+    ASSERT_TRUE(parseManifest(
+        manifestWithPhases({{"window.issue", 800.0, 80.0},
+                            {"window.fetch", 200.0, 20.0}}),
+        "skew.json", &skewed, &err));
+    const HotspotRegressionReport skew =
+        checkHotspotRegressions(baseline, skewed, 0.25, 50.0);
+    EXPECT_TRUE(skew.error.empty()) << skew.error;
+    ASSERT_TRUE(skew.anyRegressed());
+    EXPECT_EQ(skew.items.size(), 1u);
+    EXPECT_EQ(skew.items[0].phase, "window.issue");
+    const std::string rendered = skew.render(0.25, 50.0);
+    EXPECT_NE(rendered.find("FAIL"), std::string::npos) << rendered;
+    EXPECT_NE(rendered.find("window.issue"), std::string::npos)
+        << rendered;
+}
+
+TEST(HotspotDiff, MinSamplesFloorSuppressesNoise)
+{
+    LoadedManifest baseline, skewed;
+    std::string err;
+    ASSERT_TRUE(parseManifest(
+        manifestWithPhases({{"tree.tree_move", 10.0, 1.0}}),
+        "base.json", &baseline, &err));
+    // Share quadrupled but only 40 self samples: under the 50 floor.
+    // (4x clears the Poisson noise floor — 3*sqrt(1/10 + 1/40) ~ 1.06
+    // relative — which a mere doubling of 10 samples would not.)
+    ASSERT_TRUE(parseManifest(
+        manifestWithPhases({{"tree.tree_move", 40.0, 4.0}}),
+        "cand.json", &skewed, &err));
+    EXPECT_FALSE(checkHotspotRegressions(baseline, skewed, 0.25, 50.0)
+                     .anyRegressed());
+    // Lowering the floor makes the same growth trip the gate.
+    EXPECT_TRUE(checkHotspotRegressions(baseline, skewed, 0.25, 10.0)
+                    .anyRegressed());
+}
+
+// ------------------------------------------------- live sampling
+
+TEST(HotspotDiff, PoissonNoiseFloorWidensGateForSmallCounts)
+{
+    LoadedManifest baseline, cand_noise, cand_shift;
+    std::string err;
+    ASSERT_TRUE(parseManifest(
+        manifestWithPhases({{"window.fetch", 60.0, 6.0}}),
+        "base.json", &baseline, &err));
+
+    // 6% -> 10% over 60-vs-100 samples is a 67% relative jump — past
+    // the 25% threshold, but inside the 3-sigma counting error
+    // (3*sqrt(1/60 + 1/100) ~ 0.49): sampling wobble, not a shift.
+    ASSERT_TRUE(parseManifest(
+        manifestWithPhases({{"window.fetch", 100.0, 10.0}}),
+        "noise.json", &cand_noise, &err));
+    EXPECT_FALSE(
+        checkHotspotRegressions(baseline, cand_noise, 0.25, 50.0)
+            .anyRegressed());
+
+    // 6% -> 16% clears threshold + noise floor: a real shift.
+    ASSERT_TRUE(parseManifest(
+        manifestWithPhases({{"window.fetch", 160.0, 16.0}}),
+        "shift.json", &cand_shift, &err));
+    const HotspotRegressionReport report =
+        checkHotspotRegressions(baseline, cand_shift, 0.25, 50.0);
+    ASSERT_TRUE(report.anyRegressed());
+    EXPECT_EQ(report.items[0].phase, "window.fetch");
+    EXPECT_GT(report.items[0].noiseFloor, 0.0);
+    const std::string rendered = report.render(0.25, 50.0);
+    EXPECT_NE(rendered.find("3-sigma"), std::string::npos) << rendered;
+}
+
+TEST(HotspotSampler, ParallelSweepSignalSafetySmoke)
+{
+    if (!Sampler::supported() || !compiledIn())
+        GTEST_SKIP() << "sampler unsupported on this platform";
+
+    Registry::process().clear();
+    Sampler &sampler = Sampler::process();
+    Options options;
+    options.intervalMs = 0.5;
+    ASSERT_TRUE(sampler.start(options));
+    EXPECT_TRUE(sampler.active());
+    EXPECT_FALSE(sampler.start(options)) << "double start must fail";
+
+    // A --jobs 4 sweep with nested phase markers in every cell: the
+    // ASan/TSan smoke for handler re-entrancy, thread registration
+    // and cross-thread teardown.
+    runner::SweepOptions sweep;
+    sweep.jobs = 4;
+    runner::runCells(8, sweep, [](std::size_t) {
+        const HotspotPhase outer("testsweep", Phase::Other);
+        for (int rep = 0; rep < 10; ++rep) {
+            const HotspotPhase inner("testsweep", Phase::Issue);
+            spinFor(std::chrono::milliseconds(5));
+        }
+    });
+
+    sampler.stop();
+    EXPECT_FALSE(sampler.active());
+    EXPECT_TRUE(sampler.everStarted());
+
+    const Report &report = sampler.report();
+#if !DEE_TEST_TSAN
+    // TSan defers async signal delivery, so only a non-TSan build can
+    // promise a sample yield from ~400ms of spinning at 0.5ms.
+    EXPECT_GT(report.totalSamples, 0u);
+    EXPECT_TRUE(report.phases.count("testsweep.issue") == 1 ||
+                report.phases.count("testsweep.other") == 1)
+        << report.renderTable();
+#endif
+    // The attribution identity holds at any yield, TSan included.
+    std::uint64_t self_sum = 0;
+    for (const auto &[key, stat] : report.phases)
+        self_sum += stat.self;
+    EXPECT_EQ(self_sum, report.attributed);
+    EXPECT_LE(report.attributed, report.totalSamples);
+
+    // publish() mirrors the report into the registry.
+    Registry reg;
+    sampler.publish(reg);
+    ASSERT_NE(reg.findCounter("hot.samples"), nullptr);
+    EXPECT_EQ(*reg.findCounter("hot.samples"), report.totalSamples);
+
+    // The stopped section carries the phases and the interval.
+    const Json section = sampler.sectionJson();
+    EXPECT_TRUE(section.find("enabled")->asBool());
+    EXPECT_DOUBLE_EQ(section.find("interval_ms")->asDouble(), 0.5);
+    Registry::process().clear();
+}
+
+TEST(HotspotSampler, RingOverflowIsDropCounted)
+{
+    if (!Sampler::supported() || !compiledIn())
+        GTEST_SKIP() << "sampler unsupported on this platform";
+#if DEE_TEST_TSAN
+    GTEST_SKIP() << "TSan defers signals; overflow cannot be forced";
+#endif
+
+    Sampler &sampler = Sampler::process();
+    Options options;
+    options.intervalMs = 0.2; // clamped to the 100us floor at worst
+    options.ringCapacity = 8; // force overflow fast
+    ASSERT_TRUE(sampler.start(options));
+    {
+        const HotspotPhase marker("testoverflow", Phase::Merge);
+        spinFor(std::chrono::milliseconds(200));
+    }
+    sampler.stop();
+
+    const Report &report = sampler.report();
+    // Every claim past the 8 slots is a drop, and kept + dropped is
+    // exactly what the live counter saw.
+    EXPECT_LE(report.totalSamples, 8u);
+    EXPECT_GT(report.dropped, 0u);
+    EXPECT_EQ(report.totalSamples + report.dropped,
+              sampler.liveSamples());
+}
+
+// --------------------------------------------------- determinism
+
+/** The CI normalizer's DROP set, hotspot keys included. */
+Json
+normalized(const Json &doc)
+{
+    static const std::set<std::string> kDrop = {
+        "run_ms", "wall_clock_ms", "runner",    "jobs",     "perf",
+        "host_perf",  "telemetry", "heartbeat", "hotspots", "hot",
+    };
+    if (doc.isObject()) {
+        Json out = Json::object();
+        for (const auto &[key, value] : doc.members()) {
+            if (kDrop.count(key) != 0)
+                continue;
+            out[key] = normalized(value);
+        }
+        return out;
+    }
+    if (doc.isArray()) {
+        Json out = Json::array();
+        for (const Json &item : doc.items())
+            out.push(normalized(item));
+        return out;
+    }
+    return doc;
+}
+
+TEST(HotspotDeterminism, ManifestsMatchAcrossJobsWithSamplerOn)
+{
+    if (!Sampler::supported() || !compiledIn())
+        GTEST_SKIP() << "sampler unsupported on this platform";
+
+    const auto manifest_for = [](int jobs) {
+        Registry::process().clear();
+        Sampler &sampler = Sampler::process();
+        Options options;
+        options.intervalMs = 0.5;
+        EXPECT_TRUE(sampler.start(options));
+        runner::SweepOptions sweep;
+        sweep.jobs = jobs;
+        runner::runCells(8, sweep, [](std::size_t i) {
+            const HotspotPhase marker("testdet", Phase::Issue);
+            Registry &reg = Registry::global();
+            reg.counter("acct.cell" + std::to_string(i) + ".useful") =
+                100 + i;
+            reg.counter("sim.test.runs") += 1;
+            spinFor(std::chrono::milliseconds(2));
+        });
+        sampler.stop();
+        sampler.publish(Registry::process());
+        const Json doc =
+            Manifest("det_tool").toJson(Registry::process());
+        Registry::process().clear();
+        return doc;
+    };
+
+    const Json serial = manifest_for(1);
+    const Json parallel = manifest_for(8);
+
+    // Raw documents differ (sample counts, shares, wall clock); the
+    // DROP-normalized ones must be byte-identical even with the
+    // sampler running.
+    EXPECT_EQ(normalized(serial).dump(2),
+              normalized(parallel).dump(2));
+
+    // Sanity: normalization kept the deterministic payload.
+    const Json norm = normalized(serial);
+    ASSERT_NE(norm.find("accounting"), nullptr);
+    EXPECT_NE(norm.find("accounting")->find("cell3"), nullptr);
+}
+
+} // namespace
+} // namespace dee::obs::hotspot

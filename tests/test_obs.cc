@@ -316,7 +316,7 @@ TEST(Manifest, DocumentShapeAndRoundTrip)
     std::string err;
     ASSERT_TRUE(Json::parse(manifest.toJson(reg).dump(2), &back, &err))
         << err;
-    EXPECT_EQ(back.find("schema")->asString(), "dee.run.v6");
+    EXPECT_EQ(back.find("schema")->asString(), "dee.run.v7");
     EXPECT_EQ(back.find("tool")->asString(), "test_tool");
     EXPECT_EQ(back.find("config")->find("scale")->asInt(), 4);
     EXPECT_DOUBLE_EQ(back.find("results")->find("speedup")->asDouble(),

@@ -4,7 +4,7 @@
  * (obs/perf/): ThroughputMeter arithmetic and scope isolation at any
  * --jobs value, the HwCounters env-forced fallback, dee_bench's
  * median/MAD repetition summaries, the --perf-diff gate (pass, fail,
- * noise floor, every-failure rendering), and the dee.run.v6 manifest's
+ * noise floor, every-failure rendering), and the dee.run.v7 manifest's
  * host_perf section with its v3 compatibility path.
  */
 
@@ -493,7 +493,7 @@ TEST(ManifestPerf, V4CarriesHostPerfSection)
     }
     Manifest manifest("test_tool");
     const Json doc = manifest.toJson(reg);
-    EXPECT_EQ(doc.find("schema")->asString(), "dee.run.v6");
+    EXPECT_EQ(doc.find("schema")->asString(), "dee.run.v7");
     const Json *host_perf = doc.find("host_perf");
     ASSERT_NE(host_perf, nullptr);
     ASSERT_NE(host_perf->find("hw_counters"), nullptr);
@@ -509,7 +509,7 @@ TEST(ManifestPerf, V4CarriesHostPerfSection)
     std::string err;
     ASSERT_TRUE(parseManifest(doc.dump(2), "t.json", &back, &err))
         << err;
-    EXPECT_EQ(back.schema, "dee.run.v6");
+    EXPECT_EQ(back.schema, "dee.run.v7");
     double value = 0.0;
     ASSERT_TRUE(back.metric(
         "host_perf.scopes.compress.SP.sim_instructions", &value));

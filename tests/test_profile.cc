@@ -2,7 +2,7 @@
  * @file
  * Tests for the speculation profiler (src/obs/profile/): the per-branch
  * attribution identity on every ILP model and on Levo, loop roll-ups on
- * a handcrafted nested-loop program, folded-stack output, dee.run.v6
+ * a handcrafted nested-loop program, folded-stack output, dee.run.v7
  * manifest round-trips (and v2-compat reads), the --profile-diff gate,
  * lint profile annotation, and the bench heartbeat.
  */
@@ -300,13 +300,13 @@ TEST(ManifestV3, ProfileSectionRoundTrips)
     obs::Registry reg;
     obs::Manifest manifest("test_tool");
     const Json doc = manifest.toJson(reg);
-    EXPECT_EQ(doc.find("schema")->asString(), "dee.run.v6");
+    EXPECT_EQ(doc.find("schema")->asString(), "dee.run.v7");
 
     LoadedManifest back;
     std::string err;
     ASSERT_TRUE(parseManifest(doc.dump(2), "t.json", &back, &err))
         << err;
-    EXPECT_EQ(back.schema, "dee.run.v6");
+    EXPECT_EQ(back.schema, "dee.run.v7");
     double value = 0.0;
     ASSERT_TRUE(back.metric(
         "profile.compress.DEE.branches.0x5.squashed_slots", &value));

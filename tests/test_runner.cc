@@ -294,8 +294,8 @@ TEST(RunCells, CellExceptionPropagates)
 /**
  * Renders every deterministic registry entry with bit-exact formatting
  * (%a hexfloats). Skips the paths that are nondeterministic by nature:
- * the runner.* wall-clock subtree, the perf.* host-throughput subtree
- * and *run_ms timing stats — exactly the set a manifest diff must
+ * the runner.* wall-clock subtree, the perf.* host-throughput
+ * subtree, the hot.* host-sampling subtree and *run_ms timing stats — exactly the set a manifest diff must
  * normalize away.
  */
 std::string
@@ -307,6 +307,8 @@ snapshotRegistry(const obs::Registry &reg)
         if (path.compare(0, 7, "runner.") == 0)
             continue;
         if (path.compare(0, 5, "perf.") == 0)
+            continue;
+        if (path.compare(0, 4, "hot.") == 0)
             continue;
         if (path.size() >= 6 &&
             path.compare(path.size() - 6, 6, "run_ms") == 0)

@@ -466,8 +466,8 @@ Json
 normalized(const Json &doc)
 {
     static const std::set<std::string> kDrop = {
-        "run_ms",    "wall_clock_ms", "runner",    "jobs",
-        "perf",      "host_perf",     "telemetry", "heartbeat",
+        "run_ms", "wall_clock_ms", "runner",    "jobs",      "perf",
+        "host_perf",  "telemetry", "heartbeat", "hotspots",  "hot",
     };
     if (doc.isObject()) {
         Json out = Json::object();

@@ -35,7 +35,16 @@
  *   --quick BOOL    shorthand for --cells quick --reps 3 (CI smoke)
  *   --out PATH      artifact path (default BENCH_throughput.json;
  *                   empty suppresses the artifact)
+ *   --hotspot-artifact PATH
+ *                   where --hotspots writes the per-phase host-CPU
+ *                   artifact (default BENCH_hotspots.json; empty
+ *                   suppresses it)
  * plus the standard observability flags (--json/--trace-out/--stats).
+ * With --hotspots the sampler is stopped after the timed loop, the
+ * per-phase share table is printed under the KIPS table, and the
+ * report is written as a dee.bench.hotspots.v1 artifact — the
+ * trajectory file that answers "where do the host cycles go?" over
+ * time, next to BENCH_throughput.json's "how fast is it?".
  */
 
 #include <chrono>
@@ -49,6 +58,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "core/sim/models.hh"
+#include "obs/hotspot/hotspot.hh"
 #include "obs/obs.hh"
 #include "workloads/suite.hh"
 
@@ -156,6 +166,9 @@ main(int argc, char **argv)
              "CI smoke shorthand: --cells quick --reps 3");
     cli.flag("out", "BENCH_throughput.json",
              "dee.bench.v1 artifact path (empty: no artifact)");
+    cli.flag("hotspot-artifact", "BENCH_hotspots.json",
+             "dee.bench.hotspots.v1 artifact path for --hotspots "
+             "(empty: no artifact)");
     dee::obs::declareFlags(cli);
     cli.parse(argc, argv);
     dee::obs::Session session("dee_bench", cli);
@@ -259,6 +272,15 @@ main(int argc, char **argv)
     }
     heartbeat.finish();
 
+    // With --hotspots: stop the sampler now (idempotent — the Session
+    // destructor's stop becomes a no-op) so the artifact and the phase
+    // table below cover exactly the warm-up + timed loop.
+    dee::obs::hotspot::Sampler &sampler =
+        dee::obs::hotspot::Sampler::process();
+    const bool hotspots = sampler.everStarted();
+    if (hotspots)
+        sampler.stop();
+
     std::fputs(table.render().c_str(), stdout);
     std::fprintf(stdout,
                  "%zu target(s), %d rep(s) + %d warmup at scale %d; "
@@ -276,6 +298,29 @@ main(int argc, char **argv)
         if (!out.good())
             dee_fatal("error writing artifact file '", out_path, "'");
         std::fprintf(stdout, "wrote %s\n", out_path.c_str());
+    }
+
+    if (hotspots) {
+        std::fputs(sampler.report().renderTable().c_str(), stdout);
+        const std::string hot_path = cli.str("hotspot-artifact");
+        if (!hot_path.empty()) {
+            dee::obs::Json doc = dee::obs::Json::object();
+            doc["schema"] = dee::obs::Json("dee.bench.hotspots.v1");
+            doc["tool"] = dee::obs::Json("dee_bench");
+            doc["cells"] = dee::obs::Json(set_name);
+            doc["scale"] = dee::obs::Json(
+                static_cast<std::int64_t>(scale));
+            doc["hotspots"] = sampler.report().toJson();
+            std::ofstream hot_out(hot_path);
+            if (!hot_out)
+                dee_fatal("cannot open artifact file '", hot_path,
+                          "'");
+            hot_out << doc.dump(2) << "\n";
+            if (!hot_out.good())
+                dee_fatal("error writing artifact file '", hot_path,
+                          "'");
+            std::fprintf(stdout, "wrote %s\n", hot_path.c_str());
+        }
     }
 
     // Mirror the headline numbers into the run manifest for --json

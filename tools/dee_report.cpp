@@ -15,13 +15,19 @@
  *                                            exit 1 when any bench
  *                                            target's throughput drops
  *                                            beyond threshold + noise
+ *   dee_report --hotspot-diff --baseline BASE CAND
+ *                                            exit 1 when any host
+ *                                            phase's CPU self share
+ *                                            grows beyond threshold
+ *                                            (runs made with
+ *                                            --hotspots, schema v7)
  *
- * Gating modes compose: pass --check and --profile-diff together and
- * both gates run against the same baseline/candidate pair, every
- * failure line from every gate prints, and the exit status is 1 when
- * any gate failed. (--perf-diff reads dee.bench.v1 artifacts from
- * tools/dee_bench rather than run manifests, so it is usually its own
- * invocation.)
+ * Gating modes compose: pass --check, --profile-diff and
+ * --hotspot-diff together and every gate runs against the same
+ * baseline/candidate pair, every failure line from every gate prints,
+ * and the exit status is 1 when any gate failed. (--perf-diff reads
+ * dee.bench.v1 artifacts from tools/dee_bench rather than run
+ * manifests, so it is usually its own invocation.)
  *
  * Flags:
  *   --filter GLOB     only show metrics matching GLOB in the diff
@@ -41,20 +47,27 @@
  *                       accounting.*.waste_fraction:-,
  *                       accounting.*.useful_fraction:+
  *   --threshold REL   relative regression tolerance (default 0.05;
- *                     --perf-diff defaults to 0.10 instead — host
- *                     timing carries run-to-run wobble that bit-exact
+ *                     --perf-diff defaults to 0.10 and --hotspot-diff
+ *                     to 0.25 instead — host timing and sampled phase
+ *                     shares carry run-to-run wobble that bit-exact
  *                     simulated metrics do not)
  *   --min-slots N     --profile-diff absolute growth floor: a branch
  *                     only fails when its squashed slots grow by more
  *                     than N on top of the relative threshold
  *                     (default 64)
+ *   --min-samples N   --hotspot-diff sample floor: a phase only fails
+ *                     when the candidate attributed at least N self
+ *                     samples to it (default 50 — shares over fewer
+ *                     samples are noise, not shifts)
  *   --noise-mult K    --perf-diff noise floor: per-target tolerance is
  *                     max(threshold, K * (baseline MAD + candidate
  *                     MAD) / baseline KIPS), so repetition jitter
  *                     measured by dee_bench widens the gate instead of
  *                     tripping it (default 4.0)
- *   --warn-only       --perf-diff regressions print WARN lines and do
- *                     not affect the exit status (CI smoke mode)
+ *   --warn-only       --perf-diff / --hotspot-diff regressions print
+ *                     WARN lines and do not affect the exit status
+ *                     (CI smoke mode — host timing and host shares
+ *                     both wobble across machines)
  *
  * Exit status: 0 clean, 1 regression (or missing watched metric) in
  * any gating mode, 2 usage / load errors.
@@ -74,8 +87,10 @@
 namespace
 {
 
+using dee::obs::checkHotspotRegressions;
 using dee::obs::checkProfileRegressions;
 using dee::obs::checkRegressions;
+using dee::obs::HotspotRegressionReport;
 using dee::obs::LoadedManifest;
 using dee::obs::loadManifestFile;
 using dee::obs::ProfileRegressionReport;
@@ -97,13 +112,14 @@ usage(std::FILE *to)
     std::fputs(
         "usage: dee_report [options] MANIFEST.json [MANIFEST.json...]\n"
         "\n"
-        "Diffs dee.run.v1..v6 manifests metric by metric; with\n"
+        "Diffs dee.run.v1..v7 manifests metric by metric; with\n"
         "--check, gates on watched-metric regressions against a\n"
         "baseline; with --profile-diff, gates on per-branch\n"
         "speculation-profile regressions; with --perf-diff, gates on\n"
-        "per-target throughput between dee_bench artifacts. Gating\n"
-        "modes compose: every requested gate runs and every failure\n"
-        "prints before the (combined) exit status.\n"
+        "per-target throughput between dee_bench artifacts; with\n"
+        "--hotspot-diff, gates on per-phase host-CPU self shares.\n"
+        "Gating modes compose: every requested gate runs and every\n"
+        "failure prints before the (combined) exit status.\n"
         "\n"
         "options:\n"
         "  --filter GLOB     only diff metrics matching GLOB\n"
@@ -113,17 +129,24 @@ usage(std::FILE *to)
         "                    against --baseline (exit 1 on regression)\n"
         "  --perf-diff       gate per-target KIPS between two\n"
         "                    BENCH_throughput.json artifacts\n"
+        "  --hotspot-diff    gate per-phase host-CPU self shares\n"
+        "                    against --baseline (exit 1 on regression;\n"
+        "                    needs runs made with --hotspots)\n"
         "  --baseline PATH   baseline manifest for the gating modes\n"
         "  --watch SPECS     comma-separated \"pattern[:+|-]\" watch\n"
         "                    list (+ higher is better, the default;\n"
         "                    - lower is better)\n"
         "  --threshold REL   relative tolerance, default 0.05\n"
+        "                    (0.10 for --perf-diff, 0.25 for\n"
+        "                    --hotspot-diff)\n"
         "  --min-slots N     --profile-diff absolute growth floor,\n"
         "                    default 64 squashed slots\n"
+        "  --min-samples N   --hotspot-diff candidate self-sample\n"
+        "                    floor, default 50\n"
         "  --noise-mult K    --perf-diff noise-floor multiplier over\n"
         "                    the repetition MADs, default 4.0\n"
-        "  --warn-only       --perf-diff regressions warn instead of\n"
-        "                    failing the exit status\n"
+        "  --warn-only       --perf-diff / --hotspot-diff regressions\n"
+        "                    warn instead of failing the exit status\n"
         "  --help            this text\n",
         to);
 }
@@ -156,10 +179,12 @@ main(int argc, char **argv)
     double threshold = 0.05;
     bool threshold_set = false;
     double min_slots = 64.0;
+    double min_samples = 50.0;
     double noise_mult = 4.0;
     bool check = false;
     bool profile_diff = false;
     bool perf_diff = false;
+    bool hotspot_diff = false;
     bool warn_only = false;
     std::vector<std::string> paths;
 
@@ -184,6 +209,8 @@ main(int argc, char **argv)
             profile_diff = true;
         } else if (arg == "--perf-diff") {
             perf_diff = true;
+        } else if (arg == "--hotspot-diff") {
+            hotspot_diff = true;
         } else if (arg == "--warn-only") {
             warn_only = true;
         } else if (arg == "--baseline") {
@@ -204,6 +231,14 @@ main(int argc, char **argv)
                                     nullptr);
             if (min_slots < 0.0) {
                 std::fputs("dee_report: --min-slots must be >= 0\n",
+                           stderr);
+                return 2;
+            }
+        } else if (arg == "--min-samples") {
+            min_samples = std::strtod(value("--min-samples").c_str(),
+                                      nullptr);
+            if (min_samples < 0.0) {
+                std::fputs("dee_report: --min-samples must be >= 0\n",
                            stderr);
                 return 2;
             }
@@ -235,7 +270,7 @@ main(int argc, char **argv)
         return m;
     };
 
-    if (profile_diff || check || perf_diff) {
+    if (profile_diff || check || perf_diff || hotspot_diff) {
         if (baseline_path.empty() || paths.size() != 1) {
             std::fputs("dee_report: gating modes need --baseline PATH "
                        "and exactly one candidate file\n",
@@ -247,7 +282,7 @@ main(int argc, char **argv)
         // must not hide the watch-list FAIL lines (or vice versa).
         bool failed = false;
 
-        if (profile_diff || check) {
+        if (profile_diff || check || hotspot_diff) {
             const LoadedManifest baseline = load(baseline_path);
             const LoadedManifest candidate = load(paths[0]);
 
@@ -267,6 +302,41 @@ main(int argc, char **argv)
                 } else {
                     std::fputs(
                         "OK: no per-branch speculation regression\n",
+                        stdout);
+                }
+            }
+
+            if (hotspot_diff) {
+                // Phase shares are sampling estimates: a ~60-sample
+                // phase carries ~25% relative 2-sigma wobble run to
+                // run, so the default gate is looser still than
+                // --perf-diff's.
+                const double hot_threshold =
+                    threshold_set ? threshold : 0.25;
+                const HotspotRegressionReport report =
+                    checkHotspotRegressions(baseline, candidate,
+                                            hot_threshold,
+                                            min_samples);
+                if (!report.error.empty()) {
+                    std::fprintf(stderr, "dee_report: %s\n",
+                                 report.error.c_str());
+                    return 2;
+                }
+                if (report.anyRegressed()) {
+                    std::fputs(
+                        report.render(hot_threshold, min_samples)
+                            .c_str(),
+                        stdout);
+                    std::fprintf(
+                        stdout,
+                        "%s: %zu host phase(s) regressed vs %s\n",
+                        warn_only ? "WARN" : "FAIL",
+                        report.items.size(), baseline_path.c_str());
+                    if (!warn_only)
+                        failed = true;
+                } else {
+                    std::fputs(
+                        "OK: no host hotspot phase regressed\n",
                         stdout);
                 }
             }

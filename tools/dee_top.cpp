@@ -324,6 +324,37 @@ renderFrame(std::FILE *to, const Json &snapshot,
         }
     }
 
+    // Host hot-phase self shares (hot.<scope>.<phase> series from the
+    // sampling profiler); absent series — an old stream or a run
+    // without --hotspots — simply render no panel.
+    if (series != nullptr) {
+        std::vector<std::pair<std::string, double>> hot_phases;
+        for (const auto &[name, node] : series->members()) {
+            if (name.rfind("hot.", 0) != 0 || name == "hot.samples")
+                continue;
+            const Json *last = node.find("last");
+            hot_phases.emplace_back(
+                name.substr(4), last != nullptr ? last->asDouble()
+                                                : 0.0);
+        }
+        std::sort(hot_phases.begin(), hot_phases.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second != b.second ? a.second > b.second
+                                                  : a.first < b.first;
+                  });
+        if (hot_phases.size() > 6)
+            hot_phases.resize(6);
+        if (!hot_phases.empty()) {
+            std::fprintf(to, "hotspots %.0f host samples\n",
+                         seriesLast(snapshot, "hot.samples"));
+            for (const auto &[phase, share] : hot_phases) {
+                std::fprintf(to, "  %-22s [%s] %5.1f%%\n",
+                             phase.c_str(),
+                             bar(share / 100.0, 24).c_str(), share);
+            }
+        }
+    }
+
     // Hottest squashed-slot branch sites.
     const Json *sites = snapshot.find("top_squash_sites");
     if (sites != nullptr && sites->isArray() && sites->size() > 0) {
