@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "isa/isa.hh"
 #include "trace/trace.hh"
 
@@ -73,6 +74,25 @@ class TwoBitPredictor : public BranchPredictor
     void reset() override;
     std::unique_ptr<BranchPredictor> clone() const override;
     std::string name() const override { return "2bit"; }
+
+    /**
+     * Fused predict-then-train for one resolved instance, inlined for
+     * the simulator's devirtualized predictor pass. Identical state
+     * evolution and return value to predict(q) followed by
+     * update(q, taken).
+     */
+    bool
+    predictThenUpdate(StaticId sid, bool taken)
+    {
+        dee_assert(sid < numStatic_, "branch sid out of predictor range");
+        std::uint8_t &c = counters_[sid];
+        const bool predicted = c >= 2;
+        if (taken)
+            c = c < 3 ? c + 1 : 3;
+        else
+            c = c > 0 ? c - 1 : 0;
+        return predicted;
+    }
 
   private:
     std::uint32_t numStatic_;

@@ -1,0 +1,92 @@
+#include "core/sim/engine.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "obs/session.hh"
+
+namespace dee
+{
+
+namespace
+{
+
+Engine
+engineFromEnv()
+{
+    const char *env = std::getenv("DEE_ENGINE");
+    if (env == nullptr || *env == '\0')
+        return Engine::Fast;
+    Engine engine;
+    if (!parseEngine(env, &engine))
+        dee_fatal("DEE_ENGINE='", env, "' (expected: fast, reference)");
+    return engine;
+}
+
+Engine &
+globalEngine()
+{
+    static Engine engine = engineFromEnv();
+    return engine;
+}
+
+/** The --engine flag (obs::declareFlags) routes here; empty = unset. */
+void
+applyEngineFlag(const std::string &value)
+{
+    if (value.empty())
+        return;
+    Engine engine;
+    if (!parseEngine(value, &engine))
+        dee_fatal("--engine '", value, "' (expected: fast, reference)");
+    setSelectedEngine(engine);
+}
+
+/** Hook into obs at static-init time: this TU is always linked when
+ *  WindowSim is (selectedEngine() backs SimConfig's default), so every
+ *  simulating tool gets the flag wired without obs depending on sim. */
+const bool g_flag_hook_installed = [] {
+    obs::setEngineFlagHandler(&applyEngineFlag);
+    return true;
+}();
+
+} // namespace
+
+const char *
+engineName(Engine engine)
+{
+    switch (engine) {
+      case Engine::Fast: return "fast";
+      case Engine::Reference: return "reference";
+    }
+    return "???";
+}
+
+bool
+parseEngine(const std::string &text, Engine *out)
+{
+    if (text == "fast") {
+        *out = Engine::Fast;
+        return true;
+    }
+    if (text == "reference") {
+        *out = Engine::Reference;
+        return true;
+    }
+    return false;
+}
+
+Engine
+selectedEngine()
+{
+    (void)g_flag_hook_installed;
+    return globalEngine();
+}
+
+void
+setSelectedEngine(Engine engine)
+{
+    globalEngine() = engine;
+}
+
+} // namespace dee

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Simulation-engine selection: fast (data-oriented) vs. reference.
+ *
+ * PR 10 rewrote the WindowSim hot path into a structure-of-arrays /
+ * bit-vector kernel (src/core/sim/fast_engine.cc). The original seed
+ * implementation stays compiled in as the reference engine, and the two
+ * are held bit-exact by tests/test_engine_differential.cc. Selection:
+ *
+ *   1. an explicit setSelectedEngine() call — the --engine flag
+ *      (declared by obs::declareFlags on every tool) lands here;
+ *   2. the DEE_ENGINE environment variable ("fast" / "reference");
+ *   3. default: fast.
+ *
+ * A per-run override lives in SimConfig::engine, which defaults to
+ * selectedEngine() at construction time; the differential harness sets
+ * it explicitly to run both engines in one process.
+ */
+
+#ifndef DEE_CORE_SIM_ENGINE_HH
+#define DEE_CORE_SIM_ENGINE_HH
+
+#include <string>
+
+namespace dee
+{
+
+/** Which WindowSim/oracle kernel executes the forward pass. */
+enum class Engine
+{
+    Fast,      ///< data-oriented SoA / bit-vector kernel (default)
+    Reference, ///< the seed implementation, kept as ground truth
+};
+
+/** Stable lower-case spelling: "fast" / "reference". */
+const char *engineName(Engine engine);
+
+/** Parses "fast" / "reference" into @p out; false on anything else. */
+bool parseEngine(const std::string &text, Engine *out);
+
+/** Process-wide engine: explicit set > DEE_ENGINE env > fast. */
+Engine selectedEngine();
+
+/** Overrides the process-wide engine (the --engine flag handler). */
+void setSelectedEngine(Engine engine);
+
+} // namespace dee
+
+#endif // DEE_CORE_SIM_ENGINE_HH

@@ -1,0 +1,886 @@
+#include "core/sim/fast_engine.hh"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "common/invariant.hh"
+#include "common/logging.hh"
+#include "obs/hotspot/hotspot.hh"
+#include "obs/trace_event.hh"
+
+namespace dee::sim_detail
+{
+
+namespace
+{
+
+/**
+ * Register-availability slots: architectural registers 1..31 map to
+ * themselves; a missing source reads the always-zero slot (the max
+ * identity, exactly the reference's "no dependence contributes 0");
+ * a missing destination writes a sink slot nobody reads.
+ */
+constexpr std::size_t kZeroSlot = kNumRegs;
+constexpr std::size_t kSinkSlot = kNumRegs + 1;
+constexpr std::size_t kNumSlots = kNumRegs + 2;
+
+inline std::uint8_t
+srcSlot(RegId r)
+{
+    return (r == kNoReg || r == kZeroReg)
+               ? static_cast<std::uint8_t>(kZeroSlot)
+               : r;
+}
+
+inline std::uint8_t
+dstSlot(RegId r)
+{
+    return (r == kNoReg || r == kZeroReg)
+               ? static_cast<std::uint8_t>(kSinkSlot)
+               : r;
+}
+
+/**
+ * Packed decoded instruction: the issue loop's entire working set per
+ * instruction (plus the address array for memory ops). The single
+ * decode-time op-class switch replaces the three opClass()/of() calls
+ * the seed engine made per dynamic instruction.
+ */
+struct DecodedInstr
+{
+    std::int32_t lat;  ///< effective completion latency
+    std::uint8_t src1; ///< availability slot of rs1
+    std::uint8_t src2; ///< availability slot of rs2
+    std::uint8_t dst;  ///< kSinkSlot when the result is untracked
+    std::uint8_t mem;  ///< 0 none, 1 load, 2 store
+};
+static_assert(sizeof(DecodedInstr) == 8, "issue loop wants 8B entries");
+
+/** splitmix64 finalizer — full-avalanche address hashing. */
+inline std::uint64_t
+mixAddr(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Last-store completion time per memory address. Value 0 means "no
+ * prior store" — the identity for the dataflow max, so lookups never
+ * branch on presence. Dense direct-address table when the workload
+ * touches a small address range (the synthetic workloads index small
+ * arrays); open-addressing linear-probe hash otherwise, sized to a
+ * load factor <= 1/2.
+ */
+class MemAvail
+{
+  public:
+    void
+    init(std::uint64_t mem_ops, std::uint64_t max_addr)
+    {
+        // Reset for arena reuse; assign() below recycles capacity.
+        dense_.clear();
+        keys_.clear();
+        vals_.clear();
+        used_.clear();
+        mask_ = 0;
+        if (mem_ops == 0)
+            return;
+        constexpr std::uint64_t kDenseCap = std::uint64_t{1} << 20;
+        if (max_addr < kDenseCap &&
+            max_addr <= 8 * mem_ops + 1024) {
+            dense_.assign(max_addr + 1, 0);
+            return;
+        }
+        std::uint64_t cap = 16;
+        while (cap < 2 * mem_ops)
+            cap <<= 1;
+        mask_ = cap - 1;
+        keys_.assign(cap, 0);
+        vals_.assign(cap, 0);
+        used_.assign(cap, 0);
+    }
+
+    std::int64_t
+    get(std::uint64_t addr) const
+    {
+        if (!dense_.empty())
+            return dense_[addr];
+        std::uint64_t h = mixAddr(addr) & mask_;
+        while (used_[h] != 0) {
+            if (keys_[h] == addr)
+                return vals_[h];
+            h = (h + 1) & mask_;
+        }
+        return 0;
+    }
+
+    void
+    put(std::uint64_t addr, std::int64_t avail)
+    {
+        if (!dense_.empty()) {
+            dense_[addr] = avail;
+            return;
+        }
+        std::uint64_t h = mixAddr(addr) & mask_;
+        while (used_[h] != 0) {
+            if (keys_[h] == addr) {
+                vals_[h] = avail;
+                return;
+            }
+            h = (h + 1) & mask_;
+        }
+        used_[h] = 1;
+        keys_[h] = addr;
+        vals_[h] = avail;
+    }
+
+  private:
+    std::vector<std::int64_t> dense_;
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::int64_t> vals_;
+    std::vector<std::uint8_t> used_;
+    std::uint64_t mask_ = 0;
+};
+
+/** Decode output: the SoA stream plus what MemAvail sizing needs. */
+struct DecodeInfo
+{
+    std::uint64_t memOps = 0;
+    std::uint64_t maxAddr = 0;
+};
+
+/**
+ * Per-opcode decode tables: latency and memory class resolved by two
+ * array loads instead of a per-record class switch. Values follow
+ * LatencyModel::of() exactly (loads may be overridden per record by
+ * config.loadLatencies in the decode loop).
+ */
+struct DecodeTables
+{
+    std::array<std::int32_t, 256> lat;
+    std::array<std::uint8_t, 256> mem; ///< 0 none, 1 load, 2 store
+
+    explicit DecodeTables(const LatencyModel &lm)
+    {
+        for (std::size_t k = 0; k < 256; ++k) {
+            std::int32_t l;
+            std::uint8_t m = 0;
+            switch (opClass(static_cast<Opcode>(k))) {
+              case OpClass::IntAlu:
+                l = lm.intAlu;
+                break;
+              case OpClass::Load:
+                l = lm.load;
+                m = 1;
+                break;
+              case OpClass::Store:
+                l = lm.store;
+                m = 2;
+                break;
+              case OpClass::CondBranch:
+              case OpClass::Jump:
+                l = lm.branch;
+                break;
+              default:
+                l = lm.other;
+                break;
+            }
+            lat[k] = l;
+            mem[k] = m;
+        }
+    }
+};
+
+DecodeInfo
+decodeTrace(const Trace &trace, const SimConfig &config,
+            std::vector<DecodedInstr> &dec,
+            std::vector<std::uint64_t> &addrs,
+            std::vector<std::int32_t> &lat_out)
+{
+    const auto &records = trace.records;
+    const std::uint64_t n = records.size();
+    dec.resize(n);
+    addrs.assign(n, 0);
+    lat_out.resize(n);
+    DecodeInfo info;
+    const std::vector<int> *load_lat = config.loadLatencies;
+    const DecodeTables tabs(config.latency);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const TraceRecord &rec = records[i];
+        const auto op = static_cast<std::uint8_t>(rec.op);
+        DecodedInstr d;
+        d.src1 = srcSlot(rec.rs1);
+        d.src2 = srcSlot(rec.rs2);
+        d.dst = dstSlot(rec.rd);
+        d.mem = tabs.mem[op];
+        d.lat = tabs.lat[op];
+        if (d.mem == 1 && load_lat != nullptr)
+            d.lat = (*load_lat)[i];
+        dec[i] = d;
+        lat_out[i] = d.lat;
+        if (d.mem != 0) {
+            addrs[i] = rec.memAddr;
+            ++info.memOps;
+            info.maxAddr = std::max(info.maxAddr, rec.memAddr);
+        }
+    }
+    return info;
+}
+
+/**
+ * Closed-form coverage-walk plan. Chain-shaped trees (SP) and
+ * DEE-static-shaped trees (an ML chain with one not-predicted side
+ * chain per ML node, the side chains themselves free of not-predicted
+ * edges) admit a closed form: the walk from root r follows correct
+ * predictions down the ML, may cross exactly one mispredict into a
+ * side chain, and dies at the second bad path. Given nm[] ("next path
+ * the walk cannot step across"), each walk collapses to at most two
+ * contiguous range relaxations — and since covered ranges always
+ * attach to the already-fetched prefix, a frontier cursor makes the
+ * whole run O(paths + fetches) instead of O(paths x walk depth).
+ * Trees with deeper not-predicted structure (EE subtrees, greedy DEE
+ * shapes that branch off side paths) keep the generic walk.
+ */
+struct WalkPlan
+{
+    bool closedForm = false;
+    std::vector<std::int32_t> mlNodes;  ///< node id per ML depth; [0]=origin
+    std::vector<std::uint32_t> sideLen; ///< side-chain nodes per ML depth
+    std::vector<std::uint32_t> sideOff; ///< offsets into sideNodes
+    std::vector<std::int32_t> sideNodes; ///< concatenated side-chain ids
+};
+
+void
+buildWalkPlan(const FlatSpecTree &flat, WalkPlan &plan)
+{
+    plan.closedForm = false;
+    plan.mlNodes.clear();
+    plan.sideLen.clear();
+    plan.sideOff.clear();
+    plan.sideNodes.clear();
+    const std::size_t num_nodes = flat.predChild.size();
+    if (num_nodes == 0)
+        return;
+    std::int32_t node = SpecTree::kOrigin;
+    plan.mlNodes.push_back(node);
+    while (flat.predChild[static_cast<std::size_t>(node)] != kNoNode &&
+           plan.mlNodes.size() <= num_nodes) {
+        node = flat.predChild[static_cast<std::size_t>(node)];
+        plan.mlNodes.push_back(node);
+    }
+    for (const std::int32_t ml : plan.mlNodes) {
+        plan.sideOff.push_back(
+            static_cast<std::uint32_t>(plan.sideNodes.size()));
+        std::uint32_t len = 0;
+        for (std::int32_t s =
+                 flat.npredChild[static_cast<std::size_t>(ml)];
+             s != kNoNode;
+             s = flat.predChild[static_cast<std::size_t>(s)]) {
+            if (flat.npredChild[static_cast<std::size_t>(s)] != kNoNode)
+                return; // walks may cross twice: generic walk only
+            plan.sideNodes.push_back(s);
+            ++len;
+            if (plan.sideNodes.size() > num_nodes)
+                return; // malformed tree; stay on the generic walk
+        }
+        plan.sideLen.push_back(len);
+    }
+    plan.closedForm = true;
+}
+
+/**
+ * Per-thread kernel scratch, recycled across runs: repeated cells
+ * (benchmark repetitions, figure sweeps) reuse warmed-up capacity
+ * instead of faulting fresh pages from the allocator every run. Every
+ * field is cleared or assign()ed before use below.
+ */
+struct FastScratch
+{
+    std::vector<DecodedInstr> dec;
+    std::vector<std::uint64_t> addrs;
+    std::vector<std::uint64_t> bypassPool;
+    std::vector<std::uint32_t> bypBegin;
+    std::vector<std::uint32_t> bypEnd;
+    std::vector<PendingMispredict> pending;
+    std::vector<std::uint64_t> crossed;
+    std::vector<std::pair<DynIndex, std::int64_t>> nd;
+    std::vector<std::int64_t> ndSuffix;
+    std::vector<std::uint64_t> nm; ///< next-uncrossable-path index
+    WalkPlan plan;
+    MemAvail mem;
+};
+
+} // namespace
+
+void
+fastForward(ForwardCtx &ctx)
+{
+    static thread_local FastScratch scratch;
+    const auto &records = ctx.trace.records;
+    const std::uint64_t n = records.size();
+    const std::vector<BranchPath> &paths = ctx.paths;
+    const std::uint64_t num_paths = paths.size();
+    const SimConfig &config = ctx.config;
+    const int window_reach = ctx.windowReach;
+    const int penalty = config.mispredictPenalty;
+    const bool use_cd = config.cd != CdModel::Restrictive;
+    const bool serial_branches = config.cd != CdModel::Minimal;
+    const bool use_confidence = config.confidence.accuracy != nullptr;
+    const bool profiling = ctx.profiling;
+    const bool accounting = ctx.accounting;
+    const bool tracing = ctx.tracing;
+    const bool hot = ctx.hot;
+    obs::Tracer &tracer = ctx.tracer;
+    obs::SpeculationProfile &profile = ctx.profile;
+    const std::vector<std::uint8_t> &correct = ctx.correct;
+    const std::vector<DynIndex> &join_idx = ctx.joinIdx;
+    obs::SlotLedger *const ledger = ctx.ledger;
+    const int branch_lat = config.latency.of(OpClass::CondBranch);
+
+    // --- Decode into the SoA stream (exported to the epilogue) ----------
+    std::vector<DecodedInstr> &dec = scratch.dec;
+    std::vector<std::uint64_t> &addrs = scratch.addrs;
+    DecodeInfo mem_info;
+    {
+        // Decode steers what enters the window, so it samples as fetch.
+        const obs::hotspot::HotspotPhase hot_decode(
+            hot, "window", obs::hotspot::Phase::Fetch);
+        mem_info = decodeTrace(ctx.trace, config, dec, addrs,
+                               ctx.decodedLat);
+    }
+
+    // --- Per-run state (SoA) --------------------------------------------
+    std::vector<std::int64_t> &exec = ctx.exec;
+    exec.assign(n, 0);
+    std::vector<std::int64_t> &fetch_tree = ctx.fetchTree;
+    fetch_tree.assign(num_paths, kNeverFetched);
+    std::vector<std::int64_t> &root_time = ctx.rootTime;
+    root_time.assign(num_paths + 1, 0);
+    std::vector<std::int64_t> &resolve = ctx.resolve;
+    resolve.assign(num_paths, 0);
+    std::vector<std::uint8_t> &fetch_side = ctx.fetchSide;
+    fetch_side.assign(profiling ? num_paths : 0, 0);
+
+    // Bypass sets (mispredicted paths crossed via a not-predicted edge
+    // on the fetching walk) as spans into one append-only pool — each
+    // path's span is written at most once, so no per-path vectors.
+    std::vector<std::uint64_t> &bypass_pool = scratch.bypassPool;
+    bypass_pool.clear();
+    std::vector<std::uint32_t> &byp_begin = scratch.bypBegin;
+    byp_begin.assign(num_paths, 0);
+    std::vector<std::uint32_t> &byp_end = scratch.bypEnd;
+    byp_end.assign(num_paths, 0);
+
+    // Flat tree view for the coverage walks.
+    const FlatSpecTree flat =
+        ctx.tree.flatten(profiling && !use_confidence);
+
+    std::array<std::int64_t, kNumSlots> reg_avail{};
+    MemAvail &mem = scratch.mem;
+    mem.init(mem_info.memOps, mem_info.maxAddr);
+
+    // Pending mispredicts as a vector + head cursor (front-retirement
+    // only, preserving the reference's blocked-front semantics).
+    std::vector<PendingMispredict> &pending = scratch.pending;
+    pending.clear();
+    std::size_t pending_head = 0;
+    std::int64_t last_resolve = -1;
+    const bool pe_limited = config.peLimit > 0;
+    IssueSlots slots(config.peLimit,
+                     accounting && pe_limited ? &ctx.starvedCycles
+                                              : nullptr);
+
+    // Per-tree-move scratch arenas, hoisted out of the root loop.
+    std::vector<std::uint64_t> &crossed = scratch.crossed;
+    std::vector<std::pair<DynIndex, std::int64_t>> &nd = scratch.nd;
+    std::vector<std::int64_t> &nd_suffix = scratch.ndSuffix;
+
+    // Route-B stall tables, cached across tree moves: the pending set
+    // only changes on retirement or a new mispredict, and the bypass
+    // filter only bites on the rare side-path-covered root, so most
+    // paths reuse the previous tables verbatim.
+    std::int64_t stall_div = 0;
+    std::size_t nd_size = 0;
+    bool stall_valid = false;
+
+    // Closed-form walk tables (chain / DEE-static shapes only).
+    WalkPlan &plan = scratch.plan;
+    if (!use_confidence)
+        buildWalkPlan(flat, plan);
+    else
+        plan.closedForm = false;
+    std::vector<std::uint64_t> &nm = scratch.nm;
+    std::uint64_t frontier = 0; ///< fetched set is exactly [0, frontier]
+    if (plan.closedForm) {
+        // nm[k]: first path >= k the walk cannot step across (not a
+        // branch, or mispredicted).
+        nm.assign(num_paths + 1, num_paths);
+        for (std::uint64_t k = num_paths; k-- > 0;) {
+            nm[k] =
+                (paths[k].endsInBranch && correct[k]) ? nm[k + 1] : k;
+        }
+    }
+
+    for (std::uint64_t r = 0; r < num_paths; ++r) {
+        const std::int64_t now = root_time[r];
+
+        // Coverage walk from this root position: relax fetch times of
+        // every covered path. Already-fetched code stays fetched (min).
+        if (now < fetch_tree[r])
+            fetch_tree[r] = now; // distance 0: always covered
+        if (use_confidence) {
+            const obs::hotspot::HotspotPhase hot_fetch(
+                hot, "window", obs::hotspot::Phase::Fetch);
+            // Confidence-gated coverage: follow correct predictions to
+            // the ML depth; one low-confidence mispredict may be
+            // crossed, extending coverage by sideLen paths.
+            const int ml_depth = flat.maxDepth;
+            crossed.clear();
+            std::int64_t limit = ml_depth;
+            for (std::uint64_t d = 0;
+                 r + d + 1 < num_paths &&
+                 static_cast<std::int64_t>(d) < limit;
+                 ++d) {
+                if (!paths[r + d].endsInBranch)
+                    break;
+                if (!correct[r + d]) {
+                    if (!crossed.empty())
+                        break; // only one mispredict deep, like DEE
+                    const TraceRecord &b =
+                        records[paths[r + d].branchIndex()];
+                    const double acc =
+                        b.sid < config.confidence.accuracy->size()
+                            ? (*config.confidence.accuracy)[b.sid]
+                            : 1.0;
+                    if (acc >= config.confidence.threshold)
+                        break; // confident branch: no side path here
+                    crossed.push_back(r + d);
+                    limit = static_cast<std::int64_t>(d) +
+                            config.confidence.sideLen + 1;
+                }
+                if (now < fetch_tree[r + d + 1]) {
+                    fetch_tree[r + d + 1] = now;
+                    if (profiling)
+                        fetch_side[r + d + 1] =
+                            crossed.empty() ? 0 : 1;
+                    if (!crossed.empty()) {
+                        ++ctx.sidePathFetches;
+                        DEE_INVARIANT(crossed.front() >= r &&
+                                          crossed.back() <= r + d,
+                                      "bypass set escapes its walk");
+                        byp_begin[r + d + 1] = static_cast<std::uint32_t>(
+                            bypass_pool.size());
+                        bypass_pool.insert(bypass_pool.end(),
+                                           crossed.begin(),
+                                           crossed.end());
+                        byp_end[r + d + 1] = static_cast<std::uint32_t>(
+                            bypass_pool.size());
+                        dee_trace_event_if(
+                            tracing, tracer, "sim.side_path_fetch", 'i', now,
+                            "path",
+                            static_cast<std::int64_t>(r + d + 1),
+                            "root", static_cast<std::int64_t>(r));
+                    }
+                }
+            }
+        } else if (plan.closedForm) {
+            const obs::hotspot::HotspotPhase hot_fetch(
+                hot, "window", obs::hotspot::Phase::Fetch);
+            // ML segment: correct steps down the main line cover paths
+            // r+1 .. min(nm[r], r + ML length, last path). Paths at or
+            // below the frontier were fetched by an earlier (never
+            // later) root, so only the fresh suffix needs touching.
+            const std::uint64_t j = nm[r];
+            const std::uint64_t ml_len = plan.mlNodes.size() - 1;
+            const std::uint64_t hi =
+                std::min({j, r + ml_len, num_paths - 1});
+            for (std::uint64_t x = std::max(r + 1, frontier + 1);
+                 x <= hi; ++x) {
+                fetch_tree[x] = now;
+                if (profiling) {
+                    fetch_side[x] = 0;
+                    const auto node = static_cast<std::size_t>(
+                        plan.mlNodes[x - r]);
+                    profile.recordAssignment(
+                        records[paths[x - 1].branchIndex()].sid,
+                        flat.cp[node], flat.rank[node]);
+                }
+            }
+            if (hi > frontier)
+                frontier = hi;
+            // Side segment: the walk crosses the first mispredict if
+            // it is a branch within ML reach and that ML depth has a
+            // side chain, then follows correct steps along the chain.
+            if (j + 1 < num_paths && j - r <= ml_len &&
+                paths[j].endsInBranch && !correct[j] &&
+                plan.sideLen[j - r] != 0) {
+                const std::size_t dc = j - r;
+                const std::uint64_t slen = plan.sideLen[dc];
+                const std::uint64_t hi_s =
+                    std::min({j + slen, nm[j + 1], num_paths - 1});
+                for (std::uint64_t x = std::max(j + 1, frontier + 1);
+                     x <= hi_s; ++x) {
+                    fetch_tree[x] = now;
+                    if (profiling) {
+                        fetch_side[x] = 1;
+                        const auto node = static_cast<std::size_t>(
+                            plan.sideNodes[plan.sideOff[dc] +
+                                           static_cast<std::uint32_t>(
+                                               x - j - 1)]);
+                        profile.recordAssignment(
+                            records[paths[x - 1].branchIndex()].sid,
+                            flat.cp[node], flat.rank[node]);
+                    }
+                    ++ctx.sidePathFetches;
+                    byp_begin[x] = static_cast<std::uint32_t>(
+                        bypass_pool.size());
+                    bypass_pool.push_back(j);
+                    byp_end[x] = static_cast<std::uint32_t>(
+                        bypass_pool.size());
+                    dee_trace_event_if(
+                        tracing, tracer, "sim.side_path_fetch", 'i',
+                        now, "path", static_cast<std::int64_t>(x),
+                        "root", static_cast<std::int64_t>(r));
+                }
+                if (hi_s > frontier)
+                    frontier = hi_s;
+            }
+        } else {
+            const obs::hotspot::HotspotPhase hot_fetch(
+                hot, "window", obs::hotspot::Phase::Fetch);
+            int node = SpecTree::kOrigin;
+            crossed.clear();
+            // The walk relaxes fetch times of paths r+d+1, so it must
+            // stop at the last path: a cap-truncated trace can end in
+            // a branch, making even the final path endsInBranch.
+            for (std::uint64_t d = 0; r + d + 1 < num_paths; ++d) {
+                if (!paths[r + d].endsInBranch)
+                    break;
+                node = flat.child(node, correct[r + d] != 0);
+                if (node == kNoNode)
+                    break;
+                if (!correct[r + d])
+                    crossed.push_back(r + d);
+                if (now < fetch_tree[r + d + 1]) {
+                    fetch_tree[r + d + 1] = now;
+                    if (profiling) {
+                        fetch_side[r + d + 1] =
+                            crossed.empty() ? 0 : 1;
+                        // Theorem-1 attribution at assignment time:
+                        // the covering node's cumulative probability
+                        // and resource-assignment rank, charged to
+                        // the branch the path hangs off.
+                        profile.recordAssignment(
+                            records[paths[r + d].branchIndex()].sid,
+                            flat.cp[static_cast<std::size_t>(node)],
+                            flat.rank[static_cast<std::size_t>(node)]);
+                    }
+                    if (!crossed.empty()) {
+                        ++ctx.sidePathFetches;
+                        DEE_INVARIANT(crossed.front() >= r &&
+                                          crossed.back() <= r + d,
+                                      "bypass set escapes its walk");
+                        byp_begin[r + d + 1] = static_cast<std::uint32_t>(
+                            bypass_pool.size());
+                        bypass_pool.insert(bypass_pool.end(),
+                                           crossed.begin(),
+                                           crossed.end());
+                        byp_end[r + d + 1] = static_cast<std::uint32_t>(
+                            bypass_pool.size());
+                        dee_trace_event_if(
+                            tracing, tracer, "sim.side_path_fetch", 'i', now,
+                            "path",
+                            static_cast<std::int64_t>(r + d + 1),
+                            "root", static_cast<std::int64_t>(r));
+                    }
+                }
+            }
+        }
+
+        // Code at the root is never fetched later than the root's own
+        // arrival: coverage walks only ever relax fetch times.
+        DEE_INVARIANT(fetch_tree[r] <= now, "path ", r,
+                      " fetched after its root time");
+
+        // Retire mispredicts whose window reach or control scope ended
+        // (divergent ones stall until resolution wherever they are, so
+        // only the reach bound retires them). Front-retirement only: a
+        // blocked front entry keeps every later entry live, exactly as
+        // the reference deque does.
+        while (pending_head < pending.size() &&
+               (pending[pending_head].pathIdx + window_reach <= r ||
+                (!pending[pending_head].divergent &&
+                 pending[pending_head].joinIdx <= paths[r].begin))) {
+            ++pending_head;
+            stall_valid = false;
+        }
+
+        // Route-B stall precomputation for this path: divergent
+        // mispredicts stall every instruction; non-divergent ones only
+        // instructions before their join, so sort them by join point
+        // and keep a suffix max of (resolve + penalty). The issue loop
+        // then reads the stall in O(1) with a monotone cursor instead
+        // of rescanning the pending set per instruction.
+        const bool has_bypass =
+            use_cd && byp_end[r] > byp_begin[r];
+        if (use_cd && (!stall_valid || has_bypass)) {
+            stall_div = 0;
+            nd_size = 0;
+            if (pending_head < pending.size()) {
+                nd.clear();
+                const std::uint32_t bb = byp_begin[r];
+                const std::uint32_t be = byp_end[r];
+                for (std::size_t j = pending_head; j < pending.size();
+                     ++j) {
+                    const PendingMispredict &m = pending[j];
+                    bool bypassed = false;
+                    for (std::uint32_t q = bb; q < be; ++q) {
+                        if (bypass_pool[q] == m.pathIdx) {
+                            bypassed = true;
+                            break;
+                        }
+                    }
+                    if (bypassed)
+                        continue; // held by a side path / EE subtree
+                    if (m.divergent) {
+                        stall_div = std::max(stall_div,
+                                             m.resolveTime + penalty);
+                    } else {
+                        nd.emplace_back(m.joinIdx,
+                                        m.resolveTime + penalty);
+                    }
+                }
+                std::sort(nd.begin(), nd.end());
+                nd_size = nd.size();
+                nd_suffix.resize(nd_size);
+                std::int64_t running = 0;
+                for (std::size_t j = nd_size; j-- > 0;) {
+                    running = std::max(running, nd[j].second);
+                    nd_suffix[j] = running;
+                }
+            }
+            // A bypass-filtered build is specific to this path; an
+            // unfiltered one keeps serving until the set changes.
+            stall_valid = !has_bypass;
+        }
+
+        // Execute this path's instructions (trace order; dependencies
+        // always point backward, so their availability is final).
+        const std::int64_t fetch_a = fetch_tree[r];
+        const std::int64_t fetch_b =
+            root_time[r > static_cast<std::uint64_t>(window_reach)
+                          ? r - window_reach
+                          : 0];
+        std::int64_t done = now;
+        {
+            const obs::hotspot::HotspotPhase hot_issue(
+                hot, "window", obs::hotspot::Phase::Issue);
+            std::size_t nd_lo = 0;
+            const DynIndex pend_i = paths[r].end;
+            // Loop-unswitched on the loop-invariant route-B flag: the
+            // non-CD models (EE / SP / DEE) pay nothing for the
+            // reconvergent-window machinery.
+            if (use_cd) {
+                for (DynIndex i = paths[r].begin; i < pend_i; ++i) {
+                    const DecodedInstr d = dec[i];
+
+                    std::int64_t data_ready = reg_avail[d.src1];
+                    const std::int64_t a2 = reg_avail[d.src2];
+                    if (a2 > data_ready)
+                        data_ready = a2;
+                    if (d.mem != 0) {
+                        const std::int64_t am = mem.get(addrs[i]);
+                        if (am > data_ready)
+                            data_ready = am;
+                    }
+
+                    // Route A: speculation-tree coverage.
+                    std::int64_t t =
+                        fetch_a > data_ready ? fetch_a : data_ready;
+
+                    // Route B: reconvergent-window CD execution (see
+                    // the reference engine for the full rationale).
+                    while (nd_lo < nd_size && nd[nd_lo].first <= i)
+                        ++nd_lo;
+                    std::int64_t stall = stall_div;
+                    if (nd_lo < nd_size && nd_suffix[nd_lo] > stall)
+                        stall = nd_suffix[nd_lo];
+                    std::int64_t t_b =
+                        fetch_b > data_ready ? fetch_b : data_ready;
+                    if (stall > t_b)
+                        t_b = stall;
+                    if (t_b < t)
+                        t = t_b;
+
+                    if (pe_limited)
+                        t = slots.claim(t);
+                    exec[i] = t;
+                    if (ledger != nullptr)
+                        ledger->issue(t);
+                    const std::int64_t fin = t + d.lat;
+                    if (fin > done)
+                        done = fin;
+
+                    // Availability updates (flow-only renaming; stores
+                    // publish the last-store completion per address).
+                    reg_avail[d.dst] = fin;
+                    if (d.mem == 2)
+                        mem.put(addrs[i], fin);
+                }
+            } else {
+                for (DynIndex i = paths[r].begin; i < pend_i; ++i) {
+                    const DecodedInstr d = dec[i];
+
+                    std::int64_t data_ready = reg_avail[d.src1];
+                    const std::int64_t a2 = reg_avail[d.src2];
+                    if (a2 > data_ready)
+                        data_ready = a2;
+                    if (d.mem != 0) {
+                        const std::int64_t am = mem.get(addrs[i]);
+                        if (am > data_ready)
+                            data_ready = am;
+                    }
+
+                    std::int64_t t =
+                        fetch_a > data_ready ? fetch_a : data_ready;
+                    if (pe_limited)
+                        t = slots.claim(t);
+                    exec[i] = t;
+                    if (ledger != nullptr)
+                        ledger->issue(t);
+                    const std::int64_t fin = t + d.lat;
+                    if (fin > done)
+                        done = fin;
+
+                    reg_avail[d.dst] = fin;
+                    if (d.mem == 2)
+                        mem.put(addrs[i], fin);
+                }
+            }
+        }
+
+        // Branch resolution (serialized except under MF).
+        std::int64_t res = done;
+        if (paths[r].endsInBranch) {
+            const obs::hotspot::HotspotPhase hot_resolve(
+                hot, "window", obs::hotspot::Phase::Resolve);
+            const DynIndex b = paths[r].branchIndex();
+            res = exec[b] + branch_lat;
+            if (serial_branches)
+                res = std::max(res, last_resolve + 1);
+            last_resolve = res;
+            if (use_cd && !correct[r] &&
+                (records[b].backward || join_idx[r] > paths[r].end)) {
+                pending.push_back(PendingMispredict{
+                    r, join_idx[r], res, records[b].backward});
+                stall_valid = false;
+            }
+        }
+        resolve[r] = res;
+
+        // Tree movement: root leaves this path once the path has fully
+        // executed and its branch has resolved (+ penalty on mispredict).
+        const obs::hotspot::HotspotPhase hot_move(
+            hot, "window", obs::hotspot::Phase::TreeMove);
+        const std::int64_t move =
+            std::max({root_time[r], done,
+                      res + (correct[r] ? 0 : penalty)});
+        DEE_INVARIANT(move >= now, "root time went backwards at path ",
+                      r);
+        root_time[r + 1] = move;
+
+        if (!correct[r]) {
+            dee_trace_event_if(tracing, tracer, "sim.copyback", 'i',
+                               res + penalty, "path",
+                               static_cast<std::int64_t>(r));
+        }
+        dee_trace_event_if(tracing, tracer, "sim.root_advance", 'i',
+                           move, "path",
+                           static_cast<std::int64_t>(r + 1),
+                           "mispredict",
+                           correct[r] ? std::int64_t{0}
+                                      : std::int64_t{1});
+    }
+}
+
+OracleSummary
+fastOracle(const Trace &trace, const LatencyModel &latency,
+           const std::vector<int> *load_latencies,
+           obs::SlotLedger *ledger)
+{
+    // Thread-local decode scratch, independent of the kernel's.
+    static thread_local FastScratch scratch;
+    const auto &records = trace.records;
+    const std::uint64_t n = records.size();
+    OracleSummary summary;
+
+    // Decode pass: one sweep over the 40-byte records packs the
+    // dataflow working set into 8-byte entries, sizes the memory
+    // table and counts branches.
+    std::vector<DecodedInstr> &dec = scratch.dec;
+    std::vector<std::uint64_t> &addrs = scratch.addrs;
+    dec.resize(n);
+    addrs.assign(n, 0);
+    std::uint64_t mem_ops = 0;
+    std::uint64_t max_addr = 0;
+    const DecodeTables tabs(latency);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const TraceRecord &rec = records[i];
+        const auto op = static_cast<std::uint8_t>(rec.op);
+        DecodedInstr d;
+        d.src1 = srcSlot(rec.rs1);
+        d.src2 = srcSlot(rec.rs2);
+        d.dst = dstSlot(rec.rd);
+        d.mem = tabs.mem[op];
+        d.lat = tabs.lat[op];
+        if (d.mem == 1 && load_latencies != nullptr)
+            d.lat = (*load_latencies)[i];
+        dec[i] = d;
+        if (d.mem != 0) {
+            addrs[i] = rec.memAddr;
+            ++mem_ops;
+            max_addr = std::max(max_addr, rec.memAddr);
+        }
+        if (rec.isBranch)
+            ++summary.branches;
+    }
+
+    std::array<std::int64_t, kNumSlots> reg_avail{};
+    MemAvail &mem = scratch.mem;
+    mem.init(mem_ops, max_addr);
+
+    std::int64_t last = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const DecodedInstr d = dec[i];
+
+        std::int64_t ready = reg_avail[d.src1];
+        const std::int64_t a2 = reg_avail[d.src2];
+        if (a2 > ready)
+            ready = a2;
+        if (d.mem != 0) {
+            const std::int64_t am = mem.get(addrs[i]);
+            if (am > ready)
+                ready = am;
+        }
+
+        const std::int64_t fin = ready + d.lat;
+        if (fin > last)
+            last = fin;
+
+        reg_avail[d.dst] = fin;
+        if (d.mem == 2)
+            mem.put(addrs[i], fin);
+
+        if (ledger != nullptr)
+            ledger->issue(ready);
+    }
+    summary.lastDone = last;
+    return summary;
+}
+
+} // namespace dee::sim_detail

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Internal contract between WindowSim::run() and its two forward-pass
+ * kernels (the reference engine in window_sim.cc and the data-oriented
+ * fast engine in fast_engine.cc).
+ *
+ * run() owns the shared prologue (predictor pass, control-dependence
+ * join points) and epilogue (totals, resolve histogram, cycle
+ * accounting, speculation profile, registry publishing). The kernels
+ * own only the per-path forward loop: coverage walks, instruction
+ * issue, branch resolution and tree movement. Both fill the same
+ * ForwardCtx outputs and make profiler/tracer calls at the same
+ * program points in the same order, which is what makes the engines
+ * bit-exact — the property tests/test_engine_differential.cc enforces.
+ */
+
+#ifndef DEE_CORE_SIM_FORWARD_PASS_HH
+#define DEE_CORE_SIM_FORWARD_PASS_HH
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bit_matrix.hh"
+#include "core/sim/window_sim.hh"
+#include "obs/accounting.hh"
+#include "obs/profile/profile.hh"
+#include "obs/trace_event.hh"
+
+namespace dee::sim_detail
+{
+
+/** Sentinel "not yet fetched". */
+constexpr std::int64_t kNeverFetched =
+    std::numeric_limits<std::int64_t>::max();
+
+/**
+ * Per-cycle issue-slot accounting for the limited-PE extension: finds
+ * the earliest cycle >= ready with a free slot and claims it. Shared
+ * verbatim between the engines so starvation evidence is identical.
+ */
+class IssueSlots
+{
+  public:
+    /** @param starved when non-null, every fully-occupied cycle an
+     *  instruction probed while waiting for a slot is appended —
+     *  the resource-starvation evidence for cycle accounting. */
+    explicit IssueSlots(int width,
+                        std::vector<std::int64_t> *starved = nullptr)
+        : width_(width), starved_(starved)
+    {
+    }
+
+    std::int64_t
+    claim(std::int64_t ready)
+    {
+        if (width_ == 0)
+            return ready;
+        std::int64_t t = std::max(ready, floor_);
+        while (true) {
+            auto &used = used_[t];
+            if (used < width_) {
+                ++used;
+                return t;
+            }
+            if (starved_)
+                starved_->push_back(t);
+            ++t;
+        }
+    }
+
+  private:
+    int width_;
+    std::int64_t floor_ = 0;
+    std::unordered_map<std::int64_t, int> used_;
+    std::vector<std::int64_t> *starved_;
+};
+
+/** A mispredicted branch still inside the static window's reach. */
+struct PendingMispredict
+{
+    std::uint64_t pathIdx;
+    DynIndex joinIdx; ///< End of its dynamic control scope.
+    std::int64_t resolveTime;
+    /**
+     * Backward (loop) branches diverge: the wrong-path fetch stream does
+     * not reconverge with the actual path before resolution, so code
+     * after the branch is simply absent from the machine unless a
+     * not-predicted-edge tree path (EE subtree / DEE side path) holds
+     * it. Forward mispredicts reconverge at the join, so only their
+     * dynamic control scope stalls.
+     */
+    bool divergent;
+};
+
+/**
+ * Reusable per-run output storage. WindowSim::run() keeps one of these
+ * per thread and rebinds the ForwardCtx output references to it, so
+ * repeated runs (benchmark repetitions, figure sweeps) recycle
+ * capacity instead of faulting in fresh pages every run. Both kernels
+ * assign()/clear() every vector they touch, so no state leaks between
+ * runs.
+ */
+struct RunArena
+{
+    std::vector<std::int64_t> exec;
+    std::vector<std::int64_t> fetchTree;
+    std::vector<std::int64_t> rootTime;
+    std::vector<std::int64_t> resolve;
+    std::vector<std::uint8_t> fetchSide;
+    std::vector<std::int64_t> starvedCycles;
+    std::vector<std::int32_t> decodedLat;
+    std::vector<BranchPath> paths;
+    std::vector<std::uint8_t> correct;
+    std::vector<DynIndex> joinIdx;
+    std::vector<DynIndex> nextOcc; ///< join-sweep scratch
+};
+
+/** Everything a forward-pass kernel reads and everything it must fill. */
+struct ForwardCtx
+{
+    // --- Inputs (borrowed from WindowSim::run) ---------------------------
+    const Trace &trace;
+    const std::vector<BranchPath> &paths;
+    const SpecTree &tree;
+    const SimConfig &config;
+    const std::vector<std::uint8_t> &correct; ///< per path; 1 if no branch
+    const BitVec64 &correctBits;              ///< same set, packed
+    const BitVec64 &ends;                     ///< endsInBranch per path
+    const std::vector<DynIndex> &joinIdx;     ///< empty unless CD
+    int windowReach;
+    bool profiling;
+    bool accounting;
+    bool tracing;
+    bool hot;
+    obs::Tracer &tracer;
+    obs::SpeculationProfile &profile; ///< recordAssignment() target
+    /** Cycle-accounting ledger (non-null iff accounting): the kernels
+     *  record each instruction's issue cycle as it is computed — the
+     *  same values in the same trace order the epilogue's separate
+     *  sweep over exec[] produced, fused to avoid re-reading it. */
+    obs::SlotLedger *ledger;
+
+    // --- Outputs (the epilogue's inputs; arena-backed references) --------
+    std::vector<std::int64_t> &exec;      ///< issue cycle per instruction
+    std::vector<std::int64_t> &fetchTree; ///< per path; kNeverFetched
+    std::vector<std::int64_t> &rootTime;  ///< num_paths + 1 entries
+    std::vector<std::int64_t> &resolve;   ///< per path
+    std::vector<std::uint8_t> &fetchSide; ///< per path iff profiling
+    std::vector<std::int64_t> &starvedCycles;
+    /** Effective completion latency per instruction; the fast engine
+     *  exports its decode so the epilogue skips re-deriving op
+     *  classes. Empty from the reference engine. */
+    std::vector<std::int32_t> &decodedLat;
+    std::uint64_t sidePathFetches = 0;
+};
+
+/** The seed forward pass, kept as ground truth (window_sim.cc). */
+void referenceForward(ForwardCtx &ctx);
+
+/** The data-oriented SoA / bit-vector kernel (fast_engine.cc). */
+void fastForward(ForwardCtx &ctx);
+
+} // namespace dee::sim_detail
+
+#endif // DEE_CORE_SIM_FORWARD_PASS_HH

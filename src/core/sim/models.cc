@@ -99,7 +99,7 @@ runModel(ModelKind kind, const Trace &trace, const Cfg *cfg,
     if (kind == ModelKind::Oracle) {
         SimResult result =
             oracleSim(trace, options.latency, options.loadLatencies,
-                      options.gatherAccounting);
+                      options.gatherAccounting, options.engine);
         meter.addInstructions(result.instructions);
         meter.addCycles(result.cycles);
         return result;
@@ -124,6 +124,7 @@ runModel(ModelKind kind, const Trace &trace, const Cfg *cfg,
     config.profileWorkload = options.profileWorkload;
     config.peLimit = options.peLimit;
     config.loadLatencies = options.loadLatencies;
+    config.engine = options.engine;
 
     WindowSim sim(trace, tree, config, cfg);
     SimResult result = sim.run(predictor);

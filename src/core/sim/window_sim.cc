@@ -3,14 +3,17 @@
 #include <algorithm>
 #include <array>
 #include <deque>
-#include <limits>
+#include <optional>
 #include <sstream>
 #include <unordered_map>
 
 #include "cfg/structure.hh"
+#include "common/bit_matrix.hh"
 #include "common/invariant.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "core/sim/fast_engine.hh"
+#include "core/sim/forward_pass.hh"
 #include "obs/hotspot/hotspot.hh"
 #include "obs/registry.hh"
 #include "obs/timer.hh"
@@ -101,209 +104,60 @@ WindowSim::WindowSim(const Trace &trace, SpecTree tree,
 namespace
 {
 
-/**
- * Per-cycle issue-slot accounting for the limited-PE extension: finds
- * the earliest cycle >= ready with a free slot and claims it.
- */
-class IssueSlots
-{
-  public:
-    /** @param starved when non-null, every fully-occupied cycle an
-     *  instruction probed while waiting for a slot is appended —
-     *  the resource-starvation evidence for cycle accounting. */
-    explicit IssueSlots(int width,
-                        std::vector<std::int64_t> *starved = nullptr)
-        : width_(width), starved_(starved)
-    {
-    }
-
-    std::int64_t
-    claim(std::int64_t ready)
-    {
-        if (width_ == 0)
-            return ready;
-        std::int64_t t = std::max(ready, floor_);
-        while (true) {
-            auto &used = used_[t];
-            if (used < width_) {
-                ++used;
-                return t;
-            }
-            if (starved_)
-                starved_->push_back(t);
-            ++t;
-        }
-    }
-
-  private:
-    int width_;
-    std::int64_t floor_ = 0;
-    std::unordered_map<std::int64_t, int> used_;
-    std::vector<std::int64_t> *starved_;
-};
-
-} // namespace
-
-namespace
-{
-
 /** Index value meaning "no previous writer". */
 constexpr std::int64_t kNoDep = -1;
 
-/** Sentinel "not yet fetched". */
-constexpr std::int64_t kNeverFetched =
-    std::numeric_limits<std::int64_t>::max();
-
-/** A mispredicted branch still inside the static window's reach. */
-struct PendingMispredict
-{
-    std::uint64_t pathIdx;
-    DynIndex joinIdx; ///< End of its dynamic control scope.
-    std::int64_t resolveTime;
-    /**
-     * Backward (loop) branches diverge: the wrong-path fetch stream does
-     * not reconverge with the actual path before resolution, so code
-     * after the branch is simply absent from the machine unless a
-     * not-predicted-edge tree path (EE subtree / DEE side path) holds
-     * it. Forward mispredicts reconverge at the join, so only their
-     * dynamic control scope stalls.
-     */
-    bool divergent;
-};
-
 } // namespace
 
-SimResult
-WindowSim::run(BranchPredictor &predictor) const
+namespace sim_detail
 {
-    obs::ScopedTimer run_timer("sim.window.run_ms");
-    obs::Tracer &tracer = obs::Tracer::global();
-    const bool tracing =
-        DEE_OBS_TRACE_ENABLED != 0 && tracer.enabled();
-    // Host hot-path attribution: one hoisted flag (the tracing idiom)
-    // guards every per-path marker below; the outer catch-all makes
-    // run() glue land on window.other instead of unattributed.
-    const bool hot = obs::hotspot::Sampler::process().active();
-    const obs::hotspot::HotspotPhase hot_run(
-        hot, "window", obs::hotspot::Phase::Other);
 
-    predictor.reset();
-
-    const auto &records = trace_.records;
+/**
+ * The seed forward pass, preserved verbatim as ground truth for the
+ * fast engine (tests/test_engine_differential.cc). One pointer-chasing
+ * walk and one dependence scan per path, exactly as originally written.
+ */
+void
+referenceForward(ForwardCtx &ctx)
+{
+    const auto &records = ctx.trace.records;
     const std::uint64_t n = records.size();
-    SimResult result;
-    result.instructions = n;
-    if (n == 0)
-        return result;
-
-    const std::vector<BranchPath> paths = segmentPaths(trace_);
+    const std::vector<BranchPath> &paths = ctx.paths;
     const std::uint64_t num_paths = paths.size();
-    // Static-window reach for route B: the machine holds E_T branch
-    // paths of static code regardless of how the tree allocates them
-    // between ML and DEE regions (in Levo, DEE paths are extra state
-    // columns over the *same* IQ rows), so equal resources mean equal
-    // static reach across models.
-    const int window_reach =
-        config_.windowReachOverride > 0
-            ? config_.windowReachOverride
-            : std::max(tree_.numPaths(), 1);
-    const int penalty = config_.mispredictPenalty;
-    const bool use_cd = config_.cd != CdModel::Restrictive;
-    const bool serial_branches = config_.cd != CdModel::Minimal;
-    const bool use_confidence = config_.confidence.accuracy != nullptr;
+    const SpecTree &tree = ctx.tree;
+    const SimConfig &config = ctx.config;
+    const int window_reach = ctx.windowReach;
+    const int penalty = config.mispredictPenalty;
+    const bool use_cd = config.cd != CdModel::Restrictive;
+    const bool serial_branches = config.cd != CdModel::Minimal;
+    const bool use_confidence = config.confidence.accuracy != nullptr;
+    const bool profiling = ctx.profiling;
+    const bool accounting = ctx.accounting;
+    const bool tracing = ctx.tracing;
+    const bool hot = ctx.hot;
+    obs::Tracer &tracer = ctx.tracer;
+    obs::SpeculationProfile &profile = ctx.profile;
+    const std::vector<std::uint8_t> &correct = ctx.correct;
+    const std::vector<DynIndex> &join_idx = ctx.joinIdx;
 
-    // --- Prediction correctness per branch path (functional update) ----
-    // The same pass feeds the per-branch confidence estimator used to
-    // attribute squashed speculative work to accuracy buckets, and the
-    // speculation profiler's per-site execution counts (profiling
-    // rides the accounting ledger, so it forces accounting on).
-    const bool profiling =
-        config_.gatherProfile || obs::profilingRequested();
-    const bool accounting = config_.gatherAccounting || profiling;
-    obs::SpeculationProfile profile;
-    ConfidenceEstimator confidence_meter(
-        accounting ? trace_.numStatic : 0);
-    std::vector<std::uint8_t> correct(num_paths, 1);
-    {
-        // The predictor pass steers fetch, so it samples as fetch.
-        const obs::hotspot::HotspotPhase hot_predict(
-            hot, "window", obs::hotspot::Phase::Fetch);
-        for (std::uint64_t k = 0; k < num_paths; ++k) {
-            if (!paths[k].endsInBranch)
-                continue;
-            const TraceRecord &b = records[paths[k].branchIndex()];
-            BranchQuery q;
-            q.sid = b.sid;
-            q.actual = b.taken;
-            const bool predicted = predictor.predict(q);
-            predictor.update(q, b.taken);
-            correct[k] = (predicted == b.taken) ? 1 : 0;
-            if (profiling) {
-                // Online confidence: the bucket the site occupied
-                // when this instance resolved, before its outcome
-                // updates the meter.
-                profile.recordExecution(
-                    b.sid, static_cast<std::int64_t>(b.block),
-                    correct[k] == 0,
-                    obs::confidenceBucket(
-                        confidence_meter.estimate(b.sid)));
-            }
-            if (accounting)
-                confidence_meter.record(b.sid, correct[k] != 0);
-            ++result.branches;
-            if (!correct[k])
-                ++result.mispredicted;
-        }
-    }
-    if (result.branches > 0) {
-        result.predictionAccuracy =
-            static_cast<double>(result.branches - result.mispredicted) /
-            static_cast<double>(result.branches);
-    }
-
-    // --- Dynamic control-dependence scopes for route B -------------------
-    // A branch instance controls exactly the dynamic instructions between
-    // itself and the first subsequent occurrence of its block's immediate
-    // postdominator (the join point); from there on, execution no longer
-    // depends on which way the branch went. join_idx[k] is that boundary
-    // (as a dynamic instruction index) for the branch ending path k.
-    std::vector<DynIndex> join_idx;
-    if (use_cd) {
-        join_idx.assign(num_paths, n);
-        // Occurrence lists per block for join lookups.
-        std::vector<std::vector<DynIndex>> occurrences(
-            cfg_->numBlocks() + 1);
-        for (DynIndex i = 0; i < n; ++i)
-            occurrences[records[i].block].push_back(i);
-        for (std::uint64_t k = 0; k < num_paths; ++k) {
-            if (!paths[k].endsInBranch)
-                continue;
-            const DynIndex b = paths[k].branchIndex();
-            const BlockId ipdom = cfg_->ipostdom(records[b].block);
-            if (ipdom >= cfg_->numBlocks()) {
-                join_idx[k] = n; // joins only at program exit
-                continue;
-            }
-            const auto &occ = occurrences[ipdom];
-            auto it = std::upper_bound(occ.begin(), occ.end(), b);
-            join_idx[k] = it == occ.end() ? n : *it;
-        }
-    }
-
-    // --- Forward pass over branch paths ----------------------------------
-    std::vector<std::int64_t> exec(n, 0);
-    std::vector<std::int64_t> fetch_tree(num_paths, kNeverFetched);
-    std::vector<std::int64_t> root_time(num_paths + 1, 0);
-    std::vector<std::int64_t> resolve(num_paths, 0);
+    std::vector<std::int64_t> &exec = ctx.exec;
+    exec.assign(n, 0);
+    std::vector<std::int64_t> &fetch_tree = ctx.fetchTree;
+    fetch_tree.assign(num_paths, kNeverFetched);
+    std::vector<std::int64_t> &root_time = ctx.rootTime;
+    root_time.assign(num_paths + 1, 0);
+    std::vector<std::int64_t> &resolve = ctx.resolve;
+    resolve.assign(num_paths, 0);
     // Mispredicted branch paths crossed via a not-predicted edge on the
     // walk that fetched each path (alternate state held in hardware).
     std::vector<std::vector<std::uint64_t>> bypass(num_paths);
     // Profiler side data: whether each path's earliest fetch crossed a
     // not-predicted edge (DEE-slot vs. mainline residency), and the
     // tree's Theorem-1 assignment ranks for cp/rank attribution.
-    std::vector<std::uint8_t> fetch_side(profiling ? num_paths : 0, 0);
+    std::vector<std::uint8_t> &fetch_side = ctx.fetchSide;
+    fetch_side.assign(profiling ? num_paths : 0, 0);
     const std::vector<int> assignment_ranks =
-        profiling && !use_confidence ? tree_.assignmentRanks()
+        profiling && !use_confidence ? tree.assignmentRanks()
                                      : std::vector<int>();
 
     std::array<std::int64_t, kNumRegs> reg_writer;
@@ -312,18 +166,18 @@ WindowSim::run(BranchPredictor &predictor) const
 
     std::deque<PendingMispredict> window_mispredicts;
     std::int64_t last_resolve = -1;
-    std::vector<std::int64_t> starved_cycles;
-    IssueSlots slots(config_.peLimit,
-                     accounting && config_.peLimit > 0 ? &starved_cycles
-                                                       : nullptr);
+    IssueSlots slots(config.peLimit,
+                     accounting && config.peLimit > 0
+                         ? &ctx.starvedCycles
+                         : nullptr);
 
     // Effective completion latency of a dynamic instruction (cache-
     // model load latencies override the class latency when provided).
     auto lat_of = [&](DynIndex idx) {
         const OpClass c = opClass(records[idx].op);
-        if (c == OpClass::Load && config_.loadLatencies)
-            return (*config_.loadLatencies)[idx];
-        return config_.latency.of(c);
+        if (c == OpClass::Load && config.loadLatencies)
+            return (*config.loadLatencies)[idx];
+        return config.latency.of(c);
     };
 
     for (std::uint64_t r = 0; r < num_paths; ++r) {
@@ -339,7 +193,7 @@ WindowSim::run(BranchPredictor &predictor) const
             // Confidence-gated coverage: follow correct predictions to
             // the ML depth; one low-confidence mispredict may be
             // crossed, extending coverage by sideLen paths.
-            const int ml_depth = tree_.maxDepth();
+            const int ml_depth = tree.maxDepth();
             std::vector<std::uint64_t> crossed_npred;
             std::int64_t limit = ml_depth;
             for (std::uint64_t d = 0;
@@ -354,14 +208,14 @@ WindowSim::run(BranchPredictor &predictor) const
                     const TraceRecord &b =
                         records[paths[r + d].branchIndex()];
                     const double acc =
-                        b.sid < config_.confidence.accuracy->size()
-                            ? (*config_.confidence.accuracy)[b.sid]
+                        b.sid < config.confidence.accuracy->size()
+                            ? (*config.confidence.accuracy)[b.sid]
                             : 1.0;
-                    if (acc >= config_.confidence.threshold)
+                    if (acc >= config.confidence.threshold)
                         break; // confident branch: no side path here
                     crossed_npred.push_back(r + d);
                     limit = static_cast<std::int64_t>(d) +
-                            config_.confidence.sideLen + 1;
+                            config.confidence.sideLen + 1;
                 }
                 if (now < fetch_tree[r + d + 1]) {
                     fetch_tree[r + d + 1] = now;
@@ -369,7 +223,7 @@ WindowSim::run(BranchPredictor &predictor) const
                         fetch_side[r + d + 1] =
                             crossed_npred.empty() ? 0 : 1;
                     if (!crossed_npred.empty()) {
-                        ++result.sidePathFetches;
+                        ++ctx.sidePathFetches;
                         DEE_INVARIANT(crossed_npred.front() >= r &&
                                           crossed_npred.back() <= r + d,
                                       "bypass set escapes its walk");
@@ -393,7 +247,7 @@ WindowSim::run(BranchPredictor &predictor) const
             for (std::uint64_t d = 0; r + d + 1 < num_paths; ++d) {
                 if (!paths[r + d].endsInBranch)
                     break;
-                node = tree_.child(node, correct[r + d] != 0);
+                node = tree.child(node, correct[r + d] != 0);
                 if (node == kNoNode)
                     break;
                 if (!correct[r + d])
@@ -409,12 +263,12 @@ WindowSim::run(BranchPredictor &predictor) const
                         // the branch the path hangs off.
                         profile.recordAssignment(
                             records[paths[r + d].branchIndex()].sid,
-                            tree_.node(node).cp,
+                            tree.node(node).cp,
                             assignment_ranks[static_cast<std::size_t>(
                                 node)]);
                     }
                     if (!crossed_npred.empty()) {
-                        ++result.sidePathFetches;
+                        ++ctx.sidePathFetches;
                         DEE_INVARIANT(crossed_npred.front() >= r &&
                                           crossed_npred.back() <= r + d,
                                       "bypass set escapes its walk");
@@ -507,6 +361,8 @@ WindowSim::run(BranchPredictor &predictor) const
 
                 t = slots.claim(t);
                 exec[i] = t;
+                if (ctx.ledger != nullptr)
+                    ctx.ledger->issue(t);
                 done = std::max(done, t + lat_of(i));
 
                 // Update renaming tables (flow-only for registers;
@@ -527,7 +383,7 @@ WindowSim::run(BranchPredictor &predictor) const
             const obs::hotspot::HotspotPhase hot_resolve(
                 hot, "window", obs::hotspot::Phase::Resolve);
             const DynIndex b = paths[r].branchIndex();
-            res = exec[b] + config_.latency.of(OpClass::CondBranch);
+            res = exec[b] + config.latency.of(OpClass::CondBranch);
             if (serial_branches)
                 res = std::max(res, last_resolve + 1);
             last_resolve = res;
@@ -564,6 +420,220 @@ WindowSim::run(BranchPredictor &predictor) const
                            correct[r] ? std::int64_t{0}
                                       : std::int64_t{1});
     }
+}
+
+} // namespace sim_detail
+
+SimResult
+WindowSim::run(BranchPredictor &predictor) const
+{
+    obs::ScopedTimer run_timer("sim.window.run_ms");
+    obs::Tracer &tracer = obs::Tracer::global();
+    const bool tracing =
+        DEE_OBS_TRACE_ENABLED != 0 && tracer.enabled();
+    // Host hot-path attribution: one hoisted flag (the tracing idiom)
+    // guards every per-path marker below; the outer catch-all makes
+    // run() glue land on window.other instead of unattributed.
+    const bool hot = obs::hotspot::Sampler::process().active();
+    const obs::hotspot::HotspotPhase hot_run(
+        hot, "window", obs::hotspot::Phase::Other);
+
+    predictor.reset();
+
+    const auto &records = trace_.records;
+    const std::uint64_t n = records.size();
+    SimResult result;
+    result.instructions = n;
+    if (n == 0)
+        return result;
+
+    // Per-thread run storage: benchmark repetitions and figure sweeps
+    // call run() thousands of times, so output and scratch buffers are
+    // recycled instead of re-faulted from the allocator every run.
+    static thread_local sim_detail::RunArena arena;
+
+    segmentPaths(trace_, arena.paths);
+    const std::vector<BranchPath> &paths = arena.paths;
+    const std::uint64_t num_paths = paths.size();
+    // Static-window reach for route B: the machine holds E_T branch
+    // paths of static code regardless of how the tree allocates them
+    // between ML and DEE regions (in Levo, DEE paths are extra state
+    // columns over the *same* IQ rows), so equal resources mean equal
+    // static reach across models.
+    const int window_reach =
+        config_.windowReachOverride > 0
+            ? config_.windowReachOverride
+            : std::max(tree_.numPaths(), 1);
+    const int penalty = config_.mispredictPenalty;
+    const bool use_cd = config_.cd != CdModel::Restrictive;
+
+    // --- Prediction correctness per branch path (functional update) ----
+    // The same pass feeds the per-branch confidence estimator used to
+    // attribute squashed speculative work to accuracy buckets, and the
+    // speculation profiler's per-site execution counts (profiling
+    // rides the accounting ledger, so it forces accounting on).
+    const bool profiling =
+        config_.gatherProfile || obs::profilingRequested();
+    const bool accounting = config_.gatherAccounting || profiling;
+    obs::SpeculationProfile profile;
+    ConfidenceEstimator confidence_meter(
+        accounting ? trace_.numStatic : 0);
+    std::vector<std::uint8_t> &correct = arena.correct;
+    correct.assign(num_paths, 1);
+    // The same correctness facts, packed: branch-ending paths and
+    // correct predictions as bit sets so the epilogue's mispredict
+    // scans run word-parallel (ends &~ correct, then a ctz walk).
+    BitVec64 ends(num_paths);
+    BitVec64 correct_bits(num_paths);
+    {
+        // The predictor pass steers fetch, so it samples as fetch. The
+        // 2-bit predictor (every figure cell) devirtualizes into one
+        // inlined table access per branch.
+        const obs::hotspot::HotspotPhase hot_predict(
+            hot, "window", obs::hotspot::Phase::Fetch);
+        TwoBitPredictor *const twobit =
+            dynamic_cast<TwoBitPredictor *>(&predictor);
+        for (std::uint64_t k = 0; k < num_paths; ++k) {
+            if (!paths[k].endsInBranch) {
+                correct_bits.set(k);
+                continue;
+            }
+            ends.set(k);
+            const TraceRecord &b = records[paths[k].branchIndex()];
+            bool predicted;
+            if (twobit != nullptr) {
+                predicted = twobit->predictThenUpdate(b.sid, b.taken);
+            } else {
+                BranchQuery q;
+                q.sid = b.sid;
+                q.actual = b.taken;
+                predicted = predictor.predict(q);
+                predictor.update(q, b.taken);
+            }
+            correct[k] = (predicted == b.taken) ? 1 : 0;
+            if (correct[k])
+                correct_bits.set(k);
+            if (profiling) {
+                // Online confidence: the bucket the site occupied
+                // when this instance resolved, before its outcome
+                // updates the meter.
+                profile.recordExecution(
+                    b.sid, static_cast<std::int64_t>(b.block),
+                    correct[k] == 0,
+                    obs::confidenceBucket(
+                        confidence_meter.estimate(b.sid)));
+            }
+            if (accounting)
+                confidence_meter.record(b.sid, correct[k] != 0);
+            ++result.branches;
+            if (!correct[k])
+                ++result.mispredicted;
+        }
+    }
+    if (result.branches > 0) {
+        result.predictionAccuracy =
+            static_cast<double>(result.branches - result.mispredicted) /
+            static_cast<double>(result.branches);
+    }
+
+    // --- Dynamic control-dependence scopes for route B -------------------
+    // A branch instance controls exactly the dynamic instructions between
+    // itself and the first subsequent occurrence of its block's immediate
+    // postdominator (the join point); from there on, execution no longer
+    // depends on which way the branch went. join_idx[k] is that boundary
+    // (as a dynamic instruction index) for the branch ending path k.
+    std::vector<DynIndex> &join_idx = arena.joinIdx;
+    join_idx.clear();
+    if (use_cd) {
+        join_idx.assign(num_paths, n);
+        // One backward sweep: next_occ[b] is the first dynamic index
+        // of block b strictly after the sweep cursor, so each branch
+        // reads its join point (first post-branch occurrence of its
+        // block's immediate postdominator) in O(1). Paths are pushed
+        // after their own branch is queried — a branch's block never
+        // joins at itself.
+        const std::size_t num_blocks = cfg_->numBlocks() + 1;
+        std::vector<DynIndex> &next_occ = arena.nextOcc;
+        next_occ.assign(num_blocks, n);
+        for (std::uint64_t k = num_paths; k-- > 0;) {
+            if (paths[k].endsInBranch) {
+                const DynIndex b = paths[k].branchIndex();
+                const BlockId ipdom = cfg_->ipostdom(records[b].block);
+                if (ipdom < cfg_->numBlocks())
+                    join_idx[k] = next_occ[ipdom];
+            }
+            for (DynIndex i = paths[k].end; i-- > paths[k].begin;)
+                next_occ[records[i].block] = i;
+        }
+    }
+
+    // --- Forward pass over branch paths ----------------------------------
+    // The accounting ledger outlives the kernel: issue cycles are
+    // recorded inline as the kernel computes them (same values, same
+    // trace order as the old post-pass over exec[]), and the epilogue
+    // adds the stall marks and finalizes.
+    std::optional<obs::SlotLedger> ledger;
+    if (accounting) {
+        ledger.emplace(config_.peLimit > 0
+                           ? static_cast<std::uint64_t>(config_.peLimit)
+                           : 0,
+                       n / 2);
+    }
+    sim_detail::ForwardCtx ctx{
+        .trace = trace_,
+        .paths = paths,
+        .tree = tree_,
+        .config = config_,
+        .correct = correct,
+        .correctBits = correct_bits,
+        .ends = ends,
+        .joinIdx = join_idx,
+        .windowReach = window_reach,
+        .profiling = profiling,
+        .accounting = accounting,
+        .tracing = tracing,
+        .hot = hot,
+        .tracer = tracer,
+        .profile = profile,
+        .ledger = ledger.has_value() ? &*ledger : nullptr,
+        .exec = arena.exec,
+        .fetchTree = arena.fetchTree,
+        .rootTime = arena.rootTime,
+        .resolve = arena.resolve,
+        .fetchSide = arena.fetchSide,
+        .starvedCycles = arena.starvedCycles,
+        .decodedLat = arena.decodedLat,
+        .sidePathFetches = 0,
+    };
+    // The kernels assign() the sized outputs; the append-only ones must
+    // start empty so nothing leaks across arena reuse.
+    arena.starvedCycles.clear();
+    arena.decodedLat.clear();
+    if (config_.engine == Engine::Reference)
+        sim_detail::referenceForward(ctx);
+    else
+        sim_detail::fastForward(ctx);
+    const std::vector<std::int64_t> &exec = ctx.exec;
+    const std::vector<std::int64_t> &fetch_tree = ctx.fetchTree;
+    const std::vector<std::int64_t> &root_time = ctx.rootTime;
+    const std::vector<std::int64_t> &resolve = ctx.resolve;
+    const std::vector<std::uint8_t> &fetch_side = ctx.fetchSide;
+    result.sidePathFetches = ctx.sidePathFetches;
+
+    // Mispredicted branch paths, for the epilogue's word-parallel scans.
+    BitVec64 mispredict_paths = ends;
+    mispredict_paths.andNotWith(correct_bits);
+
+    // Effective completion latency of a dynamic instruction; the fast
+    // engine exports its decode, saving the per-record class switches.
+    auto lat_of = [&](DynIndex idx) -> int {
+        if (!ctx.decodedLat.empty())
+            return ctx.decodedLat[idx];
+        const OpClass c = opClass(records[idx].op);
+        if (c == OpClass::Load && config_.loadLatencies)
+            return (*config_.loadLatencies)[idx];
+        return config_.latency.of(c);
+    };
 
     // --- Totals -----------------------------------------------------------
     std::int64_t last_cycle = 0;
@@ -602,9 +672,7 @@ WindowSim::run(BranchPredictor &predictor) const
     if (config_.gatherResolveStats) {
         result.resolveDepthCounts.assign(
             static_cast<std::size_t>(tree_.maxDepth()) + 1, 0);
-        for (std::uint64_t m = 0; m < num_paths; ++m) {
-            if (!paths[m].endsInBranch || correct[m])
-                continue;
+        mispredict_paths.forEachSet([&](std::size_t m) {
             // Root position when this branch resolved: the last path
             // whose root-arrival time is <= the resolve time.
             const auto it = std::upper_bound(root_time.begin(),
@@ -615,61 +683,54 @@ WindowSim::run(BranchPredictor &predictor) const
             depth = std::min<std::uint64_t>(
                 depth, result.resolveDepthCounts.size() - 1);
             ++result.resolveDepthCounts[depth];
-        }
+        });
     }
 
     // --- Cycle accounting: classify every issue-slot-cycle ----------------
+    // The kernels already recorded every instruction's issue cycle.
     if (accounting) {
-        obs::SlotLedger ledger(
-            config_.peLimit > 0
-                ? static_cast<std::uint64_t>(config_.peLimit)
-                : 0,
-            result.cycles);
-        for (std::uint64_t i = 0; i < n; ++i)
-            ledger.issue(exec[i]);
-        for (std::uint64_t m = 0; m < num_paths; ++m) {
-            if (!paths[m].endsInBranch || correct[m])
-                continue;
+        mispredict_paths.forEachSet([&](std::size_t m) {
             // Wrong-path work occupies the machine from the moment the
             // mispredicted branch's path was fetched (its prediction
             // steered fetch from there) until resolution plus the
             // repair penalty; spare slots in that span are squashed
             // work, charged to the branch's confidence bucket.
             const TraceRecord &b = records[paths[m].branchIndex()];
-            const std::int64_t begin = fetch_tree[m] == kNeverFetched
-                                           ? root_time[m]
-                                           : fetch_tree[m];
-            ledger.mark(obs::SlotClass::SquashedSpec, begin,
-                        resolve[m] + penalty,
-                        obs::confidenceBucket(
-                            confidence_meter.estimate(b.sid)),
-                        b.sid);
-        }
-        for (const std::int64_t t : starved_cycles)
-            ledger.mark(obs::SlotClass::ResourceStarved, t, t + 1);
+            const std::int64_t begin =
+                fetch_tree[m] == sim_detail::kNeverFetched
+                    ? root_time[m]
+                    : fetch_tree[m];
+            ledger->mark(obs::SlotClass::SquashedSpec, begin,
+                         resolve[m] + penalty,
+                         obs::confidenceBucket(
+                             confidence_meter.estimate(b.sid)),
+                         b.sid);
+        });
+        for (const std::int64_t t : ctx.starvedCycles)
+            ledger->mark(obs::SlotClass::ResourceStarved, t, t + 1);
         std::unordered_map<std::uint32_t, std::uint64_t> squash_by_site;
         result.account =
-            ledger.finalize(result.cycles, tracing ? &tracer : nullptr,
-                            profiling ? &squash_by_site : nullptr);
+            ledger->finalize(result.cycles,
+                             tracing ? &tracer : nullptr,
+                             profiling ? &squash_by_site : nullptr);
         if (profiling)
             profile.attributeSquash(squash_by_site);
     }
 
     // --- Speculation profile: latency, residency, loops, identity --------
     if (profiling) {
-        for (std::uint64_t k = 0; k < num_paths; ++k) {
-            if (!paths[k].endsInBranch)
-                continue;
+        ends.forEachSet([&](std::size_t k) {
             const TraceRecord &b = records[paths[k].branchIndex()];
-            const std::int64_t begin = fetch_tree[k] == kNeverFetched
-                                           ? root_time[k]
-                                           : fetch_tree[k];
+            const std::int64_t begin =
+                fetch_tree[k] == sim_detail::kNeverFetched
+                    ? root_time[k]
+                    : fetch_tree[k];
             profile.recordResolveLatency(b.sid, resolve[k] - begin);
             // The successor path's fetched residency hangs off this
             // branch: DEE-slot cycles when it was held via a
             // not-predicted edge, mainline cycles otherwise.
             if (k + 1 < num_paths &&
-                fetch_tree[k + 1] != kNeverFetched) {
+                fetch_tree[k + 1] != sim_detail::kNeverFetched) {
                 const std::int64_t span =
                     resolve[k + 1] - fetch_tree[k + 1];
                 if (span > 0) {
@@ -678,7 +739,7 @@ WindowSim::run(BranchPredictor &predictor) const
                         fetch_side[k + 1] != 0);
                 }
             }
-        }
+        });
 
         if (cfg_ != nullptr) {
             const Dominators doms(*cfg_);
@@ -741,18 +802,31 @@ profileBranchAccuracy(const Trace &trace, const BranchPredictor &pred)
     auto probe = pred.clone();
     std::vector<std::uint32_t> seen(trace.numStatic, 0);
     std::vector<std::uint32_t> right(trace.numStatic, 0);
-    for (const auto &rec : trace.records) {
-        if (!rec.isBranch)
-            continue;
-        BranchQuery q;
-        q.sid = rec.sid;
-        q.backward = rec.backward;
-        q.actual = rec.taken;
-        const bool predicted = probe->predict(q);
-        probe->update(q, rec.taken);
-        ++seen[rec.sid];
-        if (predicted == rec.taken)
-            ++right[rec.sid];
+    // Same devirtualization as the simulator's predictor pass: the
+    // 2-bit default reduces to one inlined table access per branch.
+    if (auto *twobit = dynamic_cast<TwoBitPredictor *>(probe.get())) {
+        for (const auto &rec : trace.records) {
+            if (!rec.isBranch)
+                continue;
+            ++seen[rec.sid];
+            if (twobit->predictThenUpdate(rec.sid, rec.taken) ==
+                rec.taken)
+                ++right[rec.sid];
+        }
+    } else {
+        for (const auto &rec : trace.records) {
+            if (!rec.isBranch)
+                continue;
+            BranchQuery q;
+            q.sid = rec.sid;
+            q.backward = rec.backward;
+            q.actual = rec.taken;
+            const bool predicted = probe->predict(q);
+            probe->update(q, rec.taken);
+            ++seen[rec.sid];
+            if (predicted == rec.taken)
+                ++right[rec.sid];
+        }
     }
     std::vector<double> accuracy(trace.numStatic, 1.0);
     for (std::uint32_t s = 0; s < trace.numStatic; ++s) {
@@ -767,7 +841,7 @@ profileBranchAccuracy(const Trace &trace, const BranchPredictor &pred)
 SimResult
 oracleSim(const Trace &trace, LatencyModel latency,
           const std::vector<int> *load_latencies,
-          bool gather_accounting)
+          bool gather_accounting, Engine engine)
 {
     obs::ScopedTimer run_timer("sim.oracle.run_ms");
 
@@ -779,12 +853,40 @@ oracleSim(const Trace &trace, LatencyModel latency,
     if (load_latencies && load_latencies->size() != records.size())
         dee_fatal("oracleSim loadLatencies size mismatch");
 
+    std::int64_t last = 0;
+    if (engine == Engine::Fast) {
+        // Fused decode + dataflow + accounting in one sweep; the
+        // ledger (when accounting) sees the same issue cycles in the
+        // same trace order as the reference's separate second pass.
+        obs::SlotLedger ledger(0, 0);
+        const sim_detail::OracleSummary summary = sim_detail::fastOracle(
+            trace, latency, load_latencies,
+            gather_accounting ? &ledger : nullptr);
+        last = summary.lastDone;
+        result.branches = summary.branches;
+        result.cycles = static_cast<std::uint64_t>(
+            std::max<std::int64_t>(last, 1));
+        result.speedup = static_cast<double>(records.size()) /
+                         static_cast<double>(result.cycles);
+        result.predictionAccuracy = 1.0;
+
+        obs::Registry &reg = obs::Registry::global();
+        ++reg.counter("sim.oracle.runs");
+        reg.counter("sim.oracle.instructions") += result.instructions;
+        reg.stat("sim.oracle.speedup").add(result.speedup);
+        if (gather_accounting) {
+            result.account = ledger.finalize(result.cycles);
+            if (result.account.valid())
+                result.account.publish(reg, "oracle");
+        }
+        return result;
+    }
+
     std::vector<std::int64_t> done(records.size(), 0);
     std::array<std::int64_t, kNumRegs> reg_writer;
     reg_writer.fill(kNoDep);
     std::unordered_map<std::uint64_t, std::int64_t> mem_writer;
 
-    std::int64_t last = 0;
     for (std::uint64_t i = 0; i < records.size(); ++i) {
         const TraceRecord &rec = records[i];
         std::int64_t ready = 0;

@@ -56,6 +56,7 @@
 
 #include "bpred/bpred.hh"
 #include "cfg/cfg.hh"
+#include "core/sim/engine.hh"
 #include "core/tree/spec_tree.hh"
 #include "obs/accounting.hh"
 #include "obs/profile/profile.hh"
@@ -169,6 +170,14 @@ struct SimConfig
         int sideLen = 0;
     };
     ConfidenceDee confidence;
+
+    /**
+     * Which forward-pass kernel runs the simulation: the data-oriented
+     * fast engine or the seed reference engine. The two are bit-exact
+     * (tests/test_engine_differential.cc); this only selects speed.
+     * Defaults to the process-wide selection (--engine / DEE_ENGINE).
+     */
+    Engine engine = selectedEngine();
 };
 
 /**
@@ -248,11 +257,14 @@ class WindowSim
  *         model), overriding latency.load per access.
  *  @param gather_accounting fill SimResult::account ("acct.oracle.*";
  *         the oracle never speculates, so its slots split between
- *         useful and the idle/fetch_stall residue). */
+ *         useful and the idle/fetch_stall residue).
+ *  @param engine fast (fused single-pass kernel) or reference; both
+ *         are bit-exact, defaulting to the process-wide selection. */
 SimResult oracleSim(const Trace &trace,
                     LatencyModel latency = LatencyModel::unit(),
                     const std::vector<int> *load_latencies = nullptr,
-                    bool gather_accounting = true);
+                    bool gather_accounting = true,
+                    Engine engine = selectedEngine());
 
 } // namespace dee
 

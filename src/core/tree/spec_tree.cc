@@ -109,6 +109,27 @@ SpecTree::walk(const std::vector<bool> &correct) const
     return covered;
 }
 
+FlatSpecTree
+SpecTree::flatten(bool with_ranks) const
+{
+    FlatSpecTree flat;
+    const std::size_t count = nodes_.size();
+    flat.predChild.resize(count);
+    flat.npredChild.resize(count);
+    flat.cp.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        flat.predChild[i] = nodes_[i].predChild;
+        flat.npredChild[i] = nodes_[i].npredChild;
+        flat.cp[i] = nodes_[i].cp;
+    }
+    flat.maxDepth = maxDepth();
+    if (with_ranks) {
+        const std::vector<int> ranks = assignmentRanks();
+        flat.rank.assign(ranks.begin(), ranks.end());
+    }
+    return flat;
+}
+
 std::string
 SpecTree::render() const
 {

@@ -26,6 +26,7 @@
 #ifndef DEE_CORE_TREE_SPEC_TREE_HH
 #define DEE_CORE_TREE_SPEC_TREE_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,29 @@
 
 namespace dee
 {
+
+/**
+ * Flat structure-of-arrays view of a SpecTree for the fast engine's
+ * tree moves: child links, cumulative probabilities and Theorem-1
+ * assignment ranks as plain arrays indexed by node id, so the per-root
+ * coverage walk is two array loads per edge instead of a bounds-checked
+ * node lookup. Absent edges hold kNoNode (-1).
+ */
+struct FlatSpecTree
+{
+    std::vector<std::int32_t> predChild;
+    std::vector<std::int32_t> npredChild;
+    std::vector<double> cp;
+    std::vector<std::int32_t> rank; ///< empty unless ranks requested
+    int maxDepth = 0;
+
+    int
+    child(int id, bool predicted_edge) const
+    {
+        return predicted_edge ? predChild[static_cast<std::size_t>(id)]
+                              : npredChild[static_cast<std::size_t>(id)];
+    }
+};
 
 /** One branch path in a speculation tree. */
 struct TreeNode
@@ -103,6 +127,10 @@ class SpecTree
 
     /** Multi-line ASCII rendering with cp and assignment ranks. */
     std::string render() const;
+
+    /** Structure-of-arrays view for the fast engine (see FlatSpecTree).
+     *  @param with_ranks also materialize assignmentRanks(). */
+    FlatSpecTree flatten(bool with_ranks = false) const;
 
     // --- Builders --------------------------------------------------------
 

@@ -7,30 +7,6 @@
 namespace dee
 {
 
-OpClass
-opClass(Opcode op)
-{
-    switch (op) {
-      case Opcode::Load:
-        return OpClass::Load;
-      case Opcode::Store:
-        return OpClass::Store;
-      case Opcode::BranchEq:
-      case Opcode::BranchNe:
-      case Opcode::BranchLt:
-      case Opcode::BranchGe:
-        return OpClass::CondBranch;
-      case Opcode::Jump:
-        return OpClass::Jump;
-      case Opcode::Halt:
-        return OpClass::Halt;
-      case Opcode::Nop:
-        return OpClass::Nop;
-      default:
-        return OpClass::IntAlu;
-    }
-}
-
 bool
 isCondBranch(Opcode op)
 {

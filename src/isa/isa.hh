@@ -79,7 +79,29 @@ enum class OpClass : std::uint8_t
 };
 
 /** Returns the class of an opcode. */
-OpClass opClass(Opcode op);
+constexpr OpClass
+opClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::Load:
+        return OpClass::Load;
+      case Opcode::Store:
+        return OpClass::Store;
+      case Opcode::BranchEq:
+      case Opcode::BranchNe:
+      case Opcode::BranchLt:
+      case Opcode::BranchGe:
+        return OpClass::CondBranch;
+      case Opcode::Jump:
+        return OpClass::Jump;
+      case Opcode::Halt:
+        return OpClass::Halt;
+      case Opcode::Nop:
+        return OpClass::Nop;
+      default:
+        return OpClass::IntAlu;
+    }
+}
 
 /** True for the conditional-branch opcodes. */
 bool isCondBranch(Opcode op);

@@ -237,13 +237,47 @@ classOfPriority(unsigned prio)
 
 } // namespace
 
+namespace
+{
+
+/** Recycled cycle-buffer storage; see ~SlotLedger(). */
+struct LedgerBuffers
+{
+    std::vector<std::uint32_t> issued;
+    std::vector<std::uint8_t> marks;
+    std::vector<std::uint32_t> owner;
+};
+
+thread_local LedgerBuffers t_ledger_buffers;
+
+} // namespace
+
 SlotLedger::SlotLedger(std::uint64_t pes, std::uint64_t cycles_hint)
     : pes_(pes)
 {
+    // Adopt the thread's recycled buffers (empty on first use or if
+    // another ledger currently holds them); clear() keeps capacity and
+    // ensure()/finalize() value-initialize every element they expose,
+    // so a recycled ledger is indistinguishable from a fresh one.
+    issued_.swap(t_ledger_buffers.issued);
+    marks_.swap(t_ledger_buffers.marks);
+    owner_.swap(t_ledger_buffers.owner);
+    issued_.clear();
+    marks_.clear();
+    owner_.clear();
     const std::uint64_t hint = std::min(cycles_hint, kMaxCycles);
     issued_.reserve(hint);
     marks_.reserve(hint);
     owner_.reserve(hint);
+}
+
+SlotLedger::~SlotLedger()
+{
+    if (issued_.capacity() > t_ledger_buffers.issued.capacity()) {
+        issued_.swap(t_ledger_buffers.issued);
+        marks_.swap(t_ledger_buffers.marks);
+        owner_.swap(t_ledger_buffers.owner);
+    }
 }
 
 void

@@ -219,6 +219,15 @@ class SlotLedger
      */
     explicit SlotLedger(std::uint64_t pes, std::uint64_t cycles_hint = 0);
 
+    /** Returns the cycle buffers to a thread-local recycling pool, so
+     *  per-run ledgers (one per simulated cell) reuse warmed capacity
+     *  instead of round-tripping multi-megabyte allocations through
+     *  the allocator every run. */
+    ~SlotLedger();
+
+    SlotLedger(const SlotLedger &) = delete;
+    SlotLedger &operator=(const SlotLedger &) = delete;
+
     /** False once a cycle index exceeded kMaxCycles. */
     bool active() const { return active_; }
 

@@ -9,6 +9,14 @@ std::vector<BranchPath>
 segmentPaths(const Trace &trace)
 {
     std::vector<BranchPath> paths;
+    segmentPaths(trace, paths);
+    return paths;
+}
+
+void
+segmentPaths(const Trace &trace, std::vector<BranchPath> &paths)
+{
+    paths.clear();
     DynIndex begin = 0;
     for (DynIndex i = 0; i < trace.records.size(); ++i) {
         if (trace.records[i].isBranch) {
@@ -20,7 +28,6 @@ segmentPaths(const Trace &trace)
         paths.push_back(
             BranchPath{begin, static_cast<DynIndex>(trace.records.size()),
                        false});
-    return paths;
 }
 
 TraceStats

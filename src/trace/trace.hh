@@ -75,6 +75,9 @@ struct BranchPath
 /** Splits a trace into branch paths at every conditional branch. */
 std::vector<BranchPath> segmentPaths(const Trace &trace);
 
+/** Reuse-friendly overload: clears and refills @p paths in place. */
+void segmentPaths(const Trace &trace, std::vector<BranchPath> &paths);
+
 /** Aggregate statistics over a trace. */
 struct TraceStats
 {
